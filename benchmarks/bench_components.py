@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the core components.
+
+Not a paper figure — these track the cost of each pipeline stage (knapsack
+selection, dual approximation, LP bound, full DEMT, baselines) on a
+paper-scale instance, so performance regressions show up in CI before they
+distort the Figure 7 reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.demt import schedule_demt
+from repro.algorithms.dual_approx import dual_approximation
+from repro.algorithms.gang import schedule_gang
+from repro.algorithms.knapsack import KnapsackItem, knapsack_select
+from repro.algorithms.list_graham import schedule_list_graham
+from repro.algorithms.sequential import schedule_sequential
+from repro.bounds.minsum_lp import minsum_lower_bound
+from repro.workloads.generator import generate_workload
+
+
+@pytest.fixture(scope="module")
+def paper_instance():
+    """One paper-scale instance (n=400, m=200, Cirne workload)."""
+    return generate_workload("cirne", n=400, m=200, seed=0)
+
+
+def test_bench_knapsack(benchmark):
+    items = [KnapsackItem(i, (i % 7) + 1, float(i % 10 + 1)) for i in range(400)]
+    result = benchmark(knapsack_select, items, 200)
+    assert result.total_weight > 0
+
+
+def test_bench_dual_approximation(benchmark, paper_instance):
+    result = benchmark(dual_approximation, paper_instance)
+    assert result.lower_bound > 0
+
+
+def test_bench_minsum_lp(benchmark, paper_instance):
+    lam = dual_approximation(paper_instance).lam
+    result = benchmark(minsum_lower_bound, paper_instance, lam)
+    assert result.value > 0
+
+
+def test_bench_demt_full(benchmark, paper_instance):
+    schedule = benchmark(schedule_demt, paper_instance)
+    assert len(schedule) == 400
+
+
+def test_bench_gang(benchmark, paper_instance):
+    assert len(benchmark(schedule_gang, paper_instance)) == 400
+
+
+def test_bench_sequential(benchmark, paper_instance):
+    assert len(benchmark(schedule_sequential, paper_instance)) == 400
+
+
+def test_bench_list_graham_saf(benchmark, paper_instance):
+    dual = dual_approximation(paper_instance)
+    assert len(benchmark(schedule_list_graham, paper_instance, "saf", dual)) == 400

@@ -1,0 +1,40 @@
+"""Figure 3 — performance ratios on weakly parallel tasks.
+
+Paper headline (§4.2): the weakly parallel workload is DEMT's *worst* case
+— it "spends resources to accelerate completion of small and high priority
+parallel tasks ... without much gain".  Expected shape:
+
+* DEMT's minsum ratio is worse than the list baselines' (but far better
+  than Gang's);
+* DEMT's Cmax ratio stays below ~2 while the others sit around 1.5;
+* Gang's Cmax ratio is off the chart (the paper clips it out of range).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure3
+from repro.experiments.reporting import format_campaign_charts, format_campaign_table
+
+
+def test_figure3_weakly_parallel(benchmark, scale_config, is_tiny_scale):
+    result = benchmark.pedantic(
+        lambda: figure3(scale_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_campaign_table(result))
+    print(format_campaign_charts(result))
+
+    last = result.points[-1]
+    demt = last.for_algorithm("DEMT")
+    gang = last.for_algorithm("Gang")
+    # Feasibility of the bounds: nothing beats a lower bound.
+    for point in result.points:
+        for s in point.stats:
+            assert s.cmax.minimum >= 1.0 - 1e-9
+            assert s.minsum.minimum >= 1.0 - 1e-9
+    if not is_tiny_scale:
+        # DEMT's makespan stays controlled even on its worst workload.
+        assert demt.cmax.average < 2.5
+        # Gang scheduling collapses on weakly parallel tasks.
+        assert gang.cmax.average > 2.0 * demt.cmax.average
+        assert gang.minsum.average > demt.minsum.average

@@ -1,0 +1,49 @@
+"""Figure 4 — performance ratios on highly parallel tasks.
+
+Paper headline (§4.2): "On the minsum criterion, our algorithm is clearly
+the best one.  Gang and sequential have opposite behavior on both
+criteria, Gang being good with a small number of tasks and sequential good
+for a large number of tasks only. ... Cmax performance ratio of [the list]
+algorithms is always smaller than 2."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4
+from repro.experiments.reporting import format_campaign_charts, format_campaign_table
+
+
+def test_figure4_highly_parallel(benchmark, scale_config, is_tiny_scale):
+    result = benchmark.pedantic(
+        lambda: figure4(scale_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_campaign_table(result))
+    print(format_campaign_charts(result))
+
+    if not is_tiny_scale:
+        first, last = result.points[0], result.points[-1]
+        demt = last.for_algorithm("DEMT")
+        # DEMT leads the minsum criterion against every baseline except SAF
+        # at the heaviest load; SAF stays within ~25% (EXPERIMENTS.md
+        # discusses this one deviation from the published figure, where
+        # DEMT also edges SAF).
+        for name in ("Gang", "Sequential", "List Scheduling", "LPTF"):
+            assert demt.minsum.average <= last.for_algorithm(name).minsum.average * 1.1
+        assert demt.minsum.average <= last.for_algorithm("SAF").minsum.average * 1.3
+        # At light load DEMT leads everyone.
+        demt_first = first.for_algorithm("DEMT")
+        for name in ("Gang", "Sequential", "List Scheduling", "LPTF", "SAF"):
+            assert (
+                demt_first.minsum.average
+                <= first.for_algorithm(name).minsum.average * 1.1
+            )
+        # List-algorithm allotments are good: Cmax ratio below 2.
+        for name in ("List Scheduling", "LPTF", "SAF"):
+            assert last.for_algorithm(name).cmax.average < 2.0
+        # Gang vs Sequential crossover: Gang degrades with n on minsum,
+        # Sequential improves.
+        first = result.points[0]
+        gang_trend = last.for_algorithm("Gang").minsum.average - first.for_algorithm("Gang").minsum.average
+        seq_trend = last.for_algorithm("Sequential").minsum.average - first.for_algorithm("Sequential").minsum.average
+        assert gang_trend > 0 or seq_trend < 0

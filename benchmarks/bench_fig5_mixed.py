@@ -1,0 +1,38 @@
+"""Figure 5 — performance ratios on the mixed workload.
+
+Paper headline (§4.2): "our algorithm is still quite stable with a
+performance ratio of around 2 for both criterion, however SAF is better
+than our algorithm.  The ratio of the two other list algorithms greatly
+increase with the number of tasks."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure5
+from repro.experiments.reporting import format_campaign_charts, format_campaign_table
+
+
+def test_figure5_mixed(benchmark, scale_config, is_tiny_scale):
+    result = benchmark.pedantic(
+        lambda: figure5(scale_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_campaign_table(result))
+    print(format_campaign_charts(result))
+
+    if not is_tiny_scale:
+        first, last = result.points[0], result.points[-1]
+        demt_first = first.for_algorithm("DEMT")
+        demt_last = last.for_algorithm("DEMT")
+        # Stability: DEMT's minsum ratio moves little across the sweep.
+        assert abs(demt_last.minsum.average - demt_first.minsum.average) < 1.0
+        assert demt_last.minsum.average < 3.0
+        assert demt_last.cmax.average < 2.5
+        # The shelf-order and LPTF list ratios degrade with n relative to
+        # DEMT (task order matters on mixed workloads).
+        ls_growth = (
+            last.for_algorithm("List Scheduling").minsum.average
+            - first.for_algorithm("List Scheduling").minsum.average
+        )
+        demt_growth = demt_last.minsum.average - demt_first.minsum.average
+        assert ls_growth > demt_growth - 0.5

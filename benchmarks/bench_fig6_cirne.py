@@ -1,0 +1,33 @@
+"""Figure 6 — performance ratios on the Cirne–Berman workload.
+
+Paper headline (§4.2): "In this more realistic setting our algorithm
+clearly outperforms the other ones for the minsum criterion, and is also
+the only one to keep a stable ratio for any number of tasks."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import format_campaign_charts, format_campaign_table
+
+
+def test_figure6_cirne(benchmark, scale_config, is_tiny_scale):
+    result = benchmark.pedantic(
+        lambda: figure6(scale_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_campaign_table(result))
+    print(format_campaign_charts(result))
+
+    if not is_tiny_scale:
+        last = result.points[-1]
+        demt = last.for_algorithm("DEMT")
+        # DEMT leads the minsum criterion at the largest n.
+        for name in ("Gang", "Sequential", "List Scheduling", "LPTF", "SAF"):
+            assert demt.minsum.average <= last.for_algorithm(name).minsum.average * 1.15, name
+        # Global §4.2 claims: minsum ratio never above ~2.5, around 2 on
+        # average; makespan ratio below ~2.
+        minsum_avgs = [p.for_algorithm("DEMT").minsum.average for p in result.points]
+        cmax_avgs = [p.for_algorithm("DEMT").cmax.average for p in result.points]
+        assert max(minsum_avgs) < 2.8
+        assert max(cmax_avgs) < 2.2

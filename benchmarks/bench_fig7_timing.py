@@ -1,0 +1,34 @@
+"""Figure 7 — DEMT scheduling wall-clock time vs number of tasks.
+
+Paper headline (§4.2): "the execution time of our scheduling algorithm is
+low (less than 2 seconds for the largest instances)" and grows about
+linearly in n.  The 2004 numbers are C on a 2004 machine; what must
+reproduce is the *shape* (near-linear growth, small absolute values) —
+EXPERIMENTS.md records both scales side by side.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import format_timing_table
+
+
+def test_figure7_scheduling_time(benchmark, scale_config, is_tiny_scale):
+    result = benchmark.pedantic(
+        lambda: figure7(scale_config, repeats=3), rounds=1, iterations=1
+    )
+    print()
+    print(format_timing_table(result.timings))
+
+    # Scheduling stays fast at every scale (paper: < 2 s in 2004 C code;
+    # pure Python at paper scale remains well under a minute per call).
+    assert result.max_seconds() < 30.0
+    if not is_tiny_scale:
+        # Near-linear growth: doubling n must not blow time up
+        # quadratically or worse.
+        for series in result.timings.values():
+            ns = [n for n, _ in series]
+            ts = [t for _, t in series]
+            growth = (ts[-1] + 1e-9) / (ts[0] + 1e-9)
+            size_growth = ns[-1] / ns[0]
+            assert growth < size_growth**2.5

@@ -1,0 +1,33 @@
+"""On-line batching bench (extension; §2.2 theory, measured).
+
+Sweeps the arrival horizon and checks the §2.2 envelope: for arrivals
+inside the off-line makespan the on-line batching costs at most ~2x, and
+with everything released at t=0 it matches the off-line schedule exactly
+(single batch).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.demt import schedule_demt
+from repro.experiments.online_eval import evaluate_online, format_online_table
+
+
+def test_online_batching_sweep(benchmark, is_tiny_scale):
+    n, m, runs = (20, 8, 2) if is_tiny_scale else (60, 32, 4)
+    points = benchmark.pedantic(
+        lambda: evaluate_online(schedule_demt, n=n, m=m, runs=runs),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_online_table(points))
+
+    by_frac = {p.horizon_fraction: p for p in points}
+    # Off-line limit: one batch, ratio exactly 1.
+    assert by_frac[0.0].mean_batches == 1.0
+    assert by_frac[0.0].mean_ratio == 1.0
+    # §2.2 envelope with slack for the arrival tail.
+    assert by_frac[1.0].max_ratio < 2.5
+    # Monotone trend: later arrivals cannot make the ratio smaller than
+    # the off-line limit.
+    assert all(p.mean_ratio >= 1.0 - 1e-9 for p in points)

@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Scale selection: benchmarks honour ``REPRO_SCALE`` (``paper`` regenerates
+§4.1 exactly; ``quick`` — the default here — runs a minutes-scale sweep;
+``smoke`` is for CI).  Every figure bench prints the same rows the paper
+plots, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction report.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale_config():
+    """The campaign configuration for this benchmark session."""
+    return resolve_scale(os.environ.get("REPRO_SCALE", "quick"))
+
+
+@pytest.fixture(scope="session")
+def is_tiny_scale():
+    """True when running below 'quick' scale (skip statistical assertions)."""
+    return os.environ.get("REPRO_SCALE", "quick") == "smoke"

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Reproduce a slice of the paper's evaluation (Figures 3-6 style).
+
+Runs the six algorithms over a sweep of task counts on one workload family
+and prints the performance-ratio table plus the two ASCII figure panels —
+the same information as one of the paper's figures, at a configurable
+scale.
+
+Run:  python examples/cluster_campaign.py [workload] [scale]
+      python examples/cluster_campaign.py cirne quick
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import resolve_scale, run_campaign
+from repro.experiments.reporting import format_campaign_charts, format_campaign_table
+from repro.workloads import WORKLOAD_KINDS
+
+
+def main(argv: list[str]) -> int:
+    workload = argv[1] if len(argv) > 1 else "cirne"
+    scale = argv[2] if len(argv) > 2 else "smoke"
+    if workload not in WORKLOAD_KINDS:
+        print(f"unknown workload {workload!r}; choose from {', '.join(WORKLOAD_KINDS)}")
+        return 2
+
+    cfg = resolve_scale(scale)
+    print(
+        f"Campaign: workload={workload}, m={cfg.m}, "
+        f"n in {cfg.task_counts}, {cfg.runs} runs/point"
+    )
+    result = run_campaign(workload, cfg, progress=True)
+    print()
+    print(format_campaign_table(result))
+    print(format_campaign_charts(result))
+
+    # The paper's two headline observations, computed live:
+    demt_minsum = [p.for_algorithm("DEMT").minsum.average for p in result.points]
+    demt_cmax = [p.for_algorithm("DEMT").cmax.average for p in result.points]
+    print(f"DEMT minsum ratio: max {max(demt_minsum):.2f} (paper: never more than ~2.5)")
+    print(f"DEMT Cmax   ratio: max {max(demt_cmax):.2f} (paper: almost always below ~2)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Explore the §4.1 workload generators and the moldability model.
+
+Shows, for each of the paper's four families, what the generated tasks
+look like: sequential times, speedup curves (Downey curves for the
+Cirne–Berman family, the recurrence profiles for the others), and how the
+dual-approximation substrate allots processors to them.
+
+Run:  python examples/workload_explorer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import generate_workload
+from repro.algorithms import dual_approximation
+from repro.utils.ascii_plot import ascii_chart
+from repro.workloads import WORKLOAD_KINDS
+
+
+def describe_family(kind: str, m: int = 64, n: int = 80) -> None:
+    inst = generate_workload(kind, n=n, m=m, seed=11)
+    seqs = np.array([t.seq_time for t in inst])
+    speedups = np.array([t.seq_time / t.min_time for t in inst])
+    weights = np.array([t.weight for t in inst])
+    print(f"--- {kind} (n={n}, m={m}) ---")
+    print(
+        f"  p(1):     mean {seqs.mean():6.2f}   min {seqs.min():6.2f}   max {seqs.max():6.2f}"
+    )
+    print(
+        f"  speedup:  mean {speedups.mean():6.2f}   median {np.median(speedups):6.2f}"
+        f"   max {speedups.max():6.2f}  (on {m} processors)"
+    )
+    print(f"  weights:  mean {weights.mean():6.2f}  (uniform 1..10 by construction)")
+
+    dual = dual_approximation(inst)
+    allots = np.array(list(dual.allotments.values()))
+    print(
+        f"  dual approximation: Cmax lower bound {dual.lower_bound:.2f}, "
+        f"lambda* {dual.lam:.2f}"
+    )
+    print(
+        f"  allotments at lambda*: mean {allots.mean():5.1f} procs, "
+        f"{(allots == 1).mean() * 100:4.0f}% sequential, max {allots.max()}"
+    )
+    print()
+
+
+def plot_speedup_curves() -> None:
+    """Speedup vs processors for a few sampled tasks of each family."""
+    m = 64
+    series: dict[str, list[tuple[float, float]]] = {}
+    for kind in ("highly_parallel", "weakly_parallel", "cirne"):
+        inst = generate_workload(kind, n=1, m=m, seed=5)
+        t = inst[0]
+        series[kind] = [
+            (k, t.seq_time / t.p(k)) for k in range(1, m + 1, 3)
+        ]
+    print(
+        ascii_chart(
+            series,
+            title="speedup S(k) of one sampled task per family",
+            y_label="speedup",
+        )
+    )
+
+
+def main() -> None:
+    for kind in WORKLOAD_KINDS:
+        describe_family(kind)
+    plot_speedup_curves()
+
+
+if __name__ == "__main__":
+    main()

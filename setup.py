@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` works with old setuptools (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — reproduction of Dutot, Eyraud, Mounié & Trystram (SPAA 2004).
+
+*Bi-criteria Algorithm for Scheduling Jobs on Cluster Platforms.*
+
+The library provides:
+
+* a moldable-task scheduling model (:mod:`repro.core`),
+* the paper's synthetic workload generators (:mod:`repro.workloads`),
+* the DEMT bi-criteria algorithm and all baselines (:mod:`repro.algorithms`),
+* the LP-relaxation and dual-approximation lower bounds (:mod:`repro.bounds`),
+* an event-driven cluster simulator and on-line batch framework
+  (:mod:`repro.simulator`),
+* the experiment harness regenerating every figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import generate_workload, schedule_demt
+>>> inst = generate_workload("highly_parallel", n=40, m=32, seed=1)
+>>> sched = schedule_demt(inst)
+>>> sched.makespan() > 0
+True
+"""
+
+from repro._api import (
+    ALGORITHMS,
+    WORKLOADS,
+    evaluate_schedule,
+    generate_workload,
+    lower_bounds,
+    schedule_demt,
+    schedule_with,
+)
+from repro.core import (
+    Instance,
+    MoldableTask,
+    Schedule,
+    ScheduledTask,
+    makespan,
+    validate_schedule,
+    weighted_completion_sum,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "generate_workload",
+    "schedule_demt",
+    "schedule_with",
+    "evaluate_schedule",
+    "lower_bounds",
+    "ALGORITHMS",
+    "WORKLOADS",
+    "Instance",
+    "MoldableTask",
+    "Schedule",
+    "ScheduledTask",
+    "makespan",
+    "weighted_completion_sum",
+    "validate_schedule",
+    "__version__",
+]

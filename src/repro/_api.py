@@ -1,0 +1,82 @@
+"""High-level convenience API re-exported at the package root.
+
+These helpers glue the layers together for the common workflows:
+
+>>> from repro import generate_workload, schedule_demt, evaluate_schedule
+>>> inst = generate_workload("cirne", n=50, m=32, seed=0)
+>>> sched = schedule_demt(inst)
+>>> report = evaluate_schedule(sched, inst)
+>>> report["cmax_ratio"] >= 1.0
+True
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.demt import schedule_demt
+from repro.algorithms.dual_approx import dual_approximation
+from repro.algorithms.registry import ALGORITHM_REGISTRY, get_algorithm
+from repro.bounds.minsum_lp import minsum_lower_bound
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.workloads.generator import WORKLOAD_KINDS, generate_workload
+
+__all__ = [
+    "generate_workload",
+    "schedule_demt",
+    "schedule_with",
+    "evaluate_schedule",
+    "lower_bounds",
+    "ALGORITHMS",
+    "WORKLOADS",
+]
+
+#: Names accepted by :func:`schedule_with` (the paper's six algorithms).
+ALGORITHMS: tuple[str, ...] = tuple(ALGORITHM_REGISTRY)
+
+#: Names accepted by :func:`generate_workload`.
+WORKLOADS: tuple[str, ...] = WORKLOAD_KINDS
+
+
+def schedule_with(name: str, instance: Instance) -> Schedule:
+    """Schedule ``instance`` with the algorithm registered as ``name``.
+
+    >>> from repro import generate_workload, schedule_with
+    >>> inst = generate_workload("mixed", n=10, m=8, seed=1)
+    >>> schedule_with("SAF", inst).makespan() > 0
+    True
+    """
+    return get_algorithm(name).schedule(instance)
+
+
+def lower_bounds(instance: Instance) -> dict[str, float]:
+    """Both §3.3 lower bounds for ``instance``.
+
+    Returns ``{"cmax": ..., "minsum": ...}`` — the dual-approximation
+    makespan bound and the LP-relaxation minsum bound.
+    """
+    dual = dual_approximation(instance)
+    return {
+        "cmax": dual.lower_bound,
+        "minsum": minsum_lower_bound(instance, dual.lam).value,
+    }
+
+
+def evaluate_schedule(schedule: Schedule, instance: Instance) -> dict[str, float]:
+    """Criteria and performance ratios of ``schedule`` on ``instance``.
+
+    The returned mapping carries the two criteria, both lower bounds and
+    the two performance ratios the paper's figures plot.
+    """
+    bounds = lower_bounds(instance)
+    cmax = schedule.makespan()
+    minsum = schedule.weighted_completion_sum()
+    return {
+        "cmax": cmax,
+        "minsum": minsum,
+        "cmax_lower_bound": bounds["cmax"],
+        "minsum_lower_bound": bounds["minsum"],
+        "cmax_ratio": cmax / bounds["cmax"] if bounds["cmax"] > 0 else float("nan"),
+        "minsum_ratio": (
+            minsum / bounds["minsum"] if bounds["minsum"] > 0 else float("nan")
+        ),
+    }

@@ -1,0 +1,32 @@
+"""Common scheduler interface.
+
+Every algorithm in this package is usable in two equivalent ways:
+
+* a *class* with a ``schedule(instance) -> Schedule`` method, carrying its
+  tuning knobs as constructor arguments (handy for ablations);
+* a module-level ``schedule_<name>(instance, **options)`` convenience
+  function.
+
+The experiment harness only relies on the :class:`Scheduler` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+__all__ = ["Scheduler"]
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Anything that turns an :class:`Instance` into a :class:`Schedule`."""
+
+    #: Human-readable name used in reports (matches the paper's legends).
+    name: str
+
+    def schedule(self, instance: Instance) -> Schedule:
+        """Produce a feasible schedule for ``instance``."""
+        ...

@@ -1,0 +1,169 @@
+"""Weight-maximising knapsack selection (§3.2).
+
+The DEMT batch loop selects, among the tasks admissible in the current
+batch, a subset of maximal total weight whose allotments fit on the ``m``
+processors.  The paper writes the recurrence
+
+    W(i, j) = max( W(i-1, j), W(i-1, j - allot_i) + w_i )
+
+with ``W`` initialised to ``-inf`` for ``j < 0`` and ``0`` otherwise; the
+largest ``W(n, ·)`` is the maximal weight schedulable in the batch.  The
+complexity is ``O(n m)``.
+
+This module implements exactly that dynamic program (vectorised over the
+capacity axis) plus the choice reconstruction the paper leaves implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["KnapsackItem", "KnapsackResult", "knapsack_select"]
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One selectable unit: a task (or a merged stack of small tasks).
+
+    Attributes
+    ----------
+    key:
+        Caller-defined identifier (task id or stack index).
+    allotment:
+        Processors consumed if selected (``>= 1``).
+    weight:
+        Value added to the objective if selected (``> 0``).
+    """
+
+    key: object
+    allotment: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.allotment < 1:
+            raise ValueError(f"item {self.key!r}: allotment must be >= 1, got {self.allotment}")
+        if not np.isfinite(self.weight) or self.weight < 0:
+            raise ValueError(f"item {self.key!r}: weight must be finite and >= 0")
+
+
+@dataclass(frozen=True)
+class KnapsackResult:
+    """Outcome of :func:`knapsack_select`."""
+
+    selected: tuple[KnapsackItem, ...]
+    total_weight: float
+    used_processors: int
+
+    @property
+    def selected_keys(self) -> tuple[object, ...]:
+        return tuple(item.key for item in self.selected)
+
+
+def knapsack_select(items: Sequence[KnapsackItem], m: int) -> KnapsackResult:
+    """Maximise total weight of items whose allotments sum to at most ``m``.
+
+    Exact 0/1 knapsack with integer capacity (the allotment axis), solved by
+    the paper's ``O(n m)`` dynamic program.  Ties are broken toward using
+    *fewer* processors, which leaves room for the compaction step to pull
+    later batches forward.
+
+    >>> items = [KnapsackItem("a", 2, 5.0), KnapsackItem("b", 2, 4.0),
+    ...          KnapsackItem("c", 3, 6.0)]
+    >>> res = knapsack_select(items, m=4)
+    >>> sorted(res.selected_keys)
+    ['a', 'b']
+    >>> res.total_weight
+    9.0
+    """
+    if m < 0:
+        raise ValueError(f"capacity must be non-negative, got {m}")
+    n = len(items)
+    if n == 0 or m == 0:
+        return KnapsackResult((), 0.0, 0)
+
+    # best[q] = max weight using at most q processors, items 0..i.
+    best = np.zeros(m + 1, dtype=np.float64)
+    # keep[i, q] = True iff item i is taken in the optimum for capacity q.
+    keep = np.zeros((n, m + 1), dtype=bool)
+
+    for i, item in enumerate(items):
+        a = item.allotment
+        if a > m:
+            continue  # can never fit; row of keep stays False
+        candidate = best[: m + 1 - a] + item.weight
+        take = candidate > best[a:]
+        keep[i, a:] = take
+        best[a:] = np.where(take, candidate, best[a:])
+
+    # Reconstruct at the smallest capacity achieving the maximal weight
+    # (fewest processors used for the same weight).
+    total = float(best[m])
+    q = int(np.argmax(best >= total - 1e-12))
+    chosen: list[KnapsackItem] = []
+    for i in range(n - 1, -1, -1):
+        if keep[i, q]:
+            chosen.append(items[i])
+            q -= items[i].allotment
+    chosen.reverse()
+    used = sum(it.allotment for it in chosen)
+    return KnapsackResult(tuple(chosen), total, used)
+
+
+def knapsack_min_work(
+    work_a: np.ndarray,
+    cost_a: np.ndarray,
+    work_b: np.ndarray,
+    m: int,
+) -> tuple[np.ndarray, float]:
+    """Binary-choice knapsack *minimising* work (dual-approximation helper).
+
+    Each task ``i`` either goes to option A — consuming ``cost_a[i]``
+    processors of a shared budget ``m`` and contributing ``work_a[i]`` — or
+    to option B — consuming no budget and contributing ``work_b[i]``
+    (``+inf`` when option B is unavailable, which forces A).
+
+    Returns ``(in_a, total_work)`` where ``in_a`` is a boolean vector of the
+    optimal assignment.  ``total_work = +inf`` when no assignment fits (some
+    forced-A tasks exceed the budget).
+
+    This is the knapsack at the heart of the Mounié–Trystram two-shelf
+    feasibility test: A = big shelf (duration ≤ λ), B = small shelf
+    (duration ≤ λ/2); minimising total work while respecting the big-shelf
+    width decides whether λ can possibly be beaten.
+    """
+    n = work_a.size
+    if not (cost_a.size == n and work_b.size == n):
+        raise ValueError("work_a, cost_a and work_b must have the same length")
+    if m < 0:
+        raise ValueError(f"capacity must be non-negative, got {m}")
+
+    INF = np.inf
+    # dp[q] = min work with big-shelf width exactly <= q.
+    dp = np.full(m + 1, 0.0)
+    choice = np.zeros((n, m + 1), dtype=bool)  # True = option A
+    for i in range(n):
+        a_cost = int(cost_a[i])
+        via_b = dp + work_b[i]
+        if a_cost <= m and np.isfinite(work_a[i]):
+            via_a = np.full(m + 1, INF)
+            via_a[a_cost:] = dp[: m + 1 - a_cost] + work_a[i]
+        else:
+            via_a = np.full(m + 1, INF)
+        take_a = via_a < via_b
+        choice[i] = take_a
+        dp = np.where(take_a, via_a, via_b)
+
+    total = float(dp[m])
+    if not np.isfinite(total):
+        return np.zeros(n, dtype=bool), INF
+    # Reconstruct from capacity m.
+    q = m
+    in_a = np.zeros(n, dtype=bool)
+    for i in range(n - 1, -1, -1):
+        if choice[i, q]:
+            in_a[i] = True
+            q -= int(cost_a[i])
+    return in_a, total

@@ -1,0 +1,110 @@
+"""Merging of small sequential tasks (§3.2).
+
+Before the knapsack selection of a batch of length ``t``, the paper stacks
+tasks that "can be run in less than half the batch size on one processor":
+several such tasks are executed back-to-back on a single processor inside
+the batch, so the knapsack sees them as *one* item of allotment 1 whose
+weight is the sum of the stacked weights.  To pack as much weight as
+possible the stacking is done "by decreasing weight order".
+
+The stack building is a greedy first-fit by decreasing weight: tasks are
+appended to the current stack while the accumulated sequential time stays
+within the batch length ``t``; a task that does not fit opens a new stack.
+Because every candidate lasts at most ``t/2``, every stack except possibly
+the last holds at least two tasks — that is the point of the merge: weight
+density per processor goes up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.task import MoldableTask
+
+__all__ = ["MergedStack", "merge_small_tasks"]
+
+
+@dataclass(frozen=True)
+class MergedStack:
+    """A pile of sequential tasks run back-to-back on one processor.
+
+    ``tasks`` are ordered as they will execute (decreasing weight, so the
+    heaviest completes first — the right order for ``sum w_i C_i`` by the
+    classical exchange argument at equal processing slots).
+    """
+
+    tasks: tuple[MoldableTask, ...]
+
+    @property
+    def duration(self) -> float:
+        """Total sequential time of the stack."""
+        return sum(t.seq_time for t in self.tasks)
+
+    @property
+    def weight(self) -> float:
+        """Aggregated knapsack weight."""
+        return sum(t.weight for t in self.tasks)
+
+    @property
+    def task_ids(self) -> tuple[int, ...]:
+        return tuple(t.task_id for t in self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def merge_small_tasks(
+    tasks: Sequence[MoldableTask],
+    batch_length: float,
+    *,
+    small_threshold_factor: float = 0.5,
+) -> tuple[list[MergedStack], list[MoldableTask]]:
+    """Stack small sequential tasks; return ``(stacks, untouched)``.
+
+    Parameters
+    ----------
+    tasks:
+        Candidate tasks for the current batch.
+    batch_length:
+        The batch length ``t``; a task is *small* when
+        ``p(1) <= small_threshold_factor * t``.
+    small_threshold_factor:
+        The paper uses one half ("less than half the batch size").  Exposed
+        for the ablation benchmarks.
+
+    Returns
+    -------
+    stacks:
+        Maximal-weight-first stacks of small tasks, each of total duration
+        ``<= batch_length``.  Singleton stacks may appear (a small task that
+        did not combine with others); they are still knapsack items of
+        allotment 1.
+    untouched:
+        Tasks that are not small; the caller gives them their regular
+        minimal allotment for the batch.
+    """
+    if batch_length <= 0:
+        raise ValueError(f"batch length must be positive, got {batch_length}")
+    if not 0 < small_threshold_factor <= 1:
+        raise ValueError(
+            f"small_threshold_factor must lie in (0, 1], got {small_threshold_factor}"
+        )
+    threshold = small_threshold_factor * batch_length
+    small = [t for t in tasks if t.seq_time <= threshold]
+    untouched = [t for t in tasks if t.seq_time > threshold]
+
+    small.sort(key=lambda t: (-t.weight, t.task_id))
+    stacks: list[MergedStack] = []
+    current: list[MoldableTask] = []
+    current_time = 0.0
+    for task in small:
+        if current and current_time + task.seq_time > batch_length:
+            stacks.append(MergedStack(tuple(current)))
+            current = []
+            current_time = 0.0
+        current.append(task)
+        current_time += task.seq_time
+    if current:
+        stacks.append(MergedStack(tuple(current)))
+    return stacks, untouched

@@ -1,0 +1,91 @@
+"""Name → scheduler registry matching the paper's figure legends.
+
+The six algorithms plotted in Figures 3-6:
+
+========  =====================================================
+Name      Implementation
+========  =====================================================
+DEMT      :class:`repro.algorithms.demt.DemtScheduler`
+Gang      :class:`repro.algorithms.gang.GangScheduler`
+Sequential:class:`repro.algorithms.sequential.SequentialScheduler`
+List      :class:`repro.algorithms.list_graham.ListGrahamScheduler` (shelf)
+LPTF      :class:`repro.algorithms.list_graham.ListGrahamScheduler` (lptf)
+SAF       :class:`repro.algorithms.list_graham.ListGrahamScheduler` (saf)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.demt import DemtScheduler
+from repro.algorithms.gang import GangScheduler
+from repro.algorithms.list_graham import ListGrahamScheduler
+from repro.algorithms.sequential import SequentialScheduler
+
+__all__ = ["ALGORITHM_REGISTRY", "get_algorithm", "PAPER_ALGORITHMS"]
+
+def _fcfs() -> Scheduler:
+    from repro.extensions.fcfs import FcfsBackfillScheduler
+
+    return FcfsBackfillScheduler(backfill=False)
+
+
+def _fcfs_easy() -> Scheduler:
+    from repro.extensions.fcfs import FcfsBackfillScheduler
+
+    return FcfsBackfillScheduler(backfill=True)
+
+
+def _greedy_interval() -> Scheduler:
+    from repro.extensions.greedy_interval import GreedyIntervalScheduler
+
+    return GreedyIntervalScheduler()
+
+
+def _wspt() -> Scheduler:
+    from repro.algorithms.wspt import WsptScheduler
+
+    return WsptScheduler()
+
+
+#: Factories for fresh scheduler objects, keyed by the paper's names (the
+#: first six) plus the extension baselines of repro.extensions.
+ALGORITHM_REGISTRY: dict[str, Callable[[], Scheduler]] = {
+    "DEMT": DemtScheduler,
+    "Gang": GangScheduler,
+    "Sequential": SequentialScheduler,
+    "List Scheduling": lambda: ListGrahamScheduler("shelf"),
+    "LPTF": lambda: ListGrahamScheduler("lptf"),
+    "SAF": lambda: ListGrahamScheduler("saf"),
+    "FCFS": _fcfs,
+    "FCFS+EASY": _fcfs_easy,
+    "GreedyInterval": _greedy_interval,
+    "WSPT": _wspt,
+}
+
+#: The exact set plotted in Figures 3-6, in legend order.
+PAPER_ALGORITHMS: tuple[str, ...] = (
+    "DEMT",
+    "Gang",
+    "Sequential",
+    "List Scheduling",
+    "SAF",
+    "LPTF",
+)
+
+
+def get_algorithm(name: str) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``.
+
+    >>> get_algorithm("DEMT").name
+    'DEMT'
+    """
+    try:
+        factory = ALGORITHM_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(ALGORITHM_REGISTRY)}"
+        ) from None
+    return factory()

@@ -1,0 +1,28 @@
+"""Lower bounds used to assess the algorithms (§3.3).
+
+* :mod:`repro.bounds.cmax` — makespan lower bounds: the area and
+  critical-path closed forms and the certified dual-approximation bound;
+* :mod:`repro.bounds.minsum_lp` — the paper's new LP-relaxation lower
+  bound on ``sum w_i C_i`` (interval-indexed surface relaxation);
+* :mod:`repro.bounds.exact` — exhaustive reference solvers for tiny
+  instances, used by the test suite to certify that the bounds really are
+  bounds (and to gauge their tightness).
+"""
+
+from repro.bounds.cmax import (
+    area_lower_bound,
+    critical_path_lower_bound,
+    cmax_lower_bound,
+)
+from repro.bounds.minsum_lp import MinsumBound, minsum_lower_bound
+from repro.bounds.exact import ExactResult, exact_reference
+
+__all__ = [
+    "area_lower_bound",
+    "critical_path_lower_bound",
+    "cmax_lower_bound",
+    "MinsumBound",
+    "minsum_lower_bound",
+    "ExactResult",
+    "exact_reference",
+]

@@ -1,0 +1,139 @@
+"""Exhaustive reference solvers for tiny instances.
+
+These are *test oracles*: they certify on small inputs that
+
+* the LP bound of :mod:`repro.bounds.minsum_lp` never exceeds the optimal
+  ``sum w_i C_i``;
+* the dual-approximation bound of :mod:`repro.bounds.cmax` never exceeds
+  the optimal makespan;
+* the heuristics are not wildly off the optimum.
+
+The search enumerates every allotment vector and every task permutation,
+placing tasks greedily at their earliest feasible start *in permutation
+order*.  For the class of schedules we need (off-line, no release dates),
+some optimal schedule for each criterion is of this "earliest-fit in some
+order with some allotments" form:
+
+* any feasible schedule can be canonicalised order-by-start-time; placing
+  tasks in that order at their earliest feasible start only moves
+  completions earlier, so it never worsens either criterion.
+
+Complexity is ``O(m^n · n! · n^2)`` — usable for ``n <= 5`` or so, which
+is exactly what the property tests need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.exceptions import ModelError
+
+__all__ = ["ExactResult", "exact_reference"]
+
+#: Hard cap on instance size; the search is factorial.
+MAX_EXACT_TASKS = 7
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Optimal values (and witnessing schedules) for both criteria."""
+
+    cmax: float
+    minsum: float
+    cmax_schedule: Schedule
+    minsum_schedule: Schedule
+
+
+def exact_reference(instance: Instance) -> ExactResult:
+    """Exhaustively compute optimal ``Cmax`` and ``sum w_i C_i``.
+
+    Raises
+    ------
+    ModelError
+        If the instance exceeds :data:`MAX_EXACT_TASKS` tasks (the search
+        would not terminate in reasonable time).
+    """
+    n, m = instance.n, instance.m
+    if n > MAX_EXACT_TASKS:
+        raise ModelError(
+            f"exact search limited to {MAX_EXACT_TASKS} tasks, got {n}"
+        )
+    if n == 0:
+        empty = Schedule(m)
+        return ExactResult(0.0, 0.0, empty, Schedule(m))
+
+    tm = instance.times_matrix
+    feasible_allots = [
+        [k for k in range(1, m + 1) if np.isfinite(tm[i, k - 1])] for i in range(n)
+    ]
+
+    best_cmax = np.inf
+    best_minsum = np.inf
+    best_cmax_sched: Schedule | None = None
+    best_minsum_sched: Schedule | None = None
+
+    for allots in itertools.product(*feasible_allots):
+        durations = [float(tm[i, allots[i] - 1]) for i in range(n)]
+        for perm in itertools.permutations(range(n)):
+            placements = _earliest_fit_order(perm, allots, durations, m)
+            cmax = max(s + durations[i] for i, s in placements.items())
+            minsum = sum(
+                instance.tasks[i].weight * (s + durations[i])
+                for i, s in placements.items()
+            )
+            if cmax < best_cmax - 1e-12:
+                best_cmax = cmax
+                best_cmax_sched = _materialise(instance, placements, allots)
+            if minsum < best_minsum - 1e-12:
+                best_minsum = minsum
+                best_minsum_sched = _materialise(instance, placements, allots)
+
+    assert best_cmax_sched is not None and best_minsum_sched is not None
+    return ExactResult(
+        cmax=float(best_cmax),
+        minsum=float(best_minsum),
+        cmax_schedule=best_cmax_sched,
+        minsum_schedule=best_minsum_sched,
+    )
+
+
+def _earliest_fit_order(
+    perm: tuple[int, ...],
+    allots: tuple[int, ...],
+    durations: list[float],
+    m: int,
+) -> dict[int, float]:
+    """Place tasks in ``perm`` order at their earliest feasible start."""
+    placed: list[tuple[float, float, int]] = []  # (start, end, width)
+    starts: dict[int, float] = {}
+    for i in perm:
+        w, d = allots[i], durations[i]
+        candidates = sorted({0.0, *(e for _, e, _ in placed)})
+        start = None
+        for t0 in candidates:
+            t1 = t0 + d
+            points = [t0, *(s for s, _, _ in placed if t0 < s < t1)]
+            if all(
+                sum(ww for s, e, ww in placed if s <= p < e) + w <= m
+                for p in points
+            ):
+                start = t0
+                break
+        assert start is not None  # last candidate always fits
+        placed.append((start, start + d, w))
+        starts[i] = start
+    return starts
+
+
+def _materialise(
+    instance: Instance, starts: dict[int, float], allots: tuple[int, ...]
+) -> Schedule:
+    sched = Schedule(instance.m)
+    for i, start in starts.items():
+        sched.add(instance.tasks[i], start, allots[i])
+    return sched

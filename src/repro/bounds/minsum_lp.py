@@ -1,0 +1,215 @@
+"""LP-relaxation lower bound on ``sum w_i C_i`` (§3.3 — the paper's new bound).
+
+Formulation
+-----------
+The time horizon is divided into geometric intervals.  With ``x_{i,j} = 1``
+iff task ``i`` ends within interval ``I_j``, the paper states:
+
+    minimise    sum_{i,j} w_i t_j x_{i,j}
+    subject to  sum_j x_{i,j} >= 1                          (each task ends)
+                sum_{l<=j} sum_i S_{i,l} x_{i,l} <= m t_{j+1}   (surface)
+                x_{i,j} in {0,1}   (relaxed to [0,1])
+
+where ``S_{i,j}`` is the minimal area task ``i`` can occupy if it ends by
+``t_{j+1}`` (``+inf`` if impossible, which simply forbids the variable).
+Every feasible schedule induces a feasible ``x`` whose objective does not
+exceed its minsum, so the LP optimum — and a fortiori the relaxed optimum —
+lower-bounds the optimal ``sum w_i C_i``.
+
+Three strictness refinements to the published text (recorded in DESIGN.md):
+
+* a **leading interval** ``(0, t_0]`` — the paper's grid starts at
+  ``t_0 > 0``, and a task completing before ``t_0`` would otherwise be
+  charged ``w t_0 > w C_i``, breaking the bound;
+* an **open last interval** ``(t_{K+1}, inf)`` with no surface constraint —
+  an optimal *minsum* schedule may exceed the makespan-based horizon, and
+  without this interval such schedules would have no image in the LP;
+* **per-task objective coefficients**: a task ending within interval
+  ``(a, b]`` satisfies ``C_i >= a`` *and* ``C_i >= min_{k: p_i(k) <= b}
+  p_i(k)`` (it cannot finish faster than its fastest allotment able to meet
+  the interval), so the coefficient is ``w_i * max(a, fastest_i(b))``
+  instead of the paper's plain ``w_i a``.  This keeps the leading interval
+  from being free and tightens every early interval, while remaining a
+  valid lower bound.
+
+The LP is solved with HiGHS through :func:`scipy.optimize.linprog` on a
+sparse constraint matrix: ``n (K+3)`` variables and ``n + K + 2``
+constraints, milliseconds even at ``n = 400``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog, milp, Bounds, LinearConstraint
+
+from repro.core.allotment import minimal_area_allotments
+from repro.core.instance import Instance
+from repro.exceptions import SolverError
+
+__all__ = ["MinsumBound", "minsum_lower_bound", "build_time_grid"]
+
+
+@dataclass(frozen=True)
+class MinsumBound:
+    """Result of the LP (or ILP) relaxation.
+
+    Attributes
+    ----------
+    value:
+        The lower bound on ``sum w_i C_i``.
+    boundaries:
+        Interval boundaries ``0 = b_0 < b_1 < ... < b_J`` (the last interval
+        extends beyond ``b_J`` to infinity).
+    x:
+        The optimal relaxed assignment, shape ``(n, J+1)`` — column ``j``
+        is the mass of "task ends in interval j".  Useful for diagnostics.
+    integral:
+        ``True`` when solved as an ILP (exact interval-indexed bound)
+        rather than its LP relaxation.
+    """
+
+    value: float
+    boundaries: np.ndarray
+    x: np.ndarray
+    integral: bool = False
+
+
+def build_time_grid(instance: Instance, cmax_estimate: float) -> np.ndarray:
+    """Geometric boundaries ``t_0 .. t_{K+1}`` as defined in §3.2.
+
+    ``K = floor(log2(C*max / t_min))`` and ``t_j = C*max / 2^(K-j)``, so the
+    grid runs from just above the smallest possible task duration up to
+    twice the makespan estimate, doubling at each step.
+    """
+    tmin = instance.tmin
+    if cmax_estimate <= 0 or not np.isfinite(cmax_estimate):
+        raise ValueError(f"invalid C*max estimate {cmax_estimate}")
+    K = max(0, int(math.floor(math.log2(cmax_estimate / tmin))))
+    return np.array([cmax_estimate / 2 ** (K - j) for j in range(K + 2)])
+
+
+def minsum_lower_bound(
+    instance: Instance,
+    cmax_estimate: float | None = None,
+    *,
+    integral: bool = False,
+) -> MinsumBound:
+    """Compute the §3.3 lower bound on the weighted completion-time sum.
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance.
+    cmax_estimate:
+        The makespan estimate anchoring the grid (the paper reuses the
+        dual-approximation value; when omitted it is computed here).
+    integral:
+        Solve the integer program instead of its relaxation.  The paper
+        notes the relaxed bound "might be weaker, but is much faster to
+        compute"; the ILP variant quantifies that gap in the ablations.
+    """
+    if instance.n == 0:
+        return MinsumBound(0.0, np.array([0.0]), np.zeros((0, 1)), integral)
+    if cmax_estimate is None:
+        from repro.algorithms.dual_approx import dual_approximation
+
+        cmax_estimate = dual_approximation(instance).lam
+
+    grid = build_time_grid(instance, cmax_estimate)
+    # Interval structure: boundaries b = [0, t_0, ..., t_{K+1}] and a final
+    # open interval.  Interval j (0-based) = (b_j, b_{j+1}] for j < J-1,
+    # and (b_{J-1}, inf) for j = J-1.  Objective coefficient of interval j
+    # is its lower boundary b_j.
+    b = np.concatenate([[0.0], grid])
+    J = b.size  # number of intervals (last one open-ended)
+    n, m = instance.n, instance.m
+    tm = instance.times_matrix
+    weights = instance.weights
+
+    # S[i, j]: minimal area of task i if it ends by the interval's upper
+    # boundary; the open last interval uses the unconstrained minimum.
+    # fastest[i, j]: the fastest duration among allotments meeting the same
+    # deadline (drives the refined objective coefficients).
+    S = np.empty((n, J))
+    fastest = np.empty((n, J))
+    for j in range(J - 1):
+        S[:, j] = minimal_area_allotments(tm, b[j + 1])
+        fastest[:, j] = np.where(tm <= b[j + 1], tm, np.inf).min(axis=1)
+    ks = np.arange(1, m + 1, dtype=np.float64)
+    S[:, J - 1] = (tm * ks).min(axis=1)
+    fastest[:, J - 1] = tm.min(axis=1)
+
+    allowed = np.isfinite(S)
+    # Variable layout: flat index v = i * J + j, only for allowed pairs.
+    var_index = -np.ones((n, J), dtype=np.int64)
+    flat_allowed = np.argwhere(allowed)
+    for v, (i, j) in enumerate(flat_allowed):
+        var_index[i, j] = v
+    n_vars = flat_allowed.shape[0]
+
+    c = np.array(
+        [weights[i] * max(b[j], fastest[i, j]) for i, j in flat_allowed]
+    )
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs: list[float] = []
+    row = 0
+    # Coverage: -sum_j x_{i,j} <= -1 for each task.
+    for i in range(n):
+        for j in range(J):
+            v = var_index[i, j]
+            if v >= 0:
+                rows.append(row)
+                cols.append(int(v))
+                vals.append(-1.0)
+        rhs.append(-1.0)
+        row += 1
+    # Surface: for each bounded interval j, cumulative area <= m * b_{j+1}.
+    for j in range(J - 1):
+        for l in range(j + 1):
+            for i in range(n):
+                v = var_index[i, l]
+                if v >= 0:
+                    rows.append(row)
+                    cols.append(int(v))
+                    vals.append(float(S[i, l]))
+        rhs.append(float(m * b[j + 1]))
+        row += 1
+
+    A = sparse.coo_matrix((vals, (rows, cols)), shape=(row, n_vars)).tocsr()
+    rhs_arr = np.array(rhs)
+
+    if integral:
+        res = milp(
+            c=c,
+            constraints=LinearConstraint(A, -np.inf, rhs_arr),
+            integrality=np.ones(n_vars),
+            bounds=Bounds(0, 1),
+        )
+        if not res.success:  # pragma: no cover - solver hiccup
+            raise SolverError(f"MILP failed: {res.message}")
+        x_flat = res.x
+        value = float(res.fun)
+    else:
+        res = linprog(
+            c,
+            A_ub=A,
+            b_ub=rhs_arr,
+            bounds=(0.0, 1.0),
+            method="highs",
+        )
+        if not res.success:  # pragma: no cover - solver hiccup
+            raise SolverError(f"LP failed: {res.message}")
+        x_flat = res.x
+        value = float(res.fun)
+
+    x = np.zeros((n, J))
+    for v, (i, j) in enumerate(flat_allowed):
+        x[i, j] = x_flat[v]
+    return MinsumBound(value=value, boundaries=b, x=x, integral=integral)

@@ -1,0 +1,53 @@
+"""Core modelling layer: moldable tasks, instances, schedules and criteria.
+
+This package is the substrate every algorithm in :mod:`repro.algorithms`
+builds on.  It deliberately contains *no* scheduling policy — only the
+vocabulary of the problem studied by Dutot et al. (SPAA 2004):
+
+* :class:`~repro.core.task.MoldableTask` — a parallel task whose processing
+  time is a function ``p(k)`` of the number of processors it is allotted;
+* :class:`~repro.core.instance.Instance` — ``n`` tasks plus ``m`` identical
+  processors, all available at time 0 (the paper's off-line setting);
+* :class:`~repro.core.schedule.Schedule` — a set of (task, start time,
+  allotment) decisions, with feasibility validation and criteria evaluation.
+"""
+
+from repro.core.task import MoldableTask, rigid_task, sequential_task
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule, ScheduledTask
+from repro.core.allotment import (
+    minimal_allotment,
+    minimal_allotments,
+    minimal_area_allotment,
+    minimal_area_allotments,
+)
+from repro.core.metrics import (
+    makespan,
+    weighted_completion_sum,
+    completion_sum,
+    total_work,
+    utilization,
+    max_stretch,
+)
+from repro.core.validation import validate_schedule, is_feasible
+
+__all__ = [
+    "MoldableTask",
+    "rigid_task",
+    "sequential_task",
+    "Instance",
+    "Schedule",
+    "ScheduledTask",
+    "minimal_allotment",
+    "minimal_allotments",
+    "minimal_area_allotment",
+    "minimal_area_allotments",
+    "makespan",
+    "weighted_completion_sum",
+    "completion_sum",
+    "total_work",
+    "utilization",
+    "max_stretch",
+    "validate_schedule",
+    "is_feasible",
+]

@@ -1,0 +1,165 @@
+"""Problem instances: ``n`` moldable tasks and ``m`` identical processors.
+
+The off-line model of the paper (§3.2): all tasks available at time 0, fully
+described by their processing-time vectors and weights.  The instance also
+precomputes the dense ``(n, m)`` matrix of processing times used by the
+vectorised allotment helpers and by the LP lower bound.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.task import MoldableTask
+from repro.exceptions import InvalidInstanceError
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """An immutable scheduling instance.
+
+    Parameters
+    ----------
+    tasks:
+        The moldable tasks.  Task ids must be unique; they need not be
+        contiguous (sub-instances built by batch algorithms keep original
+        ids).
+    m:
+        Number of identical processors of the cluster.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If ids collide, ``m < 1``, or some task cannot run on ``<= m``
+        processors at all (it could never be scheduled).
+    """
+
+    __slots__ = ("tasks", "m", "__dict__")
+
+    def __init__(self, tasks: Sequence[MoldableTask] | Iterable[MoldableTask], m: int) -> None:
+        tasks = tuple(tasks)
+        if m < 1:
+            raise InvalidInstanceError(f"cluster must have at least 1 processor, got m={m}")
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise InvalidInstanceError(f"duplicate task ids: {dupes}")
+        for t in tasks:
+            if not np.isfinite(t.times[: min(m, t.max_procs)]).any():
+                raise InvalidInstanceError(
+                    f"task {t.task_id} has no feasible allotment within m={m} processors"
+                )
+        self.tasks = tasks
+        self.m = int(m)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol                                                 #
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return len(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[MoldableTask]:
+        return iter(self.tasks)
+
+    def __getitem__(self, idx: int) -> MoldableTask:
+        return self.tasks[idx]
+
+    def task_by_id(self, task_id: int) -> MoldableTask:
+        """Look up a task by identifier (O(1) after the first call)."""
+        try:
+            return self._id_index[task_id]
+        except KeyError:
+            raise KeyError(f"no task with id {task_id} in instance") from None
+
+    @cached_property
+    def _id_index(self) -> dict[int, MoldableTask]:
+        return {t.task_id: t for t in self.tasks}
+
+    # ------------------------------------------------------------------ #
+    # Derived matrices and bounds                                        #
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def times_matrix(self) -> np.ndarray:
+        """Dense ``(n, m)`` matrix of ``p_i(k)``; ``+inf`` where undefined.
+
+        Tasks whose vector is shorter than ``m`` are padded with ``+inf``
+        (they simply cannot use more processors); vectors longer than ``m``
+        are truncated (the cluster has no more processors to give).
+        """
+        out = np.full((self.n, self.m), np.inf)
+        for row, task in enumerate(self.tasks):
+            k = min(task.max_procs, self.m)
+            out[row, :k] = task.times[:k]
+        out.setflags(write=False)
+        return out
+
+    @cached_property
+    def weights(self) -> np.ndarray:
+        """``(n,)`` vector of task weights."""
+        out = np.array([t.weight for t in self.tasks], dtype=np.float64)
+        out.setflags(write=False)
+        return out
+
+    @cached_property
+    def tmin(self) -> float:
+        """Smallest processing time over all tasks and allotments.
+
+        This is the paper's ``t_min = min_{i,j} p_i(j)`` used to size the
+        smallest useful batch.
+        """
+        return float(np.min(self.times_matrix))
+
+    @cached_property
+    def max_min_time(self) -> float:
+        """``max_i min_k p_i(k)`` — no schedule can finish before this."""
+        return float(np.max(np.min(self.times_matrix, axis=1)))
+
+    @cached_property
+    def min_total_work(self) -> float:
+        """Sum over tasks of the minimal achievable area.
+
+        ``min_total_work / m`` is the classic area lower bound on the
+        makespan.
+        """
+        ks = np.arange(1, self.m + 1, dtype=np.float64)
+        areas = self.times_matrix * ks
+        return float(np.min(areas, axis=1).sum())
+
+    @cached_property
+    def max_release(self) -> float:
+        """Latest release date (0 for pure off-line instances)."""
+        if not self.tasks:
+            return 0.0
+        return max(t.release for t in self.tasks)
+
+    def is_offline(self) -> bool:
+        """``True`` iff every task is available at time 0."""
+        return self.max_release == 0.0
+
+    # ------------------------------------------------------------------ #
+    # Sub-instances                                                      #
+    # ------------------------------------------------------------------ #
+    def restrict(self, task_ids: Iterable[int]) -> "Instance":
+        """Sub-instance keeping only ``task_ids`` (same machine).
+
+        Batch algorithms use this to hand a batch's content to a substrate
+        algorithm without renumbering tasks.
+        """
+        wanted = set(task_ids)
+        kept = [t for t in self.tasks if t.task_id in wanted]
+        missing = wanted - {t.task_id for t in kept}
+        if missing:
+            raise KeyError(f"task ids not in instance: {sorted(missing)}")
+        return Instance(kept, self.m)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance(n={self.n}, m={self.m})"

@@ -1,0 +1,242 @@
+"""Schedules: the output of every algorithm in the library.
+
+A schedule is a set of decisions ``(task, start, allotment)``.  Because the
+cluster is homogeneous and allocations need not be contiguous, feasibility
+only requires that at every instant the total allotment of running tasks is
+at most ``m`` (a *count-feasible* schedule).  Count-feasibility implies an
+explicit processor assignment exists without migration — at any task's start
+the running tasks hold at most ``m - k`` processors, so ``k`` free ones can
+be picked greedily; :meth:`Schedule.assign_processors` materialises one such
+assignment for the simulator and for Gantt rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.task import MoldableTask
+from repro.exceptions import InvalidScheduleError
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One scheduling decision.
+
+    Attributes
+    ----------
+    task:
+        The moldable task being placed.
+    start:
+        Start time (``>= 0``; ``>= task.release`` in on-line settings).
+    allotment:
+        Number of processors ``k`` the task runs on for its whole duration.
+    """
+
+    task: MoldableTask
+    start: float
+    allotment: int
+
+    @property
+    def duration(self) -> float:
+        """Processing time under the chosen allotment."""
+        return self.task.p(self.allotment)
+
+    @property
+    def end(self) -> float:
+        """Completion time ``C_i = start + p(allotment)``."""
+        return self.start + self.duration
+
+    @property
+    def work(self) -> float:
+        """Gantt area ``allotment * duration``."""
+        return self.allotment * self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScheduledTask(id={self.task.task_id}, start={self.start:.3g}, "
+            f"k={self.allotment}, end={self.end:.3g})"
+        )
+
+
+class Schedule:
+    """An (immutable once built) collection of :class:`ScheduledTask`.
+
+    The class is a thin, well-tested container: algorithms create one with
+    :meth:`add` calls and then freeze it implicitly by handing it out.
+    Criteria (`makespan`, weighted completion sum, ...) live in
+    :mod:`repro.core.metrics`; validation lives in
+    :mod:`repro.core.validation`.
+    """
+
+    def __init__(self, m: int, placements: Iterable[ScheduledTask] = ()) -> None:
+        if m < 1:
+            raise InvalidScheduleError(f"schedule needs m >= 1 processors, got {m}")
+        self.m = int(m)
+        self._placements: list[ScheduledTask] = list(placements)
+        self._by_id: dict[int, ScheduledTask] = {}
+        for p in self._placements:
+            if p.task.task_id in self._by_id:
+                raise InvalidScheduleError(f"task {p.task.task_id} scheduled twice")
+            self._by_id[p.task.task_id] = p
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+    def add(self, task: MoldableTask, start: float, allotment: int) -> ScheduledTask:
+        """Place ``task`` at ``start`` on ``allotment`` processors.
+
+        Raises
+        ------
+        InvalidScheduleError
+            If the task is already placed, the allotment is out of range or
+            forbidden (``p(k) = +inf``), or the start time is negative.
+        """
+        if task.task_id in self._by_id:
+            raise InvalidScheduleError(f"task {task.task_id} scheduled twice")
+        if allotment < 1 or allotment > self.m:
+            raise InvalidScheduleError(
+                f"task {task.task_id}: allotment {allotment} outside [1, {self.m}]"
+            )
+        if not np.isfinite(task.p(allotment)):
+            raise InvalidScheduleError(
+                f"task {task.task_id}: allotment {allotment} is forbidden (p=inf)"
+            )
+        if start < 0:
+            raise InvalidScheduleError(
+                f"task {task.task_id}: negative start time {start}"
+            )
+        placement = ScheduledTask(task, float(start), int(allotment))
+        self._placements.append(placement)
+        self._by_id[task.task_id] = placement
+        self.__dict__.pop("_events", None)  # invalidate caches
+        return placement
+
+    def extend(self, placements: Iterable[ScheduledTask]) -> None:
+        """Add several placements (same checks as :meth:`add`)."""
+        for p in placements:
+            self.add(p.task, p.start, p.allotment)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol                                                 #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._placements)
+
+    def __iter__(self) -> Iterator[ScheduledTask]:
+        return iter(self._placements)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._by_id
+
+    def __getitem__(self, task_id: int) -> ScheduledTask:
+        try:
+            return self._by_id[task_id]
+        except KeyError:
+            raise KeyError(f"task {task_id} not scheduled") from None
+
+    @property
+    def placements(self) -> Sequence[ScheduledTask]:
+        """All placements, in insertion order."""
+        return tuple(self._placements)
+
+    def task_ids(self) -> set[int]:
+        """Ids of all scheduled tasks."""
+        return set(self._by_id)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities                                                 #
+    # ------------------------------------------------------------------ #
+    def completion_times(self) -> dict[int, float]:
+        """Mapping ``task_id -> C_i``."""
+        return {tid: p.end for tid, p in self._by_id.items()}
+
+    def makespan(self) -> float:
+        """``Cmax = max_i C_i`` (0 for an empty schedule)."""
+        if not self._placements:
+            return 0.0
+        return max(p.end for p in self._placements)
+
+    def weighted_completion_sum(self) -> float:
+        """``sum_i w_i * C_i`` — the paper's minsum criterion."""
+        return float(sum(p.task.weight * p.end for p in self._placements))
+
+    def max_usage(self) -> int:
+        """Peak number of processors simultaneously in use."""
+        profile = self.usage_profile()
+        if profile.size == 0:
+            return 0
+        return int(profile.max())
+
+    def usage_profile(self) -> np.ndarray:
+        """Processor usage between consecutive events.
+
+        Returns the usage over each interval of the event timeline (one
+        entry per gap between consecutive distinct start/end times).
+        """
+        events = self._events
+        return events[1]
+
+    @cached_property
+    def _events(self) -> tuple[np.ndarray, np.ndarray]:
+        """(timeline, usage) — usage[i] holds between timeline[i] and [i+1]."""
+        if not self._placements:
+            return np.array([]), np.array([], dtype=np.int64)
+        starts = np.array([p.start for p in self._placements])
+        ends = np.array([p.end for p in self._placements])
+        allot = np.array([p.allotment for p in self._placements], dtype=np.int64)
+        timeline = np.unique(np.concatenate([starts, ends]))
+        # +k at start, -k at end, cumulative over the timeline.
+        delta = np.zeros(timeline.size, dtype=np.int64)
+        si = np.searchsorted(timeline, starts)
+        ei = np.searchsorted(timeline, ends)
+        np.add.at(delta, si, allot)
+        np.add.at(delta, ei, -allot)
+        usage = np.cumsum(delta)
+        return timeline, usage
+
+    # ------------------------------------------------------------------ #
+    # Explicit processor assignment                                      #
+    # ------------------------------------------------------------------ #
+    def assign_processors(self) -> dict[int, tuple[int, ...]]:
+        """Assign concrete processor ids ``0..m-1`` to every placement.
+
+        Greedy sweep in start-time order; succeeds for every count-feasible
+        schedule (see module docstring).  Raises
+        :class:`InvalidScheduleError` if the schedule over-subscribes the
+        machine (so it doubles as a feasibility check).
+        """
+        free: list[int] = list(range(self.m))  # ids currently free (sorted-ish)
+        # Event sweep: process ends before starts at equal times.
+        releases: list[tuple[float, int]] = []  # (end_time, placement_idx) heap-like
+        order = sorted(range(len(self._placements)), key=lambda i: (self._placements[i].start, i))
+        assignment: dict[int, tuple[int, ...]] = {}
+        import heapq
+
+        heap: list[tuple[float, int]] = []
+        held: dict[int, tuple[int, ...]] = {}
+        for idx in order:
+            p = self._placements[idx]
+            while heap and heap[0][0] <= p.start + 1e-12:
+                _, done = heapq.heappop(heap)
+                free.extend(held.pop(done))
+            if len(free) < p.allotment:
+                raise InvalidScheduleError(
+                    f"schedule over-subscribes the machine at t={p.start:.6g}: "
+                    f"task {p.task.task_id} needs {p.allotment}, only {len(free)} free"
+                )
+            free.sort()
+            procs = tuple(free[: p.allotment])
+            del free[: p.allotment]
+            held[idx] = procs
+            heapq.heappush(heap, (p.end, idx))
+            assignment[p.task.task_id] = procs
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schedule(m={self.m}, tasks={len(self)}, Cmax={self.makespan():.4g})"

@@ -1,0 +1,51 @@
+"""Experiment harness regenerating every figure of the paper's §4.
+
+* :mod:`repro.experiments.config` — campaign parameters and the
+  ``REPRO_SCALE`` environment knob (``paper`` / ``quick`` / ``smoke``);
+* :mod:`repro.experiments.runner` — runs one (workload, n) point or a full
+  campaign: every algorithm against both lower bounds, 40 seeded runs;
+* :mod:`repro.experiments.aggregate` — ratio-of-sums aggregation (Jain,
+  ref [15]) plus min/max envelopes, as plotted in Figures 3-6;
+* :mod:`repro.experiments.figures` — one driver per figure (3-7) plus the
+  ablation studies;
+* :mod:`repro.experiments.reporting` — ASCII tables and charts of the
+  series the paper plots;
+* :mod:`repro.experiments.cli` — the ``repro-experiments`` entry point.
+"""
+
+from repro.experiments.config import ExperimentConfig, resolve_scale, SCALES
+from repro.experiments.runner import (
+    AlgorithmPointStats,
+    PointResult,
+    CampaignResult,
+    run_point,
+    run_campaign,
+)
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    FIGURES,
+)
+from repro.experiments.reporting import format_campaign_table, format_timing_table
+
+__all__ = [
+    "ExperimentConfig",
+    "resolve_scale",
+    "SCALES",
+    "AlgorithmPointStats",
+    "PointResult",
+    "CampaignResult",
+    "run_point",
+    "run_campaign",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "FIGURES",
+    "format_campaign_table",
+    "format_timing_table",
+]

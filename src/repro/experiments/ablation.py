@@ -1,0 +1,174 @@
+"""Ablation studies of DEMT's design choices (DESIGN.md §3, A1-A4).
+
+The paper motivates each ingredient qualitatively; these drivers quantify
+them on the paper's workloads:
+
+* **A1 — batch selection**: exact knapsack vs a greedy by decreasing
+  weight density (what §3.2's "smart selection" buys);
+* **A2 — small-task merging**: merge on vs off;
+* **A3 — compaction ladder**: naive shelves vs pull-forward vs full list
+  compaction (the paper's three refinement steps);
+* **A4 — shuffle rounds**: 0 / few / many batch-order shuffles.
+
+Each driver returns ``{variant_name: (mean minsum ratio, mean cmax
+ratio)}`` over a handful of seeded instances, where ratios are against the
+standard lower bounds — directly printable by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.demt import DemtScheduler
+from repro.algorithms.dual_approx import dual_approximation
+from repro.bounds.minsum_lp import minsum_lower_bound
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.experiments.aggregate import ratio_of_sums
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import generate_workload
+
+__all__ = [
+    "ablate_selection",
+    "ablate_merge",
+    "ablate_compaction",
+    "ablate_shuffle",
+    "ABLATIONS",
+]
+
+
+def _evaluate_variants(
+    variants: dict[str, Callable[[Instance], Schedule]],
+    *,
+    kind: str = "cirne",
+    n: int = 100,
+    m: int = 64,
+    runs: int = 5,
+    seed: int = 7,
+) -> dict[str, tuple[float, float]]:
+    """Run each variant over shared instances; aggregate both ratios."""
+    minsums: dict[str, list[float]] = {v: [] for v in variants}
+    cmaxes: dict[str, list[float]] = {v: [] for v in variants}
+    minsum_lbs: list[float] = []
+    cmax_lbs: list[float] = []
+    for r in range(runs):
+        inst = generate_workload(kind, n=n, m=m, seed=derive_rng(seed, kind, n, r))
+        dual = dual_approximation(inst)
+        cmax_lbs.append(dual.lower_bound)
+        minsum_lbs.append(minsum_lower_bound(inst, dual.lam).value)
+        for name, fn in variants.items():
+            sched = fn(inst)
+            minsums[name].append(sched.weighted_completion_sum())
+            cmaxes[name].append(sched.makespan())
+    return {
+        name: (
+            ratio_of_sums(minsums[name], minsum_lbs),
+            ratio_of_sums(cmaxes[name], cmax_lbs),
+        )
+        for name in variants
+    }
+
+
+def ablate_selection(**kw: object) -> dict[str, tuple[float, float]]:
+    """A1: exact knapsack vs greedy weight-density batch filling."""
+
+    def greedy_variant(inst: Instance) -> Schedule:
+        return _GreedySelectionDemt().schedule(inst)
+
+    return _evaluate_variants(
+        {
+            "knapsack": lambda inst: DemtScheduler().schedule(inst),
+            "greedy": greedy_variant,
+        },
+        **kw,
+    )
+
+
+class _GreedySelectionDemt(DemtScheduler):
+    """DEMT with the knapsack swapped for first-fit by weight density."""
+
+    def _select_one_batch(self, tasks, length, m):  # type: ignore[override]
+        from repro.algorithms.list_scheduling import ListItem
+        from repro.algorithms.merge import merge_small_tasks
+        from repro.core.allotment import minimal_allotment
+
+        admissible = [t for t in tasks if minimal_allotment(t, length, m=m) is not None]
+        if not admissible:
+            return []
+        stacks, rest = merge_small_tasks(admissible, length)
+        candidates: list[ListItem] = [
+            ListItem(s.tasks[0], 1, stack=s.tasks) for s in stacks
+        ] + [ListItem(t, minimal_allotment(t, length, m=m)) for t in rest]
+        # Greedy: highest weight per processor first, first-fit into m.
+        def density(it: ListItem) -> float:
+            w = sum(t.weight for t in it.stack) if it.stack else it.task.weight
+            return w / it.allotment
+
+        candidates.sort(key=lambda it: (-density(it), it.task.task_id))
+        chosen, used = [], 0
+        for it in candidates:
+            if used + it.allotment <= m:
+                chosen.append(it)
+                used += it.allotment
+        chosen.sort(
+            key=lambda it: (
+                -(sum(t.weight for t in it.stack) if it.stack else it.task.weight)
+                / it.duration,
+                it.task.task_id,
+            )
+        )
+        return chosen
+
+
+def ablate_merge(**kw: object) -> dict[str, tuple[float, float]]:
+    """A2: small-sequential-task merging on vs off.
+
+    "Off" is emulated with a tiny threshold factor: no task ever counts as
+    small, so nothing merges.
+    """
+    return _evaluate_variants(
+        {
+            "merge_on": lambda inst: DemtScheduler().schedule(inst),
+            "merge_off": lambda inst: DemtScheduler(
+                small_threshold_factor=1e-12
+            ).schedule(inst),
+        },
+        **kw,
+    )
+
+
+def ablate_compaction(**kw: object) -> dict[str, tuple[float, float]]:
+    """A3: the paper's compaction ladder (shelf -> pull-forward -> list)."""
+    return _evaluate_variants(
+        {
+            mode: (
+                lambda inst, _mode=mode: DemtScheduler(
+                    compaction=_mode, shuffle_rounds=0
+                ).schedule(inst)
+            )
+            for mode in ("shelf", "pull_forward", "list")
+        },
+        **kw,
+    )
+
+
+def ablate_shuffle(**kw: object) -> dict[str, tuple[float, float]]:
+    """A4: number of batch-order shuffle rounds."""
+    return _evaluate_variants(
+        {
+            f"shuffle_{rounds}": (
+                lambda inst, _r=rounds: DemtScheduler(shuffle_rounds=_r).schedule(inst)
+            )
+            for rounds in (0, 5, 20)
+        },
+        **kw,
+    )
+
+
+#: Name -> driver registry for the ablation bench.
+ABLATIONS = {
+    "selection": ablate_selection,
+    "merge": ablate_merge,
+    "compaction": ablate_compaction,
+    "shuffle": ablate_shuffle,
+}

@@ -1,0 +1,66 @@
+"""Ratio aggregation following Jain's methodology (paper ref [15]).
+
+§4.2: "The average of the competitive ratio is computed by dividing the sum
+of the execution times over the sum of the lower bounds for every point."
+That is the *ratio of sums*, not the mean of per-run ratios — it weights
+runs by their magnitude and is robust to tiny-denominator runs.  The
+figures additionally plot the min and max per-run ratios, reproduced here
+as an envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RatioStats", "ratio_of_sums", "aggregate_ratios"]
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Aggregated performance ratios for one (algorithm, point) pair."""
+
+    average: float  # ratio of sums (Jain)
+    minimum: float  # min per-run ratio
+    maximum: float  # max per-run ratio
+
+    def __post_init__(self) -> None:
+        if not (self.minimum <= self.maximum + 1e-12):
+            raise ValueError(
+                f"min ratio {self.minimum} exceeds max ratio {self.maximum}"
+            )
+
+
+def ratio_of_sums(values: Sequence[float], bounds: Sequence[float]) -> float:
+    """``sum(values) / sum(bounds)`` with validation.
+
+    >>> ratio_of_sums([2.0, 4.0], [1.0, 2.0])
+    2.0
+    """
+    values = np.asarray(values, dtype=np.float64)
+    bounds = np.asarray(bounds, dtype=np.float64)
+    if values.shape != bounds.shape:
+        raise ValueError(f"shape mismatch: {values.shape} vs {bounds.shape}")
+    if values.size == 0:
+        raise ValueError("cannot aggregate zero runs")
+    denom = float(bounds.sum())
+    if denom <= 0:
+        raise ValueError(f"non-positive lower-bound sum {denom}")
+    return float(values.sum()) / denom
+
+
+def aggregate_ratios(values: Sequence[float], bounds: Sequence[float]) -> RatioStats:
+    """Full Figure-3-style statistics: ratio-of-sums average + min/max."""
+    values = np.asarray(values, dtype=np.float64)
+    bounds = np.asarray(bounds, dtype=np.float64)
+    avg = ratio_of_sums(values, bounds)
+    if (bounds <= 0).any():
+        raise ValueError("per-run lower bounds must be positive")
+    per_run = values / bounds
+    return RatioStats(
+        average=avg,
+        minimum=float(per_run.min()),
+        maximum=float(per_run.max()),
+    )

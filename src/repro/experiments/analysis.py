@@ -1,0 +1,134 @@
+"""Statistical analysis utilities for campaign results.
+
+The paper reports min/average/max over 40 runs; modern reproduction
+practice adds uncertainty quantification.  This module provides:
+
+* :func:`bootstrap_ratio_ci` — a percentile bootstrap confidence interval
+  for the ratio-of-sums statistic (which has no closed-form CI because
+  numerator and denominator are dependent across runs);
+* :func:`convergence_profile` — how the ratio-of-sums estimate stabilises
+  as runs accumulate, to judge whether 40 runs/point (the paper's choice)
+  suffices;
+* :func:`compare_algorithms` — a paired bootstrap test of "A beats B" on
+  a shared set of runs (shared instances make the comparison paired by
+  construction, which is much tighter than comparing the aggregates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.aggregate import ratio_of_sums
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "BootstrapCI",
+    "bootstrap_ratio_ci",
+    "convergence_profile",
+    "compare_algorithms",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A percentile bootstrap confidence interval for a ratio."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not (self.low <= self.estimate <= self.high):
+            raise ValueError(
+                f"inconsistent CI: [{self.low}, {self.high}] vs estimate {self.estimate}"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def bootstrap_ratio_ci(
+    values: Sequence[float],
+    bounds: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for ``sum(values) / sum(bounds)``.
+
+    Runs are resampled jointly (value and bound of a run stay paired), so
+    the dependence between numerator and denominator is preserved.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    bounds = np.asarray(bounds, dtype=np.float64)
+    if values.shape != bounds.shape or values.size == 0:
+        raise ValueError("values and bounds must be equal-length and non-empty")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = make_rng(seed)
+    estimate = ratio_of_sums(values, bounds)
+    n = values.size
+    idx = rng.integers(0, n, size=(n_boot, n))
+    boot_num = values[idx].sum(axis=1)
+    boot_den = bounds[idx].sum(axis=1)
+    ratios = boot_num / boot_den
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [alpha, 1.0 - alpha])
+    # Guard against degenerate resampling on tiny n.
+    low = min(float(low), estimate)
+    high = max(float(high), estimate)
+    return BootstrapCI(estimate=estimate, low=low, high=high, confidence=confidence)
+
+
+def convergence_profile(
+    values: Sequence[float], bounds: Sequence[float]
+) -> list[tuple[int, float]]:
+    """Prefix ratio-of-sums after 1, 2, ..., n runs.
+
+    A flat tail means the chosen number of runs suffices; the paper's 40
+    runs/point can be judged directly from this curve.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    bounds = np.asarray(bounds, dtype=np.float64)
+    if values.shape != bounds.shape or values.size == 0:
+        raise ValueError("values and bounds must be equal-length and non-empty")
+    num = np.cumsum(values)
+    den = np.cumsum(bounds)
+    if (den <= 0).any():
+        raise ValueError("cumulative lower bounds must stay positive")
+    return [(k + 1, float(num[k] / den[k])) for k in range(values.size)]
+
+
+def compare_algorithms(
+    values_a: Sequence[float],
+    values_b: Sequence[float],
+    bounds: Sequence[float],
+    *,
+    n_boot: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """Paired bootstrap probability that algorithm A's ratio < B's.
+
+    ``values_a[i]`` and ``values_b[i]`` must come from the *same* instance
+    (shared run ``i``), with ``bounds[i]`` its lower bound.  Returns the
+    fraction of bootstrap resamples in which A's ratio-of-sums is strictly
+    smaller — ``> 0.975`` is strong evidence that A beats B at the 5%
+    level.
+    """
+    a = np.asarray(values_a, dtype=np.float64)
+    b = np.asarray(values_b, dtype=np.float64)
+    lb = np.asarray(bounds, dtype=np.float64)
+    if not (a.shape == b.shape == lb.shape) or a.size == 0:
+        raise ValueError("inputs must be equal-length and non-empty")
+    rng = make_rng(seed)
+    n = a.size
+    idx = rng.integers(0, n, size=(n_boot, n))
+    ra = a[idx].sum(axis=1) / lb[idx].sum(axis=1)
+    rb = b[idx].sum(axis=1) / lb[idx].sum(axis=1)
+    return float(np.mean(ra < rb))

@@ -1,0 +1,100 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples
+--------
+Regenerate Figure 6 at the paper's scale::
+
+    repro-experiments --figure 6 --scale paper
+
+Quick look at every figure (default scale is ``quick``; override with the
+``REPRO_SCALE`` environment variable)::
+
+    repro-experiments --figure all
+
+Run the ablations::
+
+    repro-experiments --ablation all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablation import ABLATIONS
+from repro.experiments.config import SCALES, resolve_scale
+from repro.experiments.figures import FIGURES, figure7
+from repro.experiments.reporting import (
+    format_campaign_charts,
+    format_campaign_table,
+    format_timing_table,
+)
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Dutot et al. (SPAA 2004).",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=[*FIGURES, "all"],
+        help="which figure to regenerate (3-7, or 'all')",
+    )
+    parser.add_argument(
+        "--ablation",
+        choices=[*ABLATIONS, "all"],
+        help="run an ablation study instead of / in addition to figures",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=list(SCALES),
+        default=None,
+        help="campaign scale (default: $REPRO_SCALE or 'quick')",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the campaign seed"
+    )
+    parser.add_argument(
+        "--charts", action="store_true", help="also render ASCII charts"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.figure and not args.ablation:
+        build_parser().print_help()
+        return 2
+
+    cfg = resolve_scale(args.scale)
+    if args.seed is not None:
+        cfg = cfg.scaled(seed=args.seed)
+
+    if args.figure:
+        wanted = list(FIGURES) if args.figure == "all" else [args.figure]
+        for fig_id in wanted:
+            print(f"=== Figure {fig_id} ===")
+            if fig_id == "7":
+                result = figure7(cfg)
+                print(format_timing_table(result.timings))
+            else:
+                result = FIGURES[fig_id](cfg, progress=True)
+                print(format_campaign_table(result))
+                if args.charts:
+                    print(format_campaign_charts(result))
+
+    if args.ablation:
+        wanted = list(ABLATIONS) if args.ablation == "all" else [args.ablation]
+        for name in wanted:
+            print(f"=== Ablation: {name} ===")
+            for variant, (minsum_r, cmax_r) in ABLATIONS[name]().items():
+                print(f"  {variant:<16} minsum ratio {minsum_r:6.3f}   cmax ratio {cmax_r:6.3f}")
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

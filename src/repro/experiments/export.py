@@ -1,0 +1,140 @@
+"""Campaign result export (CSV / JSON).
+
+Campaign runs at paper scale take minutes; exporting lets the raw series
+be archived with the repository and re-plotted by external tools without
+rerunning.  CSV columns are one row per (n, algorithm, criterion):
+
+    workload,n,algorithm,criterion,average,minimum,maximum,mean_seconds
+
+JSON preserves the full nested structure including the per-run lower
+bounds (needed to recompute ratio statistics or bootstrap CIs later).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.experiments.aggregate import RatioStats
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    AlgorithmPointStats,
+    CampaignResult,
+    PointResult,
+)
+
+__all__ = ["campaign_to_csv", "campaign_to_json", "campaign_from_json"]
+
+_FORMAT = "repro-campaign"
+_VERSION = 1
+
+
+def campaign_to_csv(result: CampaignResult) -> str:
+    """Flatten a campaign to CSV text (one row per point/algorithm/criterion)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "workload",
+            "n",
+            "algorithm",
+            "criterion",
+            "average",
+            "minimum",
+            "maximum",
+            "mean_seconds",
+        ]
+    )
+    for point in result.points:
+        for s in point.stats:
+            for criterion, stats in (("minsum", s.minsum), ("cmax", s.cmax)):
+                writer.writerow(
+                    [
+                        result.workload,
+                        point.n,
+                        s.algorithm,
+                        criterion,
+                        f"{stats.average:.6f}",
+                        f"{stats.minimum:.6f}",
+                        f"{stats.maximum:.6f}",
+                        f"{s.mean_seconds:.6f}",
+                    ]
+                )
+    return buf.getvalue()
+
+
+def campaign_to_json(result: CampaignResult, *, indent: int | None = None) -> str:
+    """Serialise a campaign (lossless, including per-run bounds)."""
+    doc: dict[str, Any] = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "workload": result.workload,
+        "config": {
+            "m": result.config.m,
+            "task_counts": list(result.config.task_counts),
+            "runs": result.config.runs,
+            "algorithms": list(result.config.algorithms),
+            "seed": result.config.seed,
+        },
+        "points": [
+            {
+                "n": p.n,
+                "cmax_bounds": list(p.cmax_bounds),
+                "minsum_bounds": list(p.minsum_bounds),
+                "stats": [
+                    {
+                        "algorithm": s.algorithm,
+                        "cmax": [s.cmax.average, s.cmax.minimum, s.cmax.maximum],
+                        "minsum": [
+                            s.minsum.average,
+                            s.minsum.minimum,
+                            s.minsum.maximum,
+                        ],
+                        "mean_seconds": s.mean_seconds,
+                    }
+                    for s in p.stats
+                ],
+            }
+            for p in result.points
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def campaign_from_json(text: str) -> CampaignResult:
+    """Inverse of :func:`campaign_to_json`."""
+    doc = json.loads(text)
+    if doc.get("format") != _FORMAT:
+        raise ValueError(f"not a campaign document (format={doc.get('format')!r})")
+    if doc.get("version") != _VERSION:
+        raise ValueError(f"unsupported campaign version {doc.get('version')!r}")
+    cfg = ExperimentConfig(
+        m=doc["config"]["m"],
+        task_counts=tuple(doc["config"]["task_counts"]),
+        runs=doc["config"]["runs"],
+        algorithms=tuple(doc["config"]["algorithms"]),
+        seed=doc["config"]["seed"],
+    )
+    points = []
+    for p in doc["points"]:
+        stats = tuple(
+            AlgorithmPointStats(
+                algorithm=s["algorithm"],
+                cmax=RatioStats(*s["cmax"]),
+                minsum=RatioStats(*s["minsum"]),
+                mean_seconds=s["mean_seconds"],
+            )
+            for s in p["stats"]
+        )
+        points.append(
+            PointResult(
+                workload=doc["workload"],
+                n=p["n"],
+                stats=stats,
+                cmax_bounds=tuple(p["cmax_bounds"]),
+                minsum_bounds=tuple(p["minsum_bounds"]),
+            )
+        )
+    return CampaignResult(workload=doc["workload"], config=cfg, points=tuple(points))

@@ -1,0 +1,111 @@
+"""Per-figure experiment drivers.
+
+Each ``figureN`` function regenerates the data behind the corresponding
+figure of the paper:
+
+* Figure 3 — weakly parallel workload (DEMT's worst case);
+* Figure 4 — highly parallel workload (DEMT's best case on minsum);
+* Figure 5 — mixed small-weak / large-high workload (SAF's best case);
+* Figure 6 — Cirne–Berman workload (the "realistic" setting);
+* Figure 7 — DEMT scheduling wall-clock time vs n on three workloads.
+
+Figures 1 and 2 of the paper are schematics (platform and algorithm
+principle), not experiments.
+
+All drivers take an :class:`~repro.experiments.config.ExperimentConfig`;
+``resolve_scale()`` provides the paper/quick/smoke presets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.algorithms.demt import DemtScheduler
+from repro.experiments.config import ExperimentConfig, resolve_scale
+from repro.experiments.runner import CampaignResult, run_campaign
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import generate_workload
+
+__all__ = [
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "Figure7Result",
+    "FIGURES",
+]
+
+
+def figure3(cfg: ExperimentConfig | None = None, **kw: object) -> CampaignResult:
+    """Performance ratios on **weakly parallel** tasks (Figure 3)."""
+    return run_campaign("weakly_parallel", cfg or resolve_scale(), **kw)
+
+
+def figure4(cfg: ExperimentConfig | None = None, **kw: object) -> CampaignResult:
+    """Performance ratios on **highly parallel** tasks (Figure 4)."""
+    return run_campaign("highly_parallel", cfg or resolve_scale(), **kw)
+
+
+def figure5(cfg: ExperimentConfig | None = None, **kw: object) -> CampaignResult:
+    """Performance ratios on the **mixed** workload (Figure 5)."""
+    return run_campaign("mixed", cfg or resolve_scale(), **kw)
+
+
+def figure6(cfg: ExperimentConfig | None = None, **kw: object) -> CampaignResult:
+    """Performance ratios on the **Cirne–Berman** workload (Figure 6)."""
+    return run_campaign("cirne", cfg or resolve_scale(), **kw)
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """DEMT scheduling times: ``{workload: [(n, mean seconds), ...]}``."""
+
+    timings: dict[str, list[tuple[int, float]]]
+    config: ExperimentConfig
+
+    def max_seconds(self) -> float:
+        return max(t for series in self.timings.values() for _, t in series)
+
+
+#: Workloads shown in Figure 7, with the paper's legend labels.
+FIGURE7_WORKLOADS: tuple[str, ...] = ("weakly_parallel", "cirne", "highly_parallel")
+
+
+def figure7(
+    cfg: ExperimentConfig | None = None, *, repeats: int | None = None
+) -> Figure7Result:
+    """DEMT wall-clock scheduling time vs n (Figure 7).
+
+    ``repeats`` instances are timed per point (defaults to ``cfg.runs``
+    capped at 10 — timing noise shrinks fast and the paper only eyeballs
+    the trend).
+    """
+    cfg = cfg or resolve_scale()
+    reps = min(cfg.runs, 10) if repeats is None else repeats
+    timings: dict[str, list[tuple[int, float]]] = {}
+    for kind in FIGURE7_WORKLOADS:
+        series: list[tuple[int, float]] = []
+        for n in cfg.task_counts:
+            total = 0.0
+            for r in range(reps):
+                rng = derive_rng(cfg.seed, "fig7", kind, n, r)
+                inst = generate_workload(kind, n=n, m=cfg.m, seed=rng)
+                scheduler = DemtScheduler()
+                t0 = time.perf_counter()
+                scheduler.schedule(inst)
+                total += time.perf_counter() - t0
+            series.append((n, total / reps))
+        timings[kind] = series
+    return Figure7Result(timings=timings, config=cfg)
+
+
+#: Registry used by the CLI: figure id -> driver.
+FIGURES = {
+    "3": figure3,
+    "4": figure4,
+    "5": figure5,
+    "6": figure6,
+    "7": figure7,
+}

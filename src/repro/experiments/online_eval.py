@@ -1,0 +1,110 @@
+"""On-line evaluation: the §2.2 batch framework under varying load.
+
+Not a paper figure — the paper analyses the on-line case theoretically
+(the ``2ρ`` batching argument) and deploys it on Icluster2 without
+published numbers.  This driver supplies the missing measurement: the
+on-line-to-off-line makespan ratio ("price of not knowing the future") as
+a function of the arrival intensity, for any off-line engine.
+
+Arrival model: task ``i``'s release is the ``i``-th event of a Poisson
+process whose rate is calibrated so all arrivals land within
+``horizon_fraction`` of the *off-line* makespan — ``0`` is the off-line
+limit (everything at t=0), ``1`` spreads arrivals over the whole
+schedule length, large values approach the trickle regime where batching
+costs nothing because the machine is starved anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.simulator.online import OnlineBatchScheduler
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import generate_workload
+
+__all__ = ["OnlineEvalPoint", "evaluate_online", "DEFAULT_FRACTIONS"]
+
+#: Arrival-horizon sweep used by the bench.
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class OnlineEvalPoint:
+    """Aggregated measurements at one arrival intensity."""
+
+    horizon_fraction: float
+    mean_ratio: float  # on-line Cmax / off-line Cmax (mean over runs)
+    max_ratio: float
+    mean_batches: float
+
+    def __post_init__(self) -> None:
+        if self.mean_ratio > self.max_ratio + 1e-12:
+            raise ValueError("mean ratio exceeds max ratio")
+
+
+def evaluate_online(
+    offline: Callable[[Instance], Schedule],
+    *,
+    kind: str = "cirne",
+    n: int = 60,
+    m: int = 32,
+    runs: int = 5,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 1,
+) -> list[OnlineEvalPoint]:
+    """Sweep arrival horizons; return one point per fraction.
+
+    The theoretical envelope for ``fraction <= 1`` is ``ratio <= 2`` plus
+    lower-order terms (the §2.2 argument: the last two batches each cost
+    at most one off-line makespan).
+    """
+    points: list[OnlineEvalPoint] = []
+    for frac in fractions:
+        ratios: list[float] = []
+        batches: list[int] = []
+        for r in range(runs):
+            rng = derive_rng(seed, "online", kind, n, int(frac * 1000), r)
+            base = generate_workload(kind, n=n, m=m, seed=rng)
+            off = offline(base)
+            off_cmax = off.makespan()
+            if frac == 0.0:
+                releases = np.zeros(n)
+            else:
+                gaps = rng.exponential(1.0, size=n)
+                releases = np.sort(gaps.cumsum() / gaps.sum() * frac * off_cmax)
+            inst = Instance(
+                [t.with_release(float(rel)) for t, rel in zip(base.tasks, releases)],
+                m,
+            )
+            result = OnlineBatchScheduler(offline).run(inst)
+            ratios.append(result.schedule.makespan() / off_cmax)
+            batches.append(result.n_batches)
+        points.append(
+            OnlineEvalPoint(
+                horizon_fraction=frac,
+                mean_ratio=float(np.mean(ratios)),
+                max_ratio=float(np.max(ratios)),
+                mean_batches=float(np.mean(batches)),
+            )
+        )
+    return points
+
+
+def format_online_table(points: list[OnlineEvalPoint]) -> str:
+    """Printable sweep table."""
+    lines = [
+        "On-line batching: Cmax(on-line) / Cmax(off-line) vs arrival horizon",
+        f"{'horizon':>8} {'mean':>8} {'max':>8} {'batches':>8}",
+        "-" * 36,
+    ]
+    for p in points:
+        lines.append(
+            f"{p.horizon_fraction:>8.2f} {p.mean_ratio:>8.3f} "
+            f"{p.max_ratio:>8.3f} {p.mean_batches:>8.1f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,89 @@
+"""Rendering of campaign results as tables and ASCII charts.
+
+A campaign table prints, for every n and algorithm, the average (min-max)
+performance ratio for both criteria — the same rows one would read off a
+figure of the paper.  The chart form reproduces the figures' visual layout
+(two panels per workload: ``sum w_i C_i`` ratio on top, ``Cmax`` ratio
+below).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CampaignResult
+from repro.utils.ascii_plot import ascii_chart
+
+__all__ = [
+    "format_point_rows",
+    "format_campaign_table",
+    "format_campaign_charts",
+    "format_timing_table",
+]
+
+
+def format_point_rows(result: CampaignResult, criterion: str) -> list[str]:
+    """One text row per (n, algorithm): ``n  algo  avg  [min, max]``."""
+    rows = []
+    for point in result.points:
+        for s in point.stats:
+            stats = s.cmax if criterion == "cmax" else s.minsum
+            rows.append(
+                f"{point.n:>5}  {s.algorithm:<16} "
+                f"{stats.average:7.3f}  [{stats.minimum:6.3f}, {stats.maximum:6.3f}]"
+            )
+    return rows
+
+
+def format_campaign_table(result: CampaignResult) -> str:
+    """Full two-criteria table for one workload family."""
+    cfg = result.config
+    lines = [
+        f"Workload: {result.workload}   m={cfg.m}   runs/point={cfg.runs}",
+        "",
+        f"{'n':>5}  {'algorithm':<16} {'SwiCi avg':>9}  {'[min, max]':>16}"
+        f"   {'Cmax avg':>9}  {'[min, max]':>16}",
+        "-" * 82,
+    ]
+    for point in result.points:
+        for s in point.stats:
+            lines.append(
+                f"{point.n:>5}  {s.algorithm:<16} "
+                f"{s.minsum.average:9.3f}  [{s.minsum.minimum:6.3f}, {s.minsum.maximum:6.3f}]"
+                f"   {s.cmax.average:9.3f}  [{s.cmax.minimum:6.3f}, {s.cmax.maximum:6.3f}]"
+            )
+        lines.append("-" * 82)
+    return "\n".join(lines) + "\n"
+
+
+def format_campaign_charts(result: CampaignResult) -> str:
+    """The figure's two panels as ASCII charts (minsum above, Cmax below)."""
+    panels = []
+    for criterion, label in (("minsum", "sum w_i C_i ratio"), ("cmax", "Cmax ratio")):
+        series = {
+            name: [(n, st.average) for n, st in result.series(name, criterion)]
+            for name in result.config.algorithms
+        }
+        panels.append(
+            ascii_chart(
+                series,
+                title=f"{result.workload} — {label} vs number of tasks",
+                y_label=label,
+            )
+        )
+    return "\n".join(panels)
+
+
+def format_timing_table(
+    timings: dict[str, list[tuple[int, float]]],
+) -> str:
+    """Figure 7: DEMT scheduling time (seconds) per workload and n."""
+    kinds = list(timings)
+    ns = sorted({n for series in timings.values() for n, _ in series})
+    header = f"{'n':>6} " + " ".join(f"{k:>18}" for k in kinds)
+    lines = ["DEMT scheduling wall-clock time (seconds)", header, "-" * len(header)]
+    as_dict = {k: dict(v) for k, v in timings.items()}
+    for n in ns:
+        cells = " ".join(
+            f"{as_dict[k].get(n, float('nan')):>18.4f}" for k in kinds
+        )
+        lines.append(f"{n:>6} {cells}")
+    return "\n".join(lines) + "\n"

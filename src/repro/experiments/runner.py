@@ -1,0 +1,176 @@
+"""Campaign runner.
+
+One *run* = one generated instance, scheduled by every algorithm, compared
+against both lower bounds.  One *point* = ``cfg.runs`` runs at a given
+(workload, n).  One *campaign* = all points of a workload family — the data
+behind one of Figures 3-6 (both panels).  DEMT's wall-clock scheduling time
+is recorded on the side, feeding Figure 7.
+
+Determinism: the instance of run ``r`` at point ``(kind, n)`` is generated
+from ``derive_rng(seed, kind, n, r)``, so any single run can be regenerated
+independently of campaign order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+import numpy as np
+
+from repro.algorithms.dual_approx import dual_approximation
+from repro.algorithms.list_graham import ListGrahamScheduler
+from repro.algorithms.registry import get_algorithm
+from repro.bounds.minsum_lp import minsum_lower_bound
+from repro.core.validation import validate_schedule
+from repro.experiments.aggregate import RatioStats, aggregate_ratios
+from repro.experiments.config import ExperimentConfig
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import generate_workload
+
+__all__ = [
+    "RunRecord",
+    "AlgorithmPointStats",
+    "PointResult",
+    "CampaignResult",
+    "run_point",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Raw measurements of one algorithm on one instance."""
+
+    algorithm: str
+    cmax: float
+    minsum: float
+    seconds: float  # scheduling wall-clock (Figure 7 uses DEMT's)
+
+
+@dataclass(frozen=True)
+class AlgorithmPointStats:
+    """Aggregated ratios of one algorithm at one (workload, n) point."""
+
+    algorithm: str
+    cmax: RatioStats
+    minsum: RatioStats
+    mean_seconds: float
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Everything measured at one (workload, n) point."""
+
+    workload: str
+    n: int
+    stats: tuple[AlgorithmPointStats, ...]
+    cmax_bounds: tuple[float, ...]  # per-run dual-approximation LBs
+    minsum_bounds: tuple[float, ...]  # per-run LP LBs
+
+    def for_algorithm(self, name: str) -> AlgorithmPointStats:
+        for s in self.stats:
+            if s.algorithm == name:
+                return s
+        raise KeyError(f"algorithm {name!r} not in point result")
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All points of one workload family (one paper figure)."""
+
+    workload: str
+    config: ExperimentConfig
+    points: tuple[PointResult, ...]
+
+    def series(self, algorithm: str, criterion: str) -> list[tuple[int, RatioStats]]:
+        """(n, stats) series for one algorithm, ``criterion`` in
+        {"cmax", "minsum"} — one curve of a figure panel."""
+        if criterion not in ("cmax", "minsum"):
+            raise ValueError(f"criterion must be 'cmax' or 'minsum', got {criterion!r}")
+        out = []
+        for p in self.points:
+            s = p.for_algorithm(algorithm)
+            out.append((p.n, s.cmax if criterion == "cmax" else s.minsum))
+        return out
+
+
+def run_point(
+    kind: str,
+    n: int,
+    cfg: ExperimentConfig,
+    *,
+    validate: bool = False,
+) -> PointResult:
+    """Run all algorithms over ``cfg.runs`` fresh instances at ``(kind, n)``.
+
+    ``validate`` additionally feasibility-checks every schedule (slower;
+    the test suite turns it on, campaigns rely on the algorithms' own
+    guarantees which the suite already certifies).
+    """
+    per_algo: dict[str, list[RunRecord]] = {name: [] for name in cfg.algorithms}
+    cmax_bounds: list[float] = []
+    minsum_bounds: list[float] = []
+
+    for r in range(cfg.runs):
+        rng = derive_rng(cfg.seed, kind, n, r)
+        inst = generate_workload(kind, n=n, m=cfg.m, seed=rng)
+
+        dual = dual_approximation(inst)
+        cmax_lb = dual.lower_bound
+        minsum_lb = minsum_lower_bound(inst, dual.lam).value
+        cmax_bounds.append(cmax_lb)
+        minsum_bounds.append(minsum_lb)
+
+        for name in cfg.algorithms:
+            scheduler = get_algorithm(name)
+            # Share the dual-approximation with the list baselines (their
+            # published definition uses the [7] allotments; recomputing
+            # would triple the cost for identical results).
+            if isinstance(scheduler, ListGrahamScheduler):
+                scheduler.dual = dual
+            t0 = time.perf_counter()
+            sched = scheduler.schedule(inst)
+            seconds = time.perf_counter() - t0
+            if validate:
+                validate_schedule(sched, inst)
+            per_algo[name].append(
+                RunRecord(
+                    algorithm=name,
+                    cmax=sched.makespan(),
+                    minsum=sched.weighted_completion_sum(),
+                    seconds=seconds,
+                )
+            )
+
+    stats = tuple(
+        AlgorithmPointStats(
+            algorithm=name,
+            cmax=aggregate_ratios([rec.cmax for rec in recs], cmax_bounds),
+            minsum=aggregate_ratios([rec.minsum for rec in recs], minsum_bounds),
+            mean_seconds=float(np.mean([rec.seconds for rec in recs])),
+        )
+        for name, recs in per_algo.items()
+    )
+    return PointResult(
+        workload=kind,
+        n=n,
+        stats=stats,
+        cmax_bounds=tuple(cmax_bounds),
+        minsum_bounds=tuple(minsum_bounds),
+    )
+
+
+def run_campaign(
+    kind: str,
+    cfg: ExperimentConfig,
+    *,
+    validate: bool = False,
+    progress: bool = False,
+) -> CampaignResult:
+    """Run every point of one workload family (one figure's data)."""
+    points = []
+    for n in cfg.task_counts:
+        if progress:  # pragma: no cover - cosmetic
+            print(f"  [{kind}] n={n} ({cfg.runs} runs)...", flush=True)
+        points.append(run_point(kind, n, cfg, validate=validate))
+    return CampaignResult(workload=kind, config=cfg, points=tuple(points))

@@ -1,0 +1,44 @@
+"""Extensions beyond the paper's core evaluation (§5 "on-going works").
+
+The paper closes with three practical problems "still to be solved for an
+even more efficient practical solution":
+
+* **mix of different types of jobs** ("moldable jobs, rigid jobs, and
+  divisible load jobs") — :mod:`repro.extensions.job_types` models all
+  three in the moldable vocabulary and provides a mixed-type workload
+  generator; DEMT handles the result unchanged;
+* **reservation of nodes** ("which reduces the size of the cluster") —
+  :mod:`repro.extensions.reservations` adds time-varying machine capacity
+  and a reservation-aware scheduler;
+* realistic front-end policies — :mod:`repro.extensions.fcfs` implements
+  the FCFS + EASY-backfilling scheduler of the §1.2 related work (the
+  MAUI-style baseline DEMT is designed to replace), and
+  :mod:`repro.extensions.greedy_interval` the plain Shmoys-style
+  interval-doubling scheduler (DEMT without its refinements), useful as a
+  structural ablation.
+"""
+
+from repro.extensions.job_types import (
+    divisible_load_task,
+    generate_mixed_types,
+    MixedTypeStats,
+)
+from repro.extensions.reservations import (
+    Reservation,
+    CapacityProfile,
+    ReservationScheduler,
+)
+from repro.extensions.fcfs import FcfsBackfillScheduler, rigidify
+from repro.extensions.greedy_interval import GreedyIntervalScheduler
+
+__all__ = [
+    "divisible_load_task",
+    "generate_mixed_types",
+    "MixedTypeStats",
+    "Reservation",
+    "CapacityProfile",
+    "ReservationScheduler",
+    "FcfsBackfillScheduler",
+    "rigidify",
+    "GreedyIntervalScheduler",
+]

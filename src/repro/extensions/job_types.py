@@ -1,0 +1,116 @@
+"""Mixed job types: moldable + rigid + divisible load (§5).
+
+All three job types of the paper's conclusion are expressible as
+processing-time vectors, so every algorithm in the library handles a mixed
+instance without modification:
+
+* **moldable** — the standard §2.1 model (any of the §4.1 generators);
+* **rigid** — the historical submission style: the user fixes the
+  processor count; encoded as a vector that is ``+inf`` everywhere except
+  the requested allotment (:func:`repro.core.task.rigid_task`);
+* **divisible load** — work that splits perfectly across processors
+  (ideal data parallelism): ``p(k) = W / k`` exactly.
+
+The mixed generator draws each task's type from a categorical
+distribution, mirroring how a production queue receives a blend of legacy
+rigid submissions and moldable/divisible ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask, rigid_task
+from repro.utils.rng import make_rng
+from repro.workloads.cirne import cirne_task
+from repro.workloads.sequential import uniform_sequential_times
+
+__all__ = ["divisible_load_task", "generate_mixed_types", "MixedTypeStats"]
+
+
+def divisible_load_task(
+    task_id: int, work: float, m: int, weight: float = 1.0, release: float = 0.0
+) -> MoldableTask:
+    """A perfectly divisible load of ``work`` processor-seconds.
+
+    ``p(k) = work / k`` for every ``k`` — the idealised data-parallel job
+    of divisible load theory.  Monotonic by construction with constant
+    area.
+    """
+    if work <= 0:
+        raise ValueError(f"work must be positive, got {work}")
+    ks = np.arange(1, m + 1, dtype=np.float64)
+    return MoldableTask(task_id, work / ks, weight=weight, release=release)
+
+
+@dataclass(frozen=True)
+class MixedTypeStats:
+    """Composition of a generated mixed-type instance."""
+
+    n_moldable: int
+    n_rigid: int
+    n_divisible: int
+
+    @property
+    def total(self) -> int:
+        return self.n_moldable + self.n_rigid + self.n_divisible
+
+
+def generate_mixed_types(
+    n: int,
+    m: int,
+    seed: int | np.random.Generator | None = None,
+    *,
+    p_moldable: float = 0.5,
+    p_rigid: float = 0.3,
+    p_divisible: float = 0.2,
+) -> tuple[Instance, MixedTypeStats]:
+    """Generate an instance mixing the three §5 job types.
+
+    * moldable jobs follow the Cirne–Berman model (uniform(1, 10)
+      sequential times);
+    * rigid jobs request a power-of-two processor count up to ``m`` (the
+      classic cluster submission habit) with the same uniform duration
+      model;
+    * divisible loads draw their total work uniform(1, 10) processor-
+      seconds scaled by a uniform(1, sqrt(m)) parallel appetite.
+
+    Weights are uniform(1, 10) throughout, as in §4.1.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    probs = np.array([p_moldable, p_rigid, p_divisible], dtype=np.float64)
+    if (probs < 0).any() or probs.sum() <= 0:
+        raise ValueError(f"invalid type probabilities {probs}")
+    probs = probs / probs.sum()
+
+    rng = make_rng(seed)
+    kinds = rng.choice(3, size=n, p=probs)
+    seq = uniform_sequential_times(rng, n)
+    weights = rng.uniform(1.0, 10.0, size=n)
+
+    max_pow = int(np.log2(m)) if m > 1 else 0
+    tasks: list[MoldableTask] = []
+    counts = [0, 0, 0]
+    for i in range(n):
+        kind = int(kinds[i])
+        counts[kind] += 1
+        if kind == 0:
+            tasks.append(cirne_task(rng, i, seq[i], m, weight=weights[i]))
+        elif kind == 1:
+            procs = int(2 ** rng.integers(0, max_pow + 1))
+            tasks.append(
+                rigid_task(i, procs=procs, time=float(seq[i]), weight=weights[i], m=m)
+            )
+        else:
+            appetite = float(rng.uniform(1.0, np.sqrt(m)))
+            tasks.append(
+                divisible_load_task(i, work=float(seq[i] * appetite), m=m, weight=weights[i])
+            )
+    stats = MixedTypeStats(counts[0], counts[1], counts[2])
+    return Instance(tasks, m), stats

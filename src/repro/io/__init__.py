@@ -1,0 +1,29 @@
+"""Instance/schedule serialisation and workload-trace interchange.
+
+* :mod:`repro.io.json_io` — lossless JSON round-trip of instances and
+  schedules (experiment artefacts, regression fixtures);
+* :mod:`repro.io.swf` — the Standard Workload Format of the Parallel
+  Workloads Archive (Feitelson), the de-facto interchange for real
+  cluster logs like the ones the paper's generator [18] was fitted to.
+  Reading produces rigid instances (SWF logs record one processor count
+  per job); writing lets any simulated schedule be analysed by standard
+  SWF tooling.
+"""
+
+from repro.io.json_io import (
+    instance_to_json,
+    instance_from_json,
+    schedule_to_json,
+    schedule_from_json,
+)
+from repro.io.swf import read_swf, write_swf, SwfJob
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "read_swf",
+    "write_swf",
+    "SwfJob",
+]

@@ -1,0 +1,133 @@
+"""Lossless JSON serialisation of instances and schedules.
+
+Format (versioned for forward compatibility)::
+
+    {"format": "repro-instance", "version": 1, "m": 16,
+     "tasks": [{"id": 0, "times": [...], "weight": 2.0, "release": 0.0}]}
+
+    {"format": "repro-schedule", "version": 1, "m": 16,
+     "placements": [{"id": 0, "start": 0.0, "allotment": 4}]}
+
+``+inf`` processing times (forbidden allotments of rigid tasks) are
+encoded as the string ``"inf"`` because JSON has no infinity literal.
+Schedules serialise only the decisions; deserialisation re-binds them to
+an instance, validating that every referenced task exists.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.task import MoldableTask
+from repro.exceptions import ModelError
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+_INSTANCE_FORMAT = "repro-instance"
+_SCHEDULE_FORMAT = "repro-schedule"
+_VERSION = 1
+
+
+def _encode_time(value: float) -> float | str:
+    return "inf" if math.isinf(value) else float(value)
+
+
+def _decode_time(value: float | str) -> float:
+    if value == "inf":
+        return math.inf
+    return float(value)
+
+
+def instance_to_json(instance: Instance, *, indent: int | None = None) -> str:
+    """Serialise an :class:`Instance` to a JSON string."""
+    doc: dict[str, Any] = {
+        "format": _INSTANCE_FORMAT,
+        "version": _VERSION,
+        "m": instance.m,
+        "tasks": [
+            {
+                "id": t.task_id,
+                "times": [_encode_time(x) for x in t.times],
+                "weight": t.weight,
+                "release": t.release,
+            }
+            for t in instance
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def instance_from_json(text: str) -> Instance:
+    """Parse an instance serialised by :func:`instance_to_json`."""
+    doc = json.loads(text)
+    if doc.get("format") != _INSTANCE_FORMAT:
+        raise ModelError(
+            f"not a repro instance document (format={doc.get('format')!r})"
+        )
+    if doc.get("version") != _VERSION:
+        raise ModelError(f"unsupported instance version {doc.get('version')!r}")
+    tasks = [
+        MoldableTask(
+            entry["id"],
+            np.array([_decode_time(x) for x in entry["times"]]),
+            weight=entry.get("weight", 1.0),
+            release=entry.get("release", 0.0),
+        )
+        for entry in doc["tasks"]
+    ]
+    return Instance(tasks, doc["m"])
+
+
+def schedule_to_json(schedule: Schedule, *, indent: int | None = None) -> str:
+    """Serialise the scheduling decisions to a JSON string."""
+    doc: dict[str, Any] = {
+        "format": _SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "m": schedule.m,
+        "placements": [
+            {"id": p.task.task_id, "start": p.start, "allotment": p.allotment}
+            for p in schedule
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def schedule_from_json(text: str, instance: Instance) -> Schedule:
+    """Parse a schedule and re-bind its decisions to ``instance``.
+
+    Raises
+    ------
+    ModelError
+        On format mismatch, a machine-size mismatch with ``instance`` or a
+        placement referencing an unknown task.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != _SCHEDULE_FORMAT:
+        raise ModelError(
+            f"not a repro schedule document (format={doc.get('format')!r})"
+        )
+    if doc.get("version") != _VERSION:
+        raise ModelError(f"unsupported schedule version {doc.get('version')!r}")
+    if doc["m"] != instance.m:
+        raise ModelError(
+            f"schedule was built for m={doc['m']} but instance has m={instance.m}"
+        )
+    out = Schedule(instance.m)
+    for entry in doc["placements"]:
+        try:
+            task = instance.task_by_id(entry["id"])
+        except KeyError as exc:
+            raise ModelError(str(exc)) from None
+        out.add(task, entry["start"], entry["allotment"])
+    return out

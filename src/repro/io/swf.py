@@ -1,0 +1,162 @@
+"""Standard Workload Format (SWF) interchange.
+
+SWF (Feitelson's Parallel Workloads Archive) is the common format for real
+cluster logs — the kind of trace the paper's workload generator [18] was
+fitted to.  Each job line carries 18 whitespace-separated fields::
+
+    job_id submit wait run procs_used cpu_used mem procs_req time_req
+    mem_req status user group app queue partition preceding think_time
+
+Missing values are ``-1``.  This module implements
+
+* :func:`read_swf` — parse a log into :class:`SwfJob` records and
+  optionally an :class:`~repro.core.instance.Instance` of *rigid* tasks
+  (SWF jobs have one processor count; moldability is gone from a log);
+* :func:`write_swf` — export a simulated schedule as an SWF log, so
+  standard archive tooling can analyse simulated and real traces
+  uniformly.
+
+Only the fields the scheduling model uses are interpreted; the rest are
+preserved on read and written as ``-1`` on export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, TextIO
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.task import MoldableTask, rigid_task
+from repro.exceptions import ModelError
+
+__all__ = ["SwfJob", "read_swf", "write_swf", "swf_to_instance"]
+
+#: Number of fields of an SWF record.
+SWF_FIELDS = 18
+
+
+@dataclass(frozen=True)
+class SwfJob:
+    """One SWF job record (the subset of fields the model interprets)."""
+
+    job_id: int
+    submit: float
+    wait: float
+    run: float
+    procs: int
+    status: int = 1
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ModelError(f"negative SWF job id {self.job_id}")
+
+
+def read_swf(source: str | TextIO) -> list[SwfJob]:
+    """Parse SWF text (string or file object) into job records.
+
+    Comment/header lines start with ``;`` and are skipped.  Jobs with
+    non-positive runtime or processor count (cancelled / failed entries)
+    are skipped, as is conventional when replaying archive logs.
+    """
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    jobs: list[SwfJob] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        parts = line.split()
+        if len(parts) < 5:
+            raise ModelError(f"SWF line {lineno}: expected >= 5 fields, got {len(parts)}")
+        try:
+            job_id = int(parts[0])
+            submit = float(parts[1])
+            wait = float(parts[2])
+            run = float(parts[3])
+            procs = int(float(parts[4]))
+            status = int(parts[10]) if len(parts) > 10 else 1
+        except ValueError as exc:
+            raise ModelError(f"SWF line {lineno}: {exc}") from None
+        if run <= 0 or procs <= 0:
+            continue  # cancelled / failed / malformed record
+        jobs.append(
+            SwfJob(
+                job_id=job_id,
+                submit=max(0.0, submit),
+                wait=max(0.0, wait),
+                run=run,
+                procs=procs,
+                status=status,
+            )
+        )
+    return jobs
+
+
+def swf_to_instance(
+    jobs: Iterable[SwfJob],
+    m: int,
+    *,
+    online: bool = True,
+    default_weight: float = 1.0,
+) -> Instance:
+    """Build a rigid-task :class:`Instance` from SWF records.
+
+    Jobs requesting more than ``m`` processors are clamped to ``m`` (the
+    archive convention for replaying a log on a smaller machine).  With
+    ``online=True`` submit times become release dates; otherwise the
+    instance is off-line.
+    """
+    if m < 1:
+        raise ModelError(f"m must be >= 1, got {m}")
+    tasks: list[MoldableTask] = []
+    for job in jobs:
+        procs = min(job.procs, m)
+        tasks.append(
+            rigid_task(
+                job.job_id,
+                procs=procs,
+                time=job.run,
+                weight=default_weight,
+                m=m,
+                release=job.submit if online else 0.0,
+            )
+        )
+    return Instance(tasks, m)
+
+
+def write_swf(schedule: Schedule, *, m: int | None = None) -> str:
+    """Export a schedule as SWF text.
+
+    The submit time is the task's release date, the wait time is
+    ``start - release``, and the processor count is the chosen allotment —
+    i.e. the log a monitoring daemon would have recorded had the simulated
+    schedule run for real.
+    """
+    m = schedule.m if m is None else m
+    lines = [
+        "; SWF export from the repro library (Dutot et al. SPAA'04 reproduction)",
+        f"; MaxProcs: {m}",
+        f"; Jobs: {len(schedule)}",
+    ]
+    for p in sorted(schedule, key=lambda p: (p.start, p.task.task_id)):
+        submit = p.task.release
+        wait = max(0.0, p.start - submit)
+        fields = [
+            str(p.task.task_id),
+            f"{submit:.6g}",
+            f"{wait:.6g}",
+            f"{p.duration:.6g}",
+            str(p.allotment),
+            "-1",  # avg cpu time
+            "-1",  # memory
+            str(p.allotment),  # requested procs
+            f"{p.duration:.6g}",  # requested time
+            "-1",  # requested memory
+            "1",  # status: completed
+            "-1", "-1", "-1", "-1", "-1", "-1", "-1",
+        ]
+        lines.append(" ".join(fields))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,32 @@
+"""Event-driven cluster simulation and the on-line batch framework.
+
+The paper's platform (§2.1, Figure 1) is a homogeneous cluster fed through
+a front-end job queue.  This package provides:
+
+* :mod:`repro.simulator.cluster` — the processor-set resource model
+  (allocate / release with explicit processor ids);
+* :mod:`repro.simulator.events` — the typed event log of an execution;
+* :mod:`repro.simulator.engine` — a discrete-event engine that *executes*
+  a schedule on the cluster, assigning concrete processors and verifying
+  feasibility live (the closest analogue of running on Icluster2 that a
+  simulation can offer);
+* :mod:`repro.simulator.online` — the batch doubling framework of Shmoys,
+  Wein & Williamson (paper ref [21], §2.2) that turns any off-line
+  ρ-approximation into a 2ρ-competitive on-line scheduler.
+"""
+
+from repro.simulator.cluster import Cluster
+from repro.simulator.events import Event, EventKind, EventLog
+from repro.simulator.engine import ClusterSimulator, ExecutionTrace
+from repro.simulator.online import OnlineBatchScheduler, OnlineResult
+
+__all__ = [
+    "Cluster",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "ClusterSimulator",
+    "ExecutionTrace",
+    "OnlineBatchScheduler",
+    "OnlineResult",
+]

@@ -1,0 +1,74 @@
+"""Typed event log for simulated executions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """What happened at a log entry."""
+
+    SUBMITTED = "submitted"
+    BATCH_STARTED = "batch_started"
+    STARTED = "started"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence.
+
+    ``procs`` carries the concrete processor ids for START/COMPLETE events;
+    ``job_id`` is ``-1`` for batch markers.
+    """
+
+    time: float
+    kind: EventKind
+    job_id: int = -1
+    procs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative event time {self.time}")
+
+
+@dataclass
+class EventLog:
+    """Append-only, time-ordered collection of events."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        if self.events and event.time < self.events[-1].time - 1e-9:
+            raise ValueError(
+                f"event at {event.time} appended after {self.events[-1].time}"
+            )
+        self.events.append(event)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def start_of(self, job_id: int) -> Event:
+        """The START event of ``job_id`` (KeyError if absent)."""
+        for e in self.events:
+            if e.kind == EventKind.STARTED and e.job_id == job_id:
+                return e
+        raise KeyError(f"job {job_id} never started")
+
+    def completion_of(self, job_id: int) -> Event:
+        """The COMPLETED event of ``job_id`` (KeyError if absent)."""
+        for e in self.events:
+            if e.kind == EventKind.COMPLETED and e.job_id == job_id:
+                return e
+        raise KeyError(f"job {job_id} never completed")

@@ -1,0 +1,6 @@
+"""Small shared utilities (RNG plumbing, timing, ASCII plotting)."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+
+__all__ = ["make_rng", "spawn_rngs", "Stopwatch"]

@@ -1,0 +1,79 @@
+"""Minimal ASCII line charts for terminal reports.
+
+The paper's figures are gnuplot line charts; without a plotting dependency
+we render the same series on a character grid — good enough to eyeball
+crossovers and orderings straight from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+#: Glyphs assigned to successive series.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a multi-series scatter chart.
+
+    Points are mapped onto a ``width x height`` grid with linear axes; each
+    series gets a marker from :data:`_MARKERS` (later series overwrite
+    earlier ones on collisions, which mirrors how dense gnuplot charts
+    overlap).  Returns a printable string including a legend and axis
+    ticks.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    pts = [(x, y) for s in series.values() for (x, y) in s]
+    if not pts:
+        return f"{title}\n(no data)\n"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, round((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        # Row 0 is the top of the chart.
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, round((1.0 - frac) * (height - 1))))
+
+    legend = []
+    for idx, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in data:
+            grid[to_row(y)][to_col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}"
+    )
+    if y_label:
+        lines.append(f"   y: {y_label}")
+    lines.append("   " + "   ".join(legend))
+    return "\n".join(lines) + "\n"

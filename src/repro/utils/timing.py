@@ -1,0 +1,52 @@
+"""Wall-clock measurement helpers used by the Figure-7 timing experiment."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with context-manager ergonomics.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _started: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._started
+        self._started = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def mean_lap(self) -> float:
+        """Average lap duration (0.0 when no lap has completed)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0

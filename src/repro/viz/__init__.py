@@ -1,0 +1,5 @@
+"""Schedule visualisation (text Gantt charts and usage profiles)."""
+
+from repro.viz.gantt import gantt_chart, usage_chart
+
+__all__ = ["gantt_chart", "usage_chart"]

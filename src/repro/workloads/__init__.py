@@ -1,0 +1,40 @@
+"""Synthetic workload generators reproducing §4.1 of the paper.
+
+Four experimental workload families are used by the paper's figures:
+
+* ``weakly_parallel`` — uniform(1, 10) sequential times, weakly parallel
+  speedup profile (Figure 3);
+* ``highly_parallel`` — uniform(1, 10) sequential times, highly parallel
+  profile (Figure 4);
+* ``mixed`` — 70% small tasks (gaussian around 1) that are weakly parallel
+  and 30% large tasks (gaussian around 10) that are highly parallel
+  (Figure 5);
+* ``cirne`` — uniform(1, 10) sequential times with moldability from the
+  Cirne–Berman model built on Downey's parametric speedup curves
+  (Figure 6).
+
+All of them draw task weights uniformly from [1, 10], as stated in §4.1
+("task priority is a random value taken from an uniform distribution
+between 1 and 10").
+"""
+
+from repro.workloads.generator import WORKLOAD_KINDS, generate_workload
+from repro.workloads.sequential import mixed_sequential_times, uniform_sequential_times
+from repro.workloads.parallelism import (
+    parallel_profile,
+    parallel_task,
+    truncated_gaussian,
+)
+from repro.workloads.cirne import cirne_task, downey_speedup
+
+__all__ = [
+    "WORKLOAD_KINDS",
+    "generate_workload",
+    "uniform_sequential_times",
+    "mixed_sequential_times",
+    "parallel_profile",
+    "parallel_task",
+    "truncated_gaussian",
+    "downey_speedup",
+    "cirne_task",
+]

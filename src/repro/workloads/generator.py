@@ -1,0 +1,126 @@
+"""Top-level workload factory.
+
+:func:`generate_workload` assembles complete :class:`~repro.core.instance.
+Instance` objects for the four experimental families of §4.1 (plus a couple
+of extra families useful for testing and ablation).  Everything is
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask, sequential_task
+from repro.utils.rng import make_rng
+from repro.workloads.cirne import cirne_task
+from repro.workloads.parallelism import parallel_task
+from repro.workloads.sequential import mixed_sequential_times, uniform_sequential_times
+
+__all__ = ["generate_workload", "WORKLOAD_KINDS"]
+
+#: Weight distribution of §4.1: uniform between 1 and 10 for every family.
+WEIGHT_LOW, WEIGHT_HIGH = 1.0, 10.0
+
+
+def _weights(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.uniform(WEIGHT_LOW, WEIGHT_HIGH, size=n)
+
+
+def _weakly(rng: np.random.Generator, n: int, m: int) -> list[MoldableTask]:
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    return [parallel_task(rng, i, seq[i], m, "weakly", weight=w[i]) for i in range(n)]
+
+
+def _highly(rng: np.random.Generator, n: int, m: int) -> list[MoldableTask]:
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    return [parallel_task(rng, i, seq[i], m, "highly", weight=w[i]) for i in range(n)]
+
+
+def _mixed(rng: np.random.Generator, n: int, m: int) -> list[MoldableTask]:
+    seq, is_small = mixed_sequential_times(rng, n)
+    w = _weights(rng, n)
+    return [
+        parallel_task(
+            rng, i, seq[i], m, "weakly" if is_small[i] else "highly", weight=w[i]
+        )
+        for i in range(n)
+    ]
+
+
+def _cirne(rng: np.random.Generator, n: int, m: int) -> list[MoldableTask]:
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    return [cirne_task(rng, i, seq[i], m, weight=w[i]) for i in range(n)]
+
+
+def _sequential_only(rng: np.random.Generator, n: int, m: int) -> list[MoldableTask]:
+    """Purely sequential jobs (no speedup at all) — a stress family for tests."""
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    return [sequential_task(i, seq[i], weight=w[i], m=m) for i in range(n)]
+
+
+def _linear(rng: np.random.Generator, n: int, m: int) -> list[MoldableTask]:
+    """Perfect linear speedup (constant work) — the paper's §3.1 extreme case
+    where the minsum-optimal schedule is gang scheduling by increasing area."""
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    ks = np.arange(1, m + 1, dtype=np.float64)
+    return [MoldableTask(i, seq[i] / ks, weight=w[i]) for i in range(n)]
+
+
+_FAMILIES: dict[str, Callable[[np.random.Generator, int, int], list[MoldableTask]]] = {
+    "weakly_parallel": _weakly,
+    "highly_parallel": _highly,
+    "mixed": _mixed,
+    "cirne": _cirne,
+    "sequential_only": _sequential_only,
+    "linear_speedup": _linear,
+}
+
+#: Public names of the available workload families.  The first four are the
+#: paper's experimental families (Figures 3-6), the last two are extra
+#: stress/ablation families.
+WORKLOAD_KINDS: tuple[str, ...] = tuple(_FAMILIES)
+
+
+def generate_workload(
+    kind: str,
+    n: int,
+    m: int,
+    seed: int | np.random.Generator | None = None,
+) -> Instance:
+    """Generate an off-line instance of workload family ``kind``.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`WORKLOAD_KINDS`.
+    n:
+        Number of tasks (the paper sweeps 25..400).
+    m:
+        Number of processors (the paper uses 200).
+    seed:
+        Seed or generator for reproducibility.
+
+    >>> inst = generate_workload("highly_parallel", n=10, m=16, seed=0)
+    >>> inst.n, inst.m
+    (10, 16)
+    """
+    try:
+        family = _FAMILIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; available: {', '.join(WORKLOAD_KINDS)}"
+        ) from None
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    rng = make_rng(seed)
+    return Instance(family(rng, n, m), m)

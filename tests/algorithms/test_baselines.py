@@ -1,0 +1,193 @@
+"""Unit tests for the Gang, Sequential and List-Graham baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dual_approx import dual_approximation
+from repro.algorithms.gang import GangScheduler, schedule_gang
+from repro.algorithms.list_graham import (
+    LIST_ORDERINGS,
+    ListGrahamScheduler,
+    schedule_list_graham,
+)
+from repro.algorithms.registry import (
+    ALGORITHM_REGISTRY,
+    PAPER_ALGORITHMS,
+    get_algorithm,
+)
+from repro.algorithms.sequential import SequentialScheduler, schedule_sequential
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask, rigid_task
+from repro.core.validation import validate_schedule
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance
+
+
+class TestGang:
+    def test_sequentialises_machine(self):
+        inst = make_instance(n=4, m=4, seq_time=8.0)
+        s = schedule_gang(inst)
+        validate_schedule(s, inst)
+        # One task at a time: peak usage equals one task's allotment (m).
+        assert s.max_usage() == 4
+        starts = sorted(p.start for p in s)
+        assert starts[0] == 0.0 and len(set(starts)) == 4
+
+    def test_smith_order(self):
+        # Equal durations on m: heavier weight first.
+        tasks = [
+            MoldableTask(0, [8.0, 4.0], weight=1.0),
+            MoldableTask(1, [8.0, 4.0], weight=9.0),
+        ]
+        inst = Instance(tasks, 2)
+        s = schedule_gang(inst)
+        assert s[1].start == 0.0 and s[0].start == pytest.approx(4.0)
+
+    def test_optimal_for_linear_speedup_minsum(self):
+        """§4.1: 'This algorithm is optimal for instances with linear
+        speedup.'  Verify against brute force on a tiny instance."""
+        import itertools
+
+        tasks = [
+            MoldableTask(0, [6.0, 3.0], weight=2.0),
+            MoldableTask(1, [4.0, 2.0], weight=5.0),
+            MoldableTask(2, [2.0, 1.0], weight=1.0),
+        ]
+        inst = Instance(tasks, 2)
+        gang = schedule_gang(inst).weighted_completion_sum()
+        best = min(
+            sum(
+                t.weight * c
+                for t, c in zip(
+                    perm,
+                    np.cumsum([t.p(2) for t in perm]),
+                )
+            )
+            for perm in itertools.permutations(tasks)
+        )
+        assert gang == pytest.approx(best)
+
+    def test_empty(self):
+        assert len(schedule_gang(Instance([], 4))) == 0
+
+    def test_task_with_short_vector_uses_fastest(self):
+        t = MoldableTask(0, [8.0, 5.0])  # machine has 4 procs
+        inst = Instance([t], 4)
+        s = schedule_gang(inst)
+        assert s[0].allotment == 2
+
+
+class TestSequential:
+    def test_one_processor_each(self):
+        inst = make_instance(n=6, m=4, seq_time=5.0)
+        s = schedule_sequential(inst)
+        validate_schedule(s, inst)
+        assert all(p.allotment == 1 for p in s)
+
+    def test_lptf_order(self):
+        tasks = [
+            MoldableTask(0, [2.0]),
+            MoldableTask(1, [9.0]),
+            MoldableTask(2, [5.0]),
+        ]
+        inst = Instance(tasks, 1)
+        s = schedule_sequential(inst)
+        assert s[1].start == 0.0
+        assert s[2].start == pytest.approx(9.0)
+        assert s[0].start == pytest.approx(14.0)
+
+    def test_balances_machines(self):
+        # 4 equal tasks on 2 procs: two per processor.
+        inst = make_instance(n=4, m=2, seq_time=3.0, speedup="none")
+        s = schedule_sequential(inst)
+        assert s.makespan() == pytest.approx(6.0)
+
+    def test_rigid_task_fallback(self):
+        t = rigid_task(0, procs=2, time=3.0, m=4)
+        inst = Instance([t], 4)
+        s = schedule_sequential(inst)
+        validate_schedule(s, inst)
+        assert s[0].allotment == 2
+
+
+class TestListGraham:
+    @pytest.mark.parametrize("ordering", LIST_ORDERINGS)
+    def test_feasible_all_orderings(self, ordering):
+        inst = generate_workload("mixed", n=30, m=16, seed=21)
+        s = schedule_list_graham(inst, ordering)
+        validate_schedule(s, inst)
+
+    def test_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            ListGrahamScheduler("random")
+
+    def test_names_match_paper_legends(self):
+        assert ListGrahamScheduler("shelf").name == "List Scheduling"
+        assert ListGrahamScheduler("lptf").name == "LPTF"
+        assert ListGrahamScheduler("saf").name == "SAF"
+
+    def test_shared_dual_result_reused(self):
+        inst = generate_workload("cirne", n=20, m=8, seed=22)
+        dual = dual_approximation(inst)
+        a = schedule_list_graham(inst, "saf", dual)
+        b = ListGrahamScheduler("saf", dual).schedule(inst)
+        assert a.makespan() == b.makespan()
+
+    def test_allotments_come_from_dual(self):
+        inst = generate_workload("highly_parallel", n=15, m=8, seed=23)
+        dual = dual_approximation(inst)
+        s = schedule_list_graham(inst, "lptf", dual)
+        for p in s:
+            assert p.allotment == dual.allotments[p.task.task_id]
+
+    def test_saf_orders_by_area(self):
+        # Two tasks, same weight; smaller area must start first when both
+        # compete for the same processors.
+        tasks = [
+            MoldableTask(0, [9.0, 9.0], weight=1.0),  # area 9 on 1 proc
+            MoldableTask(1, [2.0, 2.0], weight=1.0),  # area 2
+        ]
+        inst = Instance(tasks, 1)
+        s = schedule_list_graham(inst, "saf")
+        assert s[1].start < s[0].start
+
+    def test_empty(self):
+        assert len(schedule_list_graham(Instance([], 4))) == 0
+
+    def test_makespan_ratio_below_2_on_paper_workloads(self):
+        """§4.2: 'the allotment computed for list algorithms is quite good,
+        as Cmax performance ratio of these algorithms is always smaller
+        than 2'."""
+        for kind in ("weakly_parallel", "highly_parallel", "mixed", "cirne"):
+            inst = generate_workload(kind, n=50, m=32, seed=24)
+            dual = dual_approximation(inst)
+            for ordering in LIST_ORDERINGS:
+                s = schedule_list_graham(inst, ordering, dual)
+                assert s.makespan() / dual.lower_bound < 2.0
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        assert set(PAPER_ALGORITHMS) <= set(ALGORITHM_REGISTRY)
+
+    def test_get_algorithm(self):
+        for name in PAPER_ALGORITHMS:
+            algo = get_algorithm(name)
+            assert algo.name == name
+
+    def test_get_algorithm_unknown(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("RoundRobin")
+
+    def test_fresh_instances(self):
+        a, b = get_algorithm("DEMT"), get_algorithm("DEMT")
+        assert a is not b
+
+    @pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+    def test_registry_schedules_are_feasible(self, name):
+        inst = generate_workload("mixed", n=25, m=16, seed=25)
+        s = get_algorithm(name).schedule(inst)
+        validate_schedule(s, inst)

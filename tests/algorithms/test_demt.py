@@ -1,0 +1,191 @@
+"""Unit + property tests for the DEMT bi-criteria algorithm."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.demt import DemtScheduler, schedule_demt
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.core.validation import validate_schedule
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance, make_task
+
+
+class TestConstruction:
+    def test_bad_compaction_mode(self):
+        with pytest.raises(ValueError):
+            DemtScheduler(compaction="magic")
+
+    def test_negative_shuffles(self):
+        with pytest.raises(ValueError):
+            DemtScheduler(shuffle_rounds=-1)
+
+    def test_name(self):
+        assert DemtScheduler().name == "DEMT"
+
+
+class TestScheduleBasics:
+    def test_empty_instance(self):
+        s = schedule_demt(Instance([], 4))
+        assert len(s) == 0
+
+    def test_single_task(self):
+        t = MoldableTask(0, [8.0, 4.5, 3.2, 2.6])
+        inst = Instance([t], 4)
+        s = schedule_demt(inst)
+        validate_schedule(s, inst)
+        assert len(s) == 1
+
+    @pytest.mark.parametrize("kind", ["weakly_parallel", "highly_parallel", "mixed", "cirne"])
+    def test_feasible_on_paper_workloads(self, kind):
+        inst = generate_workload(kind, n=50, m=32, seed=7)
+        s = schedule_demt(inst)
+        validate_schedule(s, inst)
+
+    def test_deterministic(self):
+        inst = generate_workload("mixed", n=30, m=16, seed=5)
+        a = schedule_demt(inst, seed=1)
+        b = schedule_demt(inst, seed=1)
+        assert a.makespan() == b.makespan()
+        assert a.weighted_completion_sum() == b.weighted_completion_sum()
+
+    @pytest.mark.parametrize("compaction", ["shelf", "pull_forward", "list"])
+    def test_all_compaction_modes_feasible(self, compaction):
+        inst = generate_workload("highly_parallel", n=25, m=16, seed=2)
+        s = schedule_demt(inst, compaction=compaction, shuffle_rounds=0)
+        validate_schedule(s, inst)
+
+    def test_compaction_chain_improves(self):
+        inst = generate_workload("cirne", n=40, m=16, seed=9)
+        shelf = schedule_demt(inst, compaction="shelf", shuffle_rounds=0)
+        pulled = schedule_demt(inst, compaction="pull_forward", shuffle_rounds=0)
+        compact = schedule_demt(inst, compaction="list", shuffle_rounds=0)
+        assert pulled.makespan() <= shelf.makespan() + 1e-9
+        assert compact.weighted_completion_sum() <= shelf.weighted_completion_sum() + 1e-9
+
+
+class TestBatchGeometry:
+    def test_t_grid_doubles(self):
+        inst = generate_workload("mixed", n=20, m=8, seed=4)
+        res = DemtScheduler().schedule_detailed(inst)
+        grid = res.t_grid
+        assert len(grid) == res.K + 2
+        for a, b in zip(grid, grid[1:]):
+            assert b == pytest.approx(2 * a)
+
+    def test_K_matches_paper_formula(self):
+        inst = generate_workload("mixed", n=20, m=8, seed=4)
+        res = DemtScheduler().schedule_detailed(inst)
+        expected = max(0, math.floor(math.log2(res.cmax_estimate / inst.tmin)))
+        assert res.K == expected
+
+    def test_smallest_batch_can_hold_a_task(self):
+        # t_0 >= tmin by construction: some task fits in the first window.
+        inst = generate_workload("highly_parallel", n=15, m=8, seed=6)
+        res = DemtScheduler().schedule_detailed(inst)
+        assert res.t_grid[0] >= inst.tmin - 1e-12
+
+    def test_last_grid_point_is_twice_cstar(self):
+        inst = generate_workload("mixed", n=10, m=8, seed=8)
+        res = DemtScheduler().schedule_detailed(inst)
+        assert res.t_grid[-1] == pytest.approx(2 * res.cmax_estimate)
+
+    def test_batches_partition_tasks(self):
+        inst = generate_workload("cirne", n=35, m=16, seed=10)
+        res = DemtScheduler().schedule_detailed(inst)
+        ids = [
+            task.task_id
+            for batch in res.batches
+            for it in batch
+            for task in (it.stack or (it.task,))
+        ]
+        assert sorted(ids) == list(range(35))
+
+    def test_batch_widths_within_m(self):
+        inst = generate_workload("weakly_parallel", n=40, m=16, seed=12)
+        res = DemtScheduler().schedule_detailed(inst)
+        for batch in res.batches:
+            assert sum(it.allotment for it in batch) <= 16
+
+    def test_batch_items_fit_batch_window(self):
+        inst = generate_workload("mixed", n=30, m=16, seed=13)
+        res = DemtScheduler().schedule_detailed(inst)
+        for start, batch in zip(res.batch_starts, res.batches):
+            for it in batch:
+                assert it.duration <= start + 1e-9  # window length == t_j
+
+
+class TestKnapsackSelectionQuality:
+    def test_prefers_heavy_tasks_early(self):
+        """With everything able to fit in the first batch except capacity,
+        the heaviest tasks must be selected first."""
+        m = 4
+        tasks = [
+            MoldableTask(i, [4.0] * m, weight=w)
+            for i, w in enumerate([10.0, 9.0, 1.0, 0.9, 0.8, 0.7, 0.6, 0.5])
+        ]
+        inst = Instance(tasks, m)
+        res = DemtScheduler(shuffle_rounds=0).schedule_detailed(inst)
+        first_batch_ids = {
+            t.task_id for it in res.batches[0] for t in (it.stack or (it.task,))
+        }
+        assert 0 in first_batch_ids and 1 in first_batch_ids
+
+    def test_small_tasks_get_merged(self):
+        # Many tiny sequential tasks + one large: the tiny ones stack.
+        m = 4
+        tiny = [MoldableTask(i, [0.5] * m, weight=5.0) for i in range(6)]
+        big = MoldableTask(99, [8.0, 4.0, 3.0, 2.0], weight=1.0)
+        inst = Instance(tiny + [big], m)
+        res = DemtScheduler(shuffle_rounds=0).schedule_detailed(inst)
+        stacked = [it for batch in res.batches for it in batch if it.stack]
+        assert any(len(it.stack) > 1 for it in stacked)
+
+
+class TestBicriteriaQuality:
+    def test_minsum_close_to_smith_on_gangable_instance(self):
+        """Linear speedup: the optimal policy is gang in Smith order (§3.1);
+        DEMT must land in the same ballpark."""
+        inst = generate_workload("linear_speedup", n=20, m=8, seed=3)
+        from repro.algorithms.gang import schedule_gang
+
+        demt = schedule_demt(inst)
+        gang = schedule_gang(inst)
+        assert demt.weighted_completion_sum() <= gang.weighted_completion_sum() * 1.6
+
+    def test_makespan_within_2x_of_dual_lb(self):
+        for kind in ("highly_parallel", "mixed", "cirne"):
+            inst = generate_workload(kind, n=60, m=32, seed=14)
+            res = DemtScheduler().schedule_detailed(inst)
+            assert res.schedule.makespan() <= 2.05 * res.dual.lower_bound
+
+    def test_shuffle_never_hurts(self):
+        inst = generate_workload("mixed", n=40, m=16, seed=15)
+        base = schedule_demt(inst, shuffle_rounds=0)
+        shuffled = schedule_demt(inst, shuffle_rounds=20, seed=42)
+        assert shuffled.weighted_completion_sum() <= base.weighted_completion_sum() + 1e-9
+        assert shuffled.makespan() <= base.makespan() + 1e-9
+
+    def test_shuffle_improvement_reported(self):
+        inst = generate_workload("mixed", n=40, m=16, seed=16)
+        res = DemtScheduler(shuffle_rounds=20, seed=1).schedule_detailed(inst)
+        assert res.shuffle_improvement >= 0.0
+
+    @given(
+        n=st.integers(1, 20),
+        m=st.integers(2, 12),
+        seed=st.integers(0, 9999),
+        kind=st.sampled_from(["weakly_parallel", "highly_parallel", "mixed", "cirne"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_always_feasible(self, n, m, seed, kind):
+        inst = generate_workload(kind, n=n, m=m, seed=seed)
+        s = schedule_demt(inst, shuffle_rounds=3)
+        validate_schedule(s, inst)

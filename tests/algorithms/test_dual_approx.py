@@ -1,0 +1,140 @@
+"""Unit + property tests for the Mounié–Trystram dual approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dual_approx import (
+    DualApproxResult,
+    dual_approximation,
+    feasibility_check,
+)
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.core.validation import validate_schedule
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance, make_task
+
+
+class TestFeasibilityCheck:
+    def test_rejects_lambda_below_min_time(self):
+        inst = make_instance(n=2, m=4, seq_time=8.0, speedup="linear")
+        # Fastest possible duration is 2.0 (8/4); lam=1 must be rejected.
+        ok, _, _ = feasibility_check(inst, 1.0)
+        assert not ok
+
+    def test_rejects_lambda_below_area_bound(self):
+        # 4 tasks of constant work 8 on m=2: area bound = 16.
+        inst = make_instance(n=4, m=2, seq_time=8.0, speedup="linear")
+        ok, _, _ = feasibility_check(inst, 10.0)
+        assert not ok
+
+    def test_accepts_generous_lambda(self):
+        inst = make_instance(n=3, m=4, seq_time=8.0)
+        ok, in_big, allot = feasibility_check(inst, 100.0)
+        assert ok
+        assert in_big.shape == (3,) and allot.shape == (3,)
+        assert (allot >= 1).all()
+
+    def test_big_shelf_width_respected(self):
+        inst = make_instance(n=8, m=4, seq_time=8.0, speedup="none")
+        # lam = 8: every task needs the full length on 1 proc -> all big.
+        ok, in_big, allot = feasibility_check(inst, 8.0)
+        if ok:
+            assert allot[in_big].sum() <= 4
+
+    def test_non_positive_lambda(self):
+        inst = make_instance(n=1, m=2)
+        assert not feasibility_check(inst, 0.0)[0]
+        assert not feasibility_check(inst, -1.0)[0]
+
+
+class TestDualApproximation:
+    def test_empty_instance(self):
+        res = dual_approximation(Instance([], 4))
+        assert res.lower_bound == 0.0 and res.makespan == 0.0
+
+    def test_single_task(self):
+        t = MoldableTask(0, [8.0, 4.0, 3.0, 2.5])
+        res = dual_approximation(Instance([t], 4))
+        # Only the task's fastest time bounds from below; the schedule must
+        # be feasible and finish within its sequential time.
+        assert res.lower_bound == pytest.approx(2.5)
+        validate_schedule(res.schedule, Instance([t], 4))
+        assert res.makespan <= 8.0 + 1e-9
+
+    def test_lower_bound_below_accepted_lambda(self):
+        inst = make_instance(n=6, m=4, seq_time=8.0)
+        res = dual_approximation(inst)
+        assert res.lower_bound <= res.lam * (1 + 1e-9)
+
+    def test_schedule_feasible_and_complete(self):
+        inst = make_instance(n=10, m=4, seq_time=6.0, speedup="sqrt")
+        res = dual_approximation(inst)
+        validate_schedule(res.schedule, inst)
+
+    def test_allotments_cover_all_tasks(self):
+        inst = make_instance(n=7, m=8)
+        res = dual_approximation(inst)
+        assert set(res.allotments) == {t.task_id for t in inst}
+        assert all(1 <= k <= 8 for k in res.allotments.values())
+
+    def test_perfect_speedup_lower_bound_tight(self):
+        # n identical linear tasks, work w each: C* = n*w/m exactly.
+        n, m, w = 8, 4, 8.0
+        inst = make_instance(n=n, m=m, seq_time=w, speedup="linear")
+        res = dual_approximation(inst)
+        assert res.lower_bound == pytest.approx(n * w / m)
+
+    def test_sequential_tasks_lower_bound(self):
+        # Tasks with no speedup: LB = max(total/m, longest).
+        inst = make_instance(n=4, m=2, seq_time=6.0, speedup="none")
+        res = dual_approximation(inst)
+        assert res.lower_bound == pytest.approx(max(4 * 6.0 / 2, 6.0))
+
+    def test_big_shelf_ids_subset(self):
+        inst = make_instance(n=9, m=4, seq_time=5.0, speedup="sqrt")
+        res = dual_approximation(inst)
+        assert res.big_shelf <= {t.task_id for t in inst}
+
+    @pytest.mark.parametrize("kind", ["weakly_parallel", "highly_parallel", "mixed", "cirne"])
+    def test_ratio_reasonable_on_paper_workloads(self, kind):
+        inst = generate_workload(kind, n=40, m=32, seed=11)
+        res = dual_approximation(inst)
+        validate_schedule(res.schedule, inst)
+        # Dual approximation targets 3/2; the list construction may add a
+        # little, but it must remain far from the trivial 2x regime.
+        assert res.makespan / res.lower_bound < 2.0
+
+    def test_rel_tol_controls_gap(self):
+        inst = generate_workload("mixed", n=20, m=8, seed=3)
+        tight = dual_approximation(inst, rel_tol=1e-4)
+        loose = dual_approximation(inst, rel_tol=0.3)
+        assert tight.lam <= loose.lam * (1 + 0.3 + 1e-9)
+        assert tight.lower_bound <= tight.lam <= tight.lower_bound * (1 + 1e-3)
+
+    @given(
+        n=st.integers(1, 12),
+        m=st.integers(1, 8),
+        seed=st.integers(0, 9999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_sound_on_random_instances(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        tasks = []
+        for i in range(n):
+            seq = float(rng.uniform(1, 10))
+            profile = seq / np.arange(1, m + 1) ** float(rng.uniform(0, 1))
+            tasks.append(MoldableTask(i, profile, weight=float(rng.uniform(1, 10))))
+        inst = Instance(tasks, m)
+        res = dual_approximation(inst)
+        validate_schedule(res.schedule, inst)
+        # LB never exceeds what an actual schedule achieved.
+        assert res.lower_bound <= res.makespan + 1e-9
+        # LB dominates the two closed-form bounds.
+        assert res.lower_bound >= inst.max_min_time - 1e-9
+        assert res.lower_bound >= inst.min_total_work / m - 1e-9

@@ -1,0 +1,173 @@
+"""Unit + property tests for repro.algorithms.knapsack."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.knapsack import (
+    KnapsackItem,
+    knapsack_min_work,
+    knapsack_select,
+)
+
+
+def brute_force_max_weight(items, m):
+    best = 0.0
+    for mask in itertools.product([0, 1], repeat=len(items)):
+        cost = sum(it.allotment for it, b in zip(items, mask) if b)
+        if cost <= m:
+            best = max(best, sum(it.weight for it, b in zip(items, mask) if b))
+    return best
+
+
+class TestKnapsackItem:
+    def test_invalid_allotment(self):
+        with pytest.raises(ValueError):
+            KnapsackItem("x", 0, 1.0)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            KnapsackItem("x", 1, float("inf"))
+        with pytest.raises(ValueError):
+            KnapsackItem("x", 1, -1.0)
+
+
+class TestKnapsackSelect:
+    def test_paper_example_docstring(self):
+        items = [
+            KnapsackItem("a", 2, 5.0),
+            KnapsackItem("b", 2, 4.0),
+            KnapsackItem("c", 3, 6.0),
+        ]
+        res = knapsack_select(items, m=4)
+        assert sorted(res.selected_keys) == ["a", "b"]
+        assert res.total_weight == pytest.approx(9.0)
+        assert res.used_processors == 4
+
+    def test_empty_items(self):
+        res = knapsack_select([], 5)
+        assert res.total_weight == 0.0 and res.selected == ()
+
+    def test_zero_capacity(self):
+        res = knapsack_select([KnapsackItem("a", 1, 1.0)], 0)
+        assert res.selected == ()
+
+    def test_item_larger_than_capacity_skipped(self):
+        items = [KnapsackItem("big", 10, 100.0), KnapsackItem("ok", 1, 1.0)]
+        res = knapsack_select(items, 5)
+        assert res.selected_keys == ("ok",)
+
+    def test_all_fit(self):
+        items = [KnapsackItem(i, 1, 1.0) for i in range(4)]
+        res = knapsack_select(items, 10)
+        assert len(res.selected) == 4
+        assert res.used_processors == 4
+
+    def test_prefers_fewer_processors_on_ties(self):
+        # Same weight achievable with {a} (2 procs) or {b} (3 procs).
+        items = [KnapsackItem("b", 3, 5.0), KnapsackItem("a", 2, 5.0)]
+        res = knapsack_select(items, 3)
+        assert res.selected_keys == ("a",)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            knapsack_select([], -1)
+
+    def test_weights_sum_consistency(self):
+        items = [KnapsackItem(i, (i % 3) + 1, float(i + 1)) for i in range(8)]
+        res = knapsack_select(items, 6)
+        assert res.total_weight == pytest.approx(
+            sum(it.weight for it in res.selected)
+        )
+        assert res.used_processors == sum(it.allotment for it in res.selected)
+        assert res.used_processors <= 6
+
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(1, 6), st.floats(0.1, 10.0)), min_size=1, max_size=10
+        ),
+        m=st.integers(1, 12),
+    )
+    @settings(max_examples=80)
+    def test_property_optimal_vs_bruteforce(self, data, m):
+        items = [KnapsackItem(i, a, w) for i, (a, w) in enumerate(data)]
+        res = knapsack_select(items, m)
+        assert res.used_processors <= m
+        assert res.total_weight == pytest.approx(brute_force_max_weight(items, m))
+
+
+class TestKnapsackMinWork:
+    def brute(self, work_a, cost_a, work_b, m):
+        n = len(work_a)
+        best = np.inf
+        best_mask = None
+        for mask in itertools.product([0, 1], repeat=n):
+            cost = sum(cost_a[i] for i in range(n) if mask[i])
+            if cost > m:
+                continue
+            w = sum(work_a[i] if mask[i] else work_b[i] for i in range(n))
+            if w < best:
+                best, best_mask = w, mask
+        return best, best_mask
+
+    def test_simple_forced_choice(self):
+        # Task 0 has no option B; task 1 prefers B.
+        work_a = np.array([4.0, 9.0])
+        cost_a = np.array([2.0, 3.0])
+        work_b = np.array([np.inf, 5.0])
+        in_a, total = knapsack_min_work(work_a, cost_a, work_b, m=4)
+        assert in_a[0] and not in_a[1]
+        assert total == pytest.approx(9.0)
+
+    def test_infeasible_when_forced_exceeds_budget(self):
+        work_a = np.array([1.0])
+        cost_a = np.array([5.0])
+        work_b = np.array([np.inf])
+        _, total = knapsack_min_work(work_a, cost_a, work_b, m=4)
+        assert np.isinf(total)
+
+    def test_budget_constrains_choice(self):
+        # Both prefer A (cheaper work) but only one fits.
+        work_a = np.array([1.0, 1.0])
+        cost_a = np.array([3.0, 3.0])
+        work_b = np.array([10.0, 10.0])
+        in_a, total = knapsack_min_work(work_a, cost_a, work_b, m=3)
+        assert in_a.sum() == 1
+        assert total == pytest.approx(11.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            knapsack_min_work(np.ones(2), np.ones(3), np.ones(2), 4)
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(0.5, 20.0),  # work_a
+                st.integers(1, 5),  # cost_a
+                st.floats(0.5, 20.0) | st.just(float("inf")),  # work_b
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        m=st.integers(1, 10),
+    )
+    @settings(max_examples=80)
+    def test_property_matches_bruteforce(self, data, m):
+        work_a = np.array([d[0] for d in data])
+        cost_a = np.array([float(d[1]) for d in data])
+        work_b = np.array([d[2] for d in data])
+        in_a, total = knapsack_min_work(work_a, cost_a, work_b, m)
+        expected, _ = self.brute(work_a, cost_a, work_b, m)
+        if np.isinf(expected):
+            assert np.isinf(total)
+        else:
+            assert total == pytest.approx(expected)
+            # Returned assignment must realise the returned value.
+            realised = float(np.where(in_a, work_a, work_b).sum())
+            assert realised == pytest.approx(total)
+            assert float(cost_a[in_a].sum()) <= m

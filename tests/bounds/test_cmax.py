@@ -1,0 +1,58 @@
+"""Unit tests for repro.bounds.cmax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.dual_approx import dual_approximation
+from repro.bounds.cmax import (
+    area_lower_bound,
+    cmax_lower_bound,
+    critical_path_lower_bound,
+)
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance
+
+
+class TestClosedForms:
+    def test_critical_path(self):
+        a = MoldableTask(0, [8.0, 4.0])
+        b = MoldableTask(1, [10.0, 9.5])
+        inst = Instance([a, b], 2)
+        assert critical_path_lower_bound(inst) == pytest.approx(9.5)
+
+    def test_area(self):
+        inst = make_instance(n=4, m=2, seq_time=6.0, speedup="linear")
+        assert area_lower_bound(inst) == pytest.approx(12.0)
+
+    def test_empty(self):
+        inst = Instance([], 4)
+        assert critical_path_lower_bound(inst) == 0.0
+        assert area_lower_bound(inst) == 0.0
+        assert cmax_lower_bound(inst) == 0.0
+
+
+class TestDualBound:
+    def test_dominates_closed_forms(self):
+        for kind in ("weakly_parallel", "mixed"):
+            inst = generate_workload(kind, n=30, m=16, seed=31)
+            lb = cmax_lower_bound(inst)
+            assert lb >= critical_path_lower_bound(inst) - 1e-9
+            assert lb >= area_lower_bound(inst) - 1e-9
+
+    def test_precomputed_dual_reused(self):
+        inst = generate_workload("cirne", n=20, m=8, seed=32)
+        dual = dual_approximation(inst)
+        assert cmax_lower_bound(inst, dual) == dual.lower_bound
+
+    def test_never_exceeds_any_feasible_makespan(self):
+        from repro.algorithms.registry import PAPER_ALGORITHMS, get_algorithm
+
+        inst = generate_workload("highly_parallel", n=25, m=16, seed=33)
+        lb = cmax_lower_bound(inst)
+        for name in PAPER_ALGORITHMS:
+            s = get_algorithm(name).schedule(inst)
+            assert lb <= s.makespan() + 1e-9

@@ -1,0 +1,79 @@
+"""Unit tests for the exhaustive reference solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.exact import MAX_EXACT_TASKS, exact_reference
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.core.validation import validate_schedule
+from repro.exceptions import ModelError
+
+from tests.conftest import make_instance
+
+
+class TestExactReference:
+    def test_empty(self):
+        res = exact_reference(Instance([], 2))
+        assert res.cmax == 0.0 and res.minsum == 0.0
+
+    def test_single_task_picks_best_allotment(self):
+        t = MoldableTask(0, [6.0, 3.0, 2.5], weight=2.0)
+        res = exact_reference(Instance([t], 3))
+        assert res.cmax == pytest.approx(2.5)
+        assert res.minsum == pytest.approx(5.0)
+
+    def test_two_sequential_tasks_one_machine(self):
+        # Smith's rule: order by w/p. w/p: a: 3/2=1.5, b: 1/4=0.25 -> a first.
+        a = MoldableTask(0, [2.0], weight=3.0)
+        b = MoldableTask(1, [4.0], weight=1.0)
+        res = exact_reference(Instance([a, b], 1))
+        assert res.cmax == pytest.approx(6.0)
+        assert res.minsum == pytest.approx(3 * 2.0 + 1 * 6.0)
+
+    def test_parallelisation_tradeoff(self):
+        # Two linear-speedup tasks on 2 procs: run both sequentially side by
+        # side (Cmax 4) rather than gang them (Cmax 2+2 = 4): equal here,
+        # but minsum prefers ganging the heavy one first.
+        a = MoldableTask(0, [4.0, 2.0], weight=10.0)
+        b = MoldableTask(1, [4.0, 2.0], weight=1.0)
+        res = exact_reference(Instance([a, b], 2))
+        assert res.cmax == pytest.approx(4.0)
+        # Gang order a,b: 10*2 + 1*4 = 24; side-by-side: 10*4 + 1*4 = 44.
+        assert res.minsum == pytest.approx(24.0)
+
+    def test_schedules_are_feasible(self):
+        inst = make_instance(n=4, m=3, seq_time=5.0, speedup="sqrt")
+        res = exact_reference(inst)
+        validate_schedule(res.cmax_schedule, inst)
+        validate_schedule(res.minsum_schedule, inst)
+        assert res.cmax_schedule.makespan() == pytest.approx(res.cmax)
+        assert res.minsum_schedule.weighted_completion_sum() == pytest.approx(res.minsum)
+
+    def test_size_cap(self):
+        inst = make_instance(n=MAX_EXACT_TASKS + 1, m=2)
+        with pytest.raises(ModelError):
+            exact_reference(inst)
+
+    def test_heuristics_never_beat_exact(self):
+        from repro.algorithms.demt import schedule_demt
+        from repro.algorithms.gang import schedule_gang
+
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            tasks = [
+                MoldableTask(
+                    i,
+                    float(rng.uniform(1, 8))
+                    / np.arange(1, 4) ** float(rng.uniform(0, 1)),
+                    weight=float(rng.uniform(1, 5)),
+                )
+                for i in range(4)
+            ]
+            inst = Instance(tasks, 3)
+            res = exact_reference(inst)
+            assert schedule_demt(inst).makespan() >= res.cmax - 1e-9
+            assert schedule_demt(inst).weighted_completion_sum() >= res.minsum - 1e-9
+            assert schedule_gang(inst).weighted_completion_sum() >= res.minsum - 1e-9

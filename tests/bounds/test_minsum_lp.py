@@ -1,0 +1,137 @@
+"""Unit + property tests for the LP-relaxation minsum lower bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.demt import schedule_demt
+from repro.algorithms.dual_approx import dual_approximation
+from repro.bounds.minsum_lp import build_time_grid, minsum_lower_bound
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance
+
+
+class TestTimeGrid:
+    def test_doubles_and_ends_at_twice_estimate(self):
+        inst = make_instance(n=4, m=4, seq_time=8.0)
+        grid = build_time_grid(inst, cmax_estimate=10.0)
+        assert grid[-1] == pytest.approx(20.0)
+        for a, b in zip(grid, grid[1:]):
+            assert b == pytest.approx(2 * a)
+
+    def test_first_point_at_least_tmin(self):
+        inst = make_instance(n=4, m=4, seq_time=8.0)
+        grid = build_time_grid(inst, cmax_estimate=13.7)
+        assert grid[0] >= inst.tmin - 1e-12
+
+    def test_invalid_estimate(self):
+        inst = make_instance(n=1, m=2)
+        with pytest.raises(ValueError):
+            build_time_grid(inst, 0.0)
+
+
+class TestMinsumBound:
+    def test_empty_instance(self):
+        res = minsum_lower_bound(Instance([], 4), cmax_estimate=1.0)
+        assert res.value == 0.0
+
+    def test_single_task_bound_positive_and_valid(self):
+        t = MoldableTask(0, [4.0, 2.5], weight=3.0)
+        inst = Instance([t], 2)
+        res = minsum_lower_bound(inst)
+        # Optimal completion is 2.5 -> minsum 7.5; bound must not exceed it
+        # and should be positive (the task cannot finish before 1.25).
+        assert 0.0 < res.value <= 7.5 + 1e-9
+
+    def test_bound_below_every_algorithm(self):
+        from repro.algorithms.registry import PAPER_ALGORITHMS, get_algorithm
+
+        inst = generate_workload("mixed", n=30, m=16, seed=41)
+        dual = dual_approximation(inst)
+        lb = minsum_lower_bound(inst, dual.lam).value
+        for name in PAPER_ALGORITHMS:
+            s = get_algorithm(name).schedule(inst)
+            assert lb <= s.weighted_completion_sum() + 1e-6, name
+
+    def test_relaxation_weaker_than_ilp(self):
+        """§3.3: the relaxed bound 'might be weaker, but is much faster'."""
+        inst = generate_workload("cirne", n=10, m=4, seed=42)
+        lam = dual_approximation(inst).lam
+        lp = minsum_lower_bound(inst, lam, integral=False)
+        ilp = minsum_lower_bound(inst, lam, integral=True)
+        assert lp.value <= ilp.value + 1e-6
+        assert ilp.integral and not lp.integral
+
+    def test_x_rows_cover_each_task(self):
+        inst = generate_workload("highly_parallel", n=12, m=8, seed=43)
+        res = minsum_lower_bound(inst)
+        assert res.x.shape[0] == 12
+        assert (res.x.sum(axis=1) >= 1 - 1e-6).all()
+
+    def test_boundaries_start_at_zero(self):
+        inst = generate_workload("mixed", n=8, m=4, seed=44)
+        res = minsum_lower_bound(inst)
+        assert res.boundaries[0] == 0.0
+        assert (np.diff(res.boundaries) > 0).all()
+
+    def test_weights_scale_bound(self):
+        base = generate_workload("mixed", n=10, m=4, seed=45)
+        lam = dual_approximation(base).lam
+        doubled = Instance(
+            [MoldableTask(t.task_id, t.times, weight=2 * t.weight) for t in base],
+            base.m,
+        )
+        a = minsum_lower_bound(base, lam).value
+        b = minsum_lower_bound(doubled, lam).value
+        assert b == pytest.approx(2 * a, rel=1e-6)
+
+    def test_bound_grows_with_load(self):
+        small = generate_workload("cirne", n=10, m=8, seed=46)
+        big = generate_workload("cirne", n=40, m=8, seed=46)
+        assert minsum_lower_bound(big).value > minsum_lower_bound(small).value
+
+    @given(seed=st.integers(0, 9999), n=st.integers(1, 5), m=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_lower_bounds_exact_optimum(self, seed, n, m):
+        """The heart of §3.3: LP value <= optimal minsum (verified against
+        the exhaustive solver on tiny instances)."""
+        from repro.bounds.exact import exact_reference
+
+        rng = np.random.default_rng(seed)
+        tasks = []
+        for i in range(n):
+            seq = float(rng.uniform(1, 10))
+            alpha = float(rng.uniform(0, 1))
+            times = seq / np.arange(1, m + 1) ** alpha
+            tasks.append(MoldableTask(i, times, weight=float(rng.uniform(1, 10))))
+        inst = Instance(tasks, m)
+        exact = exact_reference(inst)
+        lb = minsum_lower_bound(inst).value
+        assert lb <= exact.minsum + 1e-6
+        # Sanity: the bound is not trivially zero on non-trivial instances.
+        assert lb > 0.0
+
+    @given(seed=st.integers(0, 9999))
+    @settings(max_examples=10, deadline=None)
+    def test_property_ilp_also_below_optimum(self, seed):
+        from repro.bounds.exact import exact_reference
+
+        rng = np.random.default_rng(seed)
+        tasks = [
+            MoldableTask(
+                i,
+                float(rng.uniform(1, 8)) / np.arange(1, 4) ** float(rng.uniform(0, 1)),
+                weight=float(rng.uniform(1, 5)),
+            )
+            for i in range(4)
+        ]
+        inst = Instance(tasks, 3)
+        exact = exact_reference(inst)
+        ilp = minsum_lower_bound(inst, integral=True).value
+        assert ilp <= exact.minsum + 1e-6

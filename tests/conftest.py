@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+
+
+def make_task(
+    task_id: int,
+    seq_time: float,
+    m: int = 8,
+    speedup: str = "linear",
+    weight: float = 1.0,
+) -> MoldableTask:
+    """Build a simple monotonic moldable task for tests.
+
+    ``speedup``:
+      * ``"linear"`` — perfect speedup ``p(k) = p1/k`` (constant work);
+      * ``"none"`` — no speedup ``p(k) = p1`` (work grows linearly);
+      * ``"sqrt"`` — intermediate ``p(k) = p1/sqrt(k)``.
+    """
+    ks = np.arange(1, m + 1, dtype=np.float64)
+    if speedup == "linear":
+        times = seq_time / ks
+    elif speedup == "none":
+        times = np.full(m, seq_time)
+    elif speedup == "sqrt":
+        times = seq_time / np.sqrt(ks)
+    else:  # pragma: no cover - defensive
+        raise ValueError(speedup)
+    return MoldableTask(task_id, times, weight=weight)
+
+
+def make_instance(
+    n: int = 5,
+    m: int = 8,
+    seq_time: float = 10.0,
+    speedup: str = "linear",
+    weights: list[float] | None = None,
+) -> Instance:
+    """A small, fully regular instance for algorithm smoke tests."""
+    tasks = [
+        make_task(i, seq_time, m=m, speedup=speedup, weight=(weights[i] if weights else 1.0))
+        for i in range(n)
+    ]
+    return Instance(tasks, m)
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """3 tasks, 4 processors, mixed speedups — a hand-checkable instance."""
+    t0 = MoldableTask(0, [4.0, 2.0, 1.5, 1.2], weight=2.0)
+    t1 = MoldableTask(1, [6.0, 3.5, 2.5, 2.0], weight=1.0)
+    t2 = MoldableTask(2, [2.0, 2.0, 2.0, 2.0], weight=3.0)
+    return Instance([t0, t1, t2], 4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.allotment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allotment import (
+    minimal_allotment,
+    minimal_allotments,
+    minimal_area_allotment,
+    minimal_area_allotments,
+)
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+
+
+class TestMinimalAllotment:
+    def test_exact_boundary_included(self):
+        t = MoldableTask(0, [10.0, 6.0, 4.5])
+        assert minimal_allotment(t, 6.0) == 2
+
+    def test_smallest_k_chosen(self):
+        t = MoldableTask(0, [10.0, 6.0, 4.5])
+        assert minimal_allotment(t, 100.0) == 1
+
+    def test_none_when_impossible(self):
+        t = MoldableTask(0, [10.0, 6.0])
+        assert minimal_allotment(t, 1.0) is None
+
+    def test_m_limit_respected(self):
+        t = MoldableTask(0, [10.0, 6.0, 4.5])
+        assert minimal_allotment(t, 5.0, m=2) is None
+        assert minimal_allotment(t, 5.0, m=3) == 3
+
+    def test_skips_infinite_entries(self):
+        t = MoldableTask(0, [np.inf, 3.0])
+        assert minimal_allotment(t, 4.0) == 2
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        tasks = [
+            MoldableTask(0, [10.0, 6.0, 4.5, 4.0]),
+            MoldableTask(1, [2.0, 1.5, 1.2, 1.0]),
+            MoldableTask(2, [50.0, 30.0, 20.0, 15.0]),
+        ]
+        inst = Instance(tasks, 4)
+        for deadline in (1.0, 2.0, 4.5, 6.0, 100.0):
+            vec = minimal_allotments(inst.times_matrix, deadline)
+            for i, t in enumerate(tasks):
+                scalar = minimal_allotment(t, deadline, m=4)
+                assert vec[i] == (0 if scalar is None else scalar)
+
+    @given(
+        times=st.lists(
+            st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=3, max_size=3),
+            min_size=1,
+            max_size=8,
+        ),
+        deadline=st.floats(min_value=0.1, max_value=60.0),
+    )
+    @settings(max_examples=60)
+    def test_property_vector_equals_scalar(self, times, deadline):
+        tasks = [MoldableTask(i, sorted(ts, reverse=True)) for i, ts in enumerate(times)]
+        inst = Instance(tasks, 3)
+        vec = minimal_allotments(inst.times_matrix, deadline)
+        for i, t in enumerate(tasks):
+            scalar = minimal_allotment(t, deadline, m=3)
+            assert vec[i] == (0 if scalar is None else scalar)
+
+
+class TestMinimalArea:
+    def test_monotonic_task_minimal_area_is_minimal_allotment(self):
+        t = MoldableTask(0, [10.0, 6.0, 4.5])  # works 10, 12, 13.5
+        k, area = minimal_area_allotment(t, 6.0)
+        assert k == 2 and area == pytest.approx(12.0)
+
+    def test_non_monotonic_picks_cheaper_larger_allotment(self):
+        # p = [10, 2]: works 10 vs 4 -> with deadline 10, k=2 is cheaper.
+        t = MoldableTask(0, [10.0, 2.0])
+        k, area = minimal_area_allotment(t, 10.0)
+        assert k == 2 and area == pytest.approx(4.0)
+
+    def test_none_when_impossible(self):
+        t = MoldableTask(0, [10.0])
+        assert minimal_area_allotment(t, 5.0) is None
+
+    def test_vectorised_matches_scalar(self):
+        tasks = [
+            MoldableTask(0, [10.0, 6.0, 4.5]),
+            MoldableTask(1, [3.0, 3.0, 3.0]),
+            MoldableTask(2, [9.0, 4.0, 3.5]),
+        ]
+        inst = Instance(tasks, 3)
+        for deadline in (2.0, 3.0, 4.5, 9.0, 20.0):
+            vec = minimal_area_allotments(inst.times_matrix, deadline)
+            for i, t in enumerate(tasks):
+                scalar = minimal_area_allotment(t, deadline, m=3)
+                if scalar is None:
+                    assert np.isinf(vec[i])
+                else:
+                    assert vec[i] == pytest.approx(scalar[1])
+
+    def test_infinite_when_nothing_fits(self):
+        inst = Instance([MoldableTask(0, [10.0, 8.0])], 2)
+        vec = minimal_area_allotments(inst.times_matrix, 1.0)
+        assert np.isinf(vec[0])

@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.instance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask, rigid_task
+from repro.exceptions import InvalidInstanceError
+
+from tests.conftest import make_instance, make_task
+
+
+class TestConstruction:
+    def test_basic(self):
+        inst = make_instance(n=3, m=4)
+        assert inst.n == 3 and inst.m == 4
+        assert len(inst) == 3
+
+    def test_iteration_preserves_order(self):
+        inst = make_instance(n=5, m=4)
+        assert [t.task_id for t in inst] == [0, 1, 2, 3, 4]
+
+    def test_duplicate_ids_rejected(self):
+        t = MoldableTask(0, [1.0])
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            Instance([t, MoldableTask(0, [2.0])], 2)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([MoldableTask(0, [1.0])], 0)
+
+    def test_task_infeasible_within_m_rejected(self):
+        # Rigid task on 4 procs, machine has only 2.
+        t = rigid_task(0, procs=4, time=1.0)
+        with pytest.raises(InvalidInstanceError, match="no feasible allotment"):
+            Instance([t], 2)
+
+    def test_empty_instance_allowed(self):
+        inst = Instance([], 4)
+        assert inst.n == 0
+
+    def test_getitem_and_lookup(self):
+        inst = make_instance(n=3, m=2)
+        assert inst[1].task_id == 1
+        assert inst.task_by_id(2).task_id == 2
+        with pytest.raises(KeyError):
+            inst.task_by_id(99)
+
+
+class TestDerived:
+    def test_times_matrix_shape_and_padding(self):
+        short = MoldableTask(0, [4.0, 2.0])  # shorter than m
+        inst = Instance([short], 4)
+        tm = inst.times_matrix
+        assert tm.shape == (1, 4)
+        assert tm[0, 0] == 4.0 and tm[0, 1] == 2.0
+        assert np.isinf(tm[0, 2]) and np.isinf(tm[0, 3])
+
+    def test_times_matrix_truncation(self):
+        long = MoldableTask(0, [4.0, 2.0, 1.0, 0.5])
+        inst = Instance([long], 2)
+        assert inst.times_matrix.shape == (1, 2)
+
+    def test_weights_vector(self):
+        inst = Instance(
+            [MoldableTask(0, [1.0], weight=2.0), MoldableTask(1, [1.0], weight=5.0)], 2
+        )
+        assert np.allclose(inst.weights, [2.0, 5.0])
+
+    def test_tmin(self):
+        inst = make_instance(n=2, m=4, seq_time=8.0, speedup="linear")
+        assert inst.tmin == pytest.approx(2.0)  # 8/4
+
+    def test_max_min_time(self):
+        a = MoldableTask(0, [8.0, 4.0])
+        b = MoldableTask(1, [10.0, 10.0])
+        inst = Instance([a, b], 2)
+        assert inst.max_min_time == 10.0
+
+    def test_min_total_work_linear_speedup(self):
+        # Perfect speedup: minimal work = sequential work for each task.
+        inst = make_instance(n=3, m=4, seq_time=8.0, speedup="linear")
+        assert inst.min_total_work == pytest.approx(3 * 8.0)
+
+    def test_is_offline(self):
+        inst = make_instance(n=2)
+        assert inst.is_offline()
+        t = MoldableTask(0, [1.0], release=3.0)
+        assert not Instance([t], 1).is_offline()
+        assert Instance([t], 1).max_release == 3.0
+
+
+class TestRestrict:
+    def test_restrict_keeps_machine_and_ids(self):
+        inst = make_instance(n=5, m=8)
+        sub = inst.restrict([1, 3])
+        assert sub.m == 8
+        assert sorted(t.task_id for t in sub) == [1, 3]
+
+    def test_restrict_missing_id_raises(self):
+        inst = make_instance(n=3)
+        with pytest.raises(KeyError):
+            inst.restrict([0, 42])
+
+    def test_restrict_empty(self):
+        inst = make_instance(n=3)
+        assert inst.restrict([]).n == 0

@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import metrics
+from repro.core.schedule import Schedule
+from repro.core.task import MoldableTask
+
+from tests.conftest import make_task
+
+
+@pytest.fixture
+def sched() -> Schedule:
+    s = Schedule(m=4)
+    s.add(make_task(0, 8.0, m=4, weight=1.0), 0.0, 2)  # p=4, C=4, work 8
+    s.add(make_task(1, 6.0, m=4, weight=2.0), 0.0, 2)  # p=3, C=3, work 6
+    return s
+
+
+def test_makespan(sched):
+    assert metrics.makespan(sched) == pytest.approx(4.0)
+
+
+def test_completion_sum(sched):
+    assert metrics.completion_sum(sched) == pytest.approx(7.0)
+
+
+def test_weighted_completion_sum(sched):
+    assert metrics.weighted_completion_sum(sched) == pytest.approx(4.0 + 6.0)
+
+
+def test_total_work(sched):
+    assert metrics.total_work(sched) == pytest.approx(14.0)
+
+
+def test_utilization(sched):
+    # Busy area 14 over m*Cmax = 16.
+    assert metrics.utilization(sched) == pytest.approx(14.0 / 16.0)
+
+
+def test_utilization_empty():
+    assert metrics.utilization(Schedule(m=2)) == 0.0
+
+
+def test_max_stretch():
+    s = Schedule(m=2)
+    t = MoldableTask(0, [4.0, 2.0])
+    s.add(t, 2.0, 2)  # C = 4, min_time = 2 -> stretch 2
+    assert metrics.max_stretch(s) == pytest.approx(2.0)
+
+
+def test_max_stretch_accounts_release():
+    s = Schedule(m=2)
+    t = MoldableTask(0, [4.0, 2.0], release=2.0)
+    s.add(t, 2.0, 2)  # flow = 2, min_time 2 -> stretch 1
+    assert metrics.max_stretch(s) == pytest.approx(1.0)
+
+
+def test_mean_weighted_flow(sched):
+    # (1*4 + 2*3) / 2
+    assert metrics.mean_weighted_flow(sched) == pytest.approx(5.0)
+
+
+def test_mean_weighted_flow_empty():
+    assert metrics.mean_weighted_flow(Schedule(m=1)) == 0.0

@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule, ScheduledTask
+from repro.core.task import MoldableTask
+from repro.exceptions import InvalidScheduleError
+
+from tests.conftest import make_task
+
+
+def two_task_schedule() -> Schedule:
+    s = Schedule(m=4)
+    s.add(make_task(0, 8.0, m=4), start=0.0, allotment=2)  # ends at 4
+    s.add(make_task(1, 6.0, m=4, weight=2.0), start=4.0, allotment=3)  # ends at 6
+    return s
+
+
+class TestScheduledTask:
+    def test_derived_fields(self):
+        t = MoldableTask(0, [8.0, 5.0])
+        p = ScheduledTask(t, start=2.0, allotment=2)
+        assert p.duration == 5.0
+        assert p.end == 7.0
+        assert p.work == 10.0
+
+
+class TestConstruction:
+    def test_add_and_len(self):
+        s = two_task_schedule()
+        assert len(s) == 2
+        assert 0 in s and 1 in s and 2 not in s
+
+    def test_getitem(self):
+        s = two_task_schedule()
+        assert s[0].allotment == 2
+        with pytest.raises(KeyError):
+            s[42]
+
+    def test_duplicate_rejected(self):
+        s = two_task_schedule()
+        with pytest.raises(InvalidScheduleError, match="twice"):
+            s.add(make_task(0, 1.0, m=4), 0.0, 1)
+
+    def test_allotment_out_of_range_rejected(self):
+        s = Schedule(m=2)
+        with pytest.raises(InvalidScheduleError):
+            s.add(make_task(0, 1.0, m=2), 0.0, 3)
+        with pytest.raises(InvalidScheduleError):
+            s.add(make_task(0, 1.0, m=2), 0.0, 0)
+
+    def test_forbidden_allotment_rejected(self):
+        t = MoldableTask(0, [np.inf, 2.0])
+        s = Schedule(m=2)
+        with pytest.raises(InvalidScheduleError, match="forbidden"):
+            s.add(t, 0.0, 1)
+
+    def test_negative_start_rejected(self):
+        s = Schedule(m=2)
+        with pytest.raises(InvalidScheduleError):
+            s.add(make_task(0, 1.0, m=2), -0.1, 1)
+
+    def test_zero_processor_machine_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(m=0)
+
+    def test_init_with_placements(self):
+        t = make_task(0, 4.0, m=2)
+        s = Schedule(2, [ScheduledTask(t, 0.0, 1)])
+        assert len(s) == 1
+
+    def test_extend(self):
+        t0 = make_task(0, 4.0, m=2)
+        t1 = make_task(1, 4.0, m=2)
+        s = Schedule(2)
+        s.extend([ScheduledTask(t0, 0.0, 1), ScheduledTask(t1, 0.0, 1)])
+        assert len(s) == 2
+
+
+class TestCriteria:
+    def test_makespan(self):
+        assert two_task_schedule().makespan() == pytest.approx(6.0)
+
+    def test_empty_makespan(self):
+        assert Schedule(m=2).makespan() == 0.0
+
+    def test_weighted_completion_sum(self):
+        # C0 = 4 (w=1), C1 = 6 (w=2) -> 4 + 12 = 16.
+        assert two_task_schedule().weighted_completion_sum() == pytest.approx(16.0)
+
+    def test_completion_times(self):
+        ct = two_task_schedule().completion_times()
+        assert ct[0] == pytest.approx(4.0)
+        assert ct[1] == pytest.approx(6.0)
+
+
+class TestUsage:
+    def test_max_usage_sequentialised(self):
+        assert two_task_schedule().max_usage() == 3
+
+    def test_max_usage_overlap(self):
+        s = Schedule(m=4)
+        s.add(make_task(0, 8.0, m=4), 0.0, 2)
+        s.add(make_task(1, 8.0, m=4), 1.0, 2)
+        assert s.max_usage() == 4
+
+    def test_empty_usage(self):
+        assert Schedule(m=2).max_usage() == 0
+
+    def test_usage_profile_steps(self):
+        s = Schedule(m=4)
+        s.add(make_task(0, 4.0, m=4), 0.0, 1)  # [0, 4) uses 1
+        s.add(make_task(1, 4.0, m=4), 2.0, 2)  # [2, 4) adds 2 -> wait: 4/2=2, ends at 4
+        profile = s.usage_profile()
+        # Timeline 0, 2, 4: usage after events at 0 is 1, after 2 is 3, after 4 is 0.
+        assert list(profile) == [1, 3, 0]
+
+
+class TestProcessorAssignment:
+    def test_assignment_valid(self):
+        s = Schedule(m=4)
+        s.add(make_task(0, 8.0, m=4), 0.0, 2)
+        s.add(make_task(1, 8.0, m=4), 1.0, 2)
+        asg = s.assign_processors()
+        assert sorted(asg[0] + asg[1]) == [0, 1, 2, 3]
+
+    def test_assignment_reuses_freed_processors(self):
+        s = Schedule(m=2)
+        s.add(make_task(0, 2.0, m=2), 0.0, 2)  # ends at 1
+        s.add(make_task(1, 2.0, m=2), 1.0, 2)
+        asg = s.assign_processors()
+        assert set(asg[0]) == set(asg[1]) == {0, 1}
+
+    def test_oversubscription_detected(self):
+        s = Schedule(m=2)
+        s.add(make_task(0, 4.0, m=2), 0.0, 2)
+        s.add(make_task(1, 4.0, m=2), 1.0, 1)  # overlaps: 3 > 2
+        with pytest.raises(InvalidScheduleError, match="over-subscribes"):
+            s.assign_processors()
+
+    def test_assignment_counts_match_allotments(self):
+        s = two_task_schedule()
+        asg = s.assign_processors()
+        assert len(asg[0]) == 2 and len(asg[1]) == 3

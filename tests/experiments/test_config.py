@@ -1,0 +1,52 @@
+"""Unit tests for experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SCALES, ExperimentConfig, resolve_scale
+
+
+class TestExperimentConfig:
+    def test_paper_defaults_match_section_4_1(self):
+        cfg = ExperimentConfig()
+        assert cfg.m == 200
+        assert cfg.task_counts[0] == 25 and cfg.task_counts[-1] == 400
+        assert cfg.runs == 40
+        assert "DEMT" in cfg.algorithms and len(cfg.algorithms) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(m=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(runs=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(task_counts=())
+
+    def test_scaled_override(self):
+        cfg = ExperimentConfig().scaled(runs=3, m=8)
+        assert cfg.runs == 3 and cfg.m == 8
+        assert cfg.task_counts == ExperimentConfig().task_counts
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExperimentConfig().m = 5  # type: ignore[misc]
+
+
+class TestResolveScale:
+    def test_named_scales(self):
+        assert resolve_scale("paper").m == 200
+        assert resolve_scale("quick").m < 200
+        assert resolve_scale("smoke").runs <= resolve_scale("quick").runs
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert resolve_scale() == SCALES["smoke"]
+
+    def test_env_fallback_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale() == SCALES["quick"]
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            resolve_scale("giant")

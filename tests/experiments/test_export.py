@@ -1,0 +1,70 @@
+"""Round-trip tests for campaign export."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import (
+    campaign_from_json,
+    campaign_to_csv,
+    campaign_to_json,
+)
+from repro.experiments.runner import run_campaign
+
+TINY = ExperimentConfig(m=8, task_counts=(5, 8), runs=2, seed=13)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign("cirne", TINY)
+
+
+class TestCsv:
+    def test_rows_and_header(self, campaign):
+        text = campaign_to_csv(campaign)
+        rows = list(csv.reader(io.StringIO(text)))
+        header, body = rows[0], rows[1:]
+        assert header[0] == "workload" and "criterion" in header
+        # 2 points x 6 algorithms x 2 criteria.
+        assert len(body) == 2 * len(TINY.algorithms) * 2
+
+    def test_values_parse_as_floats(self, campaign):
+        text = campaign_to_csv(campaign)
+        for row in list(csv.reader(io.StringIO(text)))[1:]:
+            assert float(row[4]) >= 1.0 - 1e-9  # average ratio
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self, campaign):
+        back = campaign_from_json(campaign_to_json(campaign))
+        assert back.workload == campaign.workload
+        assert back.config == campaign.config
+        assert len(back.points) == len(campaign.points)
+        for a, b in zip(campaign.points, back.points):
+            assert a.n == b.n
+            assert a.cmax_bounds == b.cmax_bounds
+            for sa, sb in zip(a.stats, b.stats):
+                assert sa == sb
+
+    def test_series_work_after_roundtrip(self, campaign):
+        back = campaign_from_json(campaign_to_json(campaign))
+        assert back.series("DEMT", "minsum") == campaign.series("DEMT", "minsum")
+
+    def test_format_validation(self):
+        with pytest.raises(ValueError, match="not a campaign"):
+            campaign_from_json('{"format": "x", "version": 1}')
+
+    def test_version_validation(self, campaign):
+        import json
+
+        doc = json.loads(campaign_to_json(campaign))
+        doc["version"] = 42
+        with pytest.raises(ValueError, match="version"):
+            campaign_from_json(json.dumps(doc))
+
+    def test_pretty_indent(self, campaign):
+        assert "\n" in campaign_to_json(campaign, indent=2)

@@ -1,0 +1,65 @@
+"""Unit tests for reporting and the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import (
+    format_campaign_charts,
+    format_campaign_table,
+    format_point_rows,
+    format_timing_table,
+)
+from repro.experiments.runner import run_campaign
+from repro.utils.ascii_plot import ascii_chart
+
+TINY = ExperimentConfig(m=8, task_counts=(5,), runs=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign("cirne", TINY)
+
+
+class TestTables:
+    def test_campaign_table_mentions_everything(self, campaign):
+        table = format_campaign_table(campaign)
+        for name in TINY.algorithms:
+            assert name in table
+        assert "cirne" in table and "m=8" in table
+
+    def test_point_rows_counts(self, campaign):
+        rows = format_point_rows(campaign, "cmax")
+        assert len(rows) == len(TINY.algorithms)
+
+    def test_timing_table(self):
+        timings = {"cirne": [(25, 0.01), (50, 0.02)], "mixed": [(25, 0.015)]}
+        out = format_timing_table(timings)
+        assert "cirne" in out and "mixed" in out and "25" in out
+        assert "nan" in out  # missing (mixed, 50) cell
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            {"A": [(0, 1.0), (10, 2.0)], "B": [(0, 2.0), (10, 1.0)]},
+            title="demo",
+        )
+        assert "demo" in out
+        assert "o = A" in out and "x = B" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"A": []})
+
+    def test_degenerate_single_point(self):
+        out = ascii_chart({"A": [(1.0, 1.0)]})
+        assert "o = A" in out
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"A": [(0, 0)]}, width=4, height=2)
+
+    def test_campaign_charts_render(self, campaign):
+        out = format_campaign_charts(campaign)
+        assert "Cmax ratio" in out and "sum w_i C_i ratio" in out

@@ -1,0 +1,90 @@
+"""Unit tests for the FCFS / EASY-backfilling baseline (§1.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.core.validation import validate_schedule
+from repro.extensions.fcfs import FcfsBackfillScheduler, rigidify
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance, make_task
+
+
+class TestRigidify:
+    def test_allotments_feasible(self):
+        inst = generate_workload("cirne", n=20, m=16, seed=71)
+        allot = rigidify(inst)
+        for t in inst:
+            k = allot[t.task_id]
+            assert 1 <= k <= 16
+            # Meets the slack-deadline by construction.
+            assert t.p(k) <= 2.0 * t.min_time + 1e-9
+
+    def test_sequential_tasks_get_one_proc(self):
+        inst = make_instance(n=3, m=8, seq_time=4.0, speedup="none")
+        allot = rigidify(inst)
+        assert all(k == 1 for k in allot.values())
+
+    def test_invalid_slack(self):
+        inst = make_instance(n=1, m=2)
+        with pytest.raises(ValueError):
+            rigidify(inst, slack=0.5)
+
+
+class TestFcfs:
+    def test_pure_fcfs_start_order_matches_submission(self):
+        inst = make_instance(n=6, m=2, seq_time=3.0, speedup="none")
+        s = FcfsBackfillScheduler(backfill=False).schedule(inst)
+        validate_schedule(s, inst)
+        starts = [s[i].start for i in range(6)]
+        assert starts == sorted(starts)  # ids are submission order
+
+    def test_feasible_on_paper_workloads(self):
+        for kind in ("weakly_parallel", "cirne"):
+            inst = generate_workload(kind, n=30, m=16, seed=72)
+            for backfill in (False, True):
+                s = FcfsBackfillScheduler(backfill=backfill).schedule(inst)
+                validate_schedule(s, inst)
+
+    def test_backfill_never_delays_head(self):
+        # Head (wide) job's start with EASY equals its start without.
+        wide = MoldableTask(0, [8.0] * 4)
+        tail = [MoldableTask(i, [2.0] * 4) for i in range(1, 5)]
+        # Make the machine busy so the wide job queues: a long narrow job first.
+        first = MoldableTask(9, [10.0] * 4)
+        inst = Instance([first, wide, *tail], 4)
+        plain = FcfsBackfillScheduler(backfill=False).schedule(inst)
+        easy = FcfsBackfillScheduler(backfill=True).schedule(inst)
+        assert easy[0].start <= plain[0].start + 1e-9
+
+    def test_backfill_improves_utilisation(self):
+        # FCFS head-of-line blocking: narrow jobs behind a wide one.
+        # EASY should finish no later (usually earlier).
+        inst = generate_workload("mixed", n=40, m=16, seed=73)
+        plain = FcfsBackfillScheduler(backfill=False).schedule(inst)
+        easy = FcfsBackfillScheduler(backfill=True).schedule(inst)
+        validate_schedule(easy, inst)
+        assert easy.makespan() <= plain.makespan() * 1.05
+
+    def test_names(self):
+        assert FcfsBackfillScheduler(backfill=True).name == "FCFS+EASY"
+        assert FcfsBackfillScheduler(backfill=False).name == "FCFS"
+
+    def test_empty(self):
+        s = FcfsBackfillScheduler().schedule(Instance([], 4))
+        assert len(s) == 0
+
+    def test_demt_beats_fcfs_on_minsum(self):
+        """The paper's motivation: moldability + smart selection beats the
+        production FCFS queue on the user criterion."""
+        from repro.algorithms.demt import schedule_demt
+
+        inst = generate_workload("cirne", n=60, m=32, seed=74)
+        demt = schedule_demt(inst)
+        fcfs = FcfsBackfillScheduler(backfill=True).schedule(inst)
+        assert (
+            demt.weighted_completion_sum() <= fcfs.weighted_completion_sum() * 1.05
+        )

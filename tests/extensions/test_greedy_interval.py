@@ -1,0 +1,46 @@
+"""Tests for the GreedyInterval structural ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.demt import schedule_demt
+from repro.algorithms.registry import get_algorithm
+from repro.core.validation import validate_schedule
+from repro.extensions.greedy_interval import GreedyIntervalScheduler
+from repro.workloads.generator import generate_workload
+
+
+class TestGreedyInterval:
+    def test_feasible(self):
+        inst = generate_workload("cirne", n=30, m=16, seed=81)
+        s = GreedyIntervalScheduler().schedule(inst)
+        validate_schedule(s, inst)
+
+    def test_registered(self):
+        algo = get_algorithm("GreedyInterval")
+        assert algo.name == "GreedyInterval"
+
+    def test_demt_refinements_pay_off(self):
+        """DEMT == GreedyInterval + merge + compaction + shuffle; the
+        refinements must improve both criteria in aggregate."""
+        demt_minsum = demt_cmax = plain_minsum = plain_cmax = 0.0
+        for seed in range(4):
+            inst = generate_workload("cirne", n=40, m=16, seed=seed)
+            demt = schedule_demt(inst)
+            plain = GreedyIntervalScheduler().schedule(inst)
+            demt_minsum += demt.weighted_completion_sum()
+            demt_cmax += demt.makespan()
+            plain_minsum += plain.weighted_completion_sum()
+            plain_cmax += plain.makespan()
+        assert demt_minsum < plain_minsum
+        assert demt_cmax < plain_cmax
+
+    def test_shelf_structure(self):
+        """Without compaction, every start time sits on the batch grid."""
+        inst = generate_workload("highly_parallel", n=15, m=8, seed=82)
+        scheduler = GreedyIntervalScheduler()
+        detailed = scheduler.schedule_detailed(inst)
+        grid_starts = set(detailed.batch_starts)
+        for p in detailed.schedule:
+            assert any(abs(p.start - g) < 1e-9 or p.start >= g for g in grid_starts)

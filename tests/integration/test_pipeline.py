@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the whole library.
+
+These tests cross module boundaries on purpose: workloads -> algorithms ->
+bounds -> validation -> simulator -> serialisation, asserting the global
+invariants that individual unit tests cannot see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALGORITHMS,
+    evaluate_schedule,
+    generate_workload,
+    lower_bounds,
+    schedule_demt,
+    schedule_with,
+)
+from repro.core.validation import validate_schedule
+from repro.io.json_io import instance_from_json, instance_to_json, schedule_from_json, schedule_to_json
+from repro.simulator import ClusterSimulator
+from repro.workloads import WORKLOAD_KINDS
+
+PAPER_KINDS = ("weakly_parallel", "highly_parallel", "mixed", "cirne")
+
+
+class TestGlobalInvariants:
+    @pytest.mark.parametrize("kind", PAPER_KINDS)
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_every_algorithm_on_every_workload(self, kind, algo):
+        """Feasibility + lower-bound dominance, the library's core contract."""
+        inst = generate_workload(kind, n=24, m=12, seed=101)
+        sched = schedule_with(algo, inst)
+        validate_schedule(sched, inst)
+        lbs = lower_bounds(inst)
+        assert sched.makespan() >= lbs["cmax"] - 1e-9
+        assert sched.weighted_completion_sum() >= lbs["minsum"] - 1e-6
+
+    @pytest.mark.parametrize("kind", PAPER_KINDS)
+    def test_simulator_agrees_with_static_metrics(self, kind):
+        inst = generate_workload(kind, n=20, m=8, seed=102)
+        sched = schedule_demt(inst)
+        trace = ClusterSimulator(8).execute(sched, inst)
+        assert trace.makespan == pytest.approx(sched.makespan())
+        static = sched.completion_times()
+        for tid, end in trace.completion_times.items():
+            assert end == pytest.approx(static[tid])
+
+    def test_full_serialisation_cycle(self):
+        """instance -> JSON -> instance -> schedule -> JSON -> schedule."""
+        inst = generate_workload("cirne", n=15, m=8, seed=103)
+        inst2 = instance_from_json(instance_to_json(inst))
+        sched = schedule_demt(inst2)
+        sched2 = schedule_from_json(schedule_to_json(sched), inst2)
+        validate_schedule(sched2, inst2)
+        assert sched2.makespan() == pytest.approx(sched.makespan())
+
+    def test_evaluate_schedule_consistency(self):
+        inst = generate_workload("mixed", n=18, m=8, seed=104)
+        sched = schedule_demt(inst)
+        report = evaluate_schedule(sched, inst)
+        assert report["cmax_ratio"] == pytest.approx(
+            report["cmax"] / report["cmax_lower_bound"]
+        )
+        assert report["minsum_ratio"] >= 1.0 - 1e-9
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_determinism_through_the_whole_stack(self, kind):
+        """Same seed => byte-identical criteria through generation,
+        scheduling and bounds."""
+        def run():
+            inst = generate_workload(kind, n=16, m=8, seed=105)
+            sched = schedule_demt(inst)
+            lbs = lower_bounds(inst)
+            return (
+                sched.makespan(),
+                sched.weighted_completion_sum(),
+                lbs["cmax"],
+                lbs["minsum"],
+            )
+
+        assert run() == run()
+
+    def test_bounds_scale_with_machine_size(self):
+        """Shrinking the machine can only worsen (raise) the bounds."""
+        big = generate_workload("cirne", n=20, m=16, seed=106)
+        from repro.core.instance import Instance
+
+        small = Instance(
+            [t for t in big.tasks], 8
+        )  # same tasks, half the machine (vectors are truncated via matrix)
+        lbs_big = lower_bounds(big)
+        lbs_small = lower_bounds(small)
+        assert lbs_small["cmax"] >= lbs_big["cmax"] - 1e-9
+
+    def test_demt_dominates_trivial_upper_bound(self):
+        """DEMT is never worse than running everything sequentially one
+        task at a time (the weakest sensible schedule)."""
+        inst = generate_workload("weakly_parallel", n=20, m=8, seed=107)
+        demt = schedule_demt(inst)
+        worst = sum(t.seq_time for t in inst)
+        assert demt.makespan() <= worst + 1e-9

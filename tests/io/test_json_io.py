@@ -1,0 +1,99 @@
+"""Round-trip tests for the JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.demt import schedule_demt
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask, rigid_task
+from repro.exceptions import ModelError
+from repro.io.json_io import (
+    instance_from_json,
+    instance_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.workloads.generator import generate_workload
+
+
+class TestInstanceRoundTrip:
+    def test_simple(self):
+        inst = generate_workload("cirne", n=10, m=8, seed=1)
+        text = instance_to_json(inst)
+        back = instance_from_json(text)
+        assert back.n == inst.n and back.m == inst.m
+        for a, b in zip(inst, back):
+            assert a.task_id == b.task_id
+            assert a.weight == b.weight
+            assert np.allclose(a.times, b.times)
+
+    def test_rigid_inf_times_roundtrip(self):
+        inst = Instance([rigid_task(0, procs=2, time=3.0, m=4)], 4)
+        back = instance_from_json(instance_to_json(inst))
+        assert np.isinf(back[0].p(1)) and back[0].p(2) == 3.0
+
+    def test_releases_preserved(self):
+        t = MoldableTask(0, [2.0, 1.0], release=5.0)
+        back = instance_from_json(instance_to_json(Instance([t], 2)))
+        assert back[0].release == 5.0
+
+    def test_indent_pretty(self):
+        inst = generate_workload("mixed", n=2, m=2, seed=2)
+        text = instance_to_json(inst, indent=2)
+        assert "\n" in text
+        assert instance_from_json(text).n == 2
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError, match="format"):
+            instance_from_json(json.dumps({"format": "other", "version": 1}))
+
+    def test_wrong_version_rejected(self):
+        doc = json.loads(instance_to_json(Instance([], 2)))
+        doc["version"] = 99
+        with pytest.raises(ModelError, match="version"):
+            instance_from_json(json.dumps(doc))
+
+    @given(seed=st.integers(0, 999), n=st.integers(0, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip_exact(self, seed, n):
+        inst = generate_workload("highly_parallel", n=n, m=6, seed=seed)
+        back = instance_from_json(instance_to_json(inst))
+        for a, b in zip(inst, back):
+            assert np.array_equal(a.times, b.times)
+            assert a.weight == b.weight
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip_preserves_criteria(self):
+        inst = generate_workload("mixed", n=12, m=8, seed=3)
+        sched = schedule_demt(inst)
+        back = schedule_from_json(schedule_to_json(sched), inst)
+        assert back.makespan() == pytest.approx(sched.makespan())
+        assert back.weighted_completion_sum() == pytest.approx(
+            sched.weighted_completion_sum()
+        )
+
+    def test_machine_mismatch_rejected(self):
+        inst = generate_workload("mixed", n=3, m=4, seed=4)
+        sched = schedule_demt(inst)
+        other = Instance(list(inst.tasks), 8)
+        with pytest.raises(ModelError, match="m="):
+            schedule_from_json(schedule_to_json(sched), other)
+
+    def test_unknown_task_rejected(self):
+        inst = generate_workload("mixed", n=3, m=4, seed=5)
+        sched = schedule_demt(inst)
+        smaller = inst.restrict([0, 1])
+        with pytest.raises(ModelError, match="no task"):
+            schedule_from_json(schedule_to_json(sched), smaller)
+
+    def test_wrong_format_rejected(self):
+        inst = Instance([], 2)
+        with pytest.raises(ModelError, match="format"):
+            schedule_from_json(json.dumps({"format": "nope", "version": 1}), inst)

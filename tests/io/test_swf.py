@@ -1,0 +1,111 @@
+"""Tests for the Standard Workload Format interchange."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.algorithms.demt import schedule_demt
+from repro.core.validation import validate_schedule
+from repro.exceptions import ModelError
+from repro.io.swf import SwfJob, read_swf, swf_to_instance, write_swf
+from repro.simulator.online import OnlineBatchScheduler
+from repro.workloads.generator import generate_workload
+
+SAMPLE = """\
+; Sample SWF header
+; MaxProcs: 8
+1 0.0 1.0 10.0 4 -1 -1 4 10.0 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 5.0 0.0 3.0 1 -1 -1 1 3.0 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 6.0 2.0 0.0 2 -1 -1 2 0.0 -1 0 -1 -1 -1 -1 -1 -1 -1
+4 7.0 0.5 2.0 16 -1 -1 16 2.0 -1 1 -1 -1 -1 -1 -1 -1 -1
+"""
+
+
+class TestReadSwf:
+    def test_parses_jobs_and_skips_comments(self):
+        jobs = read_swf(SAMPLE)
+        # Job 3 has zero runtime -> skipped.
+        assert [j.job_id for j in jobs] == [1, 2, 4]
+
+    def test_fields(self):
+        j = read_swf(SAMPLE)[0]
+        assert j.submit == 0.0 and j.wait == 1.0 and j.run == 10.0 and j.procs == 4
+
+    def test_accepts_file_object(self):
+        jobs = read_swf(io.StringIO(SAMPLE))
+        assert len(jobs) == 3
+
+    def test_short_line_rejected(self):
+        with pytest.raises(ModelError, match="fields"):
+            read_swf("1 2 3\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ModelError):
+            read_swf("a b c d e\n")
+
+    def test_negative_job_id_rejected(self):
+        with pytest.raises(ModelError):
+            SwfJob(job_id=-1, submit=0, wait=0, run=1, procs=1)
+
+    def test_empty_input(self):
+        assert read_swf("") == []
+
+
+class TestSwfToInstance:
+    def test_rigid_instance(self):
+        inst = swf_to_instance(read_swf(SAMPLE), m=8)
+        assert inst.n == 3
+        t1 = inst.task_by_id(1)
+        assert t1.p(4) == 10.0 and np.isinf(t1.p(1))
+
+    def test_procs_clamped_to_m(self):
+        inst = swf_to_instance(read_swf(SAMPLE), m=8)
+        t4 = inst.task_by_id(4)  # requested 16 on an 8-proc machine
+        assert t4.p(8) == 2.0
+
+    def test_online_releases(self):
+        inst = swf_to_instance(read_swf(SAMPLE), m=8, online=True)
+        assert inst.task_by_id(2).release == 5.0
+        offline = swf_to_instance(read_swf(SAMPLE), m=8, online=False)
+        assert offline.max_release == 0.0
+
+    def test_invalid_m(self):
+        with pytest.raises(ModelError):
+            swf_to_instance([], m=0)
+
+    def test_replay_through_online_framework(self):
+        """A real-trace workflow: SWF -> rigid instance -> batch scheduler."""
+        inst = swf_to_instance(read_swf(SAMPLE), m=8, online=True)
+        result = OnlineBatchScheduler(schedule_demt).run(inst)
+        validate_schedule(result.schedule, inst)
+
+
+class TestWriteSwf:
+    def test_roundtrip_through_export(self):
+        inst = generate_workload("cirne", n=8, m=8, seed=6)
+        sched = schedule_demt(inst)
+        text = write_swf(sched)
+        jobs = read_swf(text)
+        assert len(jobs) == 8
+        by_id = {j.job_id: j for j in jobs}
+        for p in sched:
+            j = by_id[p.task.task_id]
+            assert j.run == pytest.approx(p.duration, rel=1e-5)
+            assert j.procs == p.allotment
+            assert j.wait == pytest.approx(p.start, rel=1e-5, abs=1e-6)
+
+    def test_header_present(self):
+        inst = generate_workload("mixed", n=2, m=4, seed=7)
+        text = write_swf(schedule_demt(inst))
+        assert text.startswith(";")
+        assert "MaxProcs: 4" in text
+
+    def test_field_count(self):
+        inst = generate_workload("mixed", n=2, m=4, seed=8)
+        text = write_swf(schedule_demt(inst))
+        for line in text.splitlines():
+            if not line.startswith(";"):
+                assert len(line.split()) == 18

@@ -1,0 +1,63 @@
+"""Unit tests for repro.simulator.cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.simulator.cluster import Cluster
+
+
+class TestCluster:
+    def test_initial_state(self):
+        c = Cluster(4)
+        assert c.free_count == 4 and c.busy_count == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(SchedulingError):
+            Cluster(0)
+
+    def test_allocate_release_roundtrip(self):
+        c = Cluster(4)
+        procs = c.allocate(7, 3)
+        assert len(procs) == 3
+        assert c.free_count == 1
+        assert c.holding(7) == procs
+        released = c.release(7)
+        assert released == procs
+        assert c.free_count == 4
+
+    def test_allocate_lowest_ids_first(self):
+        c = Cluster(4)
+        assert c.allocate(1, 2) == (0, 1)
+        assert c.allocate(2, 2) == (2, 3)
+
+    def test_over_allocation_rejected(self):
+        c = Cluster(2)
+        c.allocate(1, 2)
+        with pytest.raises(SchedulingError, match="only 0 free"):
+            c.allocate(2, 1)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(SchedulingError):
+            Cluster(2).allocate(1, 0)
+
+    def test_release_without_holding(self):
+        with pytest.raises(SchedulingError, match="holds no processors"):
+            Cluster(2).release(9)
+
+    def test_owner_tracking(self):
+        c = Cluster(3)
+        c.allocate(5, 2)
+        assert c.owner_of(0) == 5
+        assert c.owner_of(2) is None
+
+    def test_owner_of_bad_id(self):
+        with pytest.raises(SchedulingError):
+            Cluster(2).owner_of(5)
+
+    def test_reuse_after_release(self):
+        c = Cluster(2)
+        c.allocate(1, 2)
+        c.release(1)
+        assert c.allocate(2, 2) == (0, 1)

@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event execution engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.demt import schedule_demt
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.task import MoldableTask
+from repro.exceptions import SchedulingError
+from repro.simulator.engine import ClusterSimulator
+from repro.simulator.events import EventKind
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance, make_task
+
+
+class TestExecute:
+    def test_simple_replay(self):
+        s = Schedule(m=4)
+        t0 = make_task(0, 8.0, m=4)
+        t1 = make_task(1, 8.0, m=4)
+        s.add(t0, 0.0, 2)
+        s.add(t1, 0.0, 2)
+        trace = ClusterSimulator(4).execute(s)
+        assert trace.makespan == pytest.approx(4.0)
+        assert sorted(trace.processor_assignment[0] + trace.processor_assignment[1]) == [0, 1, 2, 3]
+
+    def test_infeasible_schedule_detected(self):
+        s = Schedule(m=2)
+        s.add(make_task(0, 4.0, m=2), 0.0, 2)
+        s.add(make_task(1, 4.0, m=2), 1.0, 1)
+        with pytest.raises(SchedulingError, match="infeasible"):
+            ClusterSimulator(2).execute(s)
+
+    def test_wrong_machine_size(self):
+        s = Schedule(m=2)
+        with pytest.raises(SchedulingError, match="m="):
+            ClusterSimulator(4).execute(s)
+
+    def test_processors_reused_after_completion(self):
+        s = Schedule(m=2)
+        s.add(make_task(0, 2.0, m=2), 0.0, 2)  # [0, 1)
+        s.add(make_task(1, 2.0, m=2), 1.0, 2)  # [1, 2)
+        trace = ClusterSimulator(2).execute(s)
+        assert trace.processor_assignment[0] == trace.processor_assignment[1]
+
+    def test_event_log_structure(self):
+        s = Schedule(m=2)
+        s.add(make_task(0, 2.0, m=2), 0.0, 1)
+        trace = ClusterSimulator(2).execute(s)
+        kinds = [e.kind for e in trace.log]
+        assert kinds == [EventKind.STARTED, EventKind.COMPLETED]
+
+    def test_submission_events_with_instance(self):
+        t = MoldableTask(0, [2.0, 1.0], release=1.0)
+        inst = Instance([t], 2)
+        s = Schedule(m=2)
+        s.add(t, 1.0, 1)
+        trace = ClusterSimulator(2).execute(s, inst)
+        subs = trace.log.of_kind(EventKind.SUBMITTED)
+        assert len(subs) == 1 and subs[0].time == 1.0
+
+    def test_release_violation_detected(self):
+        t = MoldableTask(0, [2.0, 1.0], release=5.0)
+        inst = Instance([t], 2)
+        s = Schedule(m=2)
+        s.add(t, 0.0, 1)
+        with pytest.raises(SchedulingError, match="release"):
+            ClusterSimulator(2).execute(s, inst)
+
+    def test_trace_statistics(self):
+        s = Schedule(m=4)
+        s.add(make_task(0, 8.0, m=4), 0.0, 2)  # 4s on 2 procs = 8 busy
+        trace = ClusterSimulator(4).execute(s)
+        assert trace.busy_time() == pytest.approx(8.0)
+        assert trace.utilization(4) == pytest.approx(0.5)
+        assert trace.n_jobs == 1
+
+    def test_empty_schedule(self):
+        trace = ClusterSimulator(2).execute(Schedule(m=2))
+        assert trace.makespan == 0.0 and trace.n_jobs == 0
+
+    @given(
+        kind=st.sampled_from(["highly_parallel", "mixed", "cirne"]),
+        n=st.integers(1, 25),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_demt_schedules_replayable(self, kind, n, seed):
+        """Every DEMT schedule must execute cleanly on the explicit
+        processor model — an independent feasibility oracle."""
+        inst = generate_workload(kind, n=n, m=8, seed=seed)
+        s = schedule_demt(inst)
+        trace = ClusterSimulator(8).execute(s, inst)
+        assert trace.makespan == pytest.approx(s.makespan())
+        assert set(trace.completion_times) == {t.task_id for t in inst}

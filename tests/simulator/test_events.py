@@ -1,0 +1,54 @@
+"""Unit tests for repro.simulator.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.events import Event, EventKind, EventLog
+
+
+class TestEvent:
+    def test_fields(self):
+        e = Event(1.5, EventKind.STARTED, job_id=3, procs=(0, 1))
+        assert e.time == 1.5 and e.procs == (0, 1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, EventKind.COMPLETED)
+
+
+class TestEventLog:
+    def test_append_ordered(self):
+        log = EventLog()
+        log.append(Event(0.0, EventKind.SUBMITTED, 1))
+        log.append(Event(1.0, EventKind.STARTED, 1))
+        assert len(log) == 2
+
+    def test_append_out_of_order_rejected(self):
+        log = EventLog()
+        log.append(Event(2.0, EventKind.STARTED, 1))
+        with pytest.raises(ValueError):
+            log.append(Event(1.0, EventKind.COMPLETED, 1))
+
+    def test_of_kind(self):
+        log = EventLog()
+        log.append(Event(0.0, EventKind.STARTED, 1))
+        log.append(Event(1.0, EventKind.COMPLETED, 1))
+        log.append(Event(1.0, EventKind.STARTED, 2))
+        assert [e.job_id for e in log.of_kind(EventKind.STARTED)] == [1, 2]
+
+    def test_lookups(self):
+        log = EventLog()
+        log.append(Event(0.5, EventKind.STARTED, 7, (0,)))
+        log.append(Event(2.5, EventKind.COMPLETED, 7, (0,)))
+        assert log.start_of(7).time == 0.5
+        assert log.completion_of(7).time == 2.5
+        with pytest.raises(KeyError):
+            log.start_of(99)
+        with pytest.raises(KeyError):
+            log.completion_of(99)
+
+    def test_iteration(self):
+        log = EventLog()
+        log.append(Event(0.0, EventKind.BATCH_STARTED))
+        assert [e.kind for e in log] == [EventKind.BATCH_STARTED]

@@ -1,0 +1,101 @@
+"""Unit tests for the on-line batch framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.demt import schedule_demt
+from repro.algorithms.gang import schedule_gang
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.core.validation import validate_schedule
+from repro.simulator.online import OnlineBatchScheduler
+from repro.workloads.generator import generate_workload
+
+
+def with_releases(instance: Instance, releases) -> Instance:
+    tasks = [t.with_release(r) for t, r in zip(instance.tasks, releases)]
+    return Instance(tasks, instance.m)
+
+
+class TestOnlineBatch:
+    def test_empty(self):
+        res = OnlineBatchScheduler(schedule_demt).run(Instance([], 4))
+        assert res.n_batches == 0
+
+    def test_offline_instance_single_batch(self):
+        inst = generate_workload("mixed", n=12, m=8, seed=51)
+        res = OnlineBatchScheduler(schedule_demt).run(inst)
+        assert res.n_batches == 1
+        validate_schedule(res.schedule, inst)
+
+    def test_two_waves(self):
+        base = generate_workload("cirne", n=10, m=8, seed=52)
+        releases = [0.0] * 5 + [1e-3] * 5  # second wave arrives mid-batch
+        inst = with_releases(base, releases)
+        res = OnlineBatchScheduler(schedule_demt).run(inst)
+        assert res.n_batches == 2
+        validate_schedule(res.schedule, inst)
+        # Batch 2 holds exactly the late tasks.
+        assert res.batch_contents[1] == frozenset(range(5, 10))
+
+    def test_batches_do_not_overlap(self):
+        base = generate_workload("highly_parallel", n=15, m=8, seed=53)
+        rng = np.random.default_rng(0)
+        inst = with_releases(base, rng.uniform(0, 5, size=15))
+        res = OnlineBatchScheduler(schedule_demt).run(inst)
+        validate_schedule(res.schedule, inst)
+        for k in range(1, res.n_batches):
+            prev_ids = res.batch_contents[k - 1]
+            prev_end = max(res.schedule[i].end for i in prev_ids)
+            assert res.batch_starts[k] >= prev_end - 1e-9
+
+    def test_idle_gap_jumps_to_next_release(self):
+        a = MoldableTask(0, [1.0, 0.6])
+        b = MoldableTask(1, [1.0, 0.6], release=100.0)
+        inst = Instance([a, b], 2)
+        res = OnlineBatchScheduler(schedule_demt).run(inst)
+        assert res.n_batches == 2
+        assert res.batch_starts[1] == pytest.approx(100.0)
+
+    def test_any_offline_scheduler_plugs_in(self):
+        inst = generate_workload("mixed", n=8, m=4, seed=54)
+        res = OnlineBatchScheduler(schedule_gang).run(inst)
+        validate_schedule(res.schedule, inst)
+
+    def test_broken_offline_scheduler_detected(self):
+        def bogus(instance: Instance):
+            from repro.core.schedule import Schedule
+
+            return Schedule(instance.m)  # schedules nothing
+
+        inst = generate_workload("mixed", n=4, m=4, seed=55)
+        with pytest.raises(Exception, match="did not place"):
+            OnlineBatchScheduler(bogus).run(inst)
+
+    @given(seed=st.integers(0, 9999), n=st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_release_feasible(self, seed, n):
+        rng = np.random.default_rng(seed)
+        base = generate_workload("cirne", n=n, m=8, seed=seed)
+        inst = with_releases(base, rng.exponential(2.0, size=n))
+        res = OnlineBatchScheduler(schedule_demt).run(inst)
+        validate_schedule(res.schedule, inst)  # includes release checks
+        # Every task is in exactly one batch.
+        all_ids = [i for c in res.batch_contents for i in c]
+        assert sorted(all_ids) == sorted(t.task_id for t in inst)
+
+    def test_competitive_ratio_sanity(self):
+        """2ρ-competitiveness sanity: on-line makespan stays within a small
+        factor of the off-line makespan for staggered arrivals."""
+        base = generate_workload("highly_parallel", n=30, m=16, seed=56)
+        rng = np.random.default_rng(1)
+        inst = with_releases(base, rng.uniform(0, 1.0, size=30))
+        online = OnlineBatchScheduler(schedule_demt).run(inst).schedule
+        offline = schedule_demt(base)
+        # Off-line ignores releases -> lower bound reference.  The batch
+        # framework doubles at worst (plus the arrival horizon).
+        assert online.makespan() <= 2.5 * offline.makespan() + 1.0

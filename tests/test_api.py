@@ -1,0 +1,75 @@
+"""Tests for the top-level public API (repro / repro._api)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    ALGORITHMS,
+    WORKLOADS,
+    evaluate_schedule,
+    generate_workload,
+    lower_bounds,
+    schedule_demt,
+    schedule_with,
+)
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_algorithm_names_cover_paper(self):
+        for name in ("DEMT", "Gang", "Sequential", "List Scheduling", "SAF", "LPTF"):
+            assert name in ALGORITHMS
+
+    def test_workload_names_cover_paper(self):
+        for kind in ("weakly_parallel", "highly_parallel", "mixed", "cirne"):
+            assert kind in WORKLOADS
+
+
+class TestConvenienceFunctions:
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return generate_workload("cirne", n=12, m=8, seed=55)
+
+    def test_schedule_with_every_algorithm(self, inst):
+        from repro.core.validation import validate_schedule
+
+        for name in ALGORITHMS:
+            sched = schedule_with(name, inst)
+            validate_schedule(sched, inst)
+
+    def test_schedule_with_unknown(self, inst):
+        with pytest.raises(KeyError):
+            schedule_with("Oracle", inst)
+
+    def test_lower_bounds_keys(self, inst):
+        lbs = lower_bounds(inst)
+        assert set(lbs) == {"cmax", "minsum"}
+        assert lbs["cmax"] > 0 and lbs["minsum"] > 0
+
+    def test_evaluate_schedule_report(self, inst):
+        sched = schedule_demt(inst)
+        report = evaluate_schedule(sched, inst)
+        assert set(report) == {
+            "cmax",
+            "minsum",
+            "cmax_lower_bound",
+            "minsum_lower_bound",
+            "cmax_ratio",
+            "minsum_ratio",
+        }
+        assert report["cmax_ratio"] >= 1.0 - 1e-9
+        assert report["minsum_ratio"] >= 1.0 - 1e-9
+
+    def test_quickstart_docstring_flow(self):
+        # The README / package docstring example, executed literally.
+        inst = generate_workload("highly_parallel", n=40, m=32, seed=1)
+        sched = schedule_demt(inst)
+        assert sched.makespan() > 0

@@ -1,0 +1,33 @@
+"""Execute the library's docstring examples as part of the suite."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro._api
+import repro.core.allotment
+import repro.experiments.aggregate
+import repro.experiments.config
+import repro.algorithms.knapsack
+import repro.algorithms.registry
+import repro.workloads.generator
+
+MODULES = [
+    repro,
+    repro._api,
+    repro.core.allotment,
+    repro.experiments.aggregate,
+    repro.experiments.config,
+    repro.algorithms.knapsack,
+    repro.algorithms.registry,
+    repro.workloads.generator,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module.__name__}"

@@ -1,0 +1,90 @@
+"""Tests for repro.utils (rng plumbing, stopwatch, ascii chart basics)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, derive_rng, make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_of_consumption_order(self):
+        a = spawn_rngs(3, 3)
+        b = spawn_rngs(3, 3)
+        # Same parent seed -> same child streams, element-wise.
+        for ga, gb in zip(a, b):
+            assert ga.integers(10**9) == gb.integers(10**9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(5, "cirne", 100, 3)
+        b = derive_rng(5, "cirne", 100, 3)
+        assert a.integers(10**9) == b.integers(10**9)
+
+    def test_keys_matter(self):
+        a = derive_rng(5, "cirne", 100, 3).integers(10**9)
+        b = derive_rng(5, "cirne", 100, 4).integers(10**9)
+        c = derive_rng(5, "mixed", 100, 3).integers(10**9)
+        assert len({a, b, c}) == 3
+
+    def test_none_seed_uses_default(self):
+        a = derive_rng(None, "x").integers(10**9)
+        b = derive_rng(DEFAULT_SEED, "x").integers(10**9)
+        assert a == b
+
+    def test_string_keys_stable(self):
+        # Unicode-safe folding.
+        rng = derive_rng(1, "wörk/load")
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.02
+        assert len(sw.laps) == 2
+        assert sw.mean_lap == pytest.approx(sw.elapsed / 2)
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_mean_lap_empty(self):
+        assert Stopwatch().mean_lap == 0.0

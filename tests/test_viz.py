@@ -1,0 +1,78 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.demt import schedule_demt
+from repro.core.schedule import Schedule
+from repro.viz.gantt import gantt_chart, usage_chart
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_task
+
+
+def small_schedule() -> Schedule:
+    s = Schedule(3)
+    s.add(make_task(0, 4.0, m=3, speedup="none"), 0.0, 2)
+    s.add(make_task(1, 4.0, m=3, speedup="none"), 0.0, 1)
+    s.add(make_task(2, 2.0, m=3, speedup="none"), 4.0, 3)
+    return s
+
+
+class TestGanttChart:
+    def test_renders_all_rows(self):
+        out = gantt_chart(small_schedule(), width=24)
+        assert out.count("\n") >= 5
+        assert "p0" in out and "p2" in out
+        assert "Cmax=6" in out
+
+    def test_glyphs_distinct(self):
+        out = gantt_chart(small_schedule(), width=24)
+        assert "A" in out and "B" in out and "C" in out
+
+    def test_idle_shown_as_dots(self):
+        s = Schedule(3)
+        s.add(make_task(0, 4.0, m=3, speedup="none"), 0.0, 2)
+        s.add(make_task(1, 1.0, m=3, speedup="none"), 0.0, 1)  # p2 idle after t=1
+        out = gantt_chart(s, width=24)
+        assert "." in out
+
+    def test_empty(self):
+        assert "empty" in gantt_chart(Schedule(2))
+
+    def test_too_narrow(self):
+        with pytest.raises(ValueError):
+            gantt_chart(small_schedule(), width=4)
+
+    def test_truncates_large_machines(self):
+        inst = generate_workload("cirne", n=10, m=64, seed=1)
+        s = schedule_demt(inst)
+        out = gantt_chart(s, width=40, max_procs=8)
+        assert "more processors" in out
+
+    def test_demt_schedule_renders(self):
+        inst = generate_workload("mixed", n=12, m=8, seed=2)
+        out = gantt_chart(schedule_demt(inst))
+        assert "tasks=12" in out
+
+
+class TestUsageChart:
+    def test_renders(self):
+        out = usage_chart(small_schedule(), width=24, height=6)
+        assert "#" in out and "mean usage" in out
+
+    def test_empty(self):
+        assert "empty" in usage_chart(Schedule(2))
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            usage_chart(small_schedule(), width=4, height=1)
+
+    def test_full_usage_fills_top(self):
+        s = Schedule(2)
+        s.add(make_task(0, 4.0, m=2, speedup="none"), 0.0, 2)
+        out = usage_chart(s, width=20, height=4)
+        # Machine fully busy -> the top row is solid.
+        top = out.splitlines()[0]
+        assert top.split("|")[1].strip("#") == ""

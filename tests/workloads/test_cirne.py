@@ -1,0 +1,114 @@
+"""Unit tests for repro.workloads.cirne (Downey speedup + CB parameters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.cirne import cirne_task, downey_speedup, sample_downey_params
+
+
+class TestDowneySpeedup:
+    def test_speedup_at_one_proc_is_one(self):
+        for A in (1.0, 2.0, 10.0, 64.0):
+            for sigma in (0.0, 0.5, 1.0, 2.0):
+                assert downey_speedup(np.array([1.0]), A, sigma)[0] == pytest.approx(1.0)
+
+    def test_sigma_zero_is_linear_capped(self):
+        n = np.arange(1, 33, dtype=float)
+        s = downey_speedup(n, A=8.0, sigma=0.0)
+        assert np.allclose(s[:8], n[:8])  # linear up to A
+        assert np.allclose(s[15:], 8.0)  # capped at A from 2A-1 on
+
+    def test_caps_at_A(self):
+        n = np.arange(1, 129, dtype=float)
+        for sigma in (0.3, 1.0, 1.7):
+            s = downey_speedup(n, A=16.0, sigma=sigma)
+            assert (s <= 16.0 + 1e-9).all()
+            assert s[-1] == pytest.approx(16.0)
+
+    def test_non_decreasing(self):
+        n = np.arange(1, 201, dtype=float)
+        for A in (1.0, 3.7, 50.0):
+            for sigma in (0.0, 0.4, 1.0, 1.9):
+                s = downey_speedup(n, A, sigma)
+                assert (np.diff(s) >= -1e-9).all()
+
+    def test_efficiency_non_increasing(self):
+        n = np.arange(1, 201, dtype=float)
+        for A in (2.0, 20.0):
+            for sigma in (0.2, 1.5):
+                eff = downey_speedup(n, A, sigma) / n
+                assert (np.diff(eff) <= 1e-9).all()
+
+    def test_larger_sigma_slower(self):
+        n = np.arange(2, 64, dtype=float)
+        lo = downey_speedup(n, A=32.0, sigma=0.1)
+        hi = downey_speedup(n, A=32.0, sigma=1.9)
+        assert (lo >= hi - 1e-9).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            downey_speedup(np.array([1.0]), A=0.5, sigma=0.5)
+        with pytest.raises(ValueError):
+            downey_speedup(np.array([1.0]), A=2.0, sigma=-0.1)
+
+    @given(
+        A=st.floats(min_value=1.0, max_value=200.0),
+        sigma=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=100)
+    def test_property_valid_speedup_curve(self, A, sigma):
+        n = np.arange(1, 100, dtype=float)
+        s = downey_speedup(n, A, sigma)
+        assert s[0] == pytest.approx(1.0, rel=1e-9)
+        assert (s >= 1.0 - 1e-12).all()
+        assert (s <= max(A, 1.0) + 1e-9).all()
+        assert (np.diff(s) >= -1e-7).all()
+
+
+class TestSampleParams:
+    def test_ranges(self, rng):
+        for _ in range(200):
+            A, sigma = sample_downey_params(rng, m=200)
+            assert 1.0 <= A <= 200.0
+            assert 0.0 <= sigma <= 2.0
+
+    def test_log_uniform_spread(self, rng):
+        # Median of log2(A) should be around log2(m)/2.
+        samples = [sample_downey_params(rng, 256)[0] for _ in range(4000)]
+        assert np.median(np.log2(samples)) == pytest.approx(4.0, abs=0.5)
+
+    def test_m_one(self, rng):
+        # Degenerate machine: A still >= 1 and finite.
+        A, sigma = sample_downey_params(rng, 1)
+        assert A >= 1.0
+
+    def test_invalid_m(self, rng):
+        with pytest.raises(ValueError):
+            sample_downey_params(rng, 0)
+
+
+class TestCirneTask:
+    def test_fields_and_monotony(self, rng):
+        t = cirne_task(rng, 7, seq_time=6.0, m=32, weight=3.0)
+        assert t.task_id == 7 and t.weight == 3.0 and t.max_procs == 32
+        assert t.p(1) == pytest.approx(6.0)
+        assert t.is_monotonic()
+
+    def test_never_faster_than_linear(self, rng):
+        for _ in range(50):
+            t = cirne_task(rng, 0, seq_time=10.0, m=64)
+            ks = np.arange(1, 65)
+            assert (t.times * ks >= 10.0 - 1e-9).all()  # work >= sequential work
+
+    def test_invalid_seq_time(self, rng):
+        with pytest.raises(ValueError):
+            cirne_task(rng, 0, seq_time=0.0, m=8)
+
+    def test_deterministic_given_seed(self):
+        a = cirne_task(11, 0, 5.0, 16)
+        b = cirne_task(11, 0, 5.0, 16)
+        assert np.allclose(a.times, b.times)

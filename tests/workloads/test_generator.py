@@ -1,0 +1,90 @@
+"""Unit tests for repro.workloads.generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.workloads.generator import WORKLOAD_KINDS, generate_workload
+
+PAPER_KINDS = ("weakly_parallel", "highly_parallel", "mixed", "cirne")
+
+
+class TestGenerateWorkload:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_shape_and_type(self, kind):
+        inst = generate_workload(kind, n=12, m=16, seed=0)
+        assert isinstance(inst, Instance)
+        assert inst.n == 12 and inst.m == 16
+        assert sorted(t.task_id for t in inst) == list(range(12))
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_deterministic(self, kind):
+        a = generate_workload(kind, n=8, m=8, seed=42)
+        b = generate_workload(kind, n=8, m=8, seed=42)
+        for ta, tb in zip(a, b):
+            assert np.allclose(ta.times, tb.times)
+            assert ta.weight == tb.weight
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_different_seeds_differ(self, kind):
+        a = generate_workload(kind, n=8, m=8, seed=1)
+        b = generate_workload(kind, n=8, m=8, seed=2)
+        assert any(not np.allclose(ta.times, tb.times) for ta, tb in zip(a, b))
+
+    @pytest.mark.parametrize("kind", PAPER_KINDS)
+    def test_tasks_monotonic(self, kind):
+        inst = generate_workload(kind, n=20, m=32, seed=3)
+        assert all(t.is_monotonic() for t in inst)
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_weights_in_paper_range(self, kind):
+        inst = generate_workload(kind, n=50, m=8, seed=4)
+        ws = [t.weight for t in inst]
+        assert all(1.0 <= w <= 10.0 for w in ws)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            generate_workload("bogus", n=5, m=5)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_workload("mixed", n=-1, m=5)
+        with pytest.raises(ValueError):
+            generate_workload("mixed", n=5, m=0)
+
+    def test_empty_workload(self):
+        inst = generate_workload("cirne", n=0, m=4, seed=0)
+        assert inst.n == 0
+
+    def test_weakly_tasks_have_low_speedup(self):
+        inst = generate_workload("weakly_parallel", n=60, m=64, seed=5)
+        speedups = [t.seq_time / t.min_time for t in inst]
+        assert np.median(speedups) < 5.0
+
+    def test_highly_tasks_have_high_speedup(self):
+        inst = generate_workload("highly_parallel", n=60, m=64, seed=5)
+        speedups = [t.seq_time / t.min_time for t in inst]
+        assert np.median(speedups) > 15.0
+
+    def test_mixed_contains_both_scales(self):
+        inst = generate_workload("mixed", n=300, m=16, seed=6)
+        seqs = np.array([t.seq_time for t in inst])
+        assert (seqs < 2.5).mean() > 0.4  # plenty of small tasks
+        assert (seqs > 6.0).mean() > 0.1  # some large ones
+
+    def test_linear_speedup_family_constant_work(self):
+        inst = generate_workload("linear_speedup", n=10, m=8, seed=7)
+        for t in inst:
+            assert np.allclose(t.work_vector, t.seq_time)
+
+    def test_sequential_only_family_flat_times(self):
+        inst = generate_workload("sequential_only", n=10, m=8, seed=8)
+        for t in inst:
+            assert np.allclose(t.times, t.seq_time)
+
+    def test_accepts_generator_seed(self):
+        rng = np.random.default_rng(9)
+        inst = generate_workload("cirne", n=5, m=8, seed=rng)
+        assert inst.n == 5

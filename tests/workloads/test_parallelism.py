@@ -1,0 +1,115 @@
+"""Unit tests for repro.workloads.parallelism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.parallelism import (
+    HIGHLY_PARALLEL_MEAN,
+    WEAKLY_PARALLEL_MEAN,
+    parallel_profile,
+    parallel_task,
+    truncated_gaussian,
+)
+
+
+class TestTruncatedGaussian:
+    def test_within_bounds(self, rng):
+        xs = truncated_gaussian(rng, 0.9, 0.2, size=10_000)
+        assert (xs >= 0.0).all() and (xs <= 1.0).all()
+
+    def test_mean_shifted_by_truncation(self, rng):
+        # Center 0.9 with right truncation at 1 pulls the mean below 0.9.
+        xs = truncated_gaussian(rng, 0.9, 0.2, size=50_000)
+        assert 0.75 < xs.mean() < 0.9
+
+    def test_weakly_mean(self, rng):
+        xs = truncated_gaussian(rng, 0.1, 0.2, size=50_000)
+        assert 0.1 < xs.mean() < 0.25
+
+    def test_custom_interval(self, rng):
+        xs = truncated_gaussian(rng, 5.0, 3.0, size=1000, low=4.0, high=6.0)
+        assert (xs >= 4.0).all() and (xs <= 6.0).all()
+
+    def test_empty_interval_rejected(self, rng):
+        with pytest.raises(ValueError):
+            truncated_gaussian(rng, 0.5, 0.1, size=10, low=1.0, high=0.0)
+
+    def test_pathological_centre_clamps(self, rng):
+        xs = truncated_gaussian(rng, -50.0, 0.01, size=10)
+        assert (xs >= 0.0).all() and (xs <= 1.0).all()
+
+
+class TestParallelProfile:
+    def test_starts_at_seq_time(self, rng):
+        prof = parallel_profile(rng, 8.0, 16, mean_x=0.9)
+        assert prof[0] == 8.0
+        assert prof.shape == (16,)
+
+    def test_times_non_increasing(self, rng):
+        prof = parallel_profile(rng, 8.0, 64, mean_x=0.5)
+        assert (np.diff(prof) <= 1e-12).all()
+
+    def test_work_non_decreasing(self, rng):
+        prof = parallel_profile(rng, 8.0, 64, mean_x=0.5)
+        work = prof * np.arange(1, 65)
+        assert (np.diff(work) >= -1e-9).all()
+
+    def test_highly_speeds_up_more_than_weakly(self, rng):
+        m = 64
+        highly = np.mean(
+            [parallel_profile(rng, 10.0, m, mean_x=HIGHLY_PARALLEL_MEAN)[-1] for _ in range(40)]
+        )
+        weakly = np.mean(
+            [parallel_profile(rng, 10.0, m, mean_x=WEAKLY_PARALLEL_MEAN)[-1] for _ in range(40)]
+        )
+        assert highly < weakly / 2  # highly parallel tasks end up much faster
+
+    def test_weakly_speedup_close_to_one(self, rng):
+        m = 64
+        prof = np.mean(
+            [parallel_profile(rng, 10.0, m, mean_x=WEAKLY_PARALLEL_MEAN)[-1] for _ in range(60)]
+        )
+        # Weak parallelism: even on 64 procs the time stays within ~3x of p(1)/? —
+        # speedup S(64) = 10/prof should be small (close to 1, certainly < 8).
+        assert 10.0 / prof < 8.0
+
+    def test_highly_speedup_substantial(self, rng):
+        m = 64
+        prof = np.mean(
+            [parallel_profile(rng, 10.0, m, mean_x=HIGHLY_PARALLEL_MEAN)[-1] for _ in range(60)]
+        )
+        assert 10.0 / prof > 10.0  # quasi-linear: a large fraction of 64
+
+    def test_m_one(self, rng):
+        prof = parallel_profile(rng, 3.0, 1, mean_x=0.9)
+        assert prof.shape == (1,) and prof[0] == 3.0
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            parallel_profile(rng, -1.0, 8, mean_x=0.9)
+        with pytest.raises(ValueError):
+            parallel_profile(rng, 1.0, 0, mean_x=0.9)
+
+    @given(seq=st.floats(min_value=0.1, max_value=100.0), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_property_monotonic_task(self, seq, seed):
+        prof = parallel_profile(np.random.default_rng(seed), seq, 32, mean_x=0.5)
+        from repro.core.task import MoldableTask
+
+        assert MoldableTask(0, prof).is_monotonic()
+
+
+class TestParallelTask:
+    def test_kinds(self, rng):
+        t = parallel_task(rng, 5, 4.0, 16, "highly", weight=2.0)
+        assert t.task_id == 5 and t.weight == 2.0 and t.max_procs == 16
+        t = parallel_task(rng, 6, 4.0, 16, "weakly")
+        assert t.is_monotonic()
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(ValueError, match="highly"):
+            parallel_task(rng, 0, 4.0, 16, "medium")

@@ -1,0 +1,87 @@
+"""Unit tests for repro.workloads.sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.sequential import mixed_sequential_times, uniform_sequential_times
+
+
+class TestUniform:
+    def test_range(self, rng):
+        times = uniform_sequential_times(rng, 1000)
+        assert times.shape == (1000,)
+        assert (times >= 1.0).all() and (times <= 10.0).all()
+
+    def test_mean_close_to_center(self, rng):
+        times = uniform_sequential_times(rng, 20_000)
+        assert np.mean(times) == pytest.approx(5.5, abs=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = uniform_sequential_times(7, 50)
+        b = uniform_sequential_times(7, 50)
+        assert np.array_equal(a, b)
+
+    def test_custom_bounds(self, rng):
+        times = uniform_sequential_times(rng, 100, low=2.0, high=3.0)
+        assert (times >= 2.0).all() and (times <= 3.0).all()
+
+    def test_zero_n(self, rng):
+        assert uniform_sequential_times(rng, 0).shape == (0,)
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_sequential_times(rng, -1)
+
+    def test_bad_bounds_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_sequential_times(rng, 10, low=5.0, high=1.0)
+        with pytest.raises(ValueError):
+            uniform_sequential_times(rng, 10, low=-1.0, high=1.0)
+
+
+class TestMixed:
+    def test_all_positive(self, rng):
+        times, _ = mixed_sequential_times(rng, 5000)
+        assert (times > 0).all()
+
+    def test_small_fraction_close_to_70_percent(self, rng):
+        _, is_small = mixed_sequential_times(rng, 20_000)
+        assert np.mean(is_small) == pytest.approx(0.7, abs=0.02)
+
+    def test_classes_have_expected_scales(self, rng):
+        times, is_small = mixed_sequential_times(rng, 20_000)
+        small_mean = times[is_small].mean()
+        large_mean = times[~is_small].mean()
+        # Truncation at 0 biases means slightly upward; the classes must
+        # still sit near their centres and be well separated.
+        assert small_mean == pytest.approx(1.0, abs=0.2)
+        assert large_mean == pytest.approx(10.0, abs=1.0)
+        assert large_mean > 5 * small_mean
+
+    def test_deterministic_given_seed(self):
+        a_t, a_s = mixed_sequential_times(3, 100)
+        b_t, b_s = mixed_sequential_times(3, 100)
+        assert np.array_equal(a_t, b_t) and np.array_equal(a_s, b_s)
+
+    def test_fraction_bounds(self, rng):
+        times, is_small = mixed_sequential_times(rng, 200, small_fraction=1.0)
+        assert is_small.all()
+        times, is_small = mixed_sequential_times(rng, 200, small_fraction=0.0)
+        assert not is_small.any()
+
+    def test_bad_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mixed_sequential_times(rng, 10, small_fraction=1.5)
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mixed_sequential_times(rng, -5)
+
+    def test_pathological_params_still_terminate(self, rng):
+        # Mean far below zero: rejection gives up and clamps, but returns.
+        times, _ = mixed_sequential_times(
+            rng, 50, small_mean=-100.0, small_std=0.01, small_fraction=1.0
+        )
+        assert (times > 0).all()
