@@ -23,15 +23,21 @@ from repro.experiments.ablation import (
 PARAMS = dict(kind="cirne", n=100, m=64, runs=4, seed=17)
 
 
+@pytest.fixture
+def params(exec_backend, exec_jobs):
+    """PARAMS plus the session's executor knobs (REPRO_BACKEND/REPRO_JOBS)."""
+    return dict(PARAMS, backend=exec_backend, jobs=exec_jobs)
+
+
 def _print(table: dict[str, tuple[float, float]]) -> None:
     print()
     for name, (minsum_r, cmax_r) in table.items():
         print(f"  {name:<16} minsum ratio {minsum_r:6.3f}   cmax ratio {cmax_r:6.3f}")
 
 
-def test_ablation_selection(benchmark):
+def test_ablation_selection(benchmark, params):
     table = benchmark.pedantic(
-        lambda: ablate_selection(**PARAMS), rounds=1, iterations=1
+        lambda: ablate_selection(**params), rounds=1, iterations=1
     )
     _print(table)
     # The exact knapsack never loses weight vs greedy; the realised minsum
@@ -39,22 +45,22 @@ def test_ablation_selection(benchmark):
     assert table["knapsack"][0] <= table["greedy"][0] * 1.1
 
 
-def test_ablation_merge(benchmark):
-    table = benchmark.pedantic(lambda: ablate_merge(**PARAMS), rounds=1, iterations=1)
+def test_ablation_merge(benchmark, params):
+    table = benchmark.pedantic(lambda: ablate_merge(**params), rounds=1, iterations=1)
     _print(table)
     assert table["merge_on"][0] <= table["merge_off"][0] * 1.1
 
 
-def test_ablation_compaction(benchmark):
+def test_ablation_compaction(benchmark, params):
     table = benchmark.pedantic(
-        lambda: ablate_compaction(**PARAMS), rounds=1, iterations=1
+        lambda: ablate_compaction(**params), rounds=1, iterations=1
     )
     _print(table)
     assert table["list"][0] <= table["shelf"][0] + 1e-9
     assert table["list"][1] <= table["shelf"][1] + 1e-9
 
 
-def test_ablation_shuffle(benchmark):
-    table = benchmark.pedantic(lambda: ablate_shuffle(**PARAMS), rounds=1, iterations=1)
+def test_ablation_shuffle(benchmark, params):
+    table = benchmark.pedantic(lambda: ablate_shuffle(**params), rounds=1, iterations=1)
     _print(table)
     assert table["shuffle_20"][0] <= table["shuffle_0"][0] + 1e-9

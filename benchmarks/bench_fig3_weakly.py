@@ -16,9 +16,11 @@ from repro.experiments.figures import figure3
 from repro.experiments.reporting import format_campaign_charts, format_campaign_table
 
 
-def test_figure3_weakly_parallel(benchmark, scale_config, is_tiny_scale):
+def test_figure3_weakly_parallel(benchmark, scale_config, is_tiny_scale, exec_backend, exec_jobs):
     result = benchmark.pedantic(
-        lambda: figure3(scale_config), rounds=1, iterations=1
+        lambda: figure3(scale_config, backend=exec_backend, jobs=exec_jobs),
+        rounds=1,
+        iterations=1,
     )
     print()
     print(format_campaign_table(result))

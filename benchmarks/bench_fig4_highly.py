@@ -13,9 +13,11 @@ from repro.experiments.figures import figure4
 from repro.experiments.reporting import format_campaign_charts, format_campaign_table
 
 
-def test_figure4_highly_parallel(benchmark, scale_config, is_tiny_scale):
+def test_figure4_highly_parallel(benchmark, scale_config, is_tiny_scale, exec_backend, exec_jobs):
     result = benchmark.pedantic(
-        lambda: figure4(scale_config), rounds=1, iterations=1
+        lambda: figure4(scale_config, backend=exec_backend, jobs=exec_jobs),
+        rounds=1,
+        iterations=1,
     )
     print()
     print(format_campaign_table(result))

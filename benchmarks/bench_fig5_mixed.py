@@ -12,9 +12,11 @@ from repro.experiments.figures import figure5
 from repro.experiments.reporting import format_campaign_charts, format_campaign_table
 
 
-def test_figure5_mixed(benchmark, scale_config, is_tiny_scale):
+def test_figure5_mixed(benchmark, scale_config, is_tiny_scale, exec_backend, exec_jobs):
     result = benchmark.pedantic(
-        lambda: figure5(scale_config), rounds=1, iterations=1
+        lambda: figure5(scale_config, backend=exec_backend, jobs=exec_jobs),
+        rounds=1,
+        iterations=1,
     )
     print()
     print(format_campaign_table(result))

@@ -5,12 +5,24 @@ low (less than 2 seconds for the largest instances)" and grows about
 linearly in n.  The 2004 numbers are C on a 2004 machine; what must
 reproduce is the *shape* (near-linear growth, small absolute values) —
 EXPERIMENTS.md records both scales side by side.
+
+This module also carries the vectorized-core headline measurement: DEMT
+on the seed implementation (``ReferenceDemtScheduler``, the pre-migration
+code preserved verbatim) vs the current one, at the paper-scale
+``n = 300`` on the Figure-7 workloads — asserting the >= 3x speedup the
+migration promised, on bit-for-bit identical schedules.
 """
 
 from __future__ import annotations
 
-from repro.experiments.figures import figure7
+import time
+
+from repro.algorithms.demt import DemtScheduler
+from repro.algorithms.reference import ReferenceDemtScheduler
+from repro.experiments.figures import FIGURE7_WORKLOADS, figure7
 from repro.experiments.reporting import format_timing_table
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import generate_workload
 
 
 def test_figure7_scheduling_time(benchmark, scale_config, is_tiny_scale):
@@ -32,3 +44,63 @@ def test_figure7_scheduling_time(benchmark, scale_config, is_tiny_scale):
             growth = (ts[-1] + 1e-9) / (ts[0] + 1e-9)
             size_growth = ns[-1] / ns[0]
             assert growth < size_growth**2.5
+
+
+def test_vectorized_core_speedup_vs_seed(benchmark):
+    """Vectorized core >= 3x faster than the seed DEMT at n = 300.
+
+    Same instances, warm caches, best-of-3 timings per scheduler; the
+    schedules must also be placement-for-placement identical (the speedup
+    may not buy any behavioral drift).  Runs at n = 300 regardless of
+    REPRO_SCALE — the seed baseline is ~60 ms/instance, so even CI smoke
+    affords it.
+
+    ``REPRO_SPEEDUP_MIN`` overrides the asserted ratio: shared CI runners
+    gate with head-room (see .github/workflows/tier1.yml) while the
+    default 3.0 documents the local measurement (~3.3-3.6x).
+    """
+    import os
+
+    threshold = float(os.environ.get("REPRO_SPEEDUP_MIN", "3.0"))
+    n, m, reps = 300, 200, 3
+    instances = [
+        generate_workload(kind, n=n, m=m, seed=derive_rng(2004, "speedup", kind, r))
+        for kind in FIGURE7_WORKLOADS
+        for r in range(2)
+    ]
+
+    def best_of(scheduler_cls, inst):
+        times = []
+        for _ in range(reps):
+            scheduler = scheduler_cls()
+            t0 = time.perf_counter()
+            scheduler.schedule(inst)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    def measure():
+        total_seed = total_new = 0.0
+        for inst in instances:
+            seed_sched = ReferenceDemtScheduler().schedule(inst)  # also warms caches
+            new_sched = DemtScheduler().schedule(inst)
+            assert all(
+                p.start == new_sched[p.task.task_id].start
+                and p.allotment == new_sched[p.task.task_id].allotment
+                for p in seed_sched
+            ), "vectorized core diverged from the seed schedule"
+            total_seed += best_of(ReferenceDemtScheduler, inst)
+            total_new += best_of(DemtScheduler, inst)
+        return total_seed, total_new
+
+    total_seed, total_new = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = total_seed / total_new
+    print()
+    print(
+        f"  DEMT n={n}: seed {total_seed * 1e3 / len(instances):.1f} ms/instance, "
+        f"vectorized {total_new * 1e3 / len(instances):.1f} ms/instance "
+        f"-> {speedup:.2f}x"
+    )
+    assert speedup >= threshold, (
+        f"vectorized core only {speedup:.2f}x faster than seed "
+        f"(threshold {threshold}x)"
+    )

@@ -12,10 +12,13 @@ from repro.algorithms.demt import schedule_demt
 from repro.experiments.online_eval import evaluate_online, format_online_table
 
 
-def test_online_batching_sweep(benchmark, is_tiny_scale):
+def test_online_batching_sweep(benchmark, is_tiny_scale, exec_backend, exec_jobs):
     n, m, runs = (20, 8, 2) if is_tiny_scale else (60, 32, 4)
     points = benchmark.pedantic(
-        lambda: evaluate_online(schedule_demt, n=n, m=m, runs=runs),
+        lambda: evaluate_online(
+            schedule_demt, n=n, m=m, runs=runs,
+            backend=exec_backend, jobs=exec_jobs,
+        ),
         rounds=1,
         iterations=1,
     )

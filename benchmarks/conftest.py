@@ -5,6 +5,11 @@ Scale selection: benchmarks honour ``REPRO_SCALE`` (``paper`` regenerates
 ``smoke`` is for CI).  Every figure bench prints the same rows the paper
 plots, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
 reproduction report.
+
+Backend selection: ``REPRO_BACKEND=process`` fans every campaign's cells
+out over the CPU cores through the :mod:`repro.experiments.engine`
+executor (numbers are identical to the serial default; only wall-clock
+changes).  ``REPRO_JOBS`` caps the worker count.
 """
 
 from __future__ import annotations
@@ -26,3 +31,16 @@ def scale_config():
 def is_tiny_scale():
     """True when running below 'quick' scale (skip statistical assertions)."""
     return os.environ.get("REPRO_SCALE", "quick") == "smoke"
+
+
+@pytest.fixture(scope="session")
+def exec_backend():
+    """Cell executor name for campaign benches (``REPRO_BACKEND``)."""
+    return os.environ.get("REPRO_BACKEND", "serial")
+
+
+@pytest.fixture(scope="session")
+def exec_jobs():
+    """Worker count for the process backend (``REPRO_JOBS``)."""
+    jobs = os.environ.get("REPRO_JOBS")
+    return int(jobs) if jobs else None

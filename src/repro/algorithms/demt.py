@@ -39,12 +39,18 @@ import math
 from dataclasses import dataclass, field
 import numpy as np
 
-from repro.algorithms.compaction import list_compaction, pull_forward, shelf_placement
+from repro.algorithms.compaction import (
+    batch_arrays,
+    list_compaction,
+    order_metrics,
+    pull_forward,
+    shelf_placement,
+)
 from repro.algorithms.dual_approx import DualApproxResult, dual_approximation
-from repro.algorithms.knapsack import KnapsackItem, knapsack_select
+from repro.algorithms.knapsack import knapsack_select_indices
 from repro.algorithms.list_scheduling import ListItem
 from repro.algorithms.merge import merge_small_tasks
-from repro.core.allotment import minimal_allotment
+from repro.core.allotment import minimal_allotments, minimal_allotments_for_tasks
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.core.task import MoldableTask
@@ -109,6 +115,7 @@ class DemtScheduler:
         self.compaction = compaction
         self.small_threshold_factor = small_threshold_factor
         self.seed = seed
+        self._selection_cache: tuple | None = None
 
     # ------------------------------------------------------------------ #
     def schedule(self, instance: Instance) -> Schedule:
@@ -120,7 +127,7 @@ class DemtScheduler:
         if instance.n == 0:
             return DemtResult(schedule=Schedule(instance.m))
 
-        dual = dual_approximation(instance)
+        dual = self._dual(instance)
         cstar = dual.lam
         batches, starts, t_grid, K = self._select_batches(instance, cstar)
         schedule = self._compact(batches, starts, instance.m)
@@ -140,6 +147,11 @@ class DemtScheduler:
             shuffle_improvement=improvement,
         )
 
+    def _dual(self, instance: Instance) -> DualApproxResult:
+        """Makespan-estimate hook (the reference scheduler swaps in the
+        seed's implementation here for differential benchmarking)."""
+        return dual_approximation(instance)
+
     # ------------------------------------------------------------------ #
     # Phase 1: batch geometry and content selection                      #
     # ------------------------------------------------------------------ #
@@ -157,24 +169,34 @@ class DemtScheduler:
         batches: list[list[ListItem]] = []
         starts: list[float] = []
 
-        j = 0
-        # Extension beyond the paper's `for j = 0..K`: keep doubling until
-        # every task is placed (the knapsack may not fit all of them in the
-        # nominal K+1 batches when the machine is narrow).
-        max_batches = K + 2 + instance.n
-        while remaining and j < max_batches:
-            length = t_grid[j] if j < len(t_grid) else t_grid[-1] * 2 ** (j - K - 1)
-            start = length  # window is [t_j, t_{j+1}] and t_j == length
-            selected = self._select_one_batch(
-                list(remaining.values()), length, instance.m
-            )
-            if selected:
-                batches.append(selected)
-                starts.append(start)
-                for it in selected:
-                    for task in it.stack or (it.task,):
-                        del remaining[task.task_id]
-            j += 1
+        # Share the instance's padded (n, m) time matrix with every batch's
+        # admissibility sweep (row-sliced per pool) instead of restacking
+        # the shrinking pool's vectors each round.
+        self._selection_cache = (
+            instance.times_matrix,
+            {t.task_id: row for row, t in enumerate(instance.tasks)},
+        )
+        try:
+            j = 0
+            # Extension beyond the paper's `for j = 0..K`: keep doubling until
+            # every task is placed (the knapsack may not fit all of them in the
+            # nominal K+1 batches when the machine is narrow).
+            max_batches = K + 2 + instance.n
+            while remaining and j < max_batches:
+                length = t_grid[j] if j < len(t_grid) else t_grid[-1] * 2 ** (j - K - 1)
+                start = length  # window is [t_j, t_{j+1}] and t_j == length
+                selected = self._select_one_batch(
+                    list(remaining.values()), length, instance.m
+                )
+                if selected:
+                    batches.append(selected)
+                    starts.append(start)
+                    for it in selected:
+                        for task in it.stack or (it.task,):
+                            del remaining[task.task_id]
+                j += 1
+        finally:
+            self._selection_cache = None
         if remaining:  # pragma: no cover - defensive
             raise SchedulingError(
                 f"batch selection left {len(remaining)} tasks unplaced"
@@ -184,30 +206,34 @@ class DemtScheduler:
     def _select_one_batch(
         self, tasks: list[MoldableTask], length: float, m: int
     ) -> list[ListItem]:
-        # (a) admissibility: some allotment meets the batch length.
-        admissible = [t for t in tasks if minimal_allotment(t, length, m=m) is not None]
+        # (a) admissibility: some allotment meets the batch length.  One
+        # vectorised sweep over the pool's time vectors replaces a
+        # per-task minimal_allotment call (the seed's selection hot spot).
+        cache = getattr(self, "_selection_cache", None)
+        if cache is not None:
+            matrix, rowmap = cache
+            allots = minimal_allotments(
+                matrix[[rowmap[t.task_id] for t in tasks]], length
+            )
+        else:
+            allots = minimal_allotments_for_tasks(tasks, length, m)
+        admissible = [t for t, a in zip(tasks, allots) if a]
         if not admissible:
             return []
+        allot_by_id = {t.task_id: int(a) for t, a in zip(tasks, allots) if a}
         # (b) merge small sequential tasks by decreasing weight.
         stacks, rest = merge_small_tasks(
             admissible, length, small_threshold_factor=self.small_threshold_factor
         )
-        # (c) price every knapsack item at its minimal allotment.
-        items: list[KnapsackItem] = []
-        payload: dict[object, ListItem] = {}
-        for s_idx, stack in enumerate(stacks):
-            key = ("stack", s_idx)
-            items.append(KnapsackItem(key, 1, stack.weight))
-            payload[key] = ListItem(stack.tasks[0], 1, stack=stack.tasks)
-        for task in rest:
-            key = ("task", task.task_id)
-            allot = minimal_allotment(task, length, m=m)
-            assert allot is not None  # admissible by construction
-            items.append(KnapsackItem(key, allot, task.weight))
-            payload[key] = ListItem(task, allot)
-
-        result = knapsack_select(items, m)
-        chosen = [payload[k] for k in result.selected_keys]
+        # (c) price every knapsack item at its minimal allotment (stacks
+        # first, then plain tasks — the DP processes them in this order).
+        candidates = [
+            ListItem(stack.tasks[0], 1, stack=stack.tasks) for stack in stacks
+        ] + [ListItem(task, allot_by_id[task.task_id]) for task in rest]
+        allots = [1] * len(stacks) + [allot_by_id[t.task_id] for t in rest]
+        weights = [s.weight for s in stacks] + [t.weight for t in rest]
+        selected, _, _ = knapsack_select_indices(allots, weights, m)
+        chosen = [candidates[i] for i in selected]
         # (d) local ordering inside the batch: Smith ratio (weight density).
         chosen.sort(key=lambda it: (-_item_weight(it) / it.duration, it.task.task_id))
         return chosen
@@ -239,23 +265,35 @@ class DemtScheduler:
         makespan does not exceed the baseline's — the bi-criteria spirit of
         the paper (the shuffle must not trade one criterion away for the
         other).
+
+        Candidate orders are scored through the metric-only kernel path
+        (:func:`~repro.algorithms.compaction.order_metrics`); only the
+        winning order is materialised into a schedule.
         """
         rng = make_rng(self.seed)
-        best = baseline
-        best_minsum = baseline.weighted_completion_sum()
+        arrays = [batch_arrays(b) for b in batches]
+        base_minsum = baseline.weighted_completion_sum()
+        best_minsum = base_minsum
         base_cmax = baseline.makespan()
+        cutoff = base_cmax * (1 + 1e-12)
+        best_order: np.ndarray | None = None
         order = np.arange(len(batches))
         for _ in range(self.shuffle_rounds):
             rng.shuffle(order)
-            candidate = list_compaction([batches[i] for i in order], m)
-            if candidate.makespan() <= base_cmax * (1 + 1e-12):
-                minsum = candidate.weighted_completion_sum()
-                if minsum < best_minsum:
-                    best, best_minsum = candidate, minsum
-        gain = (baseline.weighted_completion_sum() - best_minsum) / max(
-            baseline.weighted_completion_sum(), 1e-300
-        )
-        return best, gain
+            metrics = order_metrics(arrays, order, m, cmax_cutoff=cutoff)
+            if metrics is not None and metrics[1] < best_minsum:
+                best_minsum = metrics[1]
+                best_order = order.copy()
+        if best_order is None:
+            return baseline, 0.0
+        best = list_compaction([batches[i] for i in best_order], m)
+        # Recompute the winner's minsum from the materialised schedule so
+        # the reported gain uses the same summation as every other metric
+        # (the kernel-side dot product can differ in the last few ulps).
+        exact = best.weighted_completion_sum()
+        if exact >= base_minsum:  # pragma: no cover - ulp-level tie
+            return baseline, 0.0
+        return best, (base_minsum - exact) / max(base_minsum, 1e-300)
 
 
 def _item_weight(item: ListItem) -> float:

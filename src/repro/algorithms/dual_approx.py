@@ -39,10 +39,11 @@ and the shelf ordering).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
-from repro.algorithms.knapsack import knapsack_min_work
+from repro.algorithms.knapsack import knapsack_min_work, knapsack_min_work_value
 from repro.algorithms.list_scheduling import ListItem, list_schedule
 from repro.core.allotment import minimal_allotments, minimal_area_allotments
 from repro.core.instance import Instance
@@ -71,14 +72,25 @@ class DualApproxResult:
         Ids of tasks placed on the big shelf at ``λ*`` (duration class
         ``(λ/2, λ]``); the complement went to the small shelf.
     schedule:
-        A feasible schedule built from the two-shelf partition.
+        A feasible schedule built from the two-shelf partition.  Built
+        lazily on first access: the heaviest consumers of this class (DEMT,
+        the List-Graham baselines, the lower bounds) only read ``lam`` /
+        ``allotments`` and never pay for the construction.
     """
 
     lower_bound: float
     lam: float
     allotments: dict[int, int]
     big_shelf: frozenset[int]
-    schedule: Schedule
+    _instance: "Instance | None" = None
+    _prebuilt: "Schedule | None" = None
+
+    @cached_property
+    def schedule(self) -> Schedule:
+        if self._prebuilt is not None:
+            return self._prebuilt
+        assert self._instance is not None
+        return _build_two_shelf_schedule(self._instance, self.allotments, self.big_shelf)
 
     @property
     def makespan(self) -> float:
@@ -102,8 +114,9 @@ def feasibility_check(instance: Instance, lam: float) -> tuple[bool, np.ndarray,
     if (g_big == 0).any():
         return False, np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
     g_small = minimal_allotments(tm, lam / 2.0)  # 0 = cannot be a small task
-    work_big = minimal_area_allotments(tm, lam)
-    work_small = minimal_area_allotments(tm, lam / 2.0)  # +inf where impossible
+    am = instance.areas_matrix
+    work_big = minimal_area_allotments(tm, lam, areas_matrix=am)
+    work_small = minimal_area_allotments(tm, lam / 2.0, areas_matrix=am)
 
     in_big, total = knapsack_min_work(
         work_a=work_big,
@@ -115,6 +128,46 @@ def feasibility_check(instance: Instance, lam: float) -> tuple[bool, np.ndarray,
         return False, np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
     allot = np.where(in_big, g_big, g_small).astype(np.int64)
     return True, in_big, allot
+
+
+def _is_feasible(instance: Instance, lam: float) -> bool:
+    """Boolean-only :func:`feasibility_check` (no assignment reconstruction).
+
+    Same tests, same dynamic-program float sequence — the binary search
+    probes through this and reconstructs once at the accepted ``λ*``.
+    """
+    if lam <= 0:
+        return False
+    tm = instance.times_matrix
+    m = instance.m
+
+    g_big = minimal_allotments(tm, lam)
+    if (g_big == 0).any():
+        return False
+    am = instance.areas_matrix
+    work_big = minimal_area_allotments(tm, lam, areas_matrix=am)
+    work_small = minimal_area_allotments(tm, lam / 2.0, areas_matrix=am)
+
+    # Sum bounds decide most probes without the knapsack: the optimum W*
+    # satisfies sum(work_big) <= W* <= sum(work_small) (work_big is the
+    # elementwise min since a looser deadline never costs area).  The 1e-9
+    # guard band keeps decisions identical to the DP's despite its
+    # different float summation order (ulp-level differences).
+    budget = m * lam * (1 + 1e-12)
+    lower = float(np.sum(work_big))
+    if lower > budget * (1 + 1e-9):
+        return False
+    upper = float(np.sum(work_small))
+    if np.isfinite(upper) and upper <= budget * (1 - 1e-9):
+        return True
+
+    total = knapsack_min_work_value(
+        work_a=work_big,
+        cost_a=g_big.astype(np.float64),
+        work_b=work_small,
+        m=m,
+    )
+    return np.isfinite(total) and total <= budget
 
 
 def dual_approximation(
@@ -130,21 +183,22 @@ def dual_approximation(
     approximation factors at play.
     """
     if instance.n == 0:
-        return DualApproxResult(0.0, 0.0, {}, frozenset(), Schedule(instance.m))
+        return DualApproxResult(0.0, 0.0, {}, frozenset(), _prebuilt=Schedule(instance.m))
 
     # Closed-form certified lower bounds: tallest unavoidable task and the
     # area argument.  Both are also implied by feasibility_check, but they
     # give the search a tight floor for free.
     lo = max(instance.max_min_time, instance.min_total_work / instance.m)
 
-    feasible, in_big, allot = feasibility_check(instance, lo)
-    if not feasible:
+    # Probe with the value-only test; the accepted λ* is rechecked once in
+    # full below to reconstruct the shelf assignment (deterministic, so
+    # this splits the seed's combined probe without changing any outcome).
+    if not _is_feasible(instance, lo):
         # Grow until accepted (geometric; must terminate because for lam >=
         # max sequential/min time everything fits on one shelf).
         hi = lo * 2.0
         for _ in range(max_iter):
-            feasible, in_big, allot = feasibility_check(instance, hi)
-            if feasible:
+            if _is_feasible(instance, hi):
                 break
             lo = hi
             hi *= 2.0
@@ -155,9 +209,8 @@ def dual_approximation(
             if hi - lo <= rel_tol * lo:
                 break
             mid = 0.5 * (lo + hi)
-            ok, ib, al = feasibility_check(instance, mid)
-            if ok:
-                hi, in_big, allot = mid, ib, al
+            if _is_feasible(instance, mid):
+                hi = mid
             else:
                 lo = mid
         lam = hi
@@ -166,7 +219,10 @@ def dual_approximation(
         # (searching below `lo` is pointless — it is already certified).
         lam = lo
 
-    schedule = _build_two_shelf_schedule(instance, in_big, allot)
+    feasible, in_big, allot = feasibility_check(instance, lam)
+    if not feasible:  # pragma: no cover - probe and full check agree
+        raise SchedulingError(f"accepted lambda {lam} failed the full check")
+
     allotments = {t.task_id: int(allot[i]) for i, t in enumerate(instance.tasks)}
     big_ids = frozenset(t.task_id for i, t in enumerate(instance.tasks) if in_big[i])
     return DualApproxResult(
@@ -174,12 +230,12 @@ def dual_approximation(
         lam=float(lam),
         allotments=allotments,
         big_shelf=big_ids,
-        schedule=schedule,
+        _instance=instance,
     )
 
 
 def _build_two_shelf_schedule(
-    instance: Instance, in_big: np.ndarray, allot: np.ndarray
+    instance: Instance, allotments: dict[int, int], big_shelf: frozenset[int]
 ) -> Schedule:
     """Materialise the accepted partition into a feasible schedule.
 
@@ -188,12 +244,15 @@ def _build_two_shelf_schedule(
     duration; Graham list scheduling slots the small tasks into the gaps
     left by the staggered big-shelf completions.
     """
-    tasks = instance.tasks
     big_items = [
-        ListItem(tasks[i], int(allot[i])) for i in range(len(tasks)) if in_big[i]
+        ListItem(t, allotments[t.task_id])
+        for t in instance.tasks
+        if t.task_id in big_shelf
     ]
     small_items = [
-        ListItem(tasks[i], int(allot[i])) for i in range(len(tasks)) if not in_big[i]
+        ListItem(t, allotments[t.task_id])
+        for t in instance.tasks
+        if t.task_id not in big_shelf
     ]
     # Big shelf: widest first so the shelf packs left-to-right deterministically.
     big_items.sort(key=lambda it: (-it.allotment, it.task.task_id))

@@ -16,12 +16,18 @@ capacity axis) plus the choice reconstruction the paper leaves implicit.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["KnapsackItem", "KnapsackResult", "knapsack_select"]
+__all__ = [
+    "KnapsackItem",
+    "KnapsackResult",
+    "knapsack_select",
+    "knapsack_select_indices",
+]
 
 
 @dataclass(frozen=True)
@@ -45,7 +51,7 @@ class KnapsackItem:
     def __post_init__(self) -> None:
         if self.allotment < 1:
             raise ValueError(f"item {self.key!r}: allotment must be >= 1, got {self.allotment}")
-        if not np.isfinite(self.weight) or self.weight < 0:
+        if not math.isfinite(self.weight) or self.weight < 0:
             raise ValueError(f"item {self.key!r}: weight must be finite and >= 0")
 
 
@@ -83,33 +89,57 @@ def knapsack_select(items: Sequence[KnapsackItem], m: int) -> KnapsackResult:
     n = len(items)
     if n == 0 or m == 0:
         return KnapsackResult((), 0.0, 0)
+    chosen_idx, total, used = knapsack_select_indices(
+        [it.allotment for it in items], [it.weight for it in items], m
+    )
+    chosen = tuple(items[i] for i in chosen_idx)
+    return KnapsackResult(chosen, total, used)
 
+
+def knapsack_select_indices(
+    allotments: Sequence[int], weights: Sequence[float], m: int
+) -> tuple[list[int], float, int]:
+    """Array-level core of :func:`knapsack_select`.
+
+    Takes parallel allotment/weight sequences and returns
+    ``(selected indices, total weight, used processors)`` — the DEMT batch
+    loop calls this directly so the hot path skips item-object overhead.
+    """
+    n = len(allotments)
+    if n == 0 or m == 0:
+        return [], 0.0, 0
     # best[q] = max weight using at most q processors, items 0..i.
     best = np.zeros(m + 1, dtype=np.float64)
     # keep[i, q] = True iff item i is taken in the optimum for capacity q.
     keep = np.zeros((n, m + 1), dtype=bool)
+    scratch = np.empty(m + 1, dtype=np.float64)
 
-    for i, item in enumerate(items):
-        a = item.allotment
+    for i in range(n):
+        a = allotments[i]
         if a > m:
             continue  # can never fit; row of keep stays False
-        candidate = best[: m + 1 - a] + item.weight
-        take = candidate > best[a:]
-        keep[i, a:] = take
-        best[a:] = np.where(take, candidate, best[a:])
+        candidate = scratch[: m + 1 - a]
+        np.add(best[: m + 1 - a], weights[i], out=candidate)
+        np.greater(candidate, best[a:], out=keep[i, a:])
+        np.maximum(best[a:], candidate, out=best[a:])
 
     # Reconstruct at the smallest capacity achieving the maximal weight
-    # (fewest processors used for the same weight).
+    # (fewest processors used for the same weight).  The comparison must be
+    # exact: `best` is non-decreasing in the capacity, so `best[q] >= total`
+    # already means equality, whereas a tolerance would accept a capacity
+    # whose optimum is a *strictly lighter* selection when item weights
+    # differ by less than the tolerance — the reconstruction would then not
+    # reproduce the reported total.
     total = float(best[m])
-    q = int(np.argmax(best >= total - 1e-12))
-    chosen: list[KnapsackItem] = []
+    q = int(np.argmax(best >= total))
+    chosen_idx: list[int] = []
     for i in range(n - 1, -1, -1):
         if keep[i, q]:
-            chosen.append(items[i])
-            q -= items[i].allotment
-    chosen.reverse()
-    used = sum(it.allotment for it in chosen)
-    return KnapsackResult(tuple(chosen), total, used)
+            chosen_idx.append(i)
+            q -= allotments[i]
+    chosen_idx.reverse()
+    used = sum(allotments[i] for i in chosen_idx)
+    return chosen_idx, total, used
 
 
 def knapsack_min_work(
@@ -141,20 +171,32 @@ def knapsack_min_work(
         raise ValueError(f"capacity must be non-negative, got {m}")
 
     INF = np.inf
-    # dp[q] = min work with big-shelf width exactly <= q.
-    dp = np.full(m + 1, 0.0)
+    # dp[q] = min work with big-shelf width exactly <= q.  The row loop is
+    # inherently sequential, so the speed comes from reusing two scratch
+    # buffers (no allocations inside the loop) and from collapsing the
+    # select into an elementwise minimum: take_a = via_a < via_b makes
+    # np.where(take_a, via_a, via_b) exactly min(via_a, via_b).
+    dp = np.zeros(m + 1)
     choice = np.zeros((n, m + 1), dtype=bool)  # True = option A
+    via_a = np.empty(m + 1)
+    via_b = np.empty(m + 1)
     for i in range(n):
         a_cost = int(cost_a[i])
-        via_b = dp + work_b[i]
+        if work_a[i] >= work_b[i]:
+            # Option A can never strictly win: dp is non-increasing in the
+            # capacity, so via_a(q) = dp(q - c) + work_a >= dp(q) + work_b
+            # = via_b(q).  The row collapses to a constant shift (and the
+            # strict `<` of the full update leaves choice[i] all False).
+            np.add(dp, work_b[i], out=dp)
+            continue
+        np.add(dp, work_b[i], out=via_b)
         if a_cost <= m and np.isfinite(work_a[i]):
-            via_a = np.full(m + 1, INF)
-            via_a[a_cost:] = dp[: m + 1 - a_cost] + work_a[i]
+            via_a[:a_cost] = INF
+            np.add(dp[: m + 1 - a_cost], work_a[i], out=via_a[a_cost:])
         else:
-            via_a = np.full(m + 1, INF)
-        take_a = via_a < via_b
-        choice[i] = take_a
-        dp = np.where(take_a, via_a, via_b)
+            via_a[:] = INF
+        np.less(via_a, via_b, out=choice[i])
+        np.minimum(via_a, via_b, out=dp)
 
     total = float(dp[m])
     if not np.isfinite(total):
@@ -167,3 +209,46 @@ def knapsack_min_work(
             in_a[i] = True
             q -= int(cost_a[i])
     return in_a, total
+
+
+def knapsack_min_work_value(
+    work_a: np.ndarray,
+    cost_a: np.ndarray,
+    work_b: np.ndarray,
+    m: int,
+) -> float:
+    """Objective value of :func:`knapsack_min_work`, without reconstruction.
+
+    Same dynamic program, same float operations in the same order (so
+    feasibility decisions based on the value are identical), but no choice
+    matrix — the dual-approximation binary search only needs the value for
+    all but its final, accepted probe.
+    """
+    n = work_a.size
+    if not (cost_a.size == n and work_b.size == n):
+        raise ValueError("work_a, cost_a and work_b must have the same length")
+    if m < 0:
+        raise ValueError(f"capacity must be non-negative, got {m}")
+
+    INF = np.inf
+    dp = np.zeros(m + 1)
+    via_a = np.empty(m + 1)
+    via_b = np.empty(m + 1)
+    wa_list = np.asarray(work_a, dtype=np.float64).tolist()
+    wb_list = np.asarray(work_b, dtype=np.float64).tolist()
+    cost_list = [int(c) for c in cost_a]
+    for i in range(n):
+        wa = wa_list[i]
+        wb = wb_list[i]
+        if wa >= wb:
+            np.add(dp, wb, out=dp)
+            continue
+        a_cost = cost_list[i]
+        np.add(dp, wb, out=via_b)
+        if a_cost <= m and math.isfinite(wa):
+            via_a[:a_cost] = INF
+            np.add(dp[: m + 1 - a_cost], wa, out=via_a[a_cost:])
+        else:
+            via_a[:] = INF
+        np.minimum(via_a, via_b, out=dp)
+    return float(dp[m])

@@ -13,18 +13,23 @@ behind
 * the three List-Graham baselines of §4.1 (shelf order, weighted LPTF,
   SAF).
 
-Complexity: ``O(n^2)`` in the worst case (each of the ``n`` events rescans
-the list); entirely adequate for the paper's ``n <= 400``.
+The simulation itself is delegated to the vectorized kernel
+:func:`repro.core.profile.graham_starts`; this module owns the
+``ListItem`` abstraction (tasks and merged stacks) and the materialisation
+of kernel start times into a :class:`~repro.core.schedule.Schedule`.  The
+output is bit-for-bit identical to the seed's pending-list rescan
+(``repro.algorithms.reference.reference_list_schedule``), which the
+differential suite pins down.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.profile import graham_starts
 from repro.core.schedule import Schedule
 from repro.core.task import MoldableTask
 from repro.exceptions import SchedulingError
@@ -80,47 +85,26 @@ def list_schedule(
 
     Returns the (possibly shared) :class:`Schedule` with all items placed.
     """
-    for it in items:
-        if it.allotment > m:
-            raise SchedulingError(
-                f"task {it.task.task_id}: allotment {it.allotment} exceeds m={m}"
-            )
-        if not np.isfinite(it.duration):
-            raise SchedulingError(
-                f"task {it.task.task_id}: infinite duration for allotment {it.allotment}"
-            )
-
     out = schedule if schedule is not None else Schedule(m)
-    pending: list[ListItem] = list(items)
-    free = m
-    now = float(start_time)
-    running: list[tuple[float, int]] = []  # (end_time, allotment) min-heap
-
-    while pending:
-        # Start every fitting task, scanning in priority order.
-        started_any = True
-        while started_any:
-            started_any = False
-            for idx, it in enumerate(pending):
-                if it.allotment <= free:
-                    _place(out, it, now)
-                    heapq.heappush(running, (now + it.duration, it.allotment))
-                    free -= it.allotment
-                    del pending[idx]
-                    started_any = True
-                    break
-        if not pending:
-            break
-        if not running:  # pragma: no cover - defensive; free == m yet nothing fits
-            raise SchedulingError("list scheduling deadlocked (item larger than machine?)")
-        # Advance to the next completion and free its processors (plus any
-        # completions at the same instant).
-        end, allot = heapq.heappop(running)
-        free += allot
-        now = end
-        while running and running[0][0] <= now:
-            _, a = heapq.heappop(running)
-            free += a
+    if not items:
+        return out
+    allotments = np.array([it.allotment for it in items], dtype=np.int64)
+    durations = np.array([it.duration for it in items], dtype=np.float64)
+    for it, allot, dur in zip(items, allotments, durations):
+        if allot > m:
+            raise SchedulingError(
+                f"task {it.task.task_id}: allotment {allot} exceeds m={m}"
+            )
+        if not np.isfinite(dur):
+            raise SchedulingError(
+                f"task {it.task.task_id}: infinite duration for allotment {allot}"
+            )
+    starts, order = graham_starts(allotments, durations, m, start_time=start_time)
+    # Materialise in chronological placement order — the insertion order the
+    # event simulation naturally produces, preserved so metric summations
+    # match the seed implementation exactly.
+    for idx in order:
+        _place(out, items[idx], float(starts[idx]))
     return out
 
 

@@ -19,6 +19,8 @@ vectorised forms operate on the ``(n, m)`` processing-time matrix exposed by
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.task import MoldableTask
@@ -26,6 +28,7 @@ from repro.core.task import MoldableTask
 __all__ = [
     "minimal_allotment",
     "minimal_allotments",
+    "minimal_allotments_for_tasks",
     "minimal_area_allotment",
     "minimal_area_allotments",
 ]
@@ -63,6 +66,30 @@ def minimal_allotments(times_matrix: np.ndarray, deadline: float) -> np.ndarray:
     return allot.astype(np.int64)
 
 
+def minimal_allotments_for_tasks(
+    tasks: Sequence[MoldableTask], deadline: float, m: int
+) -> np.ndarray:
+    """Vectorised :func:`minimal_allotment` over a task *list*.
+
+    Unlike :func:`minimal_allotments` this builds the time matrix itself,
+    so batch loops over shrinking pools (DEMT's selection) get one numpy
+    sweep per batch instead of one ``minimal_allotment`` call per task.
+    Returns an ``(n,)`` int array; ``0`` encodes "no feasible allotment".
+    """
+    if not tasks:
+        return np.zeros(0, dtype=np.int64)
+    lengths = {t.times.size for t in tasks}
+    if len(lengths) == 1:
+        matrix = np.stack([t.times for t in tasks])[:, :m]
+    else:  # mixed vector lengths: pad with +inf (never feasible)
+        width = min(m, max(lengths))
+        matrix = np.full((len(tasks), width), np.inf)
+        for row, t in enumerate(tasks):
+            k = min(t.times.size, width)
+            matrix[row, :k] = t.times[:k]
+    return minimal_allotments(matrix, deadline)
+
+
 def minimal_area_allotment(
     task: MoldableTask, deadline: float, m: int | None = None
 ) -> tuple[int, float] | None:
@@ -83,14 +110,24 @@ def minimal_area_allotment(
     return k, float(areas[k - 1])
 
 
-def minimal_area_allotments(times_matrix: np.ndarray, deadline: float) -> np.ndarray:
+def minimal_area_allotments(
+    times_matrix: np.ndarray,
+    deadline: float,
+    *,
+    areas_matrix: np.ndarray | None = None,
+) -> np.ndarray:
     """Vectorised minimal feasible area per task (``+inf`` if infeasible).
 
     ``times_matrix`` is the ``(n, m)`` matrix of ``p_i(k)``; the result is an
     ``(n,)`` float array of ``S_{i, j}`` values for the interval whose upper
-    end is ``deadline``.
+    end is ``deadline``.  Callers probing many deadlines (the dual
+    approximation's binary search) pass the precomputed
+    ``Instance.areas_matrix`` to skip rebuilding the ``k * p_i(k)`` product.
     """
-    n, m = times_matrix.shape
-    ks = np.arange(1, m + 1, dtype=np.float64)
-    areas = np.where(times_matrix <= deadline, times_matrix * ks, np.inf)
-    return areas.min(axis=1)
+    if areas_matrix is None:
+        n, m = times_matrix.shape
+        ks = np.arange(1, m + 1, dtype=np.float64)
+        areas_matrix = times_matrix * ks
+    return np.min(
+        areas_matrix, axis=1, where=times_matrix <= deadline, initial=np.inf
+    )

@@ -12,7 +12,8 @@ assignment for the simulator and for Gantt rendering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -36,21 +37,22 @@ class ScheduledTask:
         Start time (``>= 0``; ``>= task.release`` in on-line settings).
     allotment:
         Number of processors ``k`` the task runs on for its whole duration.
+    duration:
+        Processing time ``p(allotment)`` — derived, precomputed once (the
+        metric sweeps read it per placement, and ``p()`` is not free).
+    end:
+        Completion time ``C_i = start + p(allotment)`` — derived likewise.
     """
 
     task: MoldableTask
     start: float
     allotment: int
+    duration: float = field(init=False)
+    end: float = field(init=False)
 
-    @property
-    def duration(self) -> float:
-        """Processing time under the chosen allotment."""
-        return self.task.p(self.allotment)
-
-    @property
-    def end(self) -> float:
-        """Completion time ``C_i = start + p(allotment)``."""
-        return self.start + self.duration
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "duration", self.task.p(self.allotment))
+        object.__setattr__(self, "end", self.start + self.duration)
 
     @property
     def work(self) -> float:
@@ -103,15 +105,15 @@ class Schedule:
             raise InvalidScheduleError(
                 f"task {task.task_id}: allotment {allotment} outside [1, {self.m}]"
             )
-        if not np.isfinite(task.p(allotment)):
-            raise InvalidScheduleError(
-                f"task {task.task_id}: allotment {allotment} is forbidden (p=inf)"
-            )
         if start < 0:
             raise InvalidScheduleError(
                 f"task {task.task_id}: negative start time {start}"
             )
         placement = ScheduledTask(task, float(start), int(allotment))
+        if not math.isfinite(placement.duration):
+            raise InvalidScheduleError(
+                f"task {task.task_id}: allotment {allotment} is forbidden (p=inf)"
+            )
         self._placements.append(placement)
         self._by_id[task.task_id] = placement
         self.__dict__.pop("_events", None)  # invalidate caches

@@ -2,8 +2,11 @@
 
 * :mod:`repro.experiments.config` — campaign parameters and the
   ``REPRO_SCALE`` environment knob (``paper`` / ``quick`` / ``smoke``);
+* :mod:`repro.experiments.engine` — execution backends (serial /
+  process-pool) and the per-cell result cache;
 * :mod:`repro.experiments.runner` — runs one (workload, n) point or a full
-  campaign: every algorithm against both lower bounds, 40 seeded runs;
+  campaign: every algorithm against both lower bounds, 40 seeded runs,
+  dispatched as independent cells through an engine backend;
 * :mod:`repro.experiments.aggregate` — ratio-of-sums aggregation (Jain,
   ref [15]) plus min/max envelopes, as plotted in Figures 3-6;
 * :mod:`repro.experiments.figures` — one driver per figure (3-7) plus the
@@ -14,10 +17,17 @@
 """
 
 from repro.experiments.config import ExperimentConfig, resolve_scale, SCALES
+from repro.experiments.engine import (
+    CellCache,
+    SerialBackend,
+    ProcessBackend,
+    resolve_backend,
+)
 from repro.experiments.runner import (
     AlgorithmPointStats,
     PointResult,
     CampaignResult,
+    run_cells,
     run_point,
     run_campaign,
 )
@@ -35,9 +45,14 @@ __all__ = [
     "ExperimentConfig",
     "resolve_scale",
     "SCALES",
+    "CellCache",
+    "SerialBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "AlgorithmPointStats",
     "PointResult",
     "CampaignResult",
+    "run_cells",
     "run_point",
     "run_campaign",
     "figure3",

@@ -13,18 +13,24 @@ them on the paper's workloads:
 Each driver returns ``{variant_name: (mean minsum ratio, mean cmax
 ratio)}`` over a handful of seeded instances, where ratios are against the
 standard lower bounds — directly printable by the benchmark harness.
+
+Variants are described as picklable scheduler *factories* (classes or
+:func:`functools.partial` of classes), so the per-run evaluation can be
+fanned out over the :mod:`~repro.experiments.engine` process backend:
+``ablate_shuffle(backend="process")`` runs each seeded instance's variant
+sweep in its own worker with identical numbers to the serial loop.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.algorithms.demt import DemtScheduler
 from repro.algorithms.dual_approx import dual_approximation
 from repro.bounds.minsum_lp import minsum_lower_bound
-from repro.core.instance import Instance
-from repro.core.schedule import Schedule
 from repro.experiments.aggregate import ratio_of_sums
+from repro.experiments.engine import resolve_backend
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
 
@@ -37,29 +43,50 @@ __all__ = [
 ]
 
 
+def _ablation_cell(args: tuple) -> tuple[float, float, dict[str, tuple[float, float]]]:
+    """Worker: one seeded instance, all variants, plus its lower bounds.
+
+    Returns ``(cmax_lb, minsum_lb, {variant: (minsum, cmax)})``.
+    """
+    kind, n, m, seed, r, variant_items = args
+    inst = generate_workload(kind, n=n, m=m, seed=derive_rng(seed, kind, n, r))
+    dual = dual_approximation(inst)
+    cmax_lb = dual.lower_bound
+    minsum_lb = minsum_lower_bound(inst, dual.lam).value
+    measured: dict[str, tuple[float, float]] = {}
+    for name, factory in variant_items:
+        sched = factory().schedule(inst)
+        measured[name] = (sched.weighted_completion_sum(), sched.makespan())
+    return cmax_lb, minsum_lb, measured
+
+
 def _evaluate_variants(
-    variants: dict[str, Callable[[Instance], Schedule]],
+    variants: dict[str, Callable[[], object]],
     *,
     kind: str = "cirne",
     n: int = 100,
     m: int = 64,
     runs: int = 5,
     seed: int = 7,
+    backend: object = None,
+    jobs: int | None = None,
 ) -> dict[str, tuple[float, float]]:
     """Run each variant over shared instances; aggregate both ratios."""
+    backend_obj = resolve_backend(backend, jobs)
+    variant_items = tuple(variants.items())
+    cells = [(kind, n, m, seed, r, variant_items) for r in range(runs)]
+    outputs = backend_obj.map(_ablation_cell, cells)
+
     minsums: dict[str, list[float]] = {v: [] for v in variants}
     cmaxes: dict[str, list[float]] = {v: [] for v in variants}
     minsum_lbs: list[float] = []
     cmax_lbs: list[float] = []
-    for r in range(runs):
-        inst = generate_workload(kind, n=n, m=m, seed=derive_rng(seed, kind, n, r))
-        dual = dual_approximation(inst)
-        cmax_lbs.append(dual.lower_bound)
-        minsum_lbs.append(minsum_lower_bound(inst, dual.lam).value)
-        for name, fn in variants.items():
-            sched = fn(inst)
-            minsums[name].append(sched.weighted_completion_sum())
-            cmaxes[name].append(sched.makespan())
+    for cmax_lb, minsum_lb, measured in outputs:
+        cmax_lbs.append(cmax_lb)
+        minsum_lbs.append(minsum_lb)
+        for name, (minsum, cmax) in measured.items():
+            minsums[name].append(minsum)
+            cmaxes[name].append(cmax)
     return {
         name: (
             ratio_of_sums(minsums[name], minsum_lbs),
@@ -67,21 +94,6 @@ def _evaluate_variants(
         )
         for name in variants
     }
-
-
-def ablate_selection(**kw: object) -> dict[str, tuple[float, float]]:
-    """A1: exact knapsack vs greedy weight-density batch filling."""
-
-    def greedy_variant(inst: Instance) -> Schedule:
-        return _GreedySelectionDemt().schedule(inst)
-
-    return _evaluate_variants(
-        {
-            "knapsack": lambda inst: DemtScheduler().schedule(inst),
-            "greedy": greedy_variant,
-        },
-        **kw,
-    )
 
 
 class _GreedySelectionDemt(DemtScheduler):
@@ -120,6 +132,14 @@ class _GreedySelectionDemt(DemtScheduler):
         return chosen
 
 
+def ablate_selection(**kw: object) -> dict[str, tuple[float, float]]:
+    """A1: exact knapsack vs greedy weight-density batch filling."""
+    return _evaluate_variants(
+        {"knapsack": DemtScheduler, "greedy": _GreedySelectionDemt},
+        **kw,
+    )
+
+
 def ablate_merge(**kw: object) -> dict[str, tuple[float, float]]:
     """A2: small-sequential-task merging on vs off.
 
@@ -128,10 +148,8 @@ def ablate_merge(**kw: object) -> dict[str, tuple[float, float]]:
     """
     return _evaluate_variants(
         {
-            "merge_on": lambda inst: DemtScheduler().schedule(inst),
-            "merge_off": lambda inst: DemtScheduler(
-                small_threshold_factor=1e-12
-            ).schedule(inst),
+            "merge_on": DemtScheduler,
+            "merge_off": partial(DemtScheduler, small_threshold_factor=1e-12),
         },
         **kw,
     )
@@ -141,11 +159,7 @@ def ablate_compaction(**kw: object) -> dict[str, tuple[float, float]]:
     """A3: the paper's compaction ladder (shelf -> pull-forward -> list)."""
     return _evaluate_variants(
         {
-            mode: (
-                lambda inst, _mode=mode: DemtScheduler(
-                    compaction=_mode, shuffle_rounds=0
-                ).schedule(inst)
-            )
+            mode: partial(DemtScheduler, compaction=mode, shuffle_rounds=0)
             for mode in ("shelf", "pull_forward", "list")
         },
         **kw,
@@ -156,9 +170,7 @@ def ablate_shuffle(**kw: object) -> dict[str, tuple[float, float]]:
     """A4: number of batch-order shuffle rounds."""
     return _evaluate_variants(
         {
-            f"shuffle_{rounds}": (
-                lambda inst, _r=rounds: DemtScheduler(shuffle_rounds=_r).schedule(inst)
-            )
+            f"shuffle_{rounds}": partial(DemtScheduler, shuffle_rounds=rounds)
             for rounds in (0, 5, 20)
         },
         **kw,

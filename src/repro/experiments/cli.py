@@ -14,6 +14,13 @@ Quick look at every figure (default scale is ``quick``; override with the
 Run the ablations::
 
     repro-experiments --ablation all
+
+Scale a paper-sized campaign across every core::
+
+    repro-experiments --figure 6 --scale paper --backend process
+
+Numbers are byte-identical across backends (each cell derives its own RNG
+stream); only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import sys
 
 from repro.experiments.ablation import ABLATIONS
 from repro.experiments.config import SCALES, resolve_scale
+from repro.experiments.engine import BACKENDS
 from repro.experiments.figures import FIGURES, figure7
 from repro.experiments.reporting import (
     format_campaign_charts,
@@ -31,6 +39,13 @@ from repro.experiments.reporting import (
 )
 
 __all__ = ["main"]
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--charts", action="store_true", help="also render ASCII charts"
     )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="serial",
+        help="cell executor: 'serial' (default) or 'process' (all cores)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes for --backend process (default: cpu count)",
+    )
     return parser
 
 
@@ -73,15 +100,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.seed is not None:
         cfg = cfg.scaled(seed=args.seed)
 
+    exec_kw = dict(backend=args.backend, jobs=args.jobs)
+
     if args.figure:
         wanted = list(FIGURES) if args.figure == "all" else [args.figure]
         for fig_id in wanted:
             print(f"=== Figure {fig_id} ===")
             if fig_id == "7":
-                result = figure7(cfg)
+                result = figure7(cfg, **exec_kw)
                 print(format_timing_table(result.timings))
             else:
-                result = FIGURES[fig_id](cfg, progress=True)
+                result = FIGURES[fig_id](cfg, progress=True, **exec_kw)
                 print(format_campaign_table(result))
                 if args.charts:
                     print(format_campaign_charts(result))
@@ -90,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
         wanted = list(ABLATIONS) if args.ablation == "all" else [args.ablation]
         for name in wanted:
             print(f"=== Ablation: {name} ===")
-            for variant, (minsum_r, cmax_r) in ABLATIONS[name]().items():
+            for variant, (minsum_r, cmax_r) in ABLATIONS[name](**exec_kw).items():
                 print(f"  {variant:<16} minsum ratio {minsum_r:6.3f}   cmax ratio {cmax_r:6.3f}")
             print()
     return 0

@@ -1,0 +1,191 @@
+"""Campaign execution engine: backends, cells, and the result cache.
+
+A *cell* is the smallest independently reproducible unit of a campaign:
+one algorithm run on one generated instance, addressed by
+``(seed, kind, n, m, r, algorithm)``.  Because every instance is generated
+from the stateless :func:`repro.utils.rng.derive_rng` stream keyed by
+``(seed, kind, n, r)``, a cell's result does not depend on which other
+cells ran, in which order, or in which process — which is what makes the
+two execution backends interchangeable:
+
+* :class:`SerialBackend` — a plain in-process loop (the default; zero
+  overhead, exact for tests);
+* :class:`ProcessBackend` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out over CPU cores.  Workers receive plain picklable argument tuples
+  and return plain records; numbers are guaranteed identical to the serial
+  backend (only the wall-clock ``seconds`` measurements differ).
+
+The :class:`CellCache` memoises per-cell records and per-instance lower
+bounds, so repeated campaigns — sweeps over algorithm subsets, ablations
+re-using the same instances, figure regeneration after adding one point —
+only pay for cells they have not seen.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "CellKey",
+    "CellRecord",
+    "CellBounds",
+    "CellCache",
+    "SerialBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "BACKENDS",
+]
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Address of one (instance, algorithm) measurement."""
+
+    seed: int
+    kind: str
+    n: int
+    m: int
+    r: int
+    algorithm: str
+
+    @property
+    def bounds_key(self) -> tuple:
+        """Key of the per-instance lower bounds (algorithm-independent)."""
+        return (self.seed, self.kind, self.n, self.m, self.r)
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One algorithm's measurements on one instance.
+
+    ``validated`` records whether the schedule behind these numbers went
+    through :func:`repro.core.validation.validate_schedule`; a cache
+    lookup under ``validate=True`` refuses records measured without it.
+    """
+
+    cmax: float
+    minsum: float
+    seconds: float
+    validated: bool = False
+
+
+@dataclass(frozen=True)
+class CellBounds:
+    """Per-instance lower bounds shared by every algorithm's ratios."""
+
+    cmax_lb: float
+    minsum_lb: float
+
+
+class CellCache:
+    """In-memory memo of cell records and instance bounds.
+
+    Purely additive; campaigns can share one across calls.  ``hits`` /
+    ``misses`` count record lookups (for tests and progress reporting).
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[CellKey, CellRecord] = {}
+        self._bounds: dict[tuple, CellBounds] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get_record(
+        self, key: CellKey, *, require_validated: bool = False
+    ) -> CellRecord | None:
+        """Look up a record; optionally refuse ones measured without
+        schedule validation (they count as misses and get re-measured)."""
+        rec = self._records.get(key)
+        if rec is not None and require_validated and not rec.validated:
+            rec = None
+        if rec is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rec
+
+    def put_record(self, key: CellKey, record: CellRecord) -> None:
+        self._records[key] = record
+
+    def get_bounds(self, bounds_key: tuple) -> CellBounds | None:
+        return self._bounds.get(bounds_key)
+
+    def put_bounds(self, bounds_key: tuple, bounds: CellBounds) -> None:
+        self._bounds[bounds_key] = bounds
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._bounds.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class SerialBackend:
+    """Run cells in-process, in order (deterministic, no pickling needed)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class ProcessBackend:
+    """Fan cells out over a process pool.
+
+    ``fn`` and every item must be picklable (the campaign workers are
+    module-level functions taking plain tuples).  Result order matches
+    item order, so aggregation is deterministic regardless of completion
+    order; a single-item batch short-circuits to an in-process call.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        chunksize = max(1, len(items) // (4 * workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+
+#: Backend name -> factory.
+BACKENDS: dict[str, Callable[..., object]] = {
+    "serial": SerialBackend,
+    "process": ProcessBackend,
+}
+
+
+def resolve_backend(backend: object = None, jobs: int | None = None):
+    """Normalise a backend spec: name, instance, or ``None`` (serial).
+
+    >>> resolve_backend().name
+    'serial'
+    >>> resolve_backend("process", jobs=2).jobs
+    2
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, str):
+        try:
+            factory = BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
+            ) from None
+        return factory(jobs) if factory is ProcessBackend else factory()
+    if hasattr(backend, "map"):
+        return backend
+    raise TypeError(f"backend must be a name or expose .map(), got {backend!r}")

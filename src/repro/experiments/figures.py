@@ -13,7 +13,11 @@ Figures 1 and 2 of the paper are schematics (platform and algorithm
 principle), not experiments.
 
 All drivers take an :class:`~repro.experiments.config.ExperimentConfig`;
-``resolve_scale()`` provides the paper/quick/smoke presets.
+``resolve_scale()`` provides the paper/quick/smoke presets.  Execution
+keywords (``backend=``, ``jobs=``, ``cache=``) flow through to
+:func:`~repro.experiments.runner.run_campaign`, so
+``figure6(cfg, backend="process")`` regenerates a figure with every core
+busy and byte-identical numbers.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.algorithms.demt import DemtScheduler
 from repro.experiments.config import ExperimentConfig, resolve_scale
+from repro.experiments.engine import resolve_backend
 from repro.experiments.runner import CampaignResult, run_campaign
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
@@ -73,29 +78,48 @@ class Figure7Result:
 FIGURE7_WORKLOADS: tuple[str, ...] = ("weakly_parallel", "cirne", "highly_parallel")
 
 
+def _time_demt_cell(args: tuple) -> float:
+    """Worker: DEMT wall-clock on one freshly generated instance."""
+    seed, kind, n, m, r = args
+    rng = derive_rng(seed, "fig7", kind, n, r)
+    inst = generate_workload(kind, n=n, m=m, seed=rng)
+    scheduler = DemtScheduler()
+    t0 = time.perf_counter()
+    scheduler.schedule(inst)
+    return time.perf_counter() - t0
+
+
 def figure7(
-    cfg: ExperimentConfig | None = None, *, repeats: int | None = None
+    cfg: ExperimentConfig | None = None,
+    *,
+    repeats: int | None = None,
+    backend: object = None,
+    jobs: int | None = None,
 ) -> Figure7Result:
     """DEMT wall-clock scheduling time vs n (Figure 7).
 
     ``repeats`` instances are timed per point (defaults to ``cfg.runs``
     capped at 10 — timing noise shrinks fast and the paper only eyeballs
-    the trend).
+    the trend).  A process backend times cells concurrently; expect some
+    extra contention noise in exchange for the wall-clock win.
     """
     cfg = cfg or resolve_scale()
     reps = min(cfg.runs, 10) if repeats is None else repeats
+    backend_obj = resolve_backend(backend, jobs)
+    cells = [
+        (cfg.seed, kind, n, cfg.m, r)
+        for kind in FIGURE7_WORKLOADS
+        for n in cfg.task_counts
+        for r in range(reps)
+    ]
+    seconds = backend_obj.map(_time_demt_cell, cells)
     timings: dict[str, list[tuple[int, float]]] = {}
+    i = 0
     for kind in FIGURE7_WORKLOADS:
         series: list[tuple[int, float]] = []
         for n in cfg.task_counts:
-            total = 0.0
-            for r in range(reps):
-                rng = derive_rng(cfg.seed, "fig7", kind, n, r)
-                inst = generate_workload(kind, n=n, m=cfg.m, seed=rng)
-                scheduler = DemtScheduler()
-                t0 = time.perf_counter()
-                scheduler.schedule(inst)
-                total += time.perf_counter() - t0
+            total = sum(seconds[i : i + reps])
+            i += reps
             series.append((n, total / reps))
         timings[kind] = series
     return Figure7Result(timings=timings, config=cfg)

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.experiments.engine import resolve_backend
 from repro.simulator.online import OnlineBatchScheduler
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
@@ -47,6 +48,31 @@ class OnlineEvalPoint:
             raise ValueError("mean ratio exceeds max ratio")
 
 
+def _online_cell(args: tuple) -> tuple[float, int]:
+    """Worker: one seeded run at one arrival intensity.
+
+    Top-level so the process backend can ship it; the ``offline`` engine
+    travels inside the args tuple and must then be picklable (module-level
+    functions and the library's scheduler classes are).
+    """
+    offline, kind, n, m, frac, r, seed = args
+    rng = derive_rng(seed, "online", kind, n, int(frac * 1000), r)
+    base = generate_workload(kind, n=n, m=m, seed=rng)
+    off = offline(base)
+    off_cmax = off.makespan()
+    if frac == 0.0:
+        releases = np.zeros(n)
+    else:
+        gaps = rng.exponential(1.0, size=n)
+        releases = np.sort(gaps.cumsum() / gaps.sum() * frac * off_cmax)
+    inst = Instance(
+        [t.with_release(float(rel)) for t, rel in zip(base.tasks, releases)],
+        m,
+    )
+    result = OnlineBatchScheduler(offline).run(inst)
+    return result.schedule.makespan() / off_cmax, result.n_batches
+
+
 def evaluate_online(
     offline: Callable[[Instance], Schedule],
     *,
@@ -56,34 +82,30 @@ def evaluate_online(
     runs: int = 5,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 1,
+    backend: object = None,
+    jobs: int | None = None,
 ) -> list[OnlineEvalPoint]:
     """Sweep arrival horizons; return one point per fraction.
 
     The theoretical envelope for ``fraction <= 1`` is ``ratio <= 2`` plus
     lower-order terms (the §2.2 argument: the last two batches each cost
-    at most one off-line makespan).
+    at most one off-line makespan).  The whole ``fractions x runs`` grid is
+    dispatched through one backend batch; with ``backend="process"`` the
+    ``offline`` callable must be picklable.
     """
+    backend_obj = resolve_backend(backend, jobs)
+    cells = [
+        (offline, kind, n, m, frac, r, seed)
+        for frac in fractions
+        for r in range(runs)
+    ]
+    outputs = backend_obj.map(_online_cell, cells)
+
     points: list[OnlineEvalPoint] = []
-    for frac in fractions:
-        ratios: list[float] = []
-        batches: list[int] = []
-        for r in range(runs):
-            rng = derive_rng(seed, "online", kind, n, int(frac * 1000), r)
-            base = generate_workload(kind, n=n, m=m, seed=rng)
-            off = offline(base)
-            off_cmax = off.makespan()
-            if frac == 0.0:
-                releases = np.zeros(n)
-            else:
-                gaps = rng.exponential(1.0, size=n)
-                releases = np.sort(gaps.cumsum() / gaps.sum() * frac * off_cmax)
-            inst = Instance(
-                [t.with_release(float(rel)) for t, rel in zip(base.tasks, releases)],
-                m,
-            )
-            result = OnlineBatchScheduler(offline).run(inst)
-            ratios.append(result.schedule.makespan() / off_cmax)
-            batches.append(result.n_batches)
+    for i, frac in enumerate(fractions):
+        chunk = outputs[i * runs : (i + 1) * runs]
+        ratios = [ratio for ratio, _ in chunk]
+        batches = [nb for _, nb in chunk]
         points.append(
             OnlineEvalPoint(
                 horizon_fraction=frac,

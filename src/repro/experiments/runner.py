@@ -8,7 +8,13 @@ is recorded on the side, feeding Figure 7.
 
 Determinism: the instance of run ``r`` at point ``(kind, n)`` is generated
 from ``derive_rng(seed, kind, n, r)``, so any single run can be regenerated
-independently of campaign order.
+independently of campaign order — and therefore in any process.  The
+execution itself goes through :func:`run_cells`, which takes an
+:mod:`~repro.experiments.engine` backend (``"serial"`` by default,
+``"process"`` to scale a campaign across cores) and an optional
+:class:`~repro.experiments.engine.CellCache` so repeated campaigns and
+ablations only pay for cells they have not measured yet.  Both backends
+produce identical numbers; only the wall-clock ``seconds`` fields differ.
 """
 
 from __future__ import annotations
@@ -24,6 +30,13 @@ from repro.bounds.minsum_lp import minsum_lower_bound
 from repro.core.validation import validate_schedule
 from repro.experiments.aggregate import RatioStats, aggregate_ratios
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import (
+    CellBounds,
+    CellCache,
+    CellKey,
+    CellRecord,
+    resolve_backend,
+)
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
 
@@ -32,6 +45,7 @@ __all__ = [
     "AlgorithmPointStats",
     "PointResult",
     "CampaignResult",
+    "run_cells",
     "run_point",
     "run_campaign",
 ]
@@ -94,53 +108,139 @@ class CampaignResult:
         return out
 
 
-def run_point(
-    kind: str,
-    n: int,
+# ---------------------------------------------------------------------- #
+# Cell execution                                                         #
+# ---------------------------------------------------------------------- #
+def _run_cell(args: tuple) -> tuple[CellBounds | None, dict[str, CellRecord]]:
+    """Worker: measure one instance under a set of algorithms.
+
+    Top-level (picklable) so the process backend can ship it.  ``args`` is
+    ``(seed, kind, n, m, r, algorithms, validate, need_bounds)``.
+    """
+    seed, kind, n, m, r, algorithms, validate, need_bounds = args
+    rng = derive_rng(seed, kind, n, r)
+    inst = generate_workload(kind, n=n, m=m, seed=rng)
+
+    schedulers = [(name, get_algorithm(name)) for name in algorithms]
+    # The dual approximation is only computed when something consumes it:
+    # the lower bounds, or a list baseline sharing its allotments (their
+    # published definition uses the [7] allotments; recomputing would
+    # triple the cost for identical results).
+    dual = None
+    if need_bounds or any(
+        isinstance(s, ListGrahamScheduler) for _, s in schedulers
+    ):
+        dual = dual_approximation(inst)
+    bounds = None
+    if need_bounds:
+        bounds = CellBounds(
+            cmax_lb=dual.lower_bound,
+            minsum_lb=minsum_lower_bound(inst, dual.lam).value,
+        )
+
+    records: dict[str, CellRecord] = {}
+    for name, scheduler in schedulers:
+        if isinstance(scheduler, ListGrahamScheduler):
+            scheduler.dual = dual
+        t0 = time.perf_counter()
+        sched = scheduler.schedule(inst)
+        seconds = time.perf_counter() - t0
+        if validate:
+            validate_schedule(sched, inst)
+        records[name] = CellRecord(
+            cmax=sched.makespan(),
+            minsum=sched.weighted_completion_sum(),
+            seconds=seconds,
+            validated=validate,
+        )
+    return bounds, records
+
+
+def run_cells(
+    cells: list[tuple[str, int, int]],
     cfg: ExperimentConfig,
     *,
     validate: bool = False,
-) -> PointResult:
-    """Run all algorithms over ``cfg.runs`` fresh instances at ``(kind, n)``.
+    backend: object = None,
+    jobs: int | None = None,
+    cache: CellCache | None = None,
+) -> dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]]:
+    """Measure every ``(kind, n, r)`` cell under all ``cfg.algorithms``.
 
-    ``validate`` additionally feasibility-checks every schedule (slower;
-    the test suite turns it on, campaigns rely on the algorithms' own
-    guarantees which the suite already certifies).
+    The executor abstraction: cache lookups decide the work list, the
+    backend runs it (serially or across processes), results merge back
+    into the cache.  A ``validate=True`` call only accepts cached records
+    that were themselves measured under validation (``CellRecord.
+    validated``); anything else is re-measured.
     """
-    per_algo: dict[str, list[RunRecord]] = {name: [] for name in cfg.algorithms}
-    cmax_bounds: list[float] = []
-    minsum_bounds: list[float] = []
+    backend = resolve_backend(backend, jobs)
+    results: dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]] = {}
+    work: list[tuple] = []
+    work_cells: list[tuple[str, int, int]] = []
+    cached_parts: dict[tuple[str, int, int], dict[str, CellRecord]] = {}
 
+    for cell in cells:
+        kind, n, r = cell
+        have: dict[str, CellRecord] = {}
+        missing: list[str] = []
+        if cache is not None:
+            for name in cfg.algorithms:
+                key = CellKey(cfg.seed, kind, n, cfg.m, r, name)
+                rec = cache.get_record(key, require_validated=validate)
+                if rec is None:
+                    missing.append(name)
+                else:
+                    have[name] = rec
+            bounds = cache.get_bounds((cfg.seed, kind, n, cfg.m, r))
+        else:
+            missing = list(cfg.algorithms)
+            bounds = None
+        if not missing and bounds is not None:
+            results[cell] = (bounds, have)
+            continue
+        cached_parts[cell] = have
+        work_cells.append(cell)
+        work.append(
+            (cfg.seed, kind, n, cfg.m, r, tuple(missing), validate, bounds is None)
+        )
+
+    outputs = backend.map(_run_cell, work)
+
+    for cell, args, (fresh_bounds, fresh_records) in zip(work_cells, work, outputs):
+        kind, n, r = cell
+        bounds = fresh_bounds
+        if bounds is None:  # bounds were cached, records were not
+            assert cache is not None
+            bounds = cache.get_bounds((cfg.seed, kind, n, cfg.m, r))
+        records = dict(cached_parts[cell])
+        records.update(fresh_records)
+        if cache is not None:
+            cache.put_bounds((cfg.seed, kind, n, cfg.m, r), bounds)
+            for name, rec in fresh_records.items():
+                cache.put_record(CellKey(cfg.seed, kind, n, cfg.m, r, name), rec)
+        results[cell] = (bounds, records)
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Point / campaign drivers                                               #
+# ---------------------------------------------------------------------- #
+def _assemble_point(
+    kind: str,
+    n: int,
+    cfg: ExperimentConfig,
+    cell_results: dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]],
+) -> PointResult:
+    """Fold per-cell results into the aggregated point statistics."""
+    cmax_bounds = []
+    minsum_bounds = []
+    per_algo: dict[str, list[CellRecord]] = {name: [] for name in cfg.algorithms}
     for r in range(cfg.runs):
-        rng = derive_rng(cfg.seed, kind, n, r)
-        inst = generate_workload(kind, n=n, m=cfg.m, seed=rng)
-
-        dual = dual_approximation(inst)
-        cmax_lb = dual.lower_bound
-        minsum_lb = minsum_lower_bound(inst, dual.lam).value
-        cmax_bounds.append(cmax_lb)
-        minsum_bounds.append(minsum_lb)
-
+        bounds, records = cell_results[(kind, n, r)]
+        cmax_bounds.append(bounds.cmax_lb)
+        minsum_bounds.append(bounds.minsum_lb)
         for name in cfg.algorithms:
-            scheduler = get_algorithm(name)
-            # Share the dual-approximation with the list baselines (their
-            # published definition uses the [7] allotments; recomputing
-            # would triple the cost for identical results).
-            if isinstance(scheduler, ListGrahamScheduler):
-                scheduler.dual = dual
-            t0 = time.perf_counter()
-            sched = scheduler.schedule(inst)
-            seconds = time.perf_counter() - t0
-            if validate:
-                validate_schedule(sched, inst)
-            per_algo[name].append(
-                RunRecord(
-                    algorithm=name,
-                    cmax=sched.makespan(),
-                    minsum=sched.weighted_completion_sum(),
-                    seconds=seconds,
-                )
-            )
+            per_algo[name].append(records[name])
 
     stats = tuple(
         AlgorithmPointStats(
@@ -160,17 +260,58 @@ def run_point(
     )
 
 
+def run_point(
+    kind: str,
+    n: int,
+    cfg: ExperimentConfig,
+    *,
+    validate: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: CellCache | None = None,
+) -> PointResult:
+    """Run all algorithms over ``cfg.runs`` fresh instances at ``(kind, n)``.
+
+    ``validate`` additionally feasibility-checks every schedule (slower;
+    the test suite turns it on, campaigns rely on the algorithms' own
+    guarantees which the suite already certifies).  ``backend`` / ``jobs``
+    select the executor; ``cache`` enables cross-campaign memoisation.
+    """
+    cells = [(kind, n, r) for r in range(cfg.runs)]
+    cell_results = run_cells(
+        cells, cfg, validate=validate, backend=backend, jobs=jobs, cache=cache
+    )
+    return _assemble_point(kind, n, cfg, cell_results)
+
+
 def run_campaign(
     kind: str,
     cfg: ExperimentConfig,
     *,
     validate: bool = False,
     progress: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: CellCache | None = None,
 ) -> CampaignResult:
-    """Run every point of one workload family (one figure's data)."""
-    points = []
-    for n in cfg.task_counts:
-        if progress:  # pragma: no cover - cosmetic
-            print(f"  [{kind}] n={n} ({cfg.runs} runs)...", flush=True)
-        points.append(run_point(kind, n, cfg, validate=validate))
+    """Run every point of one workload family (one figure's data).
+
+    All ``len(task_counts) * runs`` cells are dispatched through the
+    backend in one batch, so a process pool keeps every core busy across
+    point boundaries instead of draining at each ``n``.
+    """
+    cells = [(kind, n, r) for n in cfg.task_counts for r in range(cfg.runs)]
+    if progress:  # pragma: no cover - cosmetic
+        backend_obj = resolve_backend(backend, jobs)
+        print(
+            f"  [{kind}] {len(cells)} cells x {len(cfg.algorithms)} algorithms "
+            f"({backend_obj.name} backend)...",
+            flush=True,
+        )
+    cell_results = run_cells(
+        cells, cfg, validate=validate, backend=backend, jobs=jobs, cache=cache
+    )
+    points = [
+        _assemble_point(kind, n, cfg, cell_results) for n in cfg.task_counts
+    ]
     return CampaignResult(workload=kind, config=cfg, points=tuple(points))

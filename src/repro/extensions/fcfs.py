@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.core.allotment import minimal_area_allotment
 from repro.core.instance import Instance
+from repro.core.profile import FreeProfile
 from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
 
@@ -88,52 +89,36 @@ class FcfsBackfillScheduler:
             _Queued(t.task_id, allot[t.task_id], t.p(allot[t.task_id]))
             for t in sorted(instance, key=lambda t: t.task_id)
         ]
-        placed: list[tuple[float, float, int]] = []  # (start, end, width)
+        # The incremental free-processor profile replaces the seed's full
+        # rescan of all prior placements per earliest-fit query.
+        profile = FreeProfile(instance.m)
+
+        def place(job: _Queued, start: float) -> None:
+            out.add(instance.task_by_id(job.task_id), start, job.allotment)
+            profile.reserve(start, job.duration, job.allotment)
 
         while queue:
             head = queue[0]
-            head_start = self._earliest_fit(placed, head.allotment, head.duration, instance.m)
+            head_start = profile.earliest_fit(head.allotment, head.duration)
             if not self.backfill:
-                self._place(out, instance, head, head_start)
-                placed.append((head_start, head_start + head.duration, head.allotment))
+                place(head, head_start)
                 queue.pop(0)
                 continue
 
             # EASY: give the head its reservation, then scan the rest for
             # jobs that fit *now* without pushing the head past it.
-            self._place(out, instance, head, head_start)
-            placed.append((head_start, head_start + head.duration, head.allotment))
+            place(head, head_start)
             queue.pop(0)
             i = 0
             while i < len(queue):
                 cand = queue[i]
-                start = self._earliest_fit(placed, cand.allotment, cand.duration, instance.m)
+                start = profile.earliest_fit(cand.allotment, cand.duration)
                 # Backfill only if the candidate starts before the head's
                 # reservation and ends by it (it can then never delay any
                 # not-yet-reserved job either, since it uses only holes).
                 if start + cand.duration <= head_start + 1e-9:
-                    self._place(out, instance, cand, start)
-                    placed.append((start, start + cand.duration, cand.allotment))
+                    place(cand, start)
                     queue.pop(i)
                 else:
                     i += 1
         return out
-
-    @staticmethod
-    def _place(out: Schedule, instance: Instance, job: _Queued, start: float) -> None:
-        out.add(instance.task_by_id(job.task_id), start, job.allotment)
-
-    @staticmethod
-    def _earliest_fit(
-        placed: list[tuple[float, float, int]], allotment: int, duration: float, m: int
-    ) -> float:
-        candidates = sorted({0.0, *(e for _, e, _ in placed)})
-        for t0 in candidates:
-            t1 = t0 + duration
-            points = [t0, *(s for s, _, _ in placed if t0 < s < t1)]
-            if all(
-                sum(a for s, e, a in placed if s <= p < e) + allotment <= m
-                for p in points
-            ):
-                return t0
-        return max((e for _, e, _ in placed), default=0.0)  # pragma: no cover

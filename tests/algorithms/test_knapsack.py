@@ -171,3 +171,84 @@ class TestKnapsackMinWork:
             realised = float(np.where(in_a, work_a, work_b).sum())
             assert realised == pytest.approx(total)
             assert float(cost_a[in_a].sum()) <= m
+
+
+class TestReconstructionTieTolerance:
+    """Regression for the `best >= total - 1e-12` reconstruction bug.
+
+    With weights closer than the old tolerance, the reconstruction could
+    pick a capacity whose optimum is a strictly *lighter* selection than
+    the reported total (the tolerance treated 1.0 and 1.0 + 5e-13 as the
+    same weight).  The fix compares exactly: `best` is non-decreasing in
+    the capacity, so `best[q] >= total` already means equality.
+    """
+
+    def test_near_equal_weights_reconstruct_reported_total(self):
+        eps = 5e-13
+        items = [
+            KnapsackItem("light", 1, 1.0),
+            KnapsackItem("heavy", 2, 1.0 + eps),  # within the old tolerance
+        ]
+        res = knapsack_select(items, m=2)
+        # The optimum is the heavy item alone; the old code reconstructed
+        # at capacity 1 and returned ["light"] with the heavy total.
+        assert res.selected_keys == ("heavy",)
+        assert res.total_weight == 1.0 + eps
+        assert sum(it.weight for it in res.selected) == res.total_weight
+        assert res.used_processors == 2
+
+    def test_exact_ties_still_prefer_fewer_processors(self):
+        # Genuinely equal weights: the narrow selection must win.
+        items = [
+            KnapsackItem("narrow", 1, 2.0),
+            KnapsackItem("wide", 2, 2.0),
+        ]
+        res = knapsack_select(items, m=2)
+        assert res.selected_keys == ("narrow",)
+        assert res.used_processors == 1
+
+    @given(
+        base=st.floats(0.5, 10.0),
+        eps=st.floats(1e-14, 9e-13),
+        m=st.integers(2, 6),
+    )
+    @settings(max_examples=60)
+    def test_property_selection_realises_total(self, base, eps, m):
+        """Sub-tolerance weight gaps: the selection always reproduces the
+        reported total exactly."""
+        items = [
+            KnapsackItem("a", 1, base),
+            KnapsackItem("b", 2, base + eps),
+            KnapsackItem("c", 2, base + 2 * eps),
+        ]
+        res = knapsack_select(items, m)
+        realised = sum(it.weight for it in res.selected)
+        assert realised == res.total_weight
+        assert res.total_weight == brute_force_max_weight(items, m)
+
+
+class TestMinWorkValueParity:
+    """knapsack_min_work_value must mirror the reconstructing DP exactly."""
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(0.5, 20.0),
+                st.integers(1, 5),
+                st.floats(0.5, 20.0) | st.just(float("inf")),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        m=st.integers(1, 10),
+    )
+    @settings(max_examples=80)
+    def test_value_equals_full_dp(self, data, m):
+        from repro.algorithms.knapsack import knapsack_min_work_value
+
+        work_a = np.array([d[0] for d in data])
+        cost_a = np.array([float(d[1]) for d in data])
+        work_b = np.array([d[2] for d in data])
+        _, total = knapsack_min_work(work_a, cost_a, work_b, m)
+        value = knapsack_min_work_value(work_a, cost_a, work_b, m)
+        assert value == total or (np.isinf(value) and np.isinf(total))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/data/golden_schedules.json``.
+
+The golden file pins ``(cmax, minsum)`` of the headline algorithms on a
+frozen seeded corpus at full float precision; the differential regression
+suite (``tests/properties/test_differential.py``) asserts the library
+reproduces them bit-for-bit.  Regenerate ONLY when an intentional
+behavioral change is made (and say so in the commit message):
+
+    PYTHONPATH=src python tests/data/make_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.algorithms.registry import get_algorithm  # noqa: E402
+from repro.utils.rng import derive_rng  # noqa: E402
+from repro.workloads.generator import generate_workload  # noqa: E402
+
+GOLDEN_PATH = Path(__file__).with_name("golden_schedules.json")
+
+#: Frozen corpus + algorithm panel.  Changing either invalidates the file.
+GOLDEN_SEED = 20040626  # SPAA'04 conference date
+GOLDEN_SIZES = ((15, 13), (60, 100), (100, 13))  # (n, m)
+GOLDEN_FAMILIES = ("weakly_parallel", "highly_parallel", "mixed", "cirne")
+GOLDEN_ALGORITHMS = (
+    "DEMT",
+    "List Scheduling",
+    "LPTF",
+    "SAF",
+    "FCFS",
+    "FCFS+EASY",
+)
+
+
+def golden_cells() -> list[dict]:
+    cells = []
+    for kind in GOLDEN_FAMILIES:
+        for n, m in GOLDEN_SIZES:
+            inst = generate_workload(
+                kind, n=n, m=m, seed=derive_rng(GOLDEN_SEED, kind, n, m)
+            )
+            for name in GOLDEN_ALGORITHMS:
+                sched = get_algorithm(name).schedule(inst)
+                cells.append(
+                    {
+                        "kind": kind,
+                        "n": n,
+                        "m": m,
+                        "algorithm": name,
+                        "cmax": sched.makespan(),
+                        "minsum": sched.weighted_completion_sum(),
+                    }
+                )
+    return cells
+
+
+def main() -> None:
+    payload = {
+        "_meta": {
+            "seed": GOLDEN_SEED,
+            "comment": (
+                "Bit-exact (cmax, minsum) goldens; regenerate with "
+                "tests/data/make_goldens.py only for intentional changes."
+            ),
+        },
+        "cells": golden_cells(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {len(payload['cells'])} cells to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Property-based invariant fuzzer over every registered algorithm.
+
+~200 seeded random instances spanning all four paper workload families,
+``n`` up to 100 and machine sizes from a single processor to ``m = 100``.
+Every algorithm in :data:`repro.algorithms.registry.ALGORITHM_REGISTRY`
+(plus the seed-implementation DEMT oracle, so the old and the new
+compaction paths are both exercised) must, on every instance, produce a
+schedule where:
+
+1. no processor is used by two tasks at once (an explicit processor
+   assignment exists — ``assign_processors`` constructs one or raises);
+2. every allotment lies in ``[1, m]``;
+3. every task is placed exactly once;
+4. every placement's duration equals ``p_i(k)`` for its allotment;
+5. :func:`repro.core.validation.validate_schedule` accepts the schedule.
+
+The corpus is deterministic (derived RNG streams), so failures reproduce
+from the printed case id alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY, get_algorithm
+from repro.algorithms.reference import ReferenceDemtScheduler
+from repro.core.validation import validate_schedule
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import generate_workload
+
+#: Corpus shape: every (family, m) pair gets FUZZ_ROUNDS instances with
+#: log-uniform task counts in [1, 100] — 4 * 4 * 13 = 208 instances.
+FAMILIES = ("weakly_parallel", "highly_parallel", "mixed", "cirne")
+MACHINES = (1, 2, 13, 100)
+FUZZ_ROUNDS = 13
+FUZZ_SEED = 0xF022
+
+
+def _corpus() -> list[tuple[str, str, int, int, int]]:
+    cases = []
+    for kind in FAMILIES:
+        for m in MACHINES:
+            for r in range(FUZZ_ROUNDS):
+                rng = derive_rng(FUZZ_SEED, "size", kind, m, r)
+                n = int(np.exp(rng.uniform(0.0, np.log(100.0))).round())
+                n = max(1, min(100, n))
+                cases.append((f"{kind}-m{m}-r{r}-n{n}", kind, m, r, n))
+    return cases
+
+
+CASES = _corpus()
+
+#: Old + new compaction paths: the full registry runs the vectorized core,
+#: the reference oracle replays the seed implementation.
+SCHEDULERS = [*ALGORITHM_REGISTRY, "DEMT(reference)"]
+
+
+def _make_scheduler(name: str):
+    if name == "DEMT(reference)":
+        return ReferenceDemtScheduler()
+    return get_algorithm(name)
+
+
+@pytest.mark.parametrize(
+    "case_id,kind,m,r,n", CASES, ids=[c[0] for c in CASES]
+)
+def test_all_algorithms_preserve_invariants(case_id, kind, m, r, n):
+    inst = generate_workload(kind, n=n, m=m, seed=derive_rng(FUZZ_SEED, kind, m, r, n))
+    for name in SCHEDULERS:
+        schedule = _make_scheduler(name).schedule(inst)
+
+        # (3) every task placed exactly once.  Schedule.add rejects
+        # duplicates, so the id-set check pins down the "exactly" part.
+        assert schedule.task_ids() == {t.task_id for t in inst}, (case_id, name)
+        assert len(schedule) == inst.n, (case_id, name)
+
+        for p in schedule:
+            # (2) allotments within [1, m].
+            assert 1 <= p.allotment <= m, (case_id, name, p.task.task_id)
+            # (4) duration matches p_i(k) for the chosen allotment.
+            assert p.duration == p.task.p(p.allotment), (case_id, name, p.task.task_id)
+            assert p.end == p.start + p.duration, (case_id, name, p.task.task_id)
+
+        # (1) no processor used by two tasks at once: an explicit
+        # assignment of processor ids exists (raises when over-subscribed).
+        assignment = schedule.assign_processors()
+        assert set(assignment) == schedule.task_ids(), (case_id, name)
+        for tid, procs in assignment.items():
+            assert len(procs) == schedule[tid].allotment, (case_id, name, tid)
+            assert len(set(procs)) == len(procs), (case_id, name, tid)
+            assert all(0 <= pid < m for pid in procs), (case_id, name, tid)
+
+        # (5) the full §2 feasibility validator.
+        validate_schedule(schedule, inst)
