@@ -11,18 +11,36 @@ on the seed implementation (``ReferenceDemtScheduler``, the pre-migration
 code preserved verbatim) vs the current one, at the paper-scale
 ``n = 300`` on the Figure-7 workloads — asserting the >= 3x speedup the
 migration promised, on bit-for-bit identical schedules.
+
+Since PR 2 it additionally benches the *columnar instance plane*:
+campaign setup (generation + instance construction) through the batched
+array builders vs the original task-by-task path, at the paper scale and
+at n in {300, 1000, 2000, 5000}.  The scale sweep is emitted as
+``BENCH_PR2.json`` (``REPRO_BENCH_OUT`` overrides the path) so the perf
+trajectory is recorded in-repo, and the checked-in copy doubles as the
+regression baseline: CI fails when the measured setup *speedup* drops
+below half the recorded one (machine-independent, unlike raw ms).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 from repro.algorithms.demt import DemtScheduler
 from repro.algorithms.reference import ReferenceDemtScheduler
 from repro.experiments.figures import FIGURE7_WORKLOADS, figure7
 from repro.experiments.reporting import format_timing_table
 from repro.utils.rng import derive_rng
-from repro.workloads.generator import generate_workload
+from repro.workloads.generator import generate_workload, generate_workload_reference
+
+#: The scale sweep recorded in BENCH_PR2.json.
+SETUP_BENCH_NS = (300, 1000, 2000, 5000)
+
+#: Default location of the checked-in benchmark record / baseline.
+BENCH_PR2_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
 
 
 def test_figure7_scheduling_time(benchmark, scale_config, is_tiny_scale):
@@ -104,3 +122,146 @@ def test_vectorized_core_speedup_vs_seed(benchmark):
         f"vectorized core only {speedup:.2f}x faster than seed "
         f"(threshold {threshold}x)"
     )
+
+
+def _setup_seconds(builder, kind: str, n: int, m: int, reps: int) -> float:
+    """Best-of-``reps`` campaign-setup time: generate + build the arrays
+    the kernels consume (time matrix and weights)."""
+    best = float("inf")
+    for r in range(reps):
+        rng = derive_rng(2004, "setup-bench", kind, n, r)
+        t0 = time.perf_counter()
+        inst = builder(kind, n=n, m=m, seed=rng)
+        inst.times_matrix
+        inst.weights
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_columnar_setup_speedup(benchmark):
+    """Columnar campaign setup >= 5x the task-by-task path at n = 2000.
+
+    Measures the Figure-7 workload grid (weakly / cirne / highly) end to
+    end: workload generation plus instance construction up to the arrays
+    the scheduling kernels consume.  Instances must also be bit-for-bit
+    identical (separately pinned by tests/workloads/test_columnar.py).
+
+    ``REPRO_SETUP_SPEEDUP_MIN`` overrides the asserted ratio: shared CI
+    runners gate with head-room while the default 5.0 documents the
+    acceptance bar (locally ~6-7x).
+    """
+    threshold = float(os.environ.get("REPRO_SETUP_SPEEDUP_MIN", "5.0"))
+    n, m, reps = 2000, 200, 3
+
+    def measure():
+        total_ref = total_new = 0.0
+        for kind in FIGURE7_WORKLOADS:
+            total_ref += _setup_seconds(generate_workload_reference, kind, n, m, reps)
+            total_new += _setup_seconds(generate_workload, kind, n, m, reps)
+        return total_ref, total_new
+
+    total_ref, total_new = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = total_ref / total_new
+    print()
+    print(
+        f"  campaign setup n={n}: reference {1e3 * total_ref:.1f} ms, "
+        f"columnar {1e3 * total_new:.1f} ms over {len(FIGURE7_WORKLOADS)} "
+        f"workloads -> {speedup:.2f}x"
+    )
+    assert speedup >= threshold, (
+        f"columnar setup only {speedup:.2f}x faster than the task-by-task "
+        f"path (threshold {threshold}x)"
+    )
+
+
+def test_setup_scale_bench_emits_bench_pr2(benchmark):
+    """Scale sweep n in {300, 1000, 2000, 5000}: emit + gate BENCH_PR2.json.
+
+    Writes the measurement to ``$REPRO_BENCH_OUT`` (default:
+    ``benchmarks/BENCH_PR2.new.json``), then compares against the
+    checked-in ``benchmarks/BENCH_PR2.json`` baseline: the measured
+    speedup at each n must stay above *half* the recorded one (>2x
+    regression fails; ratios transfer across machines, raw milliseconds
+    do not).  ``REPRO_BENCH_REFRESH=1`` rewrites the baseline itself
+    (gate skipped) — the documented workflow after intentional perf work.
+    """
+    m, reps = 200, 2
+
+    def measure():
+        points = []
+        for n in SETUP_BENCH_NS:
+            per_kind = {}
+            ref_total = new_total = 0.0
+            for kind in FIGURE7_WORKLOADS:
+                ref_s = _setup_seconds(generate_workload_reference, kind, n, m, reps)
+                new_s = _setup_seconds(generate_workload, kind, n, m, reps)
+                ref_total += ref_s
+                new_total += new_s
+                per_kind[kind] = {
+                    "reference_ms": round(1e3 * ref_s, 3),
+                    "columnar_ms": round(1e3 * new_s, 3),
+                    "speedup": round(ref_s / new_s, 2),
+                }
+            points.append(
+                {
+                    "n": n,
+                    "per_kind": per_kind,
+                    "reference_ms_total": round(1e3 * ref_total, 3),
+                    "columnar_ms_total": round(1e3 * new_total, 3),
+                    "speedup": round(ref_total / new_total, 2),
+                }
+            )
+        return points
+
+    points = benchmark.pedantic(measure, rounds=1, iterations=1)
+    doc = {
+        "bench": "columnar-instance-plane-setup",
+        "description": "campaign setup (generation + instance construction) "
+        "per instance, best-of-reps, Figure-7 workload grid",
+        "m": m,
+        "workloads": list(FIGURE7_WORKLOADS),
+        "points": points,
+    }
+
+    print()
+    for p in points:
+        print(
+            f"  n={p['n']:>5}: reference {p['reference_ms_total']:8.1f} ms  "
+            f"columnar {p['columnar_ms_total']:7.1f} ms  -> {p['speedup']:.2f}x"
+        )
+
+    # Overwriting the checked-in baseline is an explicit act
+    # (REPRO_BENCH_REFRESH=1): a plain local run must gate against it, not
+    # silently ratify a regression as the new baseline.  The baseline is
+    # read *before* writing and the paths compared resolved, so no
+    # spelling of REPRO_BENCH_OUT can turn the gate into a
+    # self-comparison.
+    refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
+    default_out = BENCH_PR2_PATH if refresh else BENCH_PR2_PATH.with_suffix(".new.json")
+    out_path = Path(os.environ.get("REPRO_BENCH_OUT", default_out))
+    refreshing_baseline = (
+        out_path.resolve() == BENCH_PR2_PATH.resolve() and refresh
+    )
+    if out_path.resolve() == BENCH_PR2_PATH.resolve() and not refresh:
+        raise AssertionError(
+            "refusing to overwrite the checked-in BENCH_PR2.json baseline "
+            "without REPRO_BENCH_REFRESH=1"
+        )
+    baseline = json.loads(BENCH_PR2_PATH.read_text()) if BENCH_PR2_PATH.exists() else None
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  wrote {out_path}")
+
+    if baseline is not None and not refreshing_baseline:
+        base_by_n = {p["n"]: p for p in baseline.get("points", [])}
+        for p in points:
+            base = base_by_n.get(p["n"])
+            if base is None:
+                continue
+            floor = base["speedup"] / 2.0
+            assert p["speedup"] >= floor, (
+                f"setup speedup regression at n={p['n']}: measured "
+                f"{p['speedup']:.2f}x vs baseline {base['speedup']:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )

@@ -174,7 +174,7 @@ class DemtScheduler:
         # the shrinking pool's vectors each round.
         self._selection_cache = (
             instance.times_matrix,
-            {t.task_id: row for row, t in enumerate(instance.tasks)},
+            dict(zip(instance.task_ids.tolist(), range(instance.n))),
         )
         try:
             j = 0

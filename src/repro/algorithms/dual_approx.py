@@ -223,8 +223,11 @@ def dual_approximation(
     if not feasible:  # pragma: no cover - probe and full check agree
         raise SchedulingError(f"accepted lambda {lam} failed the full check")
 
-    allotments = {t.task_id: int(allot[i]) for i, t in enumerate(instance.tasks)}
-    big_ids = frozenset(t.task_id for i, t in enumerate(instance.tasks) if in_big[i])
+    # Built from the id vector, not the task objects: bounds-only cells on
+    # array-backed instances never materialise a single MoldableTask.
+    ids = instance.task_ids
+    allotments = {int(tid): int(allot[i]) for i, tid in enumerate(ids.tolist())}
+    big_ids = frozenset(int(tid) for tid in ids[in_big].tolist())
     return DualApproxResult(
         lower_bound=float(lo),
         lam=float(lam),

@@ -108,6 +108,24 @@ def knapsack_select_indices(
     n = len(allotments)
     if n == 0 or m == 0:
         return [], 0.0, 0
+    # Short-circuit: when every item fits simultaneously, the optimum is
+    # "take everything" — the common case for DEMT's late batches, whose
+    # shrinking pools stop filling the machine.  Restricted to strictly
+    # positive weights, where it provably matches the DP (a zero-weight
+    # item never survives the DP's strict-improvement test, and with
+    # positive weights the DP's reconstruction keeps every item).  The
+    # total is accumulated in index order, exactly like the DP rows, so
+    # the reported weight is bit-identical.
+    used = 0
+    total = 0.0
+    for a, w in zip(allotments, weights):
+        if not w > 0:  # also catches NaN: fall through to the DP
+            break
+        used += a
+        total += w
+    else:
+        if used <= m:
+            return list(range(n)), float(total), used
     # best[q] = max weight using at most q processors, items 0..i.
     best = np.zeros(m + 1, dtype=np.float64)
     # keep[i, q] = True iff item i is taken in the optimum for capacity q.

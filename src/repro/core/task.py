@@ -92,6 +92,29 @@ class MoldableTask:
         self.weight = float(weight)
         self.release = float(release)
 
+    @classmethod
+    def _trusted(
+        cls,
+        task_id: int,
+        times: np.ndarray,
+        weight: float,
+        release: float,
+    ) -> "MoldableTask":
+        """Construct without validation from already-validated data.
+
+        The columnar :meth:`Instance.from_arrays` plane validates whole
+        arrays at once; materialising its task objects through the regular
+        constructor would re-pay per-object validation for data that is
+        admissible by construction.  ``times`` must be a read-only float64
+        view (rows of the instance's times matrix are).
+        """
+        obj = object.__new__(cls)
+        obj.task_id = task_id
+        obj.times = times
+        obj.weight = weight
+        obj.release = release
+        return obj
+
     # ------------------------------------------------------------------ #
     # Basic queries                                                      #
     # ------------------------------------------------------------------ #

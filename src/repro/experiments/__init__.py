@@ -19,9 +19,11 @@
 from repro.experiments.config import ExperimentConfig, resolve_scale, SCALES
 from repro.experiments.engine import (
     CellCache,
+    PersistentCellCache,
     SerialBackend,
     ProcessBackend,
     resolve_backend,
+    resolve_cache,
 )
 from repro.experiments.runner import (
     AlgorithmPointStats,
@@ -46,9 +48,11 @@ __all__ = [
     "resolve_scale",
     "SCALES",
     "CellCache",
+    "PersistentCellCache",
     "SerialBackend",
     "ProcessBackend",
     "resolve_backend",
+    "resolve_cache",
     "AlgorithmPointStats",
     "PointResult",
     "CampaignResult",

@@ -30,7 +30,13 @@ from repro.algorithms.demt import DemtScheduler
 from repro.algorithms.dual_approx import dual_approximation
 from repro.bounds.minsum_lp import minsum_lower_bound
 from repro.experiments.aggregate import ratio_of_sums
-from repro.experiments.engine import resolve_backend
+from repro.experiments.engine import (
+    CellBounds,
+    CellKey,
+    CellRecord,
+    resolve_backend,
+    resolve_cache,
+)
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
 
@@ -43,16 +49,19 @@ __all__ = [
 ]
 
 
-def _ablation_cell(args: tuple) -> tuple[float, float, dict[str, tuple[float, float]]]:
-    """Worker: one seeded instance, all variants, plus its lower bounds.
+def _ablation_cell(args: tuple) -> tuple[float | None, float | None, dict[str, tuple[float, float]]]:
+    """Worker: one seeded instance, the *missing* variants, plus bounds.
 
-    Returns ``(cmax_lb, minsum_lb, {variant: (minsum, cmax)})``.
+    Returns ``(cmax_lb, minsum_lb, {variant: (minsum, cmax)})``; the
+    bounds are ``None`` when the caller already had them cached.
     """
-    kind, n, m, seed, r, variant_items = args
+    kind, n, m, seed, r, variant_items, need_bounds = args
     inst = generate_workload(kind, n=n, m=m, seed=derive_rng(seed, kind, n, r))
-    dual = dual_approximation(inst)
-    cmax_lb = dual.lower_bound
-    minsum_lb = minsum_lower_bound(inst, dual.lam).value
+    cmax_lb = minsum_lb = None
+    if need_bounds:
+        dual = dual_approximation(inst)
+        cmax_lb = dual.lower_bound
+        minsum_lb = minsum_lower_bound(inst, dual.lam).value
     measured: dict[str, tuple[float, float]] = {}
     for name, factory in variant_items:
         sched = factory().schedule(inst)
@@ -70,27 +79,65 @@ def _evaluate_variants(
     seed: int = 7,
     backend: object = None,
     jobs: int | None = None,
+    cache: object = None,
 ) -> dict[str, tuple[float, float]]:
-    """Run each variant over shared instances; aggregate both ratios."""
-    backend_obj = resolve_backend(backend, jobs)
-    variant_items = tuple(variants.items())
-    cells = [(kind, n, m, seed, r, variant_items) for r in range(runs)]
-    outputs = backend_obj.map(_ablation_cell, cells)
+    """Run each variant over shared instances; aggregate both ratios.
 
-    minsums: dict[str, list[float]] = {v: [] for v in variants}
-    cmaxes: dict[str, list[float]] = {v: [] for v in variants}
-    minsum_lbs: list[float] = []
-    cmax_lbs: list[float] = []
-    for cmax_lb, minsum_lb, measured in outputs:
-        cmax_lbs.append(cmax_lb)
-        minsum_lbs.append(minsum_lb)
+    With a ``cache`` (a :class:`~repro.experiments.engine.CellCache` or a
+    directory path), measured variants are memoised under the cell key
+    ``(seed, kind, n, m, r, "ablate:<variant>")`` and the per-instance
+    bounds under the standard bounds key — the latter is *shared* with the
+    campaign runner, since both derive the instance from
+    ``derive_rng(seed, kind, n, r)`` and compute the same two bounds.
+    """
+    backend_obj = resolve_backend(backend, jobs)
+    cache = resolve_cache(cache)
+    variant_items = tuple(variants.items())
+
+    have: dict[tuple[int, str], tuple[float, float]] = {}
+    bounds_by_r: dict[int, tuple[float, float]] = {}
+    work: list[tuple] = []
+    work_rs: list[int] = []
+    for r in range(runs):
+        missing = list(variant_items)
+        if cache is not None:
+            missing = []
+            for name, factory in variant_items:
+                rec = cache.get_record(CellKey(seed, kind, n, m, r, f"ablate:{name}"))
+                if rec is None:
+                    missing.append((name, factory))
+                else:
+                    have[(r, name)] = (rec.minsum, rec.cmax)
+            b = cache.get_bounds((seed, kind, n, m, r))
+            if b is not None:
+                bounds_by_r[r] = (b.cmax_lb, b.minsum_lb)
+        if missing or r not in bounds_by_r:
+            work.append((kind, n, m, seed, r, tuple(missing), r not in bounds_by_r))
+            work_rs.append(r)
+
+    outputs = backend_obj.map(_ablation_cell, work)
+    for r, (cmax_lb, minsum_lb, measured) in zip(work_rs, outputs):
+        if cmax_lb is not None:
+            bounds_by_r[r] = (cmax_lb, minsum_lb)
+            if cache is not None:
+                cache.put_bounds(
+                    (seed, kind, n, m, r),
+                    CellBounds(cmax_lb=cmax_lb, minsum_lb=minsum_lb),
+                )
         for name, (minsum, cmax) in measured.items():
-            minsums[name].append(minsum)
-            cmaxes[name].append(cmax)
+            have[(r, name)] = (minsum, cmax)
+            if cache is not None:
+                cache.put_record(
+                    CellKey(seed, kind, n, m, r, f"ablate:{name}"),
+                    CellRecord(cmax=cmax, minsum=minsum, seconds=0.0),
+                )
+
+    cmax_lbs = [bounds_by_r[r][0] for r in range(runs)]
+    minsum_lbs = [bounds_by_r[r][1] for r in range(runs)]
     return {
         name: (
-            ratio_of_sums(minsums[name], minsum_lbs),
-            ratio_of_sums(cmaxes[name], cmax_lbs),
+            ratio_of_sums([have[(r, name)][0] for r in range(runs)], minsum_lbs),
+            ratio_of_sums([have[(r, name)][1] for r in range(runs)], cmax_lbs),
         )
         for name in variants
     }

@@ -21,6 +21,16 @@ Scale a paper-sized campaign across every core::
 
 Numbers are byte-identical across backends (each cell derives its own RNG
 stream); only wall-clock changes.
+
+Make campaign results durable — a repeated run, an added algorithm, or an
+extended sweep only pays for unseen cells::
+
+    repro-experiments --figure all --cache-dir .repro-cache
+    repro-experiments --figure all --cache-dir .repro-cache   # all hits
+
+Evaluate the on-line batch wrapper (arrival-horizon sweep)::
+
+    repro-experiments --online --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ import sys
 
 from repro.experiments.ablation import ABLATIONS
 from repro.experiments.config import SCALES, resolve_scale
-from repro.experiments.engine import BACKENDS
+from repro.experiments.engine import BACKENDS, resolve_cache
 from repro.experiments.figures import FIGURES, figure7
 from repro.experiments.reporting import (
     format_campaign_charts,
@@ -87,12 +97,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --backend process (default: cpu count)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cell cache directory: campaign results are "
+        "journalled there and re-runs only pay for unseen cells",
+    )
+    parser.add_argument(
+        "--online",
+        action="store_true",
+        help="also run the on-line batch-scheduling evaluation (DEMT "
+        "off-line engine, arrival-horizon sweep)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if not args.figure and not args.ablation:
+    if not args.figure and not args.ablation and not args.online:
         build_parser().print_help()
         return 2
 
@@ -101,16 +124,19 @@ def main(argv: list[str] | None = None) -> int:
         cfg = cfg.scaled(seed=args.seed)
 
     exec_kw = dict(backend=args.backend, jobs=args.jobs)
+    cache = resolve_cache(args.cache_dir)
+    cached_kw = dict(exec_kw, cache=cache)
 
     if args.figure:
         wanted = list(FIGURES) if args.figure == "all" else [args.figure]
         for fig_id in wanted:
             print(f"=== Figure {fig_id} ===")
             if fig_id == "7":
+                # Figure 7 measures wall-clock; caching would falsify it.
                 result = figure7(cfg, **exec_kw)
                 print(format_timing_table(result.timings))
             else:
-                result = FIGURES[fig_id](cfg, progress=True, **exec_kw)
+                result = FIGURES[fig_id](cfg, progress=True, **cached_kw)
                 print(format_campaign_table(result))
                 if args.charts:
                     print(format_campaign_charts(result))
@@ -119,9 +145,23 @@ def main(argv: list[str] | None = None) -> int:
         wanted = list(ABLATIONS) if args.ablation == "all" else [args.ablation]
         for name in wanted:
             print(f"=== Ablation: {name} ===")
-            for variant, (minsum_r, cmax_r) in ABLATIONS[name](**exec_kw).items():
+            for variant, (minsum_r, cmax_r) in ABLATIONS[name](**cached_kw).items():
                 print(f"  {variant:<16} minsum ratio {minsum_r:6.3f}   cmax ratio {cmax_r:6.3f}")
             print()
+
+    if args.online:
+        from repro.algorithms.demt import schedule_demt
+        from repro.experiments.online_eval import evaluate_online, format_online_table
+
+        print("=== On-line batch evaluation (DEMT off-line engine) ===")
+        points = evaluate_online(schedule_demt, **cached_kw)
+        print(format_online_table(points))
+
+    if cache is not None:
+        print(
+            f"[cache] {len(cache)} cells ({cache.hits} hits / {cache.misses} misses "
+            f"this run) in {args.cache_dir}"
+        )
     return 0
 
 

@@ -18,14 +18,20 @@ two execution backends interchangeable:
 The :class:`CellCache` memoises per-cell records and per-instance lower
 bounds, so repeated campaigns — sweeps over algorithm subsets, ablations
 re-using the same instances, figure regeneration after adding one point —
-only pay for cells they have not seen.
+only pay for cells they have not seen.  :class:`PersistentCellCache`
+extends it with an append-only on-disk journal, making those savings
+durable across processes: re-running a campaign, adding one algorithm, or
+extending a sweep by one ``n``-point in a *fresh* process only pays for
+unseen cells.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable
 
 __all__ = [
@@ -33,9 +39,11 @@ __all__ = [
     "CellRecord",
     "CellBounds",
     "CellCache",
+    "PersistentCellCache",
     "SerialBackend",
     "ProcessBackend",
     "resolve_backend",
+    "resolve_cache",
     "BACKENDS",
 ]
 
@@ -124,6 +132,214 @@ class CellCache:
         self._bounds.clear()
         self.hits = 0
         self.misses = 0
+
+
+class PersistentCellCache(CellCache):
+    """A :class:`CellCache` backed by an append-only JSONL journal.
+
+    Layout: ``cache_dir`` holds one or more ``*.jsonl`` shard files, one
+    JSON document per line::
+
+        {"t": "cell", "k": [seed, kind, n, m, r, algorithm],
+         "cmax": ..., "minsum": ..., "seconds": ..., "validated": ...}
+        {"t": "bounds", "k": [seed, kind, n, m, r],
+         "cmax_lb": ..., "minsum_lb": ...}
+
+    Properties that make it safe in practice:
+
+    * **Loading merges every shard** (later lines win), and unparseable or
+      truncated lines — a crashed writer, a half-synced file — are skipped,
+      not fatal: at worst a cell is re-measured.
+    * **Writes go to a per-process shard** (``cells-<pid>.jsonl``), so two
+      campaigns sharing a directory never interleave within one file.  The
+      process *backend* needs no extra care: workers return plain records
+      and only the coordinating process touches the cache.
+    * **Floats round-trip exactly** (``json`` uses ``repr`` precision), so
+      aggregates recomputed from cache equal the original run bit for bit.
+    * **Appends are flushed per line**; :meth:`compact` folds all shards
+      into a single ``cells.jsonl`` to keep reload time proportional to
+      the number of distinct cells.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        super().__init__()
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._shard = self.cache_dir / f"cells-{os.getpid()}.jsonl"
+        self._fh = None
+        self.loaded = self._load()
+
+    # -- journal I/O --------------------------------------------------- #
+    def _shard_files(self) -> list[Path]:
+        """All shards, oldest first (mtime, then name), so that replaying
+        'later lines win' resolves duplicate keys toward the most recent
+        measurement — e.g. a ``validated=True`` re-measurement from a new
+        process must shadow an old unvalidated record, whatever the pids
+        happen to sort like lexically."""
+        return sorted(
+            self.cache_dir.glob("*.jsonl"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+
+    def _load(self) -> int:
+        """Merge every shard into memory; return the number of loaded rows."""
+        rows = 0
+        self._loaded_files = self._shard_files()
+        for path in self._loaded_files:
+            try:
+                text = path.read_text()
+            except OSError:  # pragma: no cover - unreadable shard
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                    if doc["t"] == "cell":
+                        seed, kind, n, m, r, algorithm = doc["k"]
+                        key = CellKey(
+                            int(seed), str(kind), int(n), int(m), int(r), str(algorithm)
+                        )
+                        self._records[key] = CellRecord(
+                            cmax=float(doc["cmax"]),
+                            minsum=float(doc["minsum"]),
+                            seconds=float(doc["seconds"]),
+                            validated=bool(doc["validated"]),
+                        )
+                    elif doc["t"] == "bounds":
+                        seed, kind, n, m, r = doc["k"]
+                        self._bounds[(int(seed), str(kind), int(n), int(m), int(r))] = (
+                            CellBounds(
+                                cmax_lb=float(doc["cmax_lb"]),
+                                minsum_lb=float(doc["minsum_lb"]),
+                            )
+                        )
+                    else:
+                        continue
+                    rows += 1
+                except (ValueError, KeyError, TypeError):
+                    continue  # corrupt/foreign line: tolerate, re-measure
+        return rows
+
+    def _append(self, doc: dict) -> None:
+        if self._fh is None:
+            self._fh = open(self._shard, "a", encoding="utf-8")
+        self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    # -- write-through puts -------------------------------------------- #
+    def put_record(self, key: CellKey, record: CellRecord) -> None:
+        known = self._records.get(key)
+        super().put_record(key, record)
+        if known != record:
+            self._append(
+                {
+                    "t": "cell",
+                    "k": [key.seed, key.kind, key.n, key.m, key.r, key.algorithm],
+                    "cmax": record.cmax,
+                    "minsum": record.minsum,
+                    "seconds": record.seconds,
+                    "validated": record.validated,
+                }
+            )
+
+    def put_bounds(self, bounds_key: tuple, bounds: CellBounds) -> None:
+        known = self._bounds.get(bounds_key)
+        super().put_bounds(bounds_key, bounds)
+        if known != bounds:
+            self._append(
+                {
+                    "t": "bounds",
+                    "k": list(bounds_key),
+                    "cmax_lb": bounds.cmax_lb,
+                    "minsum_lb": bounds.minsum_lb,
+                }
+            )
+
+    # -- maintenance ---------------------------------------------------- #
+    def compact(self) -> int:
+        """Fold the shards into one deduplicated ``cells.jsonl``.
+
+        Returns the number of rows written.  The shards are re-read from
+        disk first (picking up rows other processes appended since this
+        cache was opened), and only the files that were merged are
+        removed — a shard created *after* the re-read survives untouched.
+        A writer appending to a merged shard in the instant between the
+        re-read and the unlink can still lose those rows, so run
+        compaction when no campaign is live against the directory.
+        """
+        self.close()
+        self._records.clear()
+        self._bounds.clear()
+        self._load()  # fresh disk state, including other processes' shards
+        merged = list(self._loaded_files)
+        target = self.cache_dir / "cells.jsonl"
+        tmp = self.cache_dir / "cells.jsonl.tmp"
+        rows = 0
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for bkey, bounds in sorted(self._bounds.items(), key=lambda kv: repr(kv[0])):
+                fh.write(
+                    json.dumps(
+                        {
+                            "t": "bounds",
+                            "k": list(bkey),
+                            "cmax_lb": bounds.cmax_lb,
+                            "minsum_lb": bounds.minsum_lb,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                rows += 1
+            for key, rec in sorted(self._records.items(), key=lambda kv: repr(kv[0])):
+                fh.write(
+                    json.dumps(
+                        {
+                            "t": "cell",
+                            "k": [key.seed, key.kind, key.n, key.m, key.r, key.algorithm],
+                            "cmax": rec.cmax,
+                            "minsum": rec.minsum,
+                            "seconds": rec.seconds,
+                            "validated": rec.validated,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                rows += 1
+        for path in merged:
+            if path != target:
+                path.unlink(missing_ok=True)
+        tmp.replace(target)
+        return rows
+
+    def close(self) -> None:
+        """Flush and close this process's shard (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def resolve_cache(
+    cache: "CellCache | str | os.PathLike | None",
+) -> CellCache | None:
+    """Normalise a cache spec: an instance, a directory path, or ``None``.
+
+    A string/path builds (and loads) a :class:`PersistentCellCache` on that
+    directory — the ``--cache-dir`` CLI plumbing.
+    """
+    if cache is None or isinstance(cache, CellCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return PersistentCellCache(cache)
+    raise TypeError(f"cache must be a CellCache, a directory path, or None, got {cache!r}")
 
 
 class SerialBackend:

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
-from repro.experiments.engine import resolve_backend
+from repro.experiments.engine import CellKey, CellRecord, resolve_backend, resolve_cache
 from repro.simulator.online import OnlineBatchScheduler
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
@@ -73,6 +73,28 @@ def _online_cell(args: tuple) -> tuple[float, int]:
     return result.schedule.makespan() / off_cmax, result.n_batches
 
 
+def _offline_label(offline: Callable) -> str | None:
+    """Stable cache label for the off-line engine, or ``None``.
+
+    ``None`` means "not cacheable".  Only plain module-level functions
+    (e.g. :func:`repro.algorithms.demt.schedule_demt`) qualify: their
+    name pins their semantics.  Everything else is rejected — lambdas all
+    share one qualname, and bound methods or other callables carry
+    *configuration* the name cannot see (``DemtScheduler(compaction=
+    "shelf").schedule`` and ``DemtScheduler(compaction="list").schedule``
+    label identically but measure different engines), so caching them
+    would silently serve one engine's numbers for another.
+    """
+    import types
+
+    if not isinstance(offline, types.FunctionType):
+        return None
+    label = f"{offline.__module__}.{offline.__qualname__}"
+    if "<lambda>" in label or "<locals>" in label:
+        return None
+    return label
+
+
 def evaluate_online(
     offline: Callable[[Instance], Schedule],
     *,
@@ -84,6 +106,7 @@ def evaluate_online(
     seed: int = 1,
     backend: object = None,
     jobs: int | None = None,
+    cache: object = None,
 ) -> list[OnlineEvalPoint]:
     """Sweep arrival horizons; return one point per fraction.
 
@@ -92,20 +115,51 @@ def evaluate_online(
     at most one off-line makespan).  The whole ``fractions x runs`` grid is
     dispatched through one backend batch; with ``backend="process"`` the
     ``offline`` callable must be picklable.
+
+    ``cache`` (a :class:`~repro.experiments.engine.CellCache` or directory
+    path) memoises each ``(fraction, r)`` measurement under the cell key
+    ``(seed, "online:<kind>:<fraction>", n, m, r, <offline label>)``, with
+    the ratio stored in the ``cmax`` field and the batch count in
+    ``minsum`` — a repeated sweep re-executes nothing.  Only plain
+    module-level engine *functions* are cached; lambdas, closures, and
+    bound methods (whose instance configuration the name cannot encode)
+    are measured but never journalled, because an ambiguous key could
+    serve one engine's numbers for another.
     """
     backend_obj = resolve_backend(backend, jobs)
-    cells = [
-        (offline, kind, n, m, frac, r, seed)
-        for frac in fractions
-        for r in range(runs)
-    ]
+    cache = resolve_cache(cache)
+    label = _offline_label(offline)
+    if label is None:
+        cache = None
+
+    def key(frac: float, r: int) -> CellKey:
+        return CellKey(seed, f"online:{kind}:{frac!r}", n, m, r, label)
+
+    have: dict[tuple[float, int], tuple[float, int]] = {}
+    cells = []
+    missing: list[tuple[float, int]] = []
+    for frac in fractions:
+        for r in range(runs):
+            if cache is not None:
+                rec = cache.get_record(key(frac, r))
+                if rec is not None:
+                    have[(frac, r)] = (rec.cmax, int(rec.minsum))
+                    continue
+            missing.append((frac, r))
+            cells.append((offline, kind, n, m, frac, r, seed))
     outputs = backend_obj.map(_online_cell, cells)
+    for (frac, r), (ratio, n_batches) in zip(missing, outputs):
+        have[(frac, r)] = (ratio, n_batches)
+        if cache is not None:
+            cache.put_record(
+                key(frac, r),
+                CellRecord(cmax=ratio, minsum=float(n_batches), seconds=0.0),
+            )
 
     points: list[OnlineEvalPoint] = []
-    for i, frac in enumerate(fractions):
-        chunk = outputs[i * runs : (i + 1) * runs]
-        ratios = [ratio for ratio, _ in chunk]
-        batches = [nb for _, nb in chunk]
+    for frac in fractions:
+        ratios = [have[(frac, r)][0] for r in range(runs)]
+        batches = [have[(frac, r)][1] for r in range(runs)]
         points.append(
             OnlineEvalPoint(
                 horizon_fraction=frac,

@@ -36,6 +36,7 @@ from repro.experiments.engine import (
     CellKey,
     CellRecord,
     resolve_backend,
+    resolve_cache,
 )
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
@@ -171,9 +172,13 @@ def run_cells(
     backend runs it (serially or across processes), results merge back
     into the cache.  A ``validate=True`` call only accepts cached records
     that were themselves measured under validation (``CellRecord.
-    validated``); anything else is re-measured.
+    validated``); anything else is re-measured.  ``cache`` may also be a
+    directory path — it is then opened as a
+    :class:`~repro.experiments.engine.PersistentCellCache`, so the results
+    survive the process and a repeated campaign re-executes nothing.
     """
     backend = resolve_backend(backend, jobs)
+    cache = resolve_cache(cache)
     results: dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]] = {}
     work: list[tuple] = []
     work_cells: list[tuple[str, int, int]] = []

@@ -78,19 +78,26 @@ class OnlineBatchScheduler:
         if instance.n == 0:
             return OnlineResult(out, (), ())
 
+        # Tasks sorted by arrival; `head` walks forward, so each batch is a
+        # slice of the sorted order and the whole run is O(n log n) instead
+        # of re-filtering the full pending list per batch.
         pending = sorted(instance.tasks, key=lambda t: (t.release, t.task_id))
+        head = 0
         now = pending[0].release
         batch_starts: list[float] = []
         batch_contents: list[frozenset[int]] = []
 
-        while pending:
+        while head < len(pending):
             # Jobs that have arrived by `now` form the next batch; if none
             # (idle gap), jump to the next arrival.
-            arrived = [t for t in pending if t.release <= now + 1e-12]
-            if not arrived:
-                now = pending[0].release
+            cut = head
+            while cut < len(pending) and pending[cut].release <= now + 1e-12:
+                cut += 1
+            if cut == head:
+                now = pending[head].release
                 continue
-            pending = [t for t in pending if t.release > now + 1e-12]
+            arrived = pending[head:cut]
+            head = cut
 
             # Off-line sub-instance at time origin 0 (releases stripped).
             sub = Instance([t.with_release(0.0) for t in arrived], m)

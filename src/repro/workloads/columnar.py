@@ -1,0 +1,457 @@
+"""Columnar (array-plane) workload generation.
+
+The object builders in :mod:`repro.workloads.generator` construct one
+:class:`~repro.core.task.MoldableTask` at a time: per task, one or more RNG
+calls, a fresh time vector, and full per-object validation.  At campaign
+scale (§4: hundreds of instances per family, swept over ``n`` and ``m``)
+that Python-level loop dominates the setup cost — the scheduling kernels
+themselves only ever consume the dense ``(n, m)`` matrix the
+:class:`~repro.core.instance.Instance` re-packs those objects into.
+
+This module generates the matrix *directly*: one ``(n, m)`` processing-time
+array and one ``(n,)`` weight vector per instance, produced by batched
+NumPy RNG calls and handed zero-copy to :meth:`Instance.from_arrays`.
+Large intermediates live in a thread-local scratch pool reused across
+instances, so a campaign's generation loop stops paying allocation and
+page-fault costs per instance.
+
+Bit-for-bit contract
+--------------------
+The columnar builders are not merely statistically equivalent to the object
+builders — they consume the *identical* RNG stream and leave the generator
+in the *identical* final state.  Every schedule, golden, differential
+oracle, and downstream draw (e.g. the on-line evaluation's release dates,
+drawn from the same generator after the instance) is therefore unchanged.
+Two NumPy facts make this possible:
+
+* **Batching equivalence** — ``Generator.standard_normal``/``random`` fill
+  values sequentially from the bit stream, so one call of size ``a + b``
+  yields exactly the concatenation of calls of size ``a`` and ``b``; and
+  ``normal(loc, scale, k)`` equals ``loc + scale * standard_normal(k)``
+  bitwise (same for ``uniform`` / scaled ``random``).
+* **State restore** — ``rng.bit_generator.state`` can be checkpointed and
+  restored, so a builder may over-draw into a scratch buffer, compute how
+  much the object path would have consumed, and then re-draw exactly that
+  many values to land on the same final state.  Draws are chunked with a
+  snapshot per chunk, so that final replay only re-draws a partial chunk.
+
+Rejection sampling without the per-task loop
+--------------------------------------------
+The recurrence families redraw out-of-range gaussians per task
+(:func:`~repro.workloads.parallelism.truncated_gaussian`), which interleaves
+data-dependent draw counts into the stream.  The key accounting fact: every
+*accepted* value permanently fills one of the task's ``width`` slots, so a
+task's consumption ends exactly at its ``width``-th accepted value.  With
+``pos`` the sorted stream positions of accepted values, task ``i``'s block
+therefore starts at ``pos[i * width - 1] + 1`` — fully vectorised when all
+tasks share one gaussian centre, and O(1) per task otherwise.  Slot
+placement then replays the rejection *rounds* of the seed sampler globally
+across all tasks (each round one shrinking scatter), instead of per task.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.workloads.parallelism import (
+    HIGHLY_PARALLEL_MEAN,
+    PROFILE_STD,
+    WEAKLY_PARALLEL_MEAN,
+    _MAX_RESAMPLE_ROUNDS,
+    truncated_gaussian,
+)
+from repro.workloads.sequential import mixed_sequential_times, uniform_sequential_times
+
+__all__ = [
+    "columnar_workload",
+    "COLUMNAR_FAMILIES",
+    "batched_truncated_gaussian",
+    "WEIGHT_LOW",
+    "WEIGHT_HIGH",
+]
+
+#: Weight distribution of §4.1: uniform between 1 and 10 for every family.
+#: Single source of truth — the object builders in ``generator.py`` draw
+#: from the same constants, so the two paths cannot silently diverge.
+WEIGHT_LOW, WEIGHT_HIGH = 1.0, 10.0
+
+#: Truncation interval of the parallelism variable X (§4.1).
+_LOW, _HIGH = 0.0, 1.0
+
+_tls = threading.local()
+
+
+def _scratch(name: str, size: int, dtype=np.float64, keep: int = 0) -> np.ndarray:
+    """A reusable buffer of at least ``size`` elements (content undefined
+    beyond ``keep``, which is preserved across a grow)."""
+    pool = getattr(_tls, "pool", None)
+    if pool is None:
+        pool = _tls.pool = {}
+    arr = pool.get(name)
+    if arr is None or arr.dtype != dtype:
+        arr = pool[name] = np.empty(max(size, 1024), dtype=dtype)
+    elif arr.size < size:
+        grown = np.empty(max(size, 2 * arr.size), dtype=dtype)
+        if keep:
+            grown[:keep] = arr[:keep]
+        arr = pool[name] = grown
+    return arr
+
+
+# --------------------------------------------------------------------- #
+# Stream-exact batched truncated gaussians                              #
+# --------------------------------------------------------------------- #
+def batched_truncated_gaussian(
+    rng: np.random.Generator,
+    means: np.ndarray,
+    std: float,
+    width: int,
+    _out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Rows of truncated gaussians, stream-identical to the per-task path.
+
+    Row ``i`` reproduces, bit for bit, what
+    ``truncated_gaussian(rng, means[i], std, size=width)`` would have
+    produced had the ``n`` calls been made one after the other — and the
+    generator is left in the same final state those calls would have left
+    it in.
+
+    Parameters
+    ----------
+    rng:
+        The generator (consumed exactly as the sequential path would).
+    means:
+        ``(n,)`` gaussian centres, one per row (the mixed family pairs
+        0.9 / 0.1 per task).
+    std, width:
+        Shared standard deviation and row width (``m - 1`` draws per task).
+    """
+    means = np.asarray(means, dtype=np.float64)
+    n = means.size
+    out = np.empty((n, width)) if _out is None else _out
+    if n == 0 or width == 0:
+        return out
+    uniq = [float(x) for x in np.unique(means)]
+    multi = len(uniq) > 1
+    need = n * width
+
+    # ---- draw + transform + accept, chunk by chunk ------------------- #
+    # Acceptance is decided on the *transformed* value with the same float
+    # ops as the seed sampler (mu + std * z, then the interval test), so
+    # boundary ulps cannot diverge.  Rejection probability is ~0.31 for
+    # the §4.1 centres (expected consumption 1.446x `need`); sizing the
+    # first chunk just under that keeps the replayed tail small.
+    states = [rng.bit_generator.state]
+    bounds = [0]
+    drawn = 0
+    counts = {mu: 0 for mu in uniq}
+    zbuf = np.empty(0)
+    vbufs: dict[float, np.ndarray] = {}
+    abufs: dict[float, np.ndarray] = {}
+
+    def _draw_chunk(size: int) -> None:
+        nonlocal drawn, zbuf
+        end = drawn + size
+        zbuf = _scratch("z", end, keep=drawn)
+        rng.standard_normal(out=zbuf[drawn:end])
+        z = zbuf[drawn:end]
+        t = _scratch("cmp", size, np.bool_)[:size]
+        for j, mu in enumerate(uniq):
+            vb = vbufs[mu] = _scratch(f"v{j}", end, keep=drawn)
+            ab = abufs[mu] = _scratch(f"a{j}", end, np.bool_, keep=drawn)
+            v = vb[drawn:end]
+            np.multiply(z, std, out=v)
+            v += mu
+            a = ab[drawn:end]
+            np.greater_equal(v, _LOW, out=a)
+            np.less_equal(v, _HIGH, out=t)
+            np.logical_and(a, t, out=a)
+            counts[mu] += int(np.count_nonzero(a))
+        drawn = end
+        bounds.append(drawn)
+        states.append(rng.bit_generator.state)
+
+    def _fallback() -> np.ndarray:
+        """Pathological parameters (acceptance probability near zero, or a
+        row exhausting the reference sampler's 128 resample rounds): rewind
+        and run the reference sampler row by row.  Bit-exact by
+        construction — the batched accounting assumes every row terminates
+        through its width-th acceptance, which the reference's round cap
+        and clip break."""
+        rng.bit_generator.state = states[0]
+        for i, mu in enumerate(means.tolist()):
+            out[i] = truncated_gaussian(rng, mu, std, width)
+        return out
+
+    # The reference sampler consumes at most width * (1 + 128 rounds) per
+    # row; a buffer past that bound with accepts still missing can only
+    # mean rows that would hit the reference's clip path.
+    max_drawn = need * (_MAX_RESAMPLE_ROUNDS + 1) + 256
+
+    _draw_chunk(int(need * 1.42) + 128)
+    starts = np.empty(n, dtype=np.int64)
+    while True:
+        # Necessary floor before trying the accounting: every row must be
+        # able to find its width-th acceptance inside the buffer.
+        if min(counts.values()) < need:
+            if drawn >= max_drawn:
+                return _fallback()
+            _draw_chunk(max(need // 16, 1024))
+            continue
+        if not multi:
+            pos = np.flatnonzero(abufs[uniq[0]][:drawn])
+            starts[0] = 0
+            if n > 1:
+                starts[1:] = pos[np.arange(1, n, dtype=np.int64) * width - 1] + 1
+            consumed = int(pos[need - 1]) + 1
+            break
+        accept_pos = {mu: np.flatnonzero(a[:drawn]) for mu, a in abufs.items()}
+        cursor = 0
+        for i, mu in enumerate(means.tolist()):
+            starts[i] = cursor
+            pos = accept_pos[mu]
+            # Accepts before the cursor, then jump to the width-th after.
+            # (Acceptances under the *other* centre sit in between, so the
+            # index can overrun the buffer even past the floor above — in
+            # that case draw more and redo the accounting.)
+            k = int(np.searchsorted(pos, cursor, side="left")) + width - 1
+            if k >= pos.size:
+                cursor = -1
+                break
+            cursor = int(pos[k]) + 1
+        if cursor >= 0:
+            consumed = cursor
+            break
+        if drawn >= max_drawn:
+            return _fallback()
+        _draw_chunk(max(need // 16, 1024))
+    states.pop()  # the state *after* the last chunk is never a rewind target
+
+    # ---- round-0 placement: every row's first `width` stream values -- #
+    idx = _scratch("idx", need, np.int64)[:need].reshape(n, width)
+    np.add(starts[:, None], np.arange(width), out=idx)
+    bad = _scratch("bad", need, np.bool_)[:need].reshape(n, width)
+    if not multi:
+        mu = uniq[0]
+        np.take(vbufs[mu], idx, out=out)
+        np.take(abufs[mu], idx, out=bad)
+        np.logical_not(bad, out=bad)
+    else:
+        np.take(zbuf, idx, out=out)
+        out *= std
+        out += means[:, None]
+        t2 = _scratch("cmp2", need, np.bool_)[:need].reshape(n, width)
+        np.less(out, _LOW, out=bad)
+        np.greater(out, _HIGH, out=t2)
+        np.logical_or(bad, t2, out=bad)
+
+    # ---- resample rounds, replayed globally -------------------------- #
+    # In round r the seed sampler hands every still-bad slot (in slot
+    # order) the row's next stream value; flat row-major coordinate order
+    # is exactly that order, and the rank of a coordinate within its row
+    # addresses the value inside the row's round block.
+    flat = np.flatnonzero(bad.reshape(-1))
+    rows = flat // width
+    out_flat = out.reshape(-1)
+    block_start = starts + width
+    rounds = 0
+    while rows.size and rounds < _MAX_RESAMPLE_ROUNDS:
+        row_counts = np.bincount(rows, minlength=n)
+        cum = np.empty(n, dtype=np.int64)
+        cum[0] = 0
+        np.cumsum(row_counts[:-1], out=cum[1:])
+        positions = block_start[rows] + (np.arange(rows.size) - cum[rows])
+        if not multi:
+            newv = vbufs[uniq[0]][positions]
+            still = ~abufs[uniq[0]][positions]
+        else:
+            newv = means[rows] + std * zbuf[positions]
+            still = (newv < _LOW) | (newv > _HIGH)
+        out_flat[flat] = newv
+        block_start = block_start + row_counts
+        rows, flat = rows[still], flat[still]
+        rounds += 1
+    if rows.size:
+        # Some row hit the reference sampler's resample-round cap: its
+        # clipped value and its stream consumption both differ from the
+        # width-th-acceptance model, so replay the reference exactly.
+        return _fallback()
+
+    # ---- exact final state ------------------------------------------- #
+    # Rewind to the snapshot of the chunk containing the consumption end
+    # and re-draw only the part of it the sequential path would have used.
+    last = int(np.searchsorted(bounds, consumed, side="right")) - 1
+    last = min(last, len(states) - 1)
+    rng.bit_generator.state = states[last]
+    remainder = consumed - bounds[last]
+    if remainder:
+        rng.standard_normal(remainder)
+    return out
+
+
+def _weights(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.uniform(WEIGHT_LOW, WEIGHT_HIGH, size=n)
+
+
+def _profile_times(
+    rng: np.random.Generator, seq: np.ndarray, means: np.ndarray, m: int
+) -> np.ndarray:
+    """Recurrence-model ``(n, m)`` time matrix from batched X draws.
+
+    Mirrors :func:`~repro.workloads.parallelism.parallel_profile` row by
+    row: ``p(j) = p(j-1) * (X + j) / (1 + j)`` via a cumulative product.
+    """
+    n = seq.size
+    xs = _scratch("xs", n * max(m - 1, 1))[: n * (m - 1)].reshape(n, m - 1)
+    xs = batched_truncated_gaussian(rng, means, PROFILE_STD, m - 1, _out=xs)
+    times = np.empty((n, m))
+    times[:, 0] = seq
+    if m > 1:
+        js = np.arange(2, m + 1, dtype=np.float64)
+        np.add(xs, js, out=xs)
+        np.divide(xs, 1.0 + js, out=xs)  # (X + j) / (1 + j)
+        np.cumprod(xs, axis=1, out=xs)
+        np.multiply(seq[:, None], xs, out=times[:, 1:])
+    return times
+
+
+# --------------------------------------------------------------------- #
+# Families                                                              #
+# --------------------------------------------------------------------- #
+def _cols_weakly(rng, n, m):
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    means = np.full(n, WEAKLY_PARALLEL_MEAN)
+    return _profile_times(rng, seq, means, m), w
+
+
+def _cols_highly(rng, n, m):
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    means = np.full(n, HIGHLY_PARALLEL_MEAN)
+    return _profile_times(rng, seq, means, m), w
+
+
+def _cols_mixed(rng, n, m):
+    seq, is_small = mixed_sequential_times(rng, n)
+    w = _weights(rng, n)
+    means = np.where(is_small, WEAKLY_PARALLEL_MEAN, HIGHLY_PARALLEL_MEAN)
+    return _profile_times(rng, seq, means, m), w
+
+
+def _downey_speedup_rows(ks: np.ndarray, A: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """Vectorised Downey speedup for per-row ``(A, sigma)`` parameters.
+
+    Same per-element formulas (and float-op order) as
+    :func:`~repro.workloads.cirne.downey_speedup`; rows are split by sigma
+    branch so each formula is only evaluated on the rows that use it
+    (``sigma ~ U(0, 2)``, so each group is about half the instance).
+    """
+    n, m = A.size, ks.size
+    out = _scratch("downey", n * m)[: n * m].reshape(n, m)
+    le_rows = np.flatnonzero(sigma <= 1.0)
+    gt_rows = np.flatnonzero(sigma > 1.0)
+    if le_rows.size:
+        A2 = A[le_rows, None]
+        s2 = sigma[le_rows, None]
+        num = A2 * ks
+        with np.errstate(divide="ignore", invalid="ignore"):
+            low = s2 * (ks - 1) / 2.0
+            low += A2
+            np.divide(num, low, out=low)
+            mid = ks * (1 - s2 / 2.0)
+            mid += s2 * (A2 - 0.5)
+            np.divide(num, mid, out=mid)
+        out[le_rows] = np.where(ks <= A2, low, np.where(ks <= 2 * A2 - 1, mid, A2))
+    if gt_rows.size:
+        A2 = A[gt_rows, None]
+        s2 = sigma[gt_rows, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            low = ks * A2 * (s2 + 1) / (s2 * (ks + A2 - 1) + A2)
+        out[gt_rows] = np.where(ks <= A2 + A2 * s2 - s2, low, A2)
+    return np.maximum(out, 1.0, out=out)
+
+
+def _monotonize_rows(times: np.ndarray, ks: np.ndarray) -> np.ndarray:
+    """Row-wise :meth:`MoldableTask.monotonized` (all-finite rows).
+
+    The seed transform is a running minimum of times followed by a forward
+    pass that lifts ``p(k)`` to ``prev_work / k`` whenever the work would
+    decrease — and that ``prev_work`` is exactly the running maximum of the
+    (post-minimum) work ``k * p(k)``, so both passes vectorise as
+    accumulations.
+    """
+    t = np.minimum.accumulate(times, axis=1, out=times)
+    n, m = t.shape
+    work = _scratch("mono_w", n * m)[: n * m].reshape(n, m)
+    np.multiply(ks, t, out=work)
+    run_max = np.maximum.accumulate(work, axis=1)
+    if m > 1:
+        prev = run_max[:, :-1]
+        fix = work[:, 1:] < prev
+        np.copyto(t[:, 1:], prev / ks[1:], where=fix)
+    return t
+
+
+def _cols_cirne(rng, n, m):
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    # Per task: log2(A) ~ U(0, log2(max(m, 2))), sigma ~ U(0, 2) — two
+    # scalar uniforms in the object path, i.e. exactly two stream doubles.
+    draws = rng.random(2 * n).reshape(n, 2) if n else np.empty((0, 2))
+    log2_a = np.log2(max(m, 2)) * draws[:, 0]
+    # Python's float pow (the object path's `2.0 ** log2_a`) is not
+    # bit-identical to np.power on every platform; n scalar pows are cheap.
+    A = np.fromiter((2.0**v for v in log2_a.tolist()), dtype=np.float64, count=n)
+    sigma = 2.0 * draws[:, 1]
+    ks = np.arange(1, m + 1, dtype=np.float64)
+    speedup = _downey_speedup_rows(ks, A, sigma)
+    times = seq[:, None] / speedup
+    return _monotonize_rows(times, ks), w
+
+
+def _cols_sequential_only(rng, n, m):
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    times = np.repeat(seq[:, None], m, axis=1)
+    return times, w
+
+
+def _cols_linear(rng, n, m):
+    seq = uniform_sequential_times(rng, n)
+    w = _weights(rng, n)
+    ks = np.arange(1, m + 1, dtype=np.float64)
+    return seq[:, None] / ks, w
+
+
+#: Family name -> columnar builder ``(rng, n, m) -> (times (n, m), weights)``.
+#: Keys match :data:`repro.workloads.generator.WORKLOAD_KINDS`.
+COLUMNAR_FAMILIES = {
+    "weakly_parallel": _cols_weakly,
+    "highly_parallel": _cols_highly,
+    "mixed": _cols_mixed,
+    "cirne": _cols_cirne,
+    "sequential_only": _cols_sequential_only,
+    "linear_speedup": _cols_linear,
+}
+
+
+def columnar_workload(
+    kind: str, n: int, m: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(times (n, m), weights (n,))`` for workload family ``kind``.
+
+    Consumes ``rng`` exactly as the object builders of
+    :mod:`repro.workloads.generator` would (same values, same final state);
+    see the module docstring for the contract and the mechanism.
+    """
+    try:
+        family = COLUMNAR_FAMILIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; available: "
+            f"{', '.join(COLUMNAR_FAMILIES)}"
+        ) from None
+    return family(rng, n, m)

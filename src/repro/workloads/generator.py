@@ -4,6 +4,16 @@
 Instance` objects for the four experimental families of §4.1 (plus a couple
 of extra families useful for testing and ablation).  Everything is
 deterministic given a seed.
+
+Instances are produced on the columnar plane: the family builders of
+:mod:`repro.workloads.columnar` emit the whole ``(n, m)`` time matrix and
+weight vector with batched RNG calls, and the result is handed zero-copy
+to :meth:`Instance.from_arrays`.  The original task-by-task builders are
+kept as :func:`generate_workload_reference` — the columnar path consumes
+the identical RNG stream (bit-for-bit equal instances, identical final
+generator state; pinned by ``tests/workloads/test_columnar.py`` and the
+golden corpus), so the two are interchangeable everywhere and the
+reference doubles as the differential oracle.
 """
 
 from __future__ import annotations
@@ -16,17 +26,16 @@ from repro.core.instance import Instance
 from repro.core.task import MoldableTask, sequential_task
 from repro.utils.rng import make_rng
 from repro.workloads.cirne import cirne_task
+from repro.workloads.columnar import (
+    WEIGHT_HIGH,
+    WEIGHT_LOW,
+    _weights,
+    columnar_workload,
+)
 from repro.workloads.parallelism import parallel_task
 from repro.workloads.sequential import mixed_sequential_times, uniform_sequential_times
 
-__all__ = ["generate_workload", "WORKLOAD_KINDS"]
-
-#: Weight distribution of §4.1: uniform between 1 and 10 for every family.
-WEIGHT_LOW, WEIGHT_HIGH = 1.0, 10.0
-
-
-def _weights(rng: np.random.Generator, n: int) -> np.ndarray:
-    return rng.uniform(WEIGHT_LOW, WEIGHT_HIGH, size=n)
+__all__ = ["generate_workload", "generate_workload_reference", "WORKLOAD_KINDS"]
 
 
 def _weakly(rng: np.random.Generator, n: int, m: int) -> list[MoldableTask]:
@@ -111,6 +120,31 @@ def generate_workload(
     >>> inst = generate_workload("highly_parallel", n=10, m=16, seed=0)
     >>> inst.n, inst.m
     (10, 16)
+    """
+    if kind not in _FAMILIES:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; available: {', '.join(WORKLOAD_KINDS)}"
+        )
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    rng = make_rng(seed)
+    times, weights = columnar_workload(kind, n, m, rng)
+    return Instance.from_arrays(times, weights, m=m)
+
+
+def generate_workload_reference(
+    kind: str,
+    n: int,
+    m: int,
+    seed: int | np.random.Generator | None = None,
+) -> Instance:
+    """The original task-by-task generation path (the columnar oracle).
+
+    Same signature, same RNG stream, bit-for-bit identical instances as
+    :func:`generate_workload`; kept for differential tests and as the
+    baseline of the columnar-plane benchmarks.
     """
     try:
         family = _FAMILIES[kind]

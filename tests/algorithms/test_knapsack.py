@@ -13,6 +13,7 @@ from repro.algorithms.knapsack import (
     KnapsackItem,
     knapsack_min_work,
     knapsack_select,
+    knapsack_select_indices,
 )
 
 
@@ -252,3 +253,46 @@ class TestMinWorkValueParity:
         _, total = knapsack_min_work(work_a, cost_a, work_b, m)
         value = knapsack_min_work_value(work_a, cost_a, work_b, m)
         assert value == total or (np.isinf(value) and np.isinf(total))
+
+
+class TestTakeAllShortCircuit:
+    """`knapsack_select_indices` skips the DP when everything fits."""
+
+    def test_take_all_when_everything_fits(self):
+        idx, total, used = knapsack_select_indices([2, 3, 1], [5.0, 1.0, 2.0], m=6)
+        assert idx == [0, 1, 2]
+        assert total == 5.0 + 1.0 + 2.0
+        assert used == 6
+
+    def test_zero_weight_item_falls_back_to_dp(self):
+        # The DP never takes a zero-weight item (strict improvement test);
+        # the short-circuit must not change that.
+        idx, total, used = knapsack_select_indices([1, 1], [3.0, 0.0], m=5)
+        assert idx == [0]
+        assert total == 3.0
+        assert used == 1
+
+    def test_overfull_still_runs_dp(self):
+        idx, total, used = knapsack_select_indices([3, 3], [1.0, 2.0], m=3)
+        assert idx == [1]
+        assert total == 2.0
+
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(1, 4), st.floats(0.1, 10.0)), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_dp_exactly_when_fitting(self, data):
+        """Same indices, bit-identical total, as a capacity large enough to
+        make the short-circuit fire vs one item short of it."""
+        allot = [a for a, _ in data]
+        weights = [w for _, w in data]
+        m = sum(allot)
+        fast = knapsack_select_indices(allot, weights, m)
+        # Disable the short-circuit by appending a zero-weight item (the
+        # guard bails to the DP) that the DP itself never selects.
+        slow = knapsack_select_indices(allot + [1], weights + [0.0], m)
+        assert fast[0] == slow[0][: len(allot)] and len(slow[0]) == len(allot)
+        assert fast[1] == slow[1]
+        assert fast[2] == slow[2]

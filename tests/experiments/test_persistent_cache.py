@@ -1,0 +1,258 @@
+"""Persistent cell cache: durability, corruption tolerance, consistency.
+
+Acceptance-level guarantees under test:
+
+* a repeated campaign with a cache directory performs **zero** algorithm
+  re-executions (hits == cells) and reproduces identical aggregates;
+* serial and process backends agree through the same cache;
+* corrupt journal lines are tolerated (skipped, re-measured), never fatal;
+* :meth:`compact` folds shards losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sequential import SequentialScheduler
+from repro.experiments.ablation import ablate_merge
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import (
+    CellBounds,
+    CellKey,
+    CellRecord,
+    PersistentCellCache,
+    resolve_cache,
+)
+from repro.experiments.online_eval import evaluate_online
+from repro.experiments.runner import run_campaign
+
+CFG = ExperimentConfig(
+    task_counts=(6, 9),
+    runs=2,
+    m=8,
+    seed=123,
+    algorithms=("DEMT", "Sequential"),
+)
+
+
+def _expected_cells(cfg: ExperimentConfig) -> int:
+    return len(cfg.task_counts) * cfg.runs * len(cfg.algorithms)
+
+
+class TestRoundTrip:
+    def test_record_and_bounds_roundtrip_exactly(self, tmp_path):
+        key = CellKey(1, "cirne", 10, 8, 0, "DEMT")
+        rec = CellRecord(cmax=0.1 + 0.2, minsum=1e-17 + 3.0, seconds=0.25, validated=True)
+        bounds = CellBounds(cmax_lb=np.pi, minsum_lb=1.0 / 3.0)
+        cache = PersistentCellCache(tmp_path)
+        cache.put_record(key, rec)
+        cache.put_bounds(key.bounds_key, bounds)
+        cache.close()
+
+        fresh = PersistentCellCache(tmp_path)
+        assert fresh.loaded == 2
+        got = fresh.get_record(key)
+        assert got == rec  # float-exact (json repr round-trips doubles)
+        assert fresh.get_bounds(key.bounds_key) == bounds
+
+    def test_repeated_campaign_zero_reexecutions(self, tmp_path):
+        first = PersistentCellCache(tmp_path)
+        r1 = run_campaign("cirne", CFG, cache=first)
+        assert first.misses == _expected_cells(CFG)
+        first.close()
+
+        again = PersistentCellCache(tmp_path)
+        r2 = run_campaign("cirne", CFG, cache=again)
+        assert again.misses == 0, "repeat run must not re-execute any cell"
+        assert again.hits == _expected_cells(CFG)
+        for p1, p2 in zip(r1.points, r2.points):
+            assert p1.cmax_bounds == p2.cmax_bounds
+            assert p1.minsum_bounds == p2.minsum_bounds
+            for s1, s2 in zip(p1.stats, p2.stats):
+                assert s1.cmax == s2.cmax
+                assert s1.minsum == s2.minsum
+
+    def test_cache_dir_path_accepted_directly(self, tmp_path):
+        """run_cells/run_campaign accept a directory path as the cache."""
+        run_campaign("cirne", CFG, cache=tmp_path)
+        cache = resolve_cache(tmp_path)
+        assert len(cache) >= _expected_cells(CFG)
+
+    def test_incremental_extension_only_pays_new_cells(self, tmp_path):
+        run_campaign("cirne", CFG, cache=tmp_path)
+        wider = CFG.scaled(task_counts=(6, 9, 12))
+        cache = PersistentCellCache(tmp_path)
+        run_campaign("cirne", wider, cache=cache)
+        new_cells = 1 * wider.runs * len(wider.algorithms)  # the n=12 point
+        assert cache.misses == new_cells
+
+
+class TestBackendConsistency:
+    def test_serial_and_process_agree_through_cache(self, tmp_path):
+        serial_cache = PersistentCellCache(tmp_path / "serial")
+        process_cache = PersistentCellCache(tmp_path / "process")
+        r_serial = run_campaign("mixed", CFG, cache=serial_cache)
+        r_process = run_campaign(
+            "mixed", CFG, cache=process_cache, backend="process", jobs=2
+        )
+        for p1, p2 in zip(r_serial.points, r_process.points):
+            assert p1.cmax_bounds == p2.cmax_bounds
+            for s1, s2 in zip(p1.stats, p2.stats):
+                assert s1.cmax == s2.cmax and s1.minsum == s2.minsum
+        # And the journals themselves are interchangeable.
+        serial_cache.close()
+        reread = PersistentCellCache(tmp_path / "serial")
+        r_cross = run_campaign("mixed", CFG, cache=reread, backend="process", jobs=2)
+        assert reread.misses == 0
+        for p1, p2 in zip(r_serial.points, r_cross.points):
+            for s1, s2 in zip(p1.stats, p2.stats):
+                assert s1.minsum == s2.minsum
+
+
+class TestCorruptionTolerance:
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        cache = PersistentCellCache(tmp_path)
+        run_campaign("cirne", CFG, cache=cache)
+        cache.close()
+        shard = next(tmp_path.glob("*.jsonl"))
+        with open(shard, "a") as fh:
+            fh.write("this is not json\n")
+            fh.write('{"t": "cell", "k": [1]}\n')  # truncated key
+            fh.write('{"t": "wat", "k": []}\n')  # unknown type
+            fh.write('{"t": "cell", "k": [1, "x", 2, 3, 4, "A"], "cmax": "NaNope"}\n')
+        fresh = PersistentCellCache(tmp_path)
+        run_campaign("cirne", CFG, cache=fresh)
+        assert fresh.misses == 0, "intact rows must still serve every cell"
+
+    def test_truncated_tail_line(self, tmp_path):
+        cache = PersistentCellCache(tmp_path)
+        cache.put_record(CellKey(1, "k", 2, 3, 0, "A"), CellRecord(1.0, 2.0, 0.0))
+        cache.close()
+        shard = next(tmp_path.glob("*.jsonl"))
+        text = shard.read_text()
+        good_rows = PersistentCellCache(tmp_path).loaded
+        shard.write_text(text + text[: len(text) // 2].rstrip("\n"))  # torn write
+        assert PersistentCellCache(tmp_path).loaded == good_rows
+
+    def test_empty_and_foreign_files(self, tmp_path):
+        (tmp_path / "empty.jsonl").write_text("")
+        (tmp_path / "notes.jsonl").write_text("# a stray comment file\n")
+        assert PersistentCellCache(tmp_path).loaded == 0
+
+    def test_newer_shard_wins_regardless_of_filename(self, tmp_path):
+        """Shards merge in mtime order, not lexical order: a validated
+        re-measurement from pid 10000 must shadow pid 999's older record
+        even though 'cells-10000' sorts before 'cells-999'."""
+        import os
+        import time
+
+        key = CellKey(1, "cirne", 4, 2, 0, "DEMT")
+        old_line = json.dumps(
+            {"t": "cell", "k": [1, "cirne", 4, 2, 0, "DEMT"],
+             "cmax": 5.0, "minsum": 9.0, "seconds": 0.1, "validated": False}
+        )
+        new_line = json.dumps(
+            {"t": "cell", "k": [1, "cirne", 4, 2, 0, "DEMT"],
+             "cmax": 5.0, "minsum": 9.0, "seconds": 0.2, "validated": True}
+        )
+        (tmp_path / "cells-999.jsonl").write_text(old_line + "\n")
+        (tmp_path / "cells-10000.jsonl").write_text(new_line + "\n")
+        now = time.time()
+        os.utime(tmp_path / "cells-999.jsonl", (now - 60, now - 60))
+        os.utime(tmp_path / "cells-10000.jsonl", (now, now))
+        cache = PersistentCellCache(tmp_path)
+        rec = cache.get_record(key, require_validated=True)
+        assert rec is not None and rec.validated
+
+
+class TestCompaction:
+    def test_compact_folds_shards_losslessly(self, tmp_path):
+        cache = PersistentCellCache(tmp_path)
+        run_campaign("cirne", CFG, cache=cache)
+        before_records = dict(cache._records)
+        before_bounds = dict(cache._bounds)
+        # Fake a second process's shard by copying under another pid name.
+        shard = next(tmp_path.glob("cells-*.jsonl"))
+        (tmp_path / "cells-99999.jsonl").write_text(shard.read_text())
+        rows = cache.compact()
+        assert [p.name for p in tmp_path.glob("*.jsonl")] == ["cells.jsonl"]
+        fresh = PersistentCellCache(tmp_path)
+        assert fresh.loaded == rows
+        assert fresh._records == before_records
+        assert fresh._bounds == before_bounds
+
+    def test_writes_resume_after_compact(self, tmp_path):
+        cache = PersistentCellCache(tmp_path)
+        cache.put_record(CellKey(1, "k", 2, 3, 0, "A"), CellRecord(1.0, 2.0, 0.0))
+        cache.compact()
+        cache.put_record(CellKey(1, "k", 2, 3, 1, "A"), CellRecord(3.0, 4.0, 0.0))
+        cache.close()
+        assert PersistentCellCache(tmp_path).loaded == 2
+
+    def test_duplicate_puts_not_rejournalled(self, tmp_path):
+        cache = PersistentCellCache(tmp_path)
+        key, rec = CellKey(1, "k", 2, 3, 0, "A"), CellRecord(1.0, 2.0, 0.5)
+        cache.put_record(key, rec)
+        cache.put_record(key, rec)  # identical: no second line
+        cache.close()
+        shard = next(tmp_path.glob("*.jsonl"))
+        assert len(shard.read_text().splitlines()) == 1
+
+
+class TestAblationAndOnlineCaching:
+    def test_ablation_reuses_cache(self, tmp_path):
+        kw = dict(kind="cirne", n=12, m=6, runs=2, seed=5)
+        first = ablate_merge(cache=tmp_path, **kw)
+        cache = PersistentCellCache(tmp_path)
+        second = ablate_merge(cache=cache, **kw)
+        assert cache.misses == 0
+        assert first == second
+
+    def test_online_eval_reuses_cache(self, tmp_path):
+        from repro.algorithms.demt import schedule_demt
+
+        kw = dict(kind="cirne", n=8, m=4, runs=2, fractions=(0.0, 0.5), seed=9)
+        first = evaluate_online(schedule_demt, cache=tmp_path, **kw)
+        cache = PersistentCellCache(tmp_path)
+        second = evaluate_online(schedule_demt, cache=cache, **kw)
+        assert cache.misses == 0
+        assert first == second
+
+    def test_online_eval_never_caches_ambiguous_engines(self, tmp_path):
+        """Lambdas share a qualname, and bound methods carry configuration
+        the name cannot encode — caching either could serve one engine's
+        numbers for another, so neither is journalled."""
+        from repro.algorithms.gang import GangScheduler
+
+        kw = dict(kind="cirne", n=8, m=4, runs=1, fractions=(0.5,), seed=9)
+        a = evaluate_online(lambda i: SequentialScheduler().schedule(i), cache=tmp_path, **kw)
+        b = evaluate_online(lambda i: GangScheduler().schedule(i), cache=tmp_path, **kw)
+        assert a != b, "second lambda must be measured, not served from cache"
+        evaluate_online(SequentialScheduler().schedule, cache=tmp_path, **kw)
+        assert list(tmp_path.glob("*.jsonl")) == [], "ambiguous engines must not be journalled"
+
+    def test_resolve_cache_type_error(self):
+        with pytest.raises(TypeError, match="cache must be"):
+            resolve_cache(42)
+
+
+class TestJournalFormat:
+    def test_lines_are_self_describing_json(self, tmp_path):
+        cache = PersistentCellCache(tmp_path)
+        cache.put_record(
+            CellKey(7, "cirne", 10, 8, 1, "DEMT"), CellRecord(3.5, 9.25, 0.125, True)
+        )
+        cache.put_bounds((7, "cirne", 10, 8, 1), CellBounds(2.0, 8.0))
+        cache.close()
+        lines = [
+            json.loads(line)
+            for line in next(tmp_path.glob("*.jsonl")).read_text().splitlines()
+        ]
+        kinds = {doc["t"] for doc in lines}
+        assert kinds == {"cell", "bounds"}
+        cell = next(doc for doc in lines if doc["t"] == "cell")
+        assert cell["k"] == [7, "cirne", 10, 8, 1, "DEMT"]
+        assert cell["validated"] is True

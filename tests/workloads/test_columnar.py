@@ -1,0 +1,222 @@
+"""Columnar generation plane: bit-for-bit equivalence with the seed path.
+
+The contract under test (see ``repro/workloads/columnar.py``): the
+vectorised generators consume the *identical* RNG stream as the original
+task-by-task builders — same values, same final generator state — so the
+generated instances, every downstream schedule, and every draw made
+*after* generation are unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.workloads.columnar import (
+    batched_truncated_gaussian,
+    columnar_workload,
+)
+from repro.workloads.generator import (
+    WORKLOAD_KINDS,
+    generate_workload,
+    generate_workload_reference,
+)
+from repro.workloads.parallelism import truncated_gaussian
+
+#: The (n, m) grid of the equivalence sweep: degenerate shapes, the odd
+#: sizes that stress the rejection accounting, and a paper-sized point.
+GRID = [(0, 4), (1, 1), (2, 2), (7, 3), (19, 40), (64, 64), (150, 200)]
+
+
+class TestBitForBitEquivalence:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    @pytest.mark.parametrize("n,m", GRID)
+    def test_instances_identical(self, kind, n, m):
+        seed = abs(hash((kind, n, m))) % 2**31
+        ref = generate_workload_reference(kind, n=n, m=m, seed=seed)
+        new = generate_workload(kind, n=n, m=m, seed=seed)
+        assert np.array_equal(ref.times_matrix, new.times_matrix)
+        assert np.array_equal(ref.weights, new.weights)
+        assert np.array_equal(ref.task_ids, new.task_ids)
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    @pytest.mark.parametrize("n,m", GRID)
+    def test_final_rng_state_identical(self, kind, n, m):
+        """Draws made *after* generation must be unaffected (the on-line
+        evaluation draws release dates from the same generator)."""
+        seed = abs(hash((kind, n, m, "state"))) % 2**31
+        r_ref, r_new = np.random.default_rng(seed), np.random.default_rng(seed)
+        generate_workload_reference(kind, n=n, m=m, seed=r_ref)
+        generate_workload(kind, n=n, m=m, seed=r_new)
+        assert r_ref.bit_generator.state == r_new.bit_generator.state
+        assert np.array_equal(r_ref.random(5), r_new.random(5))
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_task_objects_identical(self, kind):
+        """Lazily materialised tasks equal the eagerly built ones."""
+        ref = generate_workload_reference(kind, n=9, m=11, seed=3)
+        new = generate_workload(kind, n=9, m=11, seed=3)
+        assert tuple(new.tasks) == tuple(ref.tasks)
+
+    def test_schedules_unchanged(self):
+        """One end-to-end spot check: DEMT on either representation."""
+        from repro.algorithms.demt import schedule_demt
+
+        ref = generate_workload_reference("cirne", n=30, m=16, seed=11)
+        new = generate_workload("cirne", n=30, m=16, seed=11)
+        s_ref, s_new = schedule_demt(ref), schedule_demt(new)
+        for p in s_ref:
+            q = s_new[p.task.task_id]
+            assert p.start == q.start and p.allotment == q.allotment
+
+
+class TestBatchedTruncatedGaussian:
+    @pytest.mark.parametrize("mean", [0.1, 0.9])
+    @pytest.mark.parametrize("n,width", [(1, 1), (5, 0), (13, 7), (200, 40)])
+    def test_uniform_mean_matches_sequential(self, mean, n, width):
+        seed = abs(hash((mean, n, width))) % 2**31
+        r1, r2 = np.random.default_rng(seed), np.random.default_rng(seed)
+        ref = (
+            np.stack([truncated_gaussian(r1, mean, 0.2, width) for _ in range(n)])
+            if width
+            else np.empty((n, 0))
+        )
+        got = batched_truncated_gaussian(r2, np.full(n, mean), 0.2, width)
+        assert np.array_equal(ref, got)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+    def test_mixed_means_matches_sequential(self):
+        n, width = 120, 17
+        means = np.where(np.random.default_rng(0).random(n) < 0.6, 0.9, 0.1)
+        r1, r2 = np.random.default_rng(77), np.random.default_rng(77)
+        ref = np.stack(
+            [truncated_gaussian(r1, means[i], 0.2, width) for i in range(n)]
+        )
+        got = batched_truncated_gaussian(r2, means, 0.2, width)
+        assert np.array_equal(ref, got)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+    def test_tiny_buffer_growth_path(self):
+        """Force the top-up chunks (wide rows, strict centre) and check the
+        accounting still lands on the exact stream."""
+        n, width = 3, 500
+        r1, r2 = np.random.default_rng(5), np.random.default_rng(5)
+        ref = np.stack([truncated_gaussian(r1, 0.9, 0.2, width) for _ in range(n)])
+        got = batched_truncated_gaussian(r2, np.full(n, 0.9), 0.2, width)
+        assert np.array_equal(ref, got)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            columnar_workload("nope", 4, 4, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("mean", [5.0, -3.0])
+    def test_pathological_mean_falls_back_to_reference(self, mean):
+        """Acceptance probability ~0: the batched path must terminate and
+        stay bit-exact with the reference's 128-round clip fallback."""
+        n, width = 2, 3
+        r1, r2 = np.random.default_rng(1), np.random.default_rng(1)
+        ref = np.stack([truncated_gaussian(r1, mean, 0.2, width) for _ in range(n)])
+        got = batched_truncated_gaussian(r2, np.full(n, mean), 0.2, width)
+        assert np.array_equal(ref, got)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+
+class TestFromArrays:
+    def test_zero_copy_and_lazy_tasks(self):
+        times = np.array([[4.0, 2.5], [3.0, 2.0]])
+        inst = Instance.from_arrays(times, np.array([1.0, 2.0]), m=2)
+        assert inst.times_matrix is not None
+        assert inst._tasks is None, "tasks must not materialise eagerly"
+        assert inst.n == 2 and len(inst) == 2
+        # Materialisation: row views of the stored matrix, value-equal to
+        # regular constructions.
+        t0 = inst.tasks[0]
+        assert isinstance(t0, MoldableTask)
+        assert t0 == MoldableTask(0, [4.0, 2.5], weight=1.0)
+        assert t0.times.base is inst.times_matrix
+        assert not inst.times_matrix.flags.writeable
+
+    def test_defaults(self):
+        inst = Instance.from_arrays(np.full((3, 2), 1.0))
+        assert inst.m == 2
+        assert np.array_equal(inst.weights, np.ones(3))
+        assert np.array_equal(inst.releases, np.zeros(3))
+        assert np.array_equal(inst.task_ids, np.arange(3))
+        assert inst.is_offline()
+
+    def test_validation_errors(self):
+        from repro.exceptions import InvalidInstanceError
+
+        good = np.full((2, 3), 2.0)
+        with pytest.raises(InvalidInstanceError, match="2-D"):
+            Instance.from_arrays(np.ones(4))
+        with pytest.raises(InvalidInstanceError, match="width"):
+            Instance.from_arrays(good, m=5)
+        with pytest.raises(InvalidInstanceError, match="NaN"):
+            Instance.from_arrays(np.array([[1.0, np.nan]]))
+        with pytest.raises(InvalidInstanceError, match="strictly positive"):
+            Instance.from_arrays(np.array([[1.0, -2.0]]))
+        with pytest.raises(InvalidInstanceError, match="no feasible"):
+            Instance.from_arrays(np.array([[1.0, 2.0], [np.inf, np.inf]]))
+        with pytest.raises(InvalidInstanceError, match="weights"):
+            Instance.from_arrays(good, weights=np.array([1.0, -1.0]))
+        with pytest.raises(InvalidInstanceError, match="release"):
+            Instance.from_arrays(good, releases=np.array([0.0, -0.5]))
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            Instance.from_arrays(good, task_ids=np.array([4, 4]))
+        with pytest.raises(InvalidInstanceError, match="shape"):
+            Instance.from_arrays(good, weights=np.ones(5))
+
+    def test_restrict_stays_columnar(self):
+        inst = generate_workload("highly_parallel", n=10, m=6, seed=2)
+        sub = inst.restrict([2, 5, 7])
+        assert sub._tasks is None, "array-backed restrict must not materialise"
+        assert np.array_equal(sub.task_ids, [2, 5, 7])
+        # Equivalent to the object-path restrict.
+        ref = generate_workload_reference("highly_parallel", n=10, m=6, seed=2)
+        ref_sub = ref.restrict([2, 5, 7])
+        assert np.array_equal(sub.times_matrix, ref_sub.times_matrix)
+        assert tuple(sub.tasks) == tuple(ref_sub.tasks)
+
+    def test_restrict_missing_id_raises(self):
+        inst = generate_workload("cirne", n=4, m=3, seed=0)
+        with pytest.raises(KeyError, match="not in instance"):
+            inst.restrict([1, 99])
+
+
+class TestVectorisedTimesMatrixFallback:
+    """The object path's pad/stack (satellite: no Python row loop)."""
+
+    def test_uniform_lengths_pad_and_truncate(self):
+        tasks = [MoldableTask(i, [5.0, 3.0, 2.0]) for i in range(3)]
+        inst = Instance(tasks, m=5)  # pad with +inf
+        tm = inst.times_matrix
+        assert tm.shape == (3, 5)
+        assert np.array_equal(tm[:, :3], np.tile([5.0, 3.0, 2.0], (3, 1)))
+        assert np.isinf(tm[:, 3:]).all()
+        inst2 = Instance(tasks, m=2)  # truncate
+        assert np.array_equal(inst2.times_matrix, np.tile([5.0, 3.0], (3, 1)))
+
+    def test_mixed_lengths(self):
+        tasks = [
+            MoldableTask(0, [4.0]),
+            MoldableTask(1, [6.0, 3.5, 2.0, 1.5]),
+            MoldableTask(2, [2.0, 1.0]),
+        ]
+        inst = Instance(tasks, m=3)
+        expected = np.array(
+            [
+                [4.0, np.inf, np.inf],
+                [6.0, 3.5, 2.0],
+                [2.0, 1.0, np.inf],
+            ]
+        )
+        assert np.array_equal(inst.times_matrix, expected)
+
+    def test_empty_instance(self):
+        inst = Instance([], m=4)
+        assert inst.times_matrix.shape == (0, 4)
+        assert inst.max_release == 0.0
