@@ -1,0 +1,164 @@
+"""Trace-replay benchmarks: columnar ingestion at archive scale.
+
+The acceptance bar of the trace subsystem: loading an archive-sized log
+must stay *columnar* — chunked ``np.loadtxt`` into numpy columns, no
+per-job Python objects — which shows up as a large speedup over the
+object parser (``read_swf``) that real archive tooling would use.  The
+sweep runs at ``n in {20_000, 100_000}`` jobs and is emitted as
+``BENCH_PR3.json`` (``REPRO_BENCH_PR3_OUT`` overrides the path), with the
+checked-in copy doubling as the regression baseline: CI fails when the
+measured load *speedup* at any ``n`` drops below half the recorded one
+(ratios transfer across machines; raw milliseconds do not).
+
+Alongside the headline sweep the file records, at 100k jobs, the
+per-model moldability reconstruction times (pure array work on the
+``(n, m)`` matrix), and a small end-to-end replay timing (columnar load →
+reconstruction → on-line batch replay with DEMT) so the whole pipeline's
+cost trajectory is in-repo.
+
+Refreshing the baseline after intentional perf work::
+
+    PYTHONPATH=src REPRO_BENCH_REFRESH=1 python -m pytest \
+        benchmarks/bench_trace_replay.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.replay import replay_trace
+from repro.io.swf import read_swf
+from repro.workloads.trace import (
+    MOLDABILITY_MODELS,
+    load_trace,
+    reconstruct_times,
+    synthesize_swf,
+)
+
+#: Load-bench sweep sizes (the acceptance bar requires >= 100k jobs).
+LOAD_BENCH_NS = (20_000, 100_000)
+
+#: Machine size of the synthetic archive (kept moderate so the dense
+#: (n, m) reconstruction matrices stay RAM-friendly at 100k jobs).
+BENCH_M = 64
+
+#: Jobs replayed end to end (on-line batch DEMT is the expensive part).
+REPLAY_WINDOW = 600
+
+#: Default location of the checked-in benchmark record / baseline.
+BENCH_PR3_PATH = Path(__file__).resolve().parent / "BENCH_PR3.json"
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_trace_bench_emits_bench_pr3(benchmark):
+    """Measure, emit, and gate ``BENCH_PR3.json``.
+
+    Writes the fresh measurement to ``$REPRO_BENCH_PR3_OUT`` (default:
+    ``benchmarks/BENCH_PR3.new.json``, uploaded as a CI artifact), then
+    gates the load speedup at each ``n`` against the checked-in baseline:
+    a drop below *half* the recorded ratio fails.
+    ``REPRO_BENCH_REFRESH=1`` rewrites the baseline itself (gate skipped).
+    """
+
+    def measure():
+        points = []
+        for n in LOAD_BENCH_NS:
+            text = synthesize_swf(n, BENCH_M, seed=n)
+            # Same rep count on both sides: an asymmetric best-of would
+            # systematically inflate the gated speedup ratio with noise.
+            columnar_s = _best_of(lambda: load_trace(text))
+            object_s = _best_of(lambda: read_swf(text))
+            trace = load_trace(text)
+            assert trace.n == len(read_swf(text))
+            points.append(
+                {
+                    "n": n,
+                    "columnar_ms": round(1e3 * columnar_s, 3),
+                    "object_ms": round(1e3 * object_s, 3),
+                    "speedup": round(object_s / columnar_s, 2),
+                }
+            )
+
+        big = load_trace(synthesize_swf(LOAD_BENCH_NS[-1], BENCH_M, seed=LOAD_BENCH_NS[-1]))
+        models_ms = {
+            model: round(
+                1e3 * _best_of(lambda: reconstruct_times(big, BENCH_M, model), reps=2), 3
+            )
+            for model in MOLDABILITY_MODELS
+        }
+
+        window = big.window(0, REPLAY_WINDOW)
+        t0 = time.perf_counter()
+        result, = replay_trace(window, m=BENCH_M, models="downey", modes="batch")
+        replay_s = time.perf_counter() - t0
+        replay = {
+            "n_jobs": window.n,
+            "model": "downey",
+            "batches": result.n_batches,
+            "seconds": round(replay_s, 3),
+        }
+        return points, models_ms, replay
+
+    points, models_ms, replay = benchmark.pedantic(measure, rounds=1, iterations=1)
+    doc = {
+        "bench": "trace-replay-plane",
+        "description": "columnar SWF ingestion vs object parser (best-of-reps), "
+        "per-model moldability reconstruction at the largest n, and an "
+        "end-to-end on-line replay window (DEMT engine)",
+        "m": BENCH_M,
+        "points": points,
+        "reconstruction_ms_at_100k": models_ms,
+        "replay_window": replay,
+    }
+
+    print()
+    for p in points:
+        print(
+            f"  load n={p['n']:>7}: object {p['object_ms']:9.1f} ms  "
+            f"columnar {p['columnar_ms']:8.1f} ms  -> {p['speedup']:.2f}x"
+        )
+    print(f"  reconstruction at n={LOAD_BENCH_NS[-1]}: " + ", ".join(
+        f"{k} {v:.0f} ms" for k, v in models_ms.items()))
+    print(
+        f"  replay window n={replay['n_jobs']} (downey/batch): "
+        f"{replay['seconds']:.2f} s in {replay['batches']} batches"
+    )
+
+    refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
+    default_out = BENCH_PR3_PATH if refresh else BENCH_PR3_PATH.with_suffix(".new.json")
+    out_path = Path(os.environ.get("REPRO_BENCH_PR3_OUT", default_out))
+    refreshing_baseline = out_path.resolve() == BENCH_PR3_PATH.resolve() and refresh
+    if out_path.resolve() == BENCH_PR3_PATH.resolve() and not refresh:
+        raise AssertionError(
+            "refusing to overwrite the checked-in BENCH_PR3.json baseline "
+            "without REPRO_BENCH_REFRESH=1"
+        )
+    baseline = json.loads(BENCH_PR3_PATH.read_text()) if BENCH_PR3_PATH.exists() else None
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  wrote {out_path}")
+
+    if baseline is not None and not refreshing_baseline:
+        base_by_n = {p["n"]: p for p in baseline.get("points", [])}
+        for p in points:
+            base = base_by_n.get(p["n"])
+            if base is None:
+                continue
+            floor = base["speedup"] / 2.0
+            assert p["speedup"] >= floor, (
+                f"columnar load speedup regression at n={p['n']}: measured "
+                f"{p['speedup']:.2f}x vs baseline {base['speedup']:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )

@@ -1,14 +1,16 @@
 #!/usr/bin/env python
-"""Replay a (synthetic) SWF cluster log through the on-line scheduler.
+"""Replay a (synthetic) SWF cluster log through the trace-replay subsystem.
 
 Workflow a production operator would run with a real Parallel Workloads
 Archive log:
 
-1. read an SWF trace (here: synthesised from the Cirne model so the
-   example is self-contained — substitute any archive file);
-2. build a rigid on-line instance from it;
-3. replay it through the on-line batch framework with DEMT as the
-   off-line engine;
+1. load an SWF trace into the columnar plane (here: synthesised from the
+   Cirne model so the example is self-contained — substitute any archive
+   file path);
+2. lift the rigid logged jobs to moldable tasks with each reconstruction
+   model, anchored at the logged ``(procs, run)`` point;
+3. replay through the on-line batch framework with DEMT as the off-line
+   engine, next to the clairvoyant off-line bound;
 4. export the *simulated* execution back to SWF for archive tooling.
 
 Run:  python examples/trace_replay.py
@@ -18,49 +20,40 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import generate_workload, schedule_demt
-from repro.core import Instance
-from repro.io.swf import read_swf, swf_to_instance, write_swf
-from repro.simulator import ClusterSimulator, OnlineBatchScheduler
-
-
-def synthesise_swf(n: int, m: int, seed: int) -> str:
-    """Fabricate an SWF log from the Cirne workload (stand-in for a real
-    archive file)."""
-    rng = np.random.default_rng(seed)
-    base = generate_workload("cirne", n=n, m=m, seed=seed)
-    submits = np.sort(rng.exponential(1.0, size=n).cumsum())
-    lines = ["; synthetic SWF log (Cirne model)", f"; MaxProcs: {m}"]
-    for task, submit in zip(base.tasks, submits):
-        # The "user" requests the allotment giving ~2x their best runtime.
-        k = int(np.argmin(np.abs(task.times - 2 * task.min_time))) + 1
-        lines.append(
-            f"{task.task_id} {submit:.3f} -1 {task.p(k):.3f} {k} "
-            "-1 -1 {k} -1 -1 1 -1 -1 -1 -1 -1 -1 -1".format(k=k)
-        )
-    return "\n".join(lines) + "\n"
+from repro import schedule_demt
+from repro.experiments.replay import export_replay_swf, replay_trace
+from repro.experiments.reporting import format_replay_table
+from repro.io.swf import read_swf
+from repro.simulator import ClusterSimulator
+from repro.workloads.trace import load_trace, synthesize_swf, trace_instance
 
 
 def main() -> None:
     m = 32
-    text = synthesise_swf(n=40, m=m, seed=12)
-    jobs = read_swf(text)
-    print(f"Parsed {len(jobs)} SWF jobs; first submit {jobs[0].submit:.2f}, "
-          f"last {jobs[-1].submit:.2f}")
+    text = synthesize_swf(n=40, m=m, seed=12, quirks=True)
+    trace = load_trace(text)
+    print(f"Loaded {trace.n} jobs (columnar), digest {trace.digest[:12]}, "
+          f"arrival span {trace.span:.2f}")
 
-    inst = swf_to_instance(jobs, m=m, online=True)
+    results = replay_trace(trace, models="all", modes=("batch", "clairvoyant"))
+    print()
+    print(format_replay_table(results))
+
+    # Drill into one replay: simulate the schedule and report waits.
+    inst = trace_instance(trace, m=m, model="downey")
+    from repro.simulator import OnlineBatchScheduler
+
     result = OnlineBatchScheduler(schedule_demt).run(inst)
     sched = result.schedule
-    print(f"Replayed in {result.n_batches} batches; on-line Cmax {sched.makespan():.2f}")
-
-    trace = ClusterSimulator(m).execute(sched, inst)
+    trace_exec = ClusterSimulator(m).execute(sched, inst)
     waits = [
-        trace.log.start_of(t.task_id).time - t.release for t in inst.tasks
+        trace_exec.log.start_of(t.task_id).time - t.release for t in inst.tasks
     ]
-    print(f"mean wait {np.mean(waits):.2f}, max wait {np.max(waits):.2f}")
-    print(f"utilisation {100 * trace.utilization(m):.1f}%")
+    print(f"downey/batch: mean wait {np.mean(waits):.2f}, "
+          f"max wait {np.max(waits):.2f}, "
+          f"utilisation {100 * trace_exec.utilization(m):.1f}%")
 
-    out = write_swf(sched, m=m)
+    out = export_replay_swf(trace, m=m, model="downey")
     reparsed = read_swf(out)
     print(f"exported simulated execution as SWF ({len(reparsed)} jobs, "
           "round-trips through the parser)")

@@ -41,7 +41,18 @@ from repro.experiments.figures import (
     figure7,
     FIGURES,
 )
-from repro.experiments.reporting import format_campaign_table, format_timing_table
+from repro.experiments.replay import (
+    ReplayResult,
+    replay_trace,
+    export_replay_swf,
+    REPLAY_MODES,
+    REPLAY_ENGINES,
+)
+from repro.experiments.reporting import (
+    format_campaign_table,
+    format_replay_table,
+    format_timing_table,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -65,6 +76,12 @@ __all__ = [
     "figure6",
     "figure7",
     "FIGURES",
+    "ReplayResult",
+    "replay_trace",
+    "export_replay_swf",
+    "REPLAY_MODES",
+    "REPLAY_ENGINES",
     "format_campaign_table",
+    "format_replay_table",
     "format_timing_table",
 ]

@@ -31,6 +31,14 @@ extended sweep only pays for unseen cells::
 Evaluate the on-line batch wrapper (arrival-horizon sweep)::
 
     repro-experiments --online --cache-dir .repro-cache
+
+Replay a Parallel Workloads Archive log (or the synthetic fixtures under
+``tests/data/traces``) through the on-line batch framework — every
+moldability model, DEMT off-line engine, batch + clairvoyant modes::
+
+    repro-experiments replay trace.swf --model all
+    repro-experiments --backend process --cache-dir .repro-cache \
+        replay trace.swf --model downey --window 0:5000 --export replayed.swf
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from repro.experiments.figures import FIGURES, figure7
 from repro.experiments.reporting import (
     format_campaign_charts,
     format_campaign_table,
+    format_replay_table,
     format_timing_table,
 )
 
@@ -110,12 +119,137 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the on-line batch-scheduling evaluation (DEMT "
         "off-line engine, arrival-horizon sweep)",
     )
+
+    # Subcommands (optional — the flag-driven figure/ablation interface
+    # above keeps working unchanged).
+    from repro.experiments.replay import REPLAY_ENGINES
+    from repro.workloads.trace import MOLDABILITY_MODELS
+
+    sub = parser.add_subparsers(dest="command", metavar="{replay}")
+    replay = sub.add_parser(
+        "replay",
+        help="replay an SWF trace through the on-line batch framework",
+        description="Replay a Parallel Workloads Archive log: columnar "
+        "ingestion, moldability reconstruction, on-line batch scheduling, "
+        "and (optionally) SWF re-export of the simulated execution.",
+    )
+    replay.add_argument("trace", help="path to the SWF log")
+    replay.add_argument(
+        "--model",
+        nargs="+",
+        default=["rigid"],
+        choices=[*MOLDABILITY_MODELS, "all"],
+        help="moldability reconstruction model(s) (default: rigid)",
+    )
+    replay.add_argument(
+        "--mode",
+        choices=["batch", "clairvoyant", "both"],
+        default="both",
+        help="replay mode; 'both' also prints the on-line/clairvoyant ratio",
+    )
+    replay.add_argument(
+        "--engine",
+        choices=list(REPLAY_ENGINES),
+        default="demt",
+        help="off-line engine inside the batch framework (default: demt)",
+    )
+    replay.add_argument(
+        "--m", type=_positive_int, default=None,
+        help="machine size (default: the log's MaxProcs header)",
+    )
+    replay.add_argument(
+        "--window",
+        default=None,
+        metavar="OFFSET:COUNT",
+        help="replay only COUNT jobs starting at row OFFSET",
+    )
+    replay.add_argument(
+        "--export",
+        default=None,
+        metavar="OUT.swf",
+        help="also write the simulated execution (batch mode, first "
+        "model) back out as an SWF log",
+    )
+    replay.add_argument(
+        "--validate",
+        action="store_true",
+        help="feasibility-check every replayed schedule",
+    )
+    # The executor flags again, so they may also follow the subcommand
+    # (SUPPRESS: only overwrite the top-level value when actually given).
+    replay.add_argument(
+        "--backend", choices=list(BACKENDS), default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    replay.add_argument(
+        "--jobs", type=_positive_int, default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    replay.add_argument(
+        "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
+    )
     return parser
+
+
+def _parse_window(spec: str | None) -> tuple[int, int] | None:
+    if spec is None:
+        return None
+    try:
+        offset, count = spec.split(":")
+        window = (int(offset), int(count))
+    except ValueError:
+        raise SystemExit(f"--window must be OFFSET:COUNT, got {spec!r}")
+    if window[0] < 0 or window[1] < 1:
+        raise SystemExit(f"--window needs OFFSET >= 0 and COUNT >= 1, got {spec!r}")
+    return window
+
+
+def _run_replay(args, exec_kw: dict, cache) -> int:
+    from repro.experiments.engine import CellCache
+    from repro.experiments.replay import (
+        REPLAY_ENGINES,
+        export_replay_swf,
+        replay_trace,
+    )
+    from repro.workloads.trace import MOLDABILITY_MODELS, load_trace
+
+    trace = load_trace(args.trace)
+    models = list(MOLDABILITY_MODELS) if "all" in args.model else args.model
+    modes = ("batch", "clairvoyant") if args.mode == "both" else args.mode
+    offline = REPLAY_ENGINES[args.engine]
+    window = _parse_window(args.window)
+    if args.export:
+        # Export first: its batch run seeds the cell cache, so the table
+        # below serves that cell as a hit instead of re-scheduling it.
+        if cache is None:
+            cache = CellCache()
+        text = export_replay_swf(
+            trace, m=args.m, model=models[0], offline=offline, window=window,
+            validate=args.validate, cache=cache,
+        )
+        with open(args.export, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"[export] simulated execution ({models[0]}/batch) written "
+              f"to {args.export}")
+    results = replay_trace(
+        trace,
+        m=args.m,
+        models=models,
+        modes=modes,
+        offline=offline,
+        window=window,
+        validate=args.validate,
+        cache=cache,
+        **exec_kw,
+    )
+    print(format_replay_table(results))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if not args.figure and not args.ablation and not args.online:
+    command = getattr(args, "command", None)
+    if not args.figure and not args.ablation and not args.online and not command:
         build_parser().print_help()
         return 2
 
@@ -126,6 +260,11 @@ def main(argv: list[str] | None = None) -> int:
     exec_kw = dict(backend=args.backend, jobs=args.jobs)
     cache = resolve_cache(args.cache_dir)
     cached_kw = dict(exec_kw, cache=cache)
+
+    if command == "replay":
+        # Flag-driven sections (--figure/--ablation/--online) still run
+        # below when combined with the subcommand.
+        _run_replay(args, exec_kw, cache)
 
     if args.figure:
         wanted = list(FIGURES) if args.figure == "all" else [args.figure]

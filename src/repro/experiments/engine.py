@@ -72,12 +72,16 @@ class CellRecord:
     ``validated`` records whether the schedule behind these numbers went
     through :func:`repro.core.validation.validate_schedule`; a cache
     lookup under ``validate=True`` refuses records measured without it.
+    ``batches`` is only meaningful for on-line cells (trace replay, the
+    batch framework): the number of batches the run executed; off-line
+    cells leave it 0.
     """
 
     cmax: float
     minsum: float
     seconds: float
     validated: bool = False
+    batches: int = 0
 
 
 @dataclass(frozen=True)
@@ -206,6 +210,7 @@ class PersistentCellCache(CellCache):
                             minsum=float(doc["minsum"]),
                             seconds=float(doc["seconds"]),
                             validated=bool(doc["validated"]),
+                            batches=int(doc.get("batches", 0)),
                         )
                     elif doc["t"] == "bounds":
                         seed, kind, n, m, r = doc["k"]
@@ -229,20 +234,25 @@ class PersistentCellCache(CellCache):
         self._fh.flush()
 
     # -- write-through puts -------------------------------------------- #
+    @staticmethod
+    def _cell_doc(key: CellKey, record: CellRecord) -> dict:
+        doc = {
+            "t": "cell",
+            "k": [key.seed, key.kind, key.n, key.m, key.r, key.algorithm],
+            "cmax": record.cmax,
+            "minsum": record.minsum,
+            "seconds": record.seconds,
+            "validated": record.validated,
+        }
+        if record.batches:  # only on-line cells carry a batch count
+            doc["batches"] = record.batches
+        return doc
+
     def put_record(self, key: CellKey, record: CellRecord) -> None:
         known = self._records.get(key)
         super().put_record(key, record)
         if known != record:
-            self._append(
-                {
-                    "t": "cell",
-                    "k": [key.seed, key.kind, key.n, key.m, key.r, key.algorithm],
-                    "cmax": record.cmax,
-                    "minsum": record.minsum,
-                    "seconds": record.seconds,
-                    "validated": record.validated,
-                }
-            )
+            self._append(self._cell_doc(key, record))
 
     def put_bounds(self, bounds_key: tuple, bounds: CellBounds) -> None:
         known = self._bounds.get(bounds_key)
@@ -294,18 +304,7 @@ class PersistentCellCache(CellCache):
                 rows += 1
             for key, rec in sorted(self._records.items(), key=lambda kv: repr(kv[0])):
                 fh.write(
-                    json.dumps(
-                        {
-                            "t": "cell",
-                            "k": [key.seed, key.kind, key.n, key.m, key.r, key.algorithm],
-                            "cmax": rec.cmax,
-                            "minsum": rec.minsum,
-                            "seconds": rec.seconds,
-                            "validated": rec.validated,
-                        },
-                        separators=(",", ":"),
-                    )
-                    + "\n"
+                    json.dumps(self._cell_doc(key, rec), separators=(",", ":")) + "\n"
                 )
                 rows += 1
         for path in merged:

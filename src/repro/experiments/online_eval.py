@@ -28,7 +28,12 @@ from repro.simulator.online import OnlineBatchScheduler
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
 
-__all__ = ["OnlineEvalPoint", "evaluate_online", "DEFAULT_FRACTIONS"]
+__all__ = [
+    "OnlineEvalPoint",
+    "evaluate_online",
+    "evaluate_trace_online",
+    "DEFAULT_FRACTIONS",
+]
 
 #: Arrival-horizon sweep used by the bench.
 DEFAULT_FRACTIONS: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 2.0)
@@ -169,6 +174,60 @@ def evaluate_online(
             )
         )
     return points
+
+
+def evaluate_trace_online(
+    offline: Callable[[Instance], Schedule],
+    source: object,
+    *,
+    m: int | None = None,
+    model: str = "rigid",
+    window: tuple[int, int] | None = None,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: object = None,
+) -> OnlineEvalPoint:
+    """The on-line measurement of :func:`evaluate_online`, on a real trace.
+
+    Instead of a synthetic Poisson arrival process, the arrival stream
+    comes from an SWF log (path, text, or a loaded
+    :class:`~repro.workloads.trace.Trace`), lifted to moldable tasks by
+    ``model``.  Both replay cells — the batch-framework run with real
+    release dates, and the clairvoyant off-line bound — go through
+    :func:`repro.experiments.replay.replay_trace`, so they are cached and
+    backend-dispatched like every other cell.
+
+    Returns one :class:`OnlineEvalPoint` whose ``horizon_fraction`` is the
+    *measured* arrival span over the clairvoyant makespan (the quantity
+    the synthetic sweep controls by construction); ``mean_ratio`` ==
+    ``max_ratio`` (one trace is one sample).
+    """
+    from repro.experiments.replay import _as_trace, replay_trace
+
+    trace = _as_trace(source)
+    if window is not None:
+        trace = trace.window(*window)
+    batch, clair = replay_trace(
+        trace,
+        m=m,
+        models=model,
+        modes=("batch", "clairvoyant"),
+        offline=offline,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+    )
+    if clair.makespan <= 0:
+        raise ValueError("cannot form an on-line ratio on an empty trace")
+    ratio = batch.makespan / clair.makespan
+    # Arrival span relative to the off-line bound: the trace analogue of
+    # the synthetic sweep's horizon_fraction knob.
+    return OnlineEvalPoint(
+        horizon_fraction=trace.span / clair.makespan,
+        mean_ratio=ratio,
+        max_ratio=ratio,
+        mean_batches=float(batch.n_batches),
+    )
 
 
 def format_online_table(points: list[OnlineEvalPoint]) -> str:

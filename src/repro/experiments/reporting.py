@@ -17,6 +17,7 @@ __all__ = [
     "format_campaign_table",
     "format_campaign_charts",
     "format_timing_table",
+    "format_replay_table",
 ]
 
 
@@ -70,6 +71,44 @@ def format_campaign_charts(result: CampaignResult) -> str:
             )
         )
     return "\n".join(panels)
+
+
+def format_replay_table(results) -> str:
+    """Trace-replay grid: one row per (moldability model, mode).
+
+    When a model was replayed in both modes the batch row also prints the
+    on-line/clairvoyant makespan ratio — the measured price of not
+    knowing the future (§2.2 bounds it by ``2 rho``).
+    """
+    results = list(results)
+    header = (
+        f"{'model':<18} {'mode':<12} {'jobs':>6} {'batches':>7} "
+        f"{'Cmax':>12} {'mean flow':>12} {'ratio':>7} {'cache':>6}"
+    )
+    lines = []
+    if results:
+        r0 = results[0]
+        lines.append(
+            f"Trace replay: digest {r0.digest[:12]}  window "
+            f"({r0.offset}, {r0.n_jobs})  m={r0.m}  engine {r0.engine}"
+        )
+    lines += [header, "-" * len(header)]
+    clair = {
+        r.model: r.makespan for r in results if r.mode == "clairvoyant"
+    }
+    for r in results:
+        base = clair.get(r.model)
+        ratio = (
+            f"{r.makespan / base:7.3f}"
+            if r.mode == "batch" and base
+            else f"{'-':>7}"
+        )
+        lines.append(
+            f"{r.model:<18} {r.mode:<12} {r.n_jobs:>6} {r.n_batches:>7} "
+            f"{r.makespan:>12.4f} {r.mean_flow:>12.4f} {ratio} "
+            f"{'hit' if r.cached else 'miss':>6}"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def format_timing_table(

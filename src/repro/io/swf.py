@@ -22,6 +22,7 @@ preserved on read and written as ``-1`` on export.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, TextIO
 
@@ -30,15 +31,49 @@ from repro.core.schedule import Schedule
 from repro.core.task import MoldableTask, rigid_task
 from repro.exceptions import ModelError
 
-__all__ = ["SwfJob", "read_swf", "write_swf", "swf_to_instance"]
+__all__ = ["SwfJob", "read_swf", "write_swf", "swf_to_instance", "parse_swf_fields"]
 
 #: Number of fields of an SWF record.
 SWF_FIELDS = 18
 
 
+def parse_swf_fields(line: str, lineno: int) -> tuple[float, float, float, float, float, float, float]:
+    """The per-record tolerance rule, shared by both SWF parsers.
+
+    Splits one data line and returns ``(job_id, submit, wait, run,
+    procs_used, procs_req, status)`` as floats, with ``-1`` for the
+    optional trailing fields of short (>= 5 field) records.  Raises
+    :class:`ModelError` with the line number otherwise.  This is the
+    single place the field-level tolerance lives — :func:`read_swf` (the
+    object parser) and the columnar fallback of
+    :mod:`repro.workloads.trace` both call it, so they cannot drift.
+    """
+    parts = line.split()
+    if len(parts) < 5:
+        raise ModelError(f"SWF line {lineno}: expected >= 5 fields, got {len(parts)}")
+    try:
+        return (
+            float(parts[0]),
+            float(parts[1]),
+            float(parts[2]),
+            float(parts[3]),
+            float(parts[4]),
+            float(parts[7]) if len(parts) > 7 else -1.0,
+            float(parts[10]) if len(parts) > 10 else 1.0,
+        )
+    except ValueError as exc:
+        raise ModelError(f"SWF line {lineno}: {exc}") from None
+
+
 @dataclass(frozen=True)
 class SwfJob:
-    """One SWF job record (the subset of fields the model interprets)."""
+    """One SWF job record (the subset of fields the model interprets).
+
+    ``procs`` is the *effective* processor count used for replay: the
+    allocation the log actually recorded (``procs_used``, field 5), falling
+    back to the request (``procs_req``, field 8) when the log only kept one
+    of the two — archive logs routinely store ``-1`` for either.
+    """
 
     job_id: int
     submit: float
@@ -46,6 +81,7 @@ class SwfJob:
     run: float
     procs: int
     status: int = 1
+    procs_req: int = -1
 
     def __post_init__(self) -> None:
         if self.job_id < 0:
@@ -55,9 +91,15 @@ class SwfJob:
 def read_swf(source: str | TextIO) -> list[SwfJob]:
     """Parse SWF text (string or file object) into job records.
 
-    Comment/header lines start with ``;`` and are skipped.  Jobs with
-    non-positive runtime or processor count (cancelled / failed entries)
-    are skipped, as is conventional when replaying archive logs.
+    Comment/header lines start with ``;`` (possibly after leading
+    whitespace) and are skipped — real archive headers carry dozens of
+    ``; Key: value`` metadata lines.  Job ids may appear in any order
+    (concatenated or re-sorted logs).  Jobs with non-positive runtime or
+    with no usable processor count (``procs_used`` and ``procs_req`` both
+    missing) are skipped — cancelled / failed entries — as is conventional
+    when replaying archive logs; a missing ``procs_used`` *or* a
+    ``procs_req = -1`` alone falls back to the other field instead of
+    dropping the job.
     """
     if isinstance(source, str):
         lines: Iterable[str] = source.splitlines()
@@ -65,31 +107,33 @@ def read_swf(source: str | TextIO) -> list[SwfJob]:
         lines = source
     jobs: list[SwfJob] = []
     for lineno, raw in enumerate(lines, start=1):
-        line = raw.strip()
+        line = raw.lstrip("\ufeff").strip()
         if not line or line.startswith(";"):
             continue
-        parts = line.split()
-        if len(parts) < 5:
-            raise ModelError(f"SWF line {lineno}: expected >= 5 fields, got {len(parts)}")
-        try:
-            job_id = int(parts[0])
-            submit = float(parts[1])
-            wait = float(parts[2])
-            run = float(parts[3])
-            procs = int(float(parts[4]))
-            status = int(parts[10]) if len(parts) > 10 else 1
-        except ValueError as exc:
-            raise ModelError(f"SWF line {lineno}: {exc}") from None
-        if run <= 0 or procs <= 0:
+        job_id, submit, wait, run, procs_used, procs_req, status = parse_swf_fields(
+            line, lineno
+        )
+        if not job_id.is_integer():  # False for NaN/inf too
+            raise ModelError(f"SWF line {lineno}: non-integer job id {job_id!r}")
+        # Truncate *before* the positivity tests (non-finite counts as
+        # missing), and spell the run check as `not (run > 0)` so NaN is
+        # dropped — all three choices mirror the columnar loader's
+        # int64/array semantics exactly (the round-trip suite asserts the
+        # two parsers agree record for record).
+        pu = int(procs_used) if math.isfinite(procs_used) else -1
+        pr = int(procs_req) if math.isfinite(procs_req) else -1
+        procs = pu if pu > 0 else pr
+        if not (run > 0) or procs <= 0:
             continue  # cancelled / failed / malformed record
         jobs.append(
             SwfJob(
-                job_id=job_id,
+                job_id=int(job_id),
                 submit=max(0.0, submit),
                 wait=max(0.0, wait),
                 run=run,
                 procs=procs,
-                status=status,
+                status=int(status),
+                procs_req=pr,
             )
         )
     return jobs
@@ -127,13 +171,24 @@ def swf_to_instance(
     return Instance(tasks, m)
 
 
+def _fmt(value: float) -> str:
+    """Shortest decimal that parses back to the same float.
+
+    ``repr`` precision makes ``write_swf -> read_swf`` lossless, so a
+    replayed schedule's exported log carries the *exact* simulated times —
+    the round-trip suite asserts tuple identity, not approximation.
+    """
+    return repr(float(value))
+
+
 def write_swf(schedule: Schedule, *, m: int | None = None) -> str:
     """Export a schedule as SWF text.
 
     The submit time is the task's release date, the wait time is
     ``start - release``, and the processor count is the chosen allotment —
     i.e. the log a monitoring daemon would have recorded had the simulated
-    schedule run for real.
+    schedule run for real.  Floats are written at full (repr) precision so
+    the export round-trips losslessly through :func:`read_swf`.
     """
     m = schedule.m if m is None else m
     lines = [
@@ -146,14 +201,14 @@ def write_swf(schedule: Schedule, *, m: int | None = None) -> str:
         wait = max(0.0, p.start - submit)
         fields = [
             str(p.task.task_id),
-            f"{submit:.6g}",
-            f"{wait:.6g}",
-            f"{p.duration:.6g}",
+            _fmt(submit),
+            _fmt(wait),
+            _fmt(p.duration),
             str(p.allotment),
             "-1",  # avg cpu time
             "-1",  # memory
             str(p.allotment),  # requested procs
-            f"{p.duration:.6g}",  # requested time
+            _fmt(p.duration),  # requested time
             "-1",  # requested memory
             "1",  # status: completed
             "-1", "-1", "-1", "-1", "-1", "-1", "-1",

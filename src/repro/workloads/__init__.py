@@ -16,9 +16,21 @@ Four experimental workload families are used by the paper's figures:
 All of them draw task weights uniformly from [1, 10], as stated in §4.1
 ("task priority is a random value taken from an uniform distribution
 between 1 and 10").
+
+Real arrival streams enter through the columnar trace plane
+(:mod:`repro.workloads.trace`): SWF archive logs loaded straight into
+``(n,)`` column arrays, with pluggable moldability reconstruction lifting
+each rigid logged job back to a moldable task.
 """
 
 from repro.workloads.generator import WORKLOAD_KINDS, generate_workload
+from repro.workloads.trace import (
+    MOLDABILITY_MODELS,
+    Trace,
+    load_trace,
+    synthesize_swf,
+    trace_instance,
+)
 from repro.workloads.sequential import mixed_sequential_times, uniform_sequential_times
 from repro.workloads.parallelism import (
     parallel_profile,
@@ -30,6 +42,11 @@ from repro.workloads.cirne import cirne_task, downey_speedup
 __all__ = [
     "WORKLOAD_KINDS",
     "generate_workload",
+    "Trace",
+    "load_trace",
+    "trace_instance",
+    "synthesize_swf",
+    "MOLDABILITY_MODELS",
     "uniform_sequential_times",
     "mixed_sequential_times",
     "parallel_profile",

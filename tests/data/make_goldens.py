@@ -1,11 +1,19 @@
 #!/usr/bin/env python
-"""Regenerate ``tests/data/golden_schedules.json``.
+"""Regenerate the golden corpora under ``tests/data/``.
 
-The golden file pins ``(cmax, minsum)`` of the headline algorithms on a
-frozen seeded corpus at full float precision; the differential regression
-suite (``tests/properties/test_differential.py``) asserts the library
-reproduces them bit-for-bit.  Regenerate ONLY when an intentional
-behavioral change is made (and say so in the commit message):
+Two corpora are maintained here, both pinned at full float precision and
+compared with ``==`` by the regression suites:
+
+* ``golden_schedules.json`` — ``(cmax, minsum)`` of the headline
+  algorithms on a frozen seeded synthetic corpus
+  (``tests/properties/test_differential.py``);
+* ``traces/*.swf`` + ``trace_replay_goldens.json`` — deterministic
+  synthetic SWF fixtures and the replay aggregates (makespan, weighted
+  flow, batch count) of every moldability model on them, batch and
+  clairvoyant modes (``tests/integration/test_trace_replay.py``).
+
+Regenerate ONLY when an intentional behavioral change is made (and say so
+in the commit message):
 
     PYTHONPATH=src python tests/data/make_goldens.py
 """
@@ -60,6 +68,56 @@ def golden_cells() -> list[dict]:
     return cells
 
 
+TRACES_DIR = Path(__file__).with_name("traces")
+TRACE_GOLDEN_PATH = Path(__file__).with_name("trace_replay_goldens.json")
+
+#: Frozen trace fixtures: name -> (synthesize_swf kwargs, replay m).
+#: ``m`` deliberately differs from the generation width for ``wide_jobs``
+#: so the goldens pin the clamping path too.
+TRACE_FIXTURES: dict[str, tuple[dict, int]] = {
+    "cirne_small.swf": (dict(n=60, m=32, seed=7), 32),
+    "bursty_quirks.swf": (dict(n=80, m=16, seed=21, load=3.0, quirks=True), 16),
+    "wide_jobs.swf": (dict(n=40, m=64, seed=13, load=0.5), 24),
+}
+
+
+def write_trace_fixtures() -> None:
+    """(Re)write the synthetic SWF fixtures — deterministic, so idempotent."""
+    from repro.workloads.trace import synthesize_swf
+
+    TRACES_DIR.mkdir(exist_ok=True)
+    for name, (kwargs, _m) in TRACE_FIXTURES.items():
+        (TRACES_DIR / name).write_text(synthesize_swf(**kwargs))
+
+
+def trace_golden_cells() -> list[dict]:
+    from repro.experiments.replay import replay_trace
+    from repro.workloads.trace import MOLDABILITY_MODELS, load_trace
+
+    cells = []
+    for name, (_kwargs, m) in TRACE_FIXTURES.items():
+        trace = load_trace(TRACES_DIR / name)
+        results = replay_trace(
+            trace, m=m, models=list(MOLDABILITY_MODELS),
+            modes=("batch", "clairvoyant"), validate=True,
+        )
+        for r in results:
+            cells.append(
+                {
+                    "fixture": name,
+                    "digest": trace.digest,
+                    "m": m,
+                    "model": r.model,
+                    "mode": r.mode,
+                    "n_jobs": r.n_jobs,
+                    "makespan": r.makespan,
+                    "weighted_flow": r.weighted_flow,
+                    "batches": r.n_batches,
+                }
+            )
+    return cells
+
+
 def main() -> None:
     payload = {
         "_meta": {
@@ -73,6 +131,21 @@ def main() -> None:
     }
     GOLDEN_PATH.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {len(payload['cells'])} cells to {GOLDEN_PATH}")
+
+    write_trace_fixtures()
+    print(f"wrote {len(TRACE_FIXTURES)} SWF fixtures to {TRACES_DIR}")
+    trace_payload = {
+        "_meta": {
+            "comment": (
+                "Bit-exact trace-replay aggregates (DEMT engine) on the "
+                "frozen fixtures under tests/data/traces/; regenerate with "
+                "tests/data/make_goldens.py only for intentional changes."
+            ),
+        },
+        "cells": trace_golden_cells(),
+    }
+    TRACE_GOLDEN_PATH.write_text(json.dumps(trace_payload, indent=1) + "\n")
+    print(f"wrote {len(trace_payload['cells'])} replay cells to {TRACE_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":

@@ -54,6 +54,101 @@ class TestReadSwf:
         assert read_swf("") == []
 
 
+class TestMalformedLineClasses:
+    """Regression tests: tolerance for real archive-log quirks.
+
+    One class per test — header metadata, out-of-order ids, missing
+    processor fields — each of which appears in actual Parallel Workloads
+    Archive files and must parse, not raise."""
+
+    def test_header_metadata_comments(self):
+        text = (
+            "; Version: 2.2\n"
+            ";   Computer: iCluster2\n"
+            "   ; indented comment\n"
+            ";\n"
+            "1 0.0 0.0 5.0 2 -1 -1 2 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        )
+        jobs = read_swf(text)
+        assert [j.job_id for j in jobs] == [1]
+
+    def test_bom_prefixed_first_line(self):
+        text = "﻿; header\n1 0.0 0.0 5.0 2 -1 -1 2 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        assert len(read_swf(text)) == 1
+
+    def test_out_of_order_job_ids(self):
+        text = (
+            "7 0.0 0.0 5.0 2 -1 -1 2 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+            "3 1.0 0.0 4.0 1 -1 -1 1 4.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+            "5 2.0 0.0 3.0 4 -1 -1 4 3.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        )
+        jobs = read_swf(text)
+        assert [j.job_id for j in jobs] == [7, 3, 5]  # order preserved
+        inst = swf_to_instance(jobs, m=8)
+        assert {t.task_id for t in inst.tasks} == {3, 5, 7}
+
+    def test_procs_used_missing_falls_back_to_procs_req(self):
+        # procs_used = -1 but procs_req = 4: the job is replayable at the
+        # requested width, not dropped.
+        text = "1 0.0 0.0 5.0 -1 -1 -1 4 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        jobs = read_swf(text)
+        assert len(jobs) == 1 and jobs[0].procs == 4
+
+    def test_procs_req_missing_falls_back_to_procs_used(self):
+        # procs_req = -1 but procs_used = 3: replay at the recorded width.
+        text = "1 0.0 0.0 5.0 3 -1 -1 -1 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        jobs = read_swf(text)
+        assert len(jobs) == 1 and jobs[0].procs == 3 and jobs[0].procs_req == -1
+
+    def test_both_procs_fields_missing_skips_job(self):
+        text = "1 0.0 0.0 5.0 -1 -1 -1 -1 5.0 -1 0 -1 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text) == []
+
+    def test_five_field_line_without_procs_req(self):
+        assert read_swf("1 0.0 0.0 5.0 2\n")[0].procs == 2
+
+    def test_nan_runtime_dropped_by_both_parsers(self):
+        from repro.workloads.trace import load_trace
+
+        text = "1 0.0 0.0 nan 2 -1 -1 2 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text) == []
+        assert load_trace(text).n == 0
+
+    def test_fractional_procs_used_falls_back_in_both_parsers(self):
+        # 0 < procs_used < 1 truncates to 0 (missing) and falls back to
+        # the request — identically on both parse paths.
+        from repro.workloads.trace import load_trace
+
+        text = "1 0.0 0.0 5.0 0.5 -1 -1 4 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        jobs = read_swf(text)
+        tr = load_trace(text)
+        assert [j.procs for j in jobs] == tr.procs.tolist() == [4]
+
+    def test_non_integer_job_id_rejected_by_both_parsers(self):
+        from repro.workloads.trace import load_trace
+
+        text = "2.9 0.0 0.0 5.0 2 -1 -1 2 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        with pytest.raises(ModelError, match="job id"):
+            read_swf(text)
+        with pytest.raises(ModelError, match="job id"):
+            load_trace(text)
+
+    def test_nan_submit_clamps_to_zero_in_both_parsers(self):
+        from repro.workloads.trace import load_trace
+
+        text = "1 nan 0.0 5.0 2 -1 -1 2 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text)[0].submit == 0.0
+        assert load_trace(text).submits.tolist() == [0.0]
+
+    def test_effective_procs_prefers_recorded_allocation(self):
+        # When both fields are present they may disagree (the scheduler
+        # granted less than requested); the run time belongs to the
+        # *actual* allocation.
+        text = "1 0.0 0.0 5.0 2 -1 -1 8 5.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        j = read_swf(text)[0]
+        assert j.procs == 2 and j.procs_req == 8
+
+
 class TestSwfToInstance:
     def test_rigid_instance(self):
         inst = swf_to_instance(read_swf(SAMPLE), m=8)

@@ -1,0 +1,250 @@
+"""Unit tests for the columnar trace plane (workloads/trace.py)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.workloads.trace import (
+    MOLDABILITY_MODELS,
+    Trace,
+    load_trace,
+    parse_trace,
+    reconstruct_times,
+    synthesize_swf,
+    trace_instance,
+)
+
+CLEAN = (
+    "; Version: 2.2\n"
+    "; MaxProcs: 8\n"
+    "1 0.0 1.0 10.0 4 -1 -1 4 10.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+    "2 5.0 0.0 3.0 1 -1 -1 1 3.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+    "3 6.0 2.0 -1 2 -1 -1 2 -1 -1 0 -1 -1 -1 -1 -1 -1 -1\n"
+    "4 7.0 0.5 2.0 16 -1 -1 16 2.0 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+)
+
+
+class TestLoading:
+    def test_text_path_and_stream_agree(self, tmp_path):
+        from_text = load_trace(CLEAN)
+        path = tmp_path / "t.swf"
+        path.write_text(CLEAN)
+        from_path = load_trace(str(path))
+        from_pathlike = load_trace(path)
+        from_stream = load_trace(io.StringIO(CLEAN))
+        for tr in (from_path, from_pathlike, from_stream):
+            assert tr.digest == from_text.digest
+            assert tr.n == from_text.n == 3  # job 3 cancelled -> dropped
+
+    def test_columns(self):
+        tr = load_trace(CLEAN)
+        assert tr.job_ids.tolist() == [1, 2, 4]
+        assert tr.submits.tolist() == [0.0, 5.0, 7.0]
+        assert tr.runs.tolist() == [10.0, 3.0, 2.0]
+        assert tr.procs.tolist() == [4, 1, 16]
+        assert tr.max_procs == 8
+        assert tr.span == 7.0
+
+    def test_columns_are_read_only(self):
+        tr = load_trace(CLEAN)
+        with pytest.raises(ValueError):
+            tr.runs[0] = 99.0
+
+    def test_no_maxprocs_header(self):
+        tr = load_trace("1 0 0 5 2\n")
+        assert tr.max_procs is None
+
+    def test_short_line_raises_with_lineno(self):
+        with pytest.raises(ModelError, match="line 3"):
+            load_trace("; header\n1 0 0 5 2\n1 2\n")
+
+    def test_fallback_lineno_counts_interleaved_comments(self):
+        # Comments and blanks between data lines must not shift the
+        # reported position: the malformed record sits on file line 5.
+        text = "1 0 0 5 2\n; comment\n\n2 0 0 5 2\nbad 0 0 5 2\n"
+        with pytest.raises(ModelError, match="line 5"):
+            load_trace(text)
+
+    def test_garbage_field_raises(self):
+        with pytest.raises(ModelError):
+            load_trace("a b c d e\n")
+
+    def test_negative_job_id_rejected(self):
+        with pytest.raises(ModelError, match="negative"):
+            load_trace("-3 0 0 5 2\n")
+
+    def test_empty(self):
+        tr = parse_trace([])
+        assert tr.n == 0 and len(tr) == 0 and tr.span == 0.0
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            load_trace(123)
+
+    def test_single_record_without_trailing_newline_is_text(self):
+        # A .strip()'d one-record log must parse as text, not be
+        # misclassified as a (nonexistent) file path.
+        tr = load_trace("1 0.0 0.0 5.0 2")
+        assert tr.n == 1 and tr.runs.tolist() == [5.0]
+
+    def test_nonexistent_path_still_errors(self):
+        with pytest.raises(FileNotFoundError):
+            load_trace("no_such_trace.swf")
+
+
+class TestWindow:
+    def test_window_composes_offsets(self):
+        tr = load_trace(synthesize_swf(30, 8, seed=1))
+        w1 = tr.window(5, 20)
+        w2 = w1.window(3, 5)
+        assert (w1.n, w1.offset) == (20, 5)
+        assert (w2.n, w2.offset) == (5, 8)
+        assert w2.digest == tr.digest
+        assert np.array_equal(w2.runs, tr.runs[8:13])
+
+    def test_window_truncates_at_end(self):
+        tr = load_trace(synthesize_swf(10, 8, seed=1))
+        assert tr.window(8, 100).n == 2
+
+    def test_window_out_of_range(self):
+        tr = load_trace(synthesize_swf(10, 8, seed=1))
+        with pytest.raises(ModelError):
+            tr.window(-1, 2)
+        with pytest.raises(ModelError):
+            tr.window(11)
+
+
+class TestTransforms:
+    def test_shifted(self):
+        tr = load_trace(CLEAN)
+        sh = tr.shifted(10.0)
+        assert sh.submits.tolist() == [10.0, 15.0, 17.0]
+        assert sh.digest != tr.digest  # different content, different identity
+        with pytest.raises(ModelError):
+            tr.shifted(-1.0)
+
+    def test_scaled(self):
+        tr = load_trace(CLEAN)
+        sc = tr.scaled(2.0)
+        assert sc.runs.tolist() == [20.0, 6.0, 4.0]
+        assert sc.procs.tolist() == tr.procs.tolist()
+        with pytest.raises(ModelError):
+            tr.scaled(0.0)
+
+
+class TestMoldabilityModels:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return load_trace(synthesize_swf(40, 16, seed=9))
+
+    @pytest.mark.parametrize("model", list(MOLDABILITY_MODELS))
+    def test_anchor_and_determinism(self, trace, model):
+        m = 16
+        t1 = reconstruct_times(trace, m, model)
+        t2 = reconstruct_times(trace, m, model)
+        assert np.array_equal(t1, t2)
+        kp = np.minimum(trace.procs, m)
+        assert (t1[np.arange(trace.n), kp - 1] == trace.runs).all()
+
+    @pytest.mark.parametrize("model", [m for m in MOLDABILITY_MODELS if m != "rigid"])
+    def test_times_monotone_non_increasing(self, trace, model):
+        t = reconstruct_times(trace, 16, model)
+        assert np.isfinite(t).all()
+        assert (t[:, 1:] <= t[:, :-1] * (1 + 1e-9)).all()
+
+    def test_rigid_has_exactly_one_finite_entry_per_row(self, trace):
+        t = reconstruct_times(trace, 16, "rigid")
+        assert (np.isfinite(t).sum(axis=1) == 1).all()
+
+    def test_linear_preserves_work(self, trace):
+        t = reconstruct_times(trace, 16, "linear")
+        work = t * np.arange(1, 17)
+        assert np.allclose(work, work[:, :1])
+
+    def test_downey_sequential_job_stays_sequential(self):
+        # kp = 1 -> A = 1 -> S == 1 everywhere: constant row.
+        tr = load_trace("1 0 0 5.0 1\n")
+        t = reconstruct_times(tr, 8, "downey")
+        assert (t == 5.0).all()
+
+    def test_models_differ_from_each_other(self, trace):
+        mats = {
+            model: reconstruct_times(trace, 16, model)
+            for model in ("linear", "downey", "recurrence-highly", "recurrence-weakly")
+        }
+        names = list(mats)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert not np.array_equal(mats[a], mats[b]), (a, b)
+
+    def test_recurrence_weakly_slower_than_highly(self, trace):
+        """Weakly parallel profiles keep more of the sequential time."""
+        hi = reconstruct_times(trace, 16, "recurrence-highly")
+        lo = reconstruct_times(trace, 16, "recurrence-weakly")
+        # Compare parallel speedup at full width relative to each anchor:
+        # the weakly model's p(m)/p(1) ratio is larger (less speedup).
+        assert (lo[:, -1] / lo[:, 0]).mean() > (hi[:, -1] / hi[:, 0]).mean()
+
+    def test_unknown_model(self, trace):
+        with pytest.raises(ModelError, match="unknown moldability model"):
+            reconstruct_times(trace, 8, "nope")
+
+    def test_bad_m(self, trace):
+        with pytest.raises(ModelError):
+            reconstruct_times(trace, 0, "rigid")
+
+
+class TestTraceInstance:
+    def test_defaults_from_header(self):
+        inst = trace_instance(load_trace(CLEAN))
+        assert inst.m == 8  # MaxProcs header
+        assert inst.n == 3
+        assert (inst.releases > 0).any()
+
+    def test_offline(self):
+        inst = trace_instance(load_trace(CLEAN), online=False)
+        assert inst.is_offline()
+
+    def test_m_fallback_to_widest_job(self):
+        inst = trace_instance(load_trace("1 0 0 5 2\n2 1 0 4 6\n"))
+        assert inst.m == 6
+
+    def test_task_ids_are_job_ids(self):
+        inst = trace_instance(load_trace(CLEAN))
+        assert set(inst.task_ids.tolist()) == {1, 2, 4}
+
+    def test_duplicate_job_ids_renumbered(self):
+        inst = trace_instance(load_trace("7 0 0 1 1\n7 1 0 2 2\n"), m=4)
+        assert inst.task_ids.tolist() == [0, 1]
+
+    def test_empty_needs_m(self):
+        with pytest.raises(ModelError):
+            trace_instance(parse_trace([]))
+
+
+class TestSynthesizeSwf:
+    def test_deterministic(self):
+        assert synthesize_swf(25, 8, seed=3) == synthesize_swf(25, 8, seed=3)
+        assert synthesize_swf(25, 8, seed=3) != synthesize_swf(25, 8, seed=4)
+
+    def test_quirks_agree_across_loaders(self):
+        from repro.io.swf import read_swf
+
+        text = synthesize_swf(60, 8, seed=3, quirks=True)
+        jobs = read_swf(text)
+        tr = load_trace(text)
+        assert tr.n == len(jobs) < 60  # some records cancelled
+        assert tr.job_ids.tolist() == [j.job_id for j in jobs]
+
+    def test_load_controls_arrival_density(self):
+        light = load_trace(synthesize_swf(50, 8, seed=3, load=0.25))
+        heavy = load_trace(synthesize_swf(50, 8, seed=3, load=4.0))
+        assert light.span > heavy.span
+
+    def test_needs_a_job(self):
+        with pytest.raises(ModelError):
+            synthesize_swf(0, 8, seed=1)
