@@ -1,0 +1,183 @@
+"""Pareto subsystem benchmarks: dominance kernel + end-to-end sweep.
+
+The acceptance bar of the frontier subsystem: the vectorized
+``O(n log n)`` dominance kernel (:func:`repro.pareto.front.pareto_mask`)
+must beat the brute-force ``O(n^2)`` oracle
+(:func:`repro.pareto.front.pareto_mask_reference`) by **>= 10x at 10k
+points**.  The sweep runs at ``n in {10_000, 100_000}`` and is emitted as
+``BENCH_PR4.json`` (``REPRO_BENCH_PR4_OUT`` overrides the path), with the
+checked-in copy doubling as the regression baseline: CI fails when a
+measured kernel *speedup* drops below half the recorded one (ratios
+transfer across machines; raw milliseconds do not).
+
+At 100k points the quadratic oracle costs ~100x its 10k time, so its
+timing is extrapolated from the measured 10k point by default (recorded
+with ``"extrapolated": true``); set ``REPRO_BENCH_FULL=1`` to measure it
+directly.
+
+Alongside the kernel sweep the file records an end-to-end trade-off sweep
+on the Figure-7 workload grid at smoke scale (full variant set, serial
+backend) so the whole pipeline's cost trajectory — instance generation,
+scheduling every variant, dominance, indicators — is in-repo.
+
+Refreshing the baseline after intentional perf work::
+
+    PYTHONPATH=src REPRO_BENCH_REFRESH=1 python -m pytest \
+        benchmarks/bench_pareto.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import SCALES
+from repro.experiments.figures import FIGURE7_WORKLOADS
+from repro.pareto.front import pareto_mask, pareto_mask_reference
+from repro.pareto.sweep import resolve_sweep, sweep_tradeoffs
+
+#: Kernel sweep sizes (the acceptance bar is pinned at the first).
+KERNEL_NS = (10_000, 100_000)
+
+#: Hard acceptance floor at KERNEL_NS[0] (the PR's stated bar).
+MIN_SPEEDUP_AT_10K = 10.0
+
+#: Default location of the checked-in benchmark record / baseline.
+BENCH_PR4_PATH = Path(__file__).resolve().parent / "BENCH_PR4.json"
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _cloud(n: int) -> np.ndarray:
+    # A correlated cloud keeps the front size realistic (a few dozen
+    # points) rather than degenerate; seeded per n for reproducibility.
+    rng = np.random.default_rng(n)
+    pts = rng.random((n, 2))
+    return pts + 0.25 * pts[:, ::-1]
+
+
+def test_pareto_bench_emits_bench_pr4(benchmark):
+    """Measure, emit, and gate ``BENCH_PR4.json``."""
+    full_oracle = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+    def measure():
+        points = []
+        oracle_10k_s = None
+        for n in KERNEL_NS:
+            cloud = _cloud(n)
+            assert (pareto_mask(cloud) == pareto_mask_reference(cloud)).all() if n <= 10_000 else True
+            kernel_s = _best_of(lambda: pareto_mask(cloud))
+            extrapolated = n > KERNEL_NS[0] and not full_oracle
+            if extrapolated:
+                # O(n^2) scaling from the measured smallest point.
+                oracle_s = oracle_10k_s * (n / KERNEL_NS[0]) ** 2
+            else:
+                oracle_s = _best_of(lambda: pareto_mask_reference(cloud))
+            if n == KERNEL_NS[0]:
+                oracle_10k_s = oracle_s
+            points.append(
+                {
+                    "n": n,
+                    "kernel_ms": round(1e3 * kernel_s, 4),
+                    "oracle_ms": round(1e3 * oracle_s, 3),
+                    "speedup": round(oracle_s / kernel_s, 1),
+                    "extrapolated": extrapolated,
+                }
+            )
+
+        # End-to-end sweep on the Figure-7 grid at smoke scale.
+        cfg = SCALES["smoke"]
+        n_variants = len(resolve_sweep("full"))
+        t0 = time.perf_counter()
+        cells = 0
+        for kind in FIGURE7_WORKLOADS:
+            result = sweep_tradeoffs(
+                kind,
+                "full",
+                m=cfg.m,
+                task_counts=cfg.task_counts,
+                runs=cfg.runs,
+                seed=cfg.seed,
+            )
+            cells += len(result.cells)
+        sweep_s = time.perf_counter() - t0
+        sweep = {
+            "workloads": list(FIGURE7_WORKLOADS),
+            "task_counts": list(cfg.task_counts),
+            "runs": cfg.runs,
+            "m": cfg.m,
+            "variants": n_variants,
+            "cells": cells,
+            "seconds": round(sweep_s, 3),
+        }
+        return points, sweep
+
+    points, sweep = benchmark.pedantic(measure, rounds=1, iterations=1)
+    doc = {
+        "bench": "pareto-frontier",
+        "description": "vectorized dominance kernel vs brute-force O(n^2) "
+        "oracle (best-of-reps; oracle extrapolated quadratically at the "
+        "largest n unless REPRO_BENCH_FULL=1), plus an end-to-end "
+        "trade-off sweep (full variant set) on the Figure-7 workload "
+        "grid at smoke scale",
+        "points": points,
+        "sweep": sweep,
+    }
+
+    print()
+    for p in points:
+        tag = " (extrapolated oracle)" if p["extrapolated"] else ""
+        print(
+            f"  mask n={p['n']:>7}: oracle {p['oracle_ms']:10.1f} ms  "
+            f"kernel {p['kernel_ms']:8.2f} ms  -> {p['speedup']:.0f}x{tag}"
+        )
+    print(
+        f"  fig7-grid sweep: {sweep['cells']} cells x {sweep['variants']} "
+        f"variants in {sweep['seconds']:.2f} s"
+    )
+
+    refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
+    default_out = BENCH_PR4_PATH if refresh else BENCH_PR4_PATH.with_suffix(".new.json")
+    out_path = Path(os.environ.get("REPRO_BENCH_PR4_OUT", default_out))
+    refreshing_baseline = out_path.resolve() == BENCH_PR4_PATH.resolve() and refresh
+    if out_path.resolve() == BENCH_PR4_PATH.resolve() and not refresh:
+        raise AssertionError(
+            "refusing to overwrite the checked-in BENCH_PR4.json baseline "
+            "without REPRO_BENCH_REFRESH=1"
+        )
+    baseline = json.loads(BENCH_PR4_PATH.read_text()) if BENCH_PR4_PATH.exists() else None
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  wrote {out_path}")
+
+    # Hard acceptance floor, independent of any baseline.
+    at_10k = next(p for p in points if p["n"] == KERNEL_NS[0])
+    assert at_10k["speedup"] >= MIN_SPEEDUP_AT_10K, (
+        f"dominance kernel speedup at n={KERNEL_NS[0]} is "
+        f"{at_10k['speedup']:.1f}x, below the {MIN_SPEEDUP_AT_10K:.0f}x bar"
+    )
+
+    if baseline is not None and not refreshing_baseline:
+        base_by_n = {p["n"]: p for p in baseline.get("points", [])}
+        for p in points:
+            base = base_by_n.get(p["n"])
+            if base is None:
+                continue
+            floor = base["speedup"] / 2.0
+            assert p["speedup"] >= floor, (
+                f"dominance kernel speedup regression at n={p['n']}: measured "
+                f"{p['speedup']:.1f}x vs baseline {base['speedup']:.1f}x "
+                f"(floor {floor:.1f}x)"
+            )

@@ -57,10 +57,15 @@ from repro.core.task import MoldableTask
 from repro.exceptions import SchedulingError
 from repro.utils.rng import make_rng
 
-__all__ = ["DemtScheduler", "DemtResult", "schedule_demt"]
+__all__ = ["DemtScheduler", "DemtResult", "schedule_demt", "BATCH_ORDERINGS"]
 
 #: Compaction strategies, in increasing refinement order (§3.2).
 COMPACTION_MODES = ("shelf", "pull_forward", "list")
+
+#: Intra-batch orderings (§3.2 only asks for "a local ordering within the
+#: batches"; ``smith`` is the library's long-standing choice and the
+#: others are swept by the Pareto trade-off subsystem).
+BATCH_ORDERINGS = ("smith", "weight", "duration", "id")
 
 
 @dataclass
@@ -91,7 +96,18 @@ class DemtScheduler:
         (the two intermediate refinements, kept for the ablation bench).
     small_threshold_factor:
         Fraction of the batch length under which a sequential task counts
-        as *small* for the merge step (paper: one half).
+        as *small* for the merge step (paper: one half).  This is the
+        merge threshold knob of the trade-off sweeps.
+    batch_ordering:
+        Local ordering inside a batch: ``"smith"`` (decreasing
+        weight/duration, the default), ``"weight"`` (decreasing weight),
+        ``"duration"`` (shortest first) or ``"id"`` (submission order).
+    guess_relaxation:
+        Multiplier ``>= 1`` applied to the dual-approximation makespan
+        guess ``C*max`` before the batch geometry is built.  ``1.0`` (the
+        default) is the paper's algorithm; relaxing the guess widens the
+        early batches, trading makespan for weighted completion time —
+        one axis of the bi-criteria sweep.
     seed:
         RNG seed for the shuffle optimisation (deterministic by default).
     """
@@ -103,6 +119,8 @@ class DemtScheduler:
         shuffle_rounds: int = 10,
         compaction: str = "list",
         small_threshold_factor: float = 0.5,
+        batch_ordering: str = "smith",
+        guess_relaxation: float = 1.0,
         seed: int | np.random.Generator | None = 0,
     ) -> None:
         if compaction not in COMPACTION_MODES:
@@ -111,9 +129,19 @@ class DemtScheduler:
             )
         if shuffle_rounds < 0:
             raise ValueError(f"shuffle_rounds must be >= 0, got {shuffle_rounds}")
+        if batch_ordering not in BATCH_ORDERINGS:
+            raise ValueError(
+                f"unknown batch ordering {batch_ordering!r}; choose from {BATCH_ORDERINGS}"
+            )
+        if not guess_relaxation >= 1.0:
+            raise ValueError(
+                f"guess_relaxation must be >= 1.0, got {guess_relaxation}"
+            )
         self.shuffle_rounds = shuffle_rounds
         self.compaction = compaction
         self.small_threshold_factor = small_threshold_factor
+        self.batch_ordering = batch_ordering
+        self.guess_relaxation = guess_relaxation
         self.seed = seed
         self._selection_cache: tuple | None = None
 
@@ -128,7 +156,9 @@ class DemtScheduler:
             return DemtResult(schedule=Schedule(instance.m))
 
         dual = self._dual(instance)
-        cstar = dual.lam
+        # Multiplying by the default 1.0 is exact in IEEE arithmetic, so
+        # the un-relaxed path stays bit-identical to the paper's algorithm.
+        cstar = dual.lam * self.guess_relaxation
         batches, starts, t_grid, K = self._select_batches(instance, cstar)
         schedule = self._compact(batches, starts, instance.m)
 
@@ -234,8 +264,8 @@ class DemtScheduler:
         weights = [s.weight for s in stacks] + [t.weight for t in rest]
         selected, _, _ = knapsack_select_indices(allots, weights, m)
         chosen = [candidates[i] for i in selected]
-        # (d) local ordering inside the batch: Smith ratio (weight density).
-        chosen.sort(key=lambda it: (-_item_weight(it) / it.duration, it.task.task_id))
+        # (d) local ordering inside the batch (default: Smith ratio).
+        chosen.sort(key=_BATCH_SORT_KEYS[self.batch_ordering])
         return chosen
 
     # ------------------------------------------------------------------ #
@@ -302,14 +332,32 @@ def _item_weight(item: ListItem) -> float:
     return item.task.weight
 
 
+#: Sort keys of the intra-batch orderings (ties broken by task id so every
+#: ordering stays deterministic).
+_BATCH_SORT_KEYS = {
+    "smith": lambda it: (-_item_weight(it) / it.duration, it.task.task_id),
+    "weight": lambda it: (-_item_weight(it), it.task.task_id),
+    "duration": lambda it: (it.duration, it.task.task_id),
+    "id": lambda it: (it.task.task_id,),
+}
+
+
 def schedule_demt(
     instance: Instance,
     *,
     shuffle_rounds: int = 10,
     compaction: str = "list",
+    small_threshold_factor: float = 0.5,
+    batch_ordering: str = "smith",
+    guess_relaxation: float = 1.0,
     seed: int | np.random.Generator | None = 0,
 ) -> Schedule:
     """Functional form of :class:`DemtScheduler` (the paper's algorithm)."""
     return DemtScheduler(
-        shuffle_rounds=shuffle_rounds, compaction=compaction, seed=seed
+        shuffle_rounds=shuffle_rounds,
+        compaction=compaction,
+        small_threshold_factor=small_threshold_factor,
+        batch_ordering=batch_ordering,
+        guess_relaxation=guess_relaxation,
+        seed=seed,
     ).schedule(instance)

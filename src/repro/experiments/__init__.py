@@ -8,7 +8,8 @@
   campaign: every algorithm against both lower bounds, 40 seeded runs,
   dispatched as independent cells through an engine backend;
 * :mod:`repro.experiments.aggregate` — ratio-of-sums aggregation (Jain,
-  ref [15]) plus min/max envelopes, as plotted in Figures 3-6;
+  ref [15]) plus min/max envelopes, as plotted in Figures 3-6, and the
+  attainment-surface aggregation of per-instance Pareto fronts;
 * :mod:`repro.experiments.figures` — one driver per figure (3-7) plus the
   ablation studies;
 * :mod:`repro.experiments.reporting` — ASCII tables and charts of the
@@ -25,11 +26,13 @@ from repro.experiments.engine import (
     resolve_backend,
     resolve_cache,
 )
+from repro.experiments.aggregate import attainment_surface
 from repro.experiments.runner import (
     AlgorithmPointStats,
     PointResult,
     CampaignResult,
     run_cells,
+    run_pareto_cells,
     run_point,
     run_campaign,
 )
@@ -50,6 +53,8 @@ from repro.experiments.replay import (
 )
 from repro.experiments.reporting import (
     format_campaign_table,
+    format_front_table,
+    format_indicator_table,
     format_replay_table,
     format_timing_table,
 )
@@ -68,8 +73,10 @@ __all__ = [
     "PointResult",
     "CampaignResult",
     "run_cells",
+    "run_pareto_cells",
     "run_point",
     "run_campaign",
+    "attainment_surface",
     "figure3",
     "figure4",
     "figure5",
@@ -82,6 +89,8 @@ __all__ = [
     "REPLAY_MODES",
     "REPLAY_ENGINES",
     "format_campaign_table",
+    "format_front_table",
+    "format_indicator_table",
     "format_replay_table",
     "format_timing_table",
 ]

@@ -15,7 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["RatioStats", "ratio_of_sums", "aggregate_ratios"]
+__all__ = ["RatioStats", "ratio_of_sums", "aggregate_ratios", "attainment_surface"]
 
 
 @dataclass(frozen=True)
@@ -64,3 +64,48 @@ def aggregate_ratios(values: Sequence[float], bounds: Sequence[float]) -> RatioS
         minimum=float(per_run.min()),
         maximum=float(per_run.max()),
     )
+
+
+def attainment_surface(
+    fronts: Sequence, level: float | str = "mean"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate per-instance Pareto fronts into one attainment surface.
+
+    Each front is an ``(k, 2)`` staircase (minimised objectives).  Every
+    front defines a step function ``y_f(x) = min{y : (x', y') in f,
+    x' <= x}``; the attainment surface aggregates those step functions
+    point-wise over the fronts — the *mean attainment surface* for
+    ``level="mean"`` (the Pareto analogue of averaging one figure curve
+    over its 40 runs), or the empirical ``level``-quantile for a float in
+    ``(0, 1]`` (``0.5`` is the median attainment surface of Fonseca &
+    Fleming's attainment-function methodology).
+
+    Returns ``(xs, ys)``: the union of the fronts' x-coordinates
+    restricted to where *every* front is defined (to the right of the
+    largest per-front minimum x), and the aggregated y at each.  Empty
+    input — or an empty common region — yields two empty arrays.
+    """
+    if isinstance(level, str):
+        if level != "mean":
+            raise ValueError(f"level must be 'mean' or a quantile in (0, 1], got {level!r}")
+    elif not 0 < level <= 1:
+        raise ValueError(f"quantile level must lie in (0, 1], got {level}")
+    stacked = [np.asarray(f, dtype=np.float64).reshape(-1, 2) for f in fronts]
+    stacked = [f for f in stacked if f.shape[0]]
+    if not stacked:
+        return np.empty(0), np.empty(0)
+
+    xs = np.unique(np.concatenate([f[:, 0] for f in stacked]))
+    xs = xs[xs >= max(float(f[:, 0].min()) for f in stacked)]
+    if xs.size == 0:  # pragma: no cover - only via inconsistent inputs
+        return np.empty(0), np.empty(0)
+
+    ys = np.empty((len(stacked), xs.size), dtype=np.float64)
+    for i, f in enumerate(stacked):
+        order = np.argsort(f[:, 0], kind="stable")
+        fx = f[order, 0]
+        fy = np.minimum.accumulate(f[order, 1])
+        idx = np.searchsorted(fx, xs, side="right") - 1
+        ys[i] = fy[idx]
+    agg = ys.mean(axis=0) if level == "mean" else np.quantile(ys, level, axis=0)
+    return xs, agg

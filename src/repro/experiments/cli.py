@@ -39,6 +39,14 @@ moldability model, DEMT off-line engine, batch + clairvoyant modes::
     repro-experiments replay trace.swf --model all
     repro-experiments --backend process --cache-dir .repro-cache \
         replay trace.swf --model downey --window 0:5000 --export replayed.swf
+
+Sweep the bi-criteria trade-off (DEMT knobs + the algorithm registry) and
+print per-instance Pareto fronts with quality indicators — synthetic
+families and SWF trace windows alike::
+
+    repro-experiments pareto mixed cirne --indicators --charts
+    repro-experiments --cache-dir .repro-cache \
+        pareto trace:log.swf --model downey --window 0:200 --sweep demt-knobs
 """
 
 from __future__ import annotations
@@ -123,9 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     # Subcommands (optional — the flag-driven figure/ablation interface
     # above keeps working unchanged).
     from repro.experiments.replay import REPLAY_ENGINES
+    from repro.pareto.sweep import SWEEPS
     from repro.workloads.trace import MOLDABILITY_MODELS
 
-    sub = parser.add_subparsers(dest="command", metavar="{replay}")
+    sub = parser.add_subparsers(dest="command", metavar="{replay,pareto}")
     replay = sub.add_parser(
         "replay",
         help="replay an SWF trace through the on-line batch framework",
@@ -188,6 +197,83 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
     )
+
+    pareto = sub.add_parser(
+        "pareto",
+        help="sweep the bi-criteria trade-off and print Pareto fronts",
+        description="Trade-off sweep: run a set of scheduler variants "
+        "(DEMT knob deviations plus the algorithm registry) over seeded "
+        "campaign instances or an SWF trace window, compute per-instance "
+        "Pareto fronts in ratio space, and report front membership and "
+        "quality indicators.",
+    )
+    pareto.add_argument(
+        "source",
+        nargs="*",
+        default=["mixed"],
+        help="workload kind(s) and/or 'trace:<path>' specs (default: mixed)",
+    )
+    pareto.add_argument(
+        "--sweep",
+        choices=list(SWEEPS),
+        default="full",
+        help="variant set (default: full = registry + DEMT knob deviations)",
+    )
+    pareto.add_argument(
+        "--n",
+        type=_positive_int,
+        nargs="+",
+        default=None,
+        help="task counts per synthetic source (default: the scale's smallest)",
+    )
+    pareto.add_argument(
+        "--runs",
+        type=_positive_int,
+        default=3,
+        help="instances per (source, n) point (default: 3)",
+    )
+    pareto.add_argument(
+        "--m", type=_positive_int, default=None,
+        help="machine size (default: the scale's m; traces: MaxProcs header)",
+    )
+    pareto.add_argument(
+        "--model",
+        choices=list(MOLDABILITY_MODELS),
+        default="downey",
+        help="moldability reconstruction for trace sources (default: downey)",
+    )
+    pareto.add_argument(
+        "--window",
+        default=None,
+        metavar="OFFSET:COUNT",
+        help="window restriction for trace sources",
+    )
+    pareto.add_argument(
+        "--indicators",
+        action="store_true",
+        help="also print per-cell front-quality indicators",
+    )
+    pareto.add_argument(
+        "--validate",
+        action="store_true",
+        help="feasibility-check every swept schedule",
+    )
+    # The top-level --charts flag again, so it may follow the subcommand.
+    pareto.add_argument(
+        "--charts", action="store_true", default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    pareto.add_argument(
+        "--backend", choices=list(BACKENDS), default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    pareto.add_argument(
+        "--jobs", type=_positive_int, default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    pareto.add_argument(
+        "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
+    )
     return parser
 
 
@@ -246,6 +332,43 @@ def _run_replay(args, exec_kw: dict, cache) -> int:
     return 0
 
 
+def _run_pareto(args, cfg, exec_kw: dict, cache) -> int:
+    from repro.pareto.sweep import sweep_tradeoffs
+    from repro.experiments.reporting import (
+        format_front_charts,
+        format_front_table,
+        format_indicator_table,
+    )
+
+    window = _parse_window(args.window)
+    task_counts = tuple(args.n) if args.n else (min(cfg.task_counts),)
+    for source in args.source:
+        try:
+            result = sweep_tradeoffs(
+                source,
+                args.sweep,
+                m=args.m if args.m is not None else (
+                    None if source.startswith("trace:") else cfg.m
+                ),
+                task_counts=task_counts,
+                runs=args.runs,
+                seed=cfg.seed,
+                model=args.model,
+                window=window,
+                validate=args.validate,
+                cache=cache,
+                **exec_kw,
+            )
+        except ValueError as exc:  # bad source/sweep spec: clean CLI error
+            raise SystemExit(f"pareto: {exc}")
+        print(format_front_table(result))
+        if args.indicators:
+            print(format_indicator_table(result))
+        if args.charts:
+            print(format_front_charts(result))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = getattr(args, "command", None)
@@ -265,6 +388,9 @@ def main(argv: list[str] | None = None) -> int:
         # Flag-driven sections (--figure/--ablation/--online) still run
         # below when combined with the subcommand.
         _run_replay(args, exec_kw, cache)
+
+    if command == "pareto":
+        _run_pareto(args, cfg, exec_kw, cache)
 
     if args.figure:
         wanted = list(FIGURES) if args.figure == "all" else [args.figure]

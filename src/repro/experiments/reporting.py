@@ -18,6 +18,9 @@ __all__ = [
     "format_campaign_charts",
     "format_timing_table",
     "format_replay_table",
+    "format_front_table",
+    "format_indicator_table",
+    "format_front_charts",
 ]
 
 
@@ -109,6 +112,90 @@ def format_replay_table(results) -> str:
             f"{'hit' if r.cached else 'miss':>6}"
         )
     return "\n".join(lines) + "\n"
+
+
+def format_front_table(result) -> str:
+    """Pareto sweep grid: one row per variant, aggregated across cells.
+
+    ``on-front`` is the fraction of instance cells where the variant is
+    non-dominated; ``eps+`` / ``eps*`` are its mean additive /
+    multiplicative gaps behind the cell front (0 / 1 when on it);
+    ``cover`` is the mean fraction of the cloud it weakly dominates
+    (see :meth:`repro.pareto.sweep.ParetoSweepResult.variant_rows`).
+    """
+    header = (
+        f"{'variant':<28} {'Cmax':>7} {'SwiCi':>7} {'on-front':>9} "
+        f"{'eps+':>7} {'eps*':>7} {'cover':>6}"
+    )
+    lines = [
+        f"Pareto sweep: {result.source}   m={result.m}   "
+        f"variants={len(result.specs)}   cells={len(result.cells)}",
+        header,
+        "-" * len(header),
+    ]
+    for row in result.variant_rows():
+        lines.append(
+            f"{row['spec']:<28} {row['cmax_ratio']:>7.3f} {row['minsum_ratio']:>7.3f} "
+            f"{row['on_front']:>8.0%} {row['eps_add']:>7.3f} {row['eps_mult']:>7.3f} "
+            f"{row['coverage']:>6.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def format_indicator_table(result) -> str:
+    """Per-cell front-quality indicators plus the sweep-level summary."""
+    header = (
+        f"{'cell':<34} {'front':>5} {'hypervol':>9} {'ref':>17} "
+        f"{'front variants'}"
+    )
+    lines = [header, "-" * 82]
+    for cell in result.cells:
+        ind = cell.indicators()
+        members = ", ".join(cell.front_specs)
+        lines.append(
+            f"{cell.kind[:24] + f' n={cell.n} r={cell.r}':<34} "
+            f"{int(ind['front_size']):>5} {ind['hypervolume']:>9.4f} "
+            f"({ind['ref_x']:6.3f},{ind['ref_y']:6.3f}) {members}"
+        )
+    summary = result.indicator_summary()
+    lines.append("-" * 82)
+    lines.append(
+        f"mean front size {summary['mean_front_size']:.2f}   "
+        f"mean hypervolume {summary['mean_hypervolume']:.4f}   "
+        f"over {int(summary['cells'])} cells"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def format_front_charts(result) -> str:
+    """ASCII frontier charts: the first cell's cloud plus the mean
+    attainment surface across all cells."""
+    from repro.pareto.front import pareto_front
+    from repro.utils.ascii_plot import ascii_front
+
+    cell = result.cells[0]
+    panels = [
+        ascii_front(
+            cell.cloud,
+            cell.front,
+            title=(
+                f"{result.source} n={cell.n} r={cell.r}: "
+                "Cmax ratio (x) vs SwiCi ratio (y)"
+            ),
+        )
+    ]
+    if len(result.cells) > 1:
+        xs, ys = result.attainment("mean")
+        surface = list(zip(xs.tolist(), ys.tolist()))
+        panels.append(
+            ascii_front(
+                surface,
+                pareto_front(surface),
+                title=f"{result.source}: mean attainment surface "
+                f"({len(result.cells)} cells)",
+            )
+        )
+    return "\n".join(panels)
 
 
 def format_timing_table(

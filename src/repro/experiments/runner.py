@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
+
 import numpy as np
 
 from repro.algorithms.dual_approx import dual_approximation
@@ -47,6 +49,7 @@ __all__ = [
     "PointResult",
     "CampaignResult",
     "run_cells",
+    "run_pareto_cells",
     "run_point",
     "run_campaign",
 ]
@@ -157,25 +160,33 @@ def _run_cell(args: tuple) -> tuple[CellBounds | None, dict[str, CellRecord]]:
     return bounds, records
 
 
-def run_cells(
+def _execute_cached_cells(
     cells: list[tuple[str, int, int]],
-    cfg: ExperimentConfig,
+    names: tuple,
     *,
-    validate: bool = False,
-    backend: object = None,
-    jobs: int | None = None,
-    cache: CellCache | None = None,
+    seed: int,
+    m: int,
+    validate: bool,
+    backend: object,
+    jobs: int | None,
+    cache: "CellCache | None",
+    worker: "Callable",
+    record_key: "Callable[[str], str]",
+    extra_args: "Callable[[str], tuple]",
 ) -> dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]]:
-    """Measure every ``(kind, n, r)`` cell under all ``cfg.algorithms``.
+    """The executor scaffolding shared by every cell family.
 
-    The executor abstraction: cache lookups decide the work list, the
-    backend runs it (serially or across processes), results merge back
-    into the cache.  A ``validate=True`` call only accepts cached records
-    that were themselves measured under validation (``CellRecord.
-    validated``); anything else is re-measured.  ``cache`` may also be a
-    directory path — it is then opened as a
-    :class:`~repro.experiments.engine.PersistentCellCache`, so the results
-    survive the process and a repeated campaign re-executes nothing.
+    Cache lookups decide the work list, the backend runs ``worker`` over
+    it (serially or across processes), results merge back into the cache.
+    A ``validate=True`` call only accepts cached records that were
+    themselves measured under validation; anything else is re-measured.
+
+    ``record_key`` maps a measured name to the ``algorithm`` field of its
+    :class:`~repro.experiments.engine.CellKey` (identity for campaign
+    cells, ``pareto:<spec>`` for sweep cells); ``extra_args`` appends
+    per-``kind`` trailing arguments to the worker tuple (the trace
+    payload of a pareto cell).  Per-instance bounds always live under the
+    shared standard bounds key.
     """
     backend = resolve_backend(backend, jobs)
     cache = resolve_cache(cache)
@@ -189,16 +200,16 @@ def run_cells(
         have: dict[str, CellRecord] = {}
         missing: list[str] = []
         if cache is not None:
-            for name in cfg.algorithms:
-                key = CellKey(cfg.seed, kind, n, cfg.m, r, name)
+            for name in names:
+                key = CellKey(seed, kind, n, m, r, record_key(name))
                 rec = cache.get_record(key, require_validated=validate)
                 if rec is None:
                     missing.append(name)
                 else:
                     have[name] = rec
-            bounds = cache.get_bounds((cfg.seed, kind, n, cfg.m, r))
+            bounds = cache.get_bounds((seed, kind, n, m, r))
         else:
-            missing = list(cfg.algorithms)
+            missing = list(names)
             bounds = None
         if not missing and bounds is not None:
             results[cell] = (bounds, have)
@@ -206,25 +217,161 @@ def run_cells(
         cached_parts[cell] = have
         work_cells.append(cell)
         work.append(
-            (cfg.seed, kind, n, cfg.m, r, tuple(missing), validate, bounds is None)
+            (seed, kind, n, m, r, tuple(missing), validate, bounds is None)
+            + extra_args(kind)
         )
 
-    outputs = backend.map(_run_cell, work)
+    outputs = backend.map(worker, work)
 
-    for cell, args, (fresh_bounds, fresh_records) in zip(work_cells, work, outputs):
+    for cell, (fresh_bounds, fresh_records) in zip(work_cells, outputs):
         kind, n, r = cell
         bounds = fresh_bounds
         if bounds is None:  # bounds were cached, records were not
             assert cache is not None
-            bounds = cache.get_bounds((cfg.seed, kind, n, cfg.m, r))
+            bounds = cache.get_bounds((seed, kind, n, m, r))
         records = dict(cached_parts[cell])
         records.update(fresh_records)
         if cache is not None:
-            cache.put_bounds((cfg.seed, kind, n, cfg.m, r), bounds)
+            cache.put_bounds((seed, kind, n, m, r), bounds)
             for name, rec in fresh_records.items():
-                cache.put_record(CellKey(cfg.seed, kind, n, cfg.m, r, name), rec)
+                cache.put_record(CellKey(seed, kind, n, m, r, record_key(name)), rec)
         results[cell] = (bounds, records)
     return results
+
+
+def run_cells(
+    cells: list[tuple[str, int, int]],
+    cfg: ExperimentConfig,
+    *,
+    validate: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: CellCache | None = None,
+) -> dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]]:
+    """Measure every ``(kind, n, r)`` cell under all ``cfg.algorithms``.
+
+    The campaign instantiation of :func:`_execute_cached_cells`: records
+    are cached under the plain algorithm name, and ``cache`` may also be
+    a directory path — it is then opened as a
+    :class:`~repro.experiments.engine.PersistentCellCache`, so the results
+    survive the process and a repeated campaign re-executes nothing.
+    """
+    return _execute_cached_cells(
+        cells,
+        tuple(cfg.algorithms),
+        seed=cfg.seed,
+        m=cfg.m,
+        validate=validate,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+        worker=_run_cell,
+        record_key=lambda name: name,
+        extra_args=lambda kind: (),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Pareto sweep cells                                                     #
+# ---------------------------------------------------------------------- #
+def _run_pareto_cell(args: tuple) -> tuple[CellBounds | None, dict[str, CellRecord]]:
+    """Worker: measure one instance under a set of sweep variants.
+
+    ``args`` is ``(seed, kind, n, m, r, specs, validate, need_bounds,
+    payload)``.  ``payload`` is ``None`` for synthetic kinds — the
+    instance then comes from the exact ``derive_rng(seed, kind, n, r)``
+    stream of :func:`_run_cell`, which is what makes the bounds key
+    shareable with the figure campaigns — or ``(trace, model)`` for a
+    ``trace:`` kind (a :class:`~repro.workloads.trace.Trace` ships as
+    plain picklable arrays, like the replay workers).
+    """
+    from repro.pareto.sweep import parse_variant
+
+    seed, kind, n, m, r, specs, validate, need_bounds, payload = args
+    if payload is None:
+        rng = derive_rng(seed, kind, n, r)
+        inst = generate_workload(kind, n=n, m=m, seed=rng)
+    else:
+        from repro.workloads.trace import trace_instance
+
+        trace, model = payload
+        inst = trace_instance(trace, m, model, online=False)
+
+    schedulers = [(spec, parse_variant(spec).build()) for spec in specs]
+    # Share one dual approximation across the bounds and every list
+    # baseline variant, exactly as :func:`_run_cell` does — and outside
+    # the timing window, so the recorded seconds stay comparable to the
+    # campaign records sitting beside these in the shared cache.
+    dual = None
+    if need_bounds or any(
+        isinstance(s, ListGrahamScheduler) for _, s in schedulers
+    ):
+        dual = dual_approximation(inst)
+    bounds = None
+    if need_bounds:
+        bounds = CellBounds(
+            cmax_lb=dual.lower_bound,
+            minsum_lb=minsum_lower_bound(inst, dual.lam).value,
+        )
+
+    records: dict[str, CellRecord] = {}
+    for spec, scheduler in schedulers:
+        if isinstance(scheduler, ListGrahamScheduler):
+            scheduler.dual = dual
+        t0 = time.perf_counter()
+        sched = scheduler.schedule(inst)
+        seconds = time.perf_counter() - t0
+        if validate:
+            validate_schedule(sched, inst)
+        records[spec] = CellRecord(
+            cmax=sched.makespan(),
+            minsum=sched.weighted_completion_sum(),
+            seconds=seconds,
+            validated=validate,
+        )
+    return bounds, records
+
+
+def run_pareto_cells(
+    cells: list[tuple[str, int, int]],
+    variants: "list",
+    *,
+    seed: int,
+    m: int,
+    validate: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: CellCache | None = None,
+    payloads: dict[str, object] | None = None,
+) -> dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]]:
+    """Measure every ``(kind, n, r)`` cell under all sweep ``variants``.
+
+    The Pareto instantiation of :func:`_execute_cached_cells`: the
+    measured axis is a set of :class:`~repro.pareto.sweep.SweepVariant`
+    configurations instead of registry algorithms.  Records are cached
+    under ``CellKey(..., algorithm="pareto:<spec>")``; per-instance lower
+    bounds live under the standard bounds key and are therefore *shared*
+    with the campaign runner and the ablations.  ``payloads`` maps
+    ``trace:`` kinds to their ``(trace, model)`` instance material.
+    """
+    from repro.pareto.sweep import SweepVariant
+
+    specs = tuple(
+        v.spec if isinstance(v, SweepVariant) else str(v) for v in variants
+    )
+    return _execute_cached_cells(
+        cells,
+        specs,
+        seed=seed,
+        m=m,
+        validate=validate,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+        worker=_run_pareto_cell,
+        record_key=lambda spec: f"pareto:{spec}",
+        extra_args=lambda kind: (payloads.get(kind) if payloads else None,),
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,74 @@
+"""Pareto-frontier subsystem: the bi-criteria trade-off, measured.
+
+The paper's design goal (§1.3/§2.2) is that DEMT sits on or near the
+Pareto front of ``(Cmax, sum w_i C_i)``.  This package turns every
+campaign — synthetic families and SWF trace windows alike — into a
+bi-criteria experiment:
+
+* :mod:`repro.pareto.front` — vectorized non-domination kernels
+  (``O(n log n)`` argsort-sweep mask, staircase reduction, front merge)
+  plus the brute-force ``O(n^2)`` oracle they are verified against;
+* :mod:`repro.pareto.indicators` — front-quality indicators
+  (hypervolume, additive/multiplicative epsilon, coverage), normalised
+  by the lower-bound reference point;
+* :mod:`repro.pareto.sweep` — parameterized trade-off sweeps over
+  DEMT's knobs and the algorithm registry, emitting per-instance point
+  clouds as campaign cells keyed ``pareto:<spec>`` (backend-
+  interchangeable, persistently cacheable, bit-identical).
+"""
+
+from repro.pareto.front import (
+    merge_fronts,
+    pareto_front,
+    pareto_indices,
+    pareto_mask,
+    pareto_mask_reference,
+)
+from repro.pareto.indicators import (
+    additive_epsilon,
+    coverage,
+    epsilon_indicator,
+    front_indicators,
+    hypervolume,
+    multiplicative_epsilon,
+    normalize_points,
+)
+from repro.pareto.sweep import (
+    SWEEPS,
+    ParetoCell,
+    ParetoSweepResult,
+    SweepVariant,
+    demt_knob_variants,
+    demt_variant,
+    parse_variant,
+    registry_variants,
+    resolve_source,
+    resolve_sweep,
+    sweep_tradeoffs,
+)
+
+__all__ = [
+    "pareto_mask",
+    "pareto_mask_reference",
+    "pareto_indices",
+    "pareto_front",
+    "merge_fronts",
+    "normalize_points",
+    "hypervolume",
+    "additive_epsilon",
+    "multiplicative_epsilon",
+    "epsilon_indicator",
+    "coverage",
+    "front_indicators",
+    "SweepVariant",
+    "demt_variant",
+    "parse_variant",
+    "registry_variants",
+    "demt_knob_variants",
+    "resolve_sweep",
+    "SWEEPS",
+    "ParetoCell",
+    "ParetoSweepResult",
+    "resolve_source",
+    "sweep_tradeoffs",
+]

@@ -1,0 +1,165 @@
+"""Front-quality indicators for bi-criteria point clouds.
+
+Three classic families, all for *minimised* 2-D objectives:
+
+* :func:`hypervolume` — the Lebesgue measure of the region dominated by a
+  front and bounded by a reference point (Zitzler & Thiele's S-metric).
+  Larger is better; it is the only unary indicator strictly compatible
+  with Pareto dominance.
+* :func:`epsilon_indicator` — the additive (or multiplicative) shift
+  ``eps`` needed for set ``A`` to weakly dominate set ``B``
+  (Zitzler et al. 2003).  ``eps <= 0`` (``<= 1`` multiplicative) means
+  ``A`` already covers ``B``.
+* :func:`coverage` — Zitzler's two-set C-metric: the fraction of ``B``
+  weakly dominated by some point of ``A``.
+
+The natural coordinate system in this library is *ratio space*: a point
+``(Cmax / Cmax_lb, minsum / minsum_lb)`` normalised by the per-instance
+lower bounds (:func:`normalize_points`), so the ideal point is ``(1, 1)``
+and indicator values are comparable across instances — that is how
+:mod:`repro.pareto.sweep` aggregates them over campaign cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pareto.front import as_points, pareto_front
+
+__all__ = [
+    "normalize_points",
+    "hypervolume",
+    "additive_epsilon",
+    "multiplicative_epsilon",
+    "epsilon_indicator",
+    "coverage",
+    "front_indicators",
+]
+
+
+def normalize_points(points: object, cmax_lb: float, minsum_lb: float) -> np.ndarray:
+    """Scale raw ``(cmax, minsum)`` points into ratio space.
+
+    Divides component-wise by the certified lower bounds, so the ideal
+    point is ``(1, 1)`` and every achievable point satisfies ``>= 1``
+    component-wise.
+    """
+    pts = as_points(points)
+    if cmax_lb <= 0 or minsum_lb <= 0:
+        raise ValueError(
+            f"lower bounds must be positive, got ({cmax_lb}, {minsum_lb})"
+        )
+    return pts / np.array([cmax_lb, minsum_lb], dtype=np.float64)
+
+
+def hypervolume(points: object, reference: object) -> float:
+    """Dominated hypervolume of ``points`` w.r.t. ``reference`` (minimise).
+
+    The area of ``{z : p <= z <= reference for some point p}``.  Points
+    that do not strictly dominate the reference contribute nothing;
+    dominated or duplicate input points are harmless (the staircase
+    reduction removes them first).  One vectorised pass over the sorted
+    front: ``sum_k (x_{k+1} - x_k) * (ref_y - y_k)`` with ``x_{K+1} =
+    ref_x``.
+
+    >>> hypervolume([(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)], (4.0, 4.0))
+    6.0
+    """
+    ref = np.asarray(reference, dtype=np.float64)
+    if ref.shape != (2,):
+        raise ValueError(f"reference must be a single (x, y) point, got {ref!r}")
+    if not np.isfinite(ref).all():
+        raise ValueError("reference point must be finite")
+    front = pareto_front(points)
+    if front.shape[0] == 0:
+        return 0.0
+    keep = (front < ref).all(axis=1)
+    front = front[keep]
+    if front.shape[0] == 0:
+        return 0.0
+    xs, ys = front[:, 0], front[:, 1]
+    widths = np.diff(np.append(xs, ref[0]))
+    return float(np.sum(widths * (ref[1] - ys)))
+
+
+def additive_epsilon(a: object, b: object) -> float:
+    """Smallest ``eps`` with ``A - eps`` weakly dominating every ``b in B``.
+
+    ``max_{b in B} min_{a in A} max_j (a_j - b_j)``.  Zero or negative
+    means ``A`` already weakly dominates ``B``.
+    """
+    pa, pb = as_points(a), as_points(b)
+    if pa.shape[0] == 0 or pb.shape[0] == 0:
+        raise ValueError("epsilon indicator needs two non-empty point sets")
+    # (|A|, |B|): worst objective-wise gap of a over b.
+    gaps = np.max(pa[:, None, :] - pb[None, :, :], axis=2)
+    return float(np.max(np.min(gaps, axis=0)))
+
+
+def multiplicative_epsilon(a: object, b: object) -> float:
+    """Smallest factor ``eps`` with ``A / eps`` weakly dominating ``B``.
+
+    ``max_{b in B} min_{a in A} max_j (a_j / b_j)`` — requires strictly
+    positive objectives (ratio space satisfies this by construction).
+    ``<= 1`` means ``A`` already weakly dominates ``B``.
+    """
+    pa, pb = as_points(a), as_points(b)
+    if pa.shape[0] == 0 or pb.shape[0] == 0:
+        raise ValueError("epsilon indicator needs two non-empty point sets")
+    if (pa <= 0).any() or (pb <= 0).any():
+        raise ValueError("multiplicative epsilon needs strictly positive points")
+    ratios = np.max(pa[:, None, :] / pb[None, :, :], axis=2)
+    return float(np.max(np.min(ratios, axis=0)))
+
+
+def epsilon_indicator(a: object, b: object, kind: str = "additive") -> float:
+    """Dispatch to :func:`additive_epsilon` / :func:`multiplicative_epsilon`."""
+    if kind == "additive":
+        return additive_epsilon(a, b)
+    if kind == "multiplicative":
+        return multiplicative_epsilon(a, b)
+    raise ValueError(
+        f"unknown epsilon kind {kind!r}; choose 'additive' or 'multiplicative'"
+    )
+
+
+def coverage(a: object, b: object) -> float:
+    """Zitzler's C-metric: fraction of ``B`` weakly dominated by ``A``.
+
+    ``C(A, B) = |{b in B : some a in A has a <= b}| / |B|``.  Not
+    symmetric; ``C(A, B) = 1`` means every point of ``B`` is matched or
+    beaten by ``A``.
+
+    >>> coverage([(1.0, 1.0)], [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)])
+    0.6666666666666666
+    """
+    pa, pb = as_points(a), as_points(b)
+    if pb.shape[0] == 0:
+        raise ValueError("coverage needs a non-empty second set")
+    if pa.shape[0] == 0:
+        return 0.0
+    dominated = (pa[:, None, :] <= pb[None, :, :]).all(axis=2).any(axis=0)
+    return float(dominated.mean())
+
+
+def front_indicators(points: object, reference: object | None = None) -> dict[str, float]:
+    """Summary indicators of one cloud: front size and hypervolume.
+
+    ``reference`` defaults to the component-wise maximum of the cloud —
+    deterministic, so cached sweeps reproduce the same numbers bit for
+    bit.  Returns ``{"front_size", "hypervolume", "ref_x", "ref_y"}``.
+    """
+    pts = as_points(points)
+    if pts.shape[0] == 0:
+        return {"front_size": 0.0, "hypervolume": 0.0, "ref_x": 0.0, "ref_y": 0.0}
+    ref = (
+        pts.max(axis=0)
+        if reference is None
+        else np.asarray(reference, dtype=np.float64)
+    )
+    return {
+        "front_size": float(pareto_front(pts).shape[0]),
+        "hypervolume": hypervolume(pts, ref),
+        "ref_x": float(ref[0]),
+        "ref_y": float(ref[1]),
+    }

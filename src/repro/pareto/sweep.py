@@ -1,0 +1,505 @@
+"""Parameterized bi-criteria trade-off sweeps over campaign cells.
+
+The paper's pitch is that DEMT sits on or near the Pareto front of
+``(Cmax, sum w_i C_i)``; this module *measures* that claim.  A sweep runs
+a set of :class:`SweepVariant` scheduler configurations — DEMT's knobs
+(shuffle count, merge threshold, intra-batch ordering, dual-guess
+relaxation) plus the full algorithm registry — over seeded campaign
+instances, producing one bi-criteria *point cloud per instance* in ratio
+space (objectives divided by the certified lower bounds, ideal ``(1,1)``).
+
+Every measurement is a campaign cell addressed by
+``CellKey(seed, kind, n, m, r, algorithm="pareto:<spec>")`` where
+``<spec>`` is the variant's canonical spec string:
+
+* the instance coordinates ``(seed, kind, n, r)`` are exactly the
+  campaign runner's, so the per-instance *lower bounds are shared* with
+  the figure campaigns through the same bounds key;
+* because the spec string is canonical (sorted knobs, only non-default
+  values), the serial and process backends produce bit-identical clouds
+  and a :class:`~repro.experiments.engine.PersistentCellCache` makes a
+  repeated sweep re-execute **zero** cells.
+
+Trace windows sweep too: a source spec ``trace:<path>`` replays an SWF
+window as one off-line cell whose kind is
+``trace:<digest16>:<model>`` and whose ``r`` is the window offset —
+the same coordinates the replay subsystem uses, so fronts of real
+arrival streams cache side by side with the synthetic families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.demt import BATCH_ORDERINGS, DemtScheduler
+from repro.algorithms.registry import ALGORITHM_REGISTRY, PAPER_ALGORITHMS, get_algorithm
+from repro.pareto.front import pareto_front, pareto_mask
+from repro.pareto.indicators import (
+    additive_epsilon,
+    coverage,
+    front_indicators,
+    multiplicative_epsilon,
+)
+
+__all__ = [
+    "SweepVariant",
+    "demt_variant",
+    "parse_variant",
+    "registry_variants",
+    "demt_knob_variants",
+    "resolve_sweep",
+    "SWEEPS",
+    "ParetoCell",
+    "ParetoSweepResult",
+    "resolve_source",
+    "sweep_tradeoffs",
+]
+
+#: Spec knob -> DemtScheduler keyword (and the value each defaults to).
+_DEMT_KNOBS: dict[str, tuple[str, object]] = {
+    "order": ("batch_ordering", "smith"),
+    "relax": ("guess_relaxation", 1.0),
+    "shuffle": ("shuffle_rounds", 10),
+    "thresh": ("small_threshold_factor", 0.5),
+}
+
+
+@dataclass(frozen=True)
+class SweepVariant:
+    """One scheduler configuration of a trade-off sweep.
+
+    ``algorithm`` is a registry name; ``params`` is a sorted tuple of
+    ``(knob, value)`` pairs holding only *non-default* DEMT knobs (other
+    algorithms take no parameters).  The canonical :attr:`spec` string is
+    the cache identity of the variant.
+    """
+
+    algorithm: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHM_REGISTRY:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; available: "
+                f"{', '.join(ALGORITHM_REGISTRY)}"
+            )
+        if self.params and self.algorithm != "DEMT":
+            raise ValueError(
+                f"only DEMT variants take knobs, got {self.params!r} "
+                f"for {self.algorithm!r}"
+            )
+        for knob, value in self.params:
+            if knob not in _DEMT_KNOBS:
+                raise ValueError(
+                    f"unknown DEMT knob {knob!r}; available: {', '.join(_DEMT_KNOBS)}"
+                )
+            if value == _DEMT_KNOBS[knob][1]:
+                raise ValueError(
+                    f"knob {knob!r} at its default {value!r} must be omitted "
+                    "(specs are canonical)"
+                )
+        if tuple(sorted(self.params)) != self.params:
+            raise ValueError("params must be sorted by knob name (canonical spec)")
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string, e.g. ``DEMT[relax=1.5,shuffle=0]``."""
+        if not self.params:
+            return self.algorithm
+        inner = ",".join(f"{k}={_format_value(v)}" for k, v in self.params)
+        return f"{self.algorithm}[{inner}]"
+
+    def build(self) -> Scheduler:
+        """Instantiate the configured scheduler."""
+        if not self.params:
+            return get_algorithm(self.algorithm)
+        kwargs = {_DEMT_KNOBS[k][0]: v for k, v in self.params}
+        return DemtScheduler(**kwargs)
+
+
+def _format_value(value: object) -> str:
+    # repr round-trips floats exactly; ints and strings print naturally.
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def demt_variant(**knobs: object) -> SweepVariant:
+    """DEMT variant from knob values; defaults are dropped (canonical).
+
+    >>> demt_variant(shuffle=0, thresh=0.5).spec
+    'DEMT[shuffle=0]'
+    >>> demt_variant().spec
+    'DEMT'
+    """
+    params = []
+    for knob, value in knobs.items():
+        if knob not in _DEMT_KNOBS:
+            raise ValueError(
+                f"unknown DEMT knob {knob!r}; available: {', '.join(_DEMT_KNOBS)}"
+            )
+        kw, default = _DEMT_KNOBS[knob]
+        if isinstance(default, float):
+            value = float(value)  # type: ignore[assignment]
+        if value != default:
+            params.append((knob, value))
+    return SweepVariant("DEMT", tuple(sorted(params)))
+
+
+def parse_variant(spec: str) -> SweepVariant:
+    """Invert :attr:`SweepVariant.spec` (used by the cell workers).
+
+    >>> parse_variant("DEMT[relax=1.5,shuffle=0]").build().shuffle_rounds
+    0
+    >>> parse_variant("SAF").spec
+    'SAF'
+    """
+    spec = spec.strip()
+    if "[" not in spec:
+        return SweepVariant(spec)
+    if not spec.endswith("]"):
+        raise ValueError(f"malformed variant spec {spec!r}")
+    name, _, inner = spec[:-1].partition("[")
+    params = []
+    for item in inner.split(","):
+        knob, sep, raw = item.partition("=")
+        if not sep:
+            raise ValueError(f"malformed knob {item!r} in spec {spec!r}")
+        params.append((knob, _parse_value(knob, raw)))
+    return SweepVariant(name, tuple(sorted(params)))
+
+
+def _parse_value(knob: str, raw: str) -> object:
+    if knob == "order":
+        if raw not in BATCH_ORDERINGS:
+            raise ValueError(
+                f"unknown batch ordering {raw!r}; available: {', '.join(BATCH_ORDERINGS)}"
+            )
+        return raw
+    if knob == "shuffle":
+        return int(raw)
+    return float(raw)
+
+
+def registry_variants(names: Sequence[str] | None = None) -> list[SweepVariant]:
+    """Parameter-free variants for registry algorithms (default: the
+    paper's six)."""
+    return [SweepVariant(name) for name in (names or PAPER_ALGORITHMS)]
+
+
+def demt_knob_variants(
+    *,
+    shuffle: Sequence[int] = (0, 2, 25),
+    thresh: Sequence[float] = (0.25, 1.0),
+    order: Sequence[str] = ("weight", "duration", "id"),
+    relax: Sequence[float] = (1.25, 1.5, 1.75),
+) -> list[SweepVariant]:
+    """One-knob-at-a-time deviations around the default DEMT.
+
+    The default configuration itself (plain ``DEMT``) anchors the sweep;
+    each returned variant moves exactly one knob, so a front traced by
+    these points is directly attributable to individual design choices.
+    (``relax=2.0`` would be a deliberate no-op — doubling the guess
+    increments ``K`` and reproduces the identical geometric grid — so the
+    default axis stays inside one octave.)
+    """
+    variants = [demt_variant()]
+    for value in shuffle:
+        variants.append(demt_variant(shuffle=value))
+    for value in thresh:
+        variants.append(demt_variant(thresh=value))
+    for value in order:
+        variants.append(demt_variant(order=value))
+    for value in relax:
+        variants.append(demt_variant(relax=value))
+    return _dedup_variants(variants)
+
+
+def _dedup_variants(variants: list[SweepVariant]) -> list[SweepVariant]:
+    """Drop later variants whose canonical spec already appeared."""
+    seen: set[str] = set()
+    return [v for v in variants if not (v.spec in seen or seen.add(v.spec))]
+
+
+def _full_sweep() -> list[SweepVariant]:
+    return _dedup_variants(registry_variants() + demt_knob_variants())
+
+
+#: Named sweep sets for the CLI (each entry is a zero-argument factory).
+SWEEPS = {
+    "registry": registry_variants,
+    "demt-knobs": demt_knob_variants,
+    "full": _full_sweep,
+}
+
+
+def resolve_sweep(sweep: object = "full") -> list[SweepVariant]:
+    """Normalise a sweep spec: a name from :data:`SWEEPS`, one variant,
+    a variant/spec-string sequence, or ``None`` (full)."""
+    if sweep is None:
+        sweep = "full"
+    if isinstance(sweep, str):
+        try:
+            return list(SWEEPS[sweep]())
+        except KeyError:
+            raise ValueError(
+                f"unknown sweep {sweep!r}; available: {', '.join(SWEEPS)}"
+            ) from None
+    if isinstance(sweep, SweepVariant):
+        return [sweep]
+    out = []
+    for item in sweep:  # type: ignore[union-attr]
+        out.append(item if isinstance(item, SweepVariant) else parse_variant(str(item)))
+    if not out:
+        raise ValueError("sweep must contain at least one variant")
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Sources                                                               #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ParetoSource:
+    """Where a sweep's instances come from.
+
+    ``kind`` is the cell-key kind: a workload family name, or
+    ``trace:<digest16>:<model>`` for an SWF window whose payload rides
+    along (picklable plain arrays, like the replay workers ship).
+    """
+
+    kind: str
+    label: str
+    trace: object | None = None
+    model: str = "downey"
+
+
+def resolve_source(
+    source: object,
+    *,
+    model: str = "downey",
+    window: tuple[int, int] | None = None,
+) -> ParetoSource:
+    """Normalise a sweep source.
+
+    Accepts a workload kind (``"mixed"``), a ``trace:<path>`` spec, or a
+    :class:`~repro.workloads.trace.Trace`.  ``model`` picks the
+    moldability reconstruction for traces; ``window`` restricts them.
+    """
+    from repro.workloads.generator import WORKLOAD_KINDS
+    from repro.workloads.trace import MOLDABILITY_MODELS, Trace, load_trace
+
+    if isinstance(source, Trace) or (
+        isinstance(source, str) and source.startswith("trace:")
+    ):
+        if model not in MOLDABILITY_MODELS:
+            raise ValueError(
+                f"unknown moldability model {model!r}; available: "
+                f"{', '.join(MOLDABILITY_MODELS)}"
+            )
+        if isinstance(source, Trace):
+            trace, label = source, f"trace:<{source.digest[:12]}>"
+        else:
+            path = source[len("trace:"):]
+            trace, label = load_trace(path), source
+        if window is not None:
+            trace = trace.window(*window)
+        return ParetoSource(
+            kind=f"trace:{trace.digest[:16]}:{model}",
+            label=label,
+            trace=trace,
+            model=model,
+        )
+    if isinstance(source, str):
+        if source not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown sweep source {source!r}; use a workload kind "
+                f"({', '.join(WORKLOAD_KINDS)}) or 'trace:<path>'"
+            )
+        return ParetoSource(kind=source, label=source)
+    raise TypeError(f"source must be a workload kind, 'trace:<path>', or Trace, got {source!r}")
+
+
+# --------------------------------------------------------------------- #
+# Results                                                               #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ParetoCell:
+    """One instance's bi-criteria point cloud in ratio space.
+
+    ``cloud[i]`` is variant ``specs[i]``'s ``(Cmax ratio, minsum ratio)``
+    point; ``front_mask`` marks the non-dominated rows.
+    """
+
+    kind: str
+    n: int
+    r: int
+    m: int
+    specs: tuple[str, ...]
+    cloud: np.ndarray
+    front_mask: np.ndarray
+    cmax_lb: float
+    minsum_lb: float
+
+    @property
+    def front(self) -> np.ndarray:
+        """The cell's staircase (unique non-dominated points, sorted)."""
+        return pareto_front(self.cloud)
+
+    @property
+    def front_specs(self) -> tuple[str, ...]:
+        """Variant specs on the front, in input order."""
+        return tuple(s for s, on in zip(self.specs, self.front_mask) if on)
+
+    def indicators(self) -> dict[str, float]:
+        """Front-quality numbers of this cell (reference: cloud maximum)."""
+        return front_indicators(self.cloud)
+
+
+@dataclass(frozen=True)
+class ParetoSweepResult:
+    """All cells of one sweep, plus per-variant aggregates."""
+
+    source: str
+    m: int
+    seed: int
+    specs: tuple[str, ...]
+    cells: tuple[ParetoCell, ...]
+
+    def fronts(self) -> list[np.ndarray]:
+        return [cell.front for cell in self.cells]
+
+    def attainment(self, level: float | str = "mean") -> tuple[np.ndarray, np.ndarray]:
+        """Mean (or quantile) attainment surface over the per-cell fronts
+        (see :func:`repro.experiments.aggregate.attainment_surface`)."""
+        from repro.experiments.aggregate import attainment_surface
+
+        return attainment_surface(self.fronts(), level=level)
+
+    def variant_rows(self) -> list[dict[str, float | str]]:
+        """Per-variant aggregates across cells.
+
+        For each variant: mean ratios, the fraction of cells where it is
+        on the front, its mean additive / multiplicative *gap behind the
+        cell front* (``-eps_add(front, point)`` and
+        ``1 / eps_mult(front, point)`` — exactly 0 / 1 when the variant is
+        on the front), and its mean coverage of the cell cloud (the
+        fraction of variants it weakly dominates).
+        """
+        fronts = [cell.front for cell in self.cells]  # one reduction per cell
+        rows = []
+        for i, spec in enumerate(self.specs):
+            eps_add, eps_mult, cover, on_front = [], [], [], []
+            points = []
+            for cell, front in zip(self.cells, fronts):
+                point = cell.cloud[i : i + 1]
+                points.append(cell.cloud[i])
+                on_front.append(bool(cell.front_mask[i]))
+                eps_add.append(-additive_epsilon(front, point))
+                eps_mult.append(1.0 / multiplicative_epsilon(front, point))
+                cover.append(coverage(point, cell.cloud))
+            mean = np.mean(points, axis=0)
+            rows.append(
+                {
+                    "spec": spec,
+                    "cmax_ratio": float(mean[0]),
+                    "minsum_ratio": float(mean[1]),
+                    "on_front": float(np.mean(on_front)),
+                    "eps_add": float(np.mean(eps_add)),
+                    "eps_mult": float(np.mean(eps_mult)),
+                    "coverage": float(np.mean(cover)),
+                }
+            )
+        return rows
+
+    def indicator_summary(self) -> dict[str, float]:
+        """Mean front-quality indicators over the cells."""
+        per_cell = [cell.indicators() for cell in self.cells]
+        return {
+            "cells": float(len(per_cell)),
+            "mean_front_size": float(np.mean([d["front_size"] for d in per_cell])),
+            "mean_hypervolume": float(np.mean([d["hypervolume"] for d in per_cell])),
+        }
+
+
+# --------------------------------------------------------------------- #
+# Driver                                                                #
+# --------------------------------------------------------------------- #
+def sweep_tradeoffs(
+    source: object,
+    sweep: object = "full",
+    *,
+    m: int | None = None,
+    task_counts: Sequence[int] = (50,),
+    runs: int = 3,
+    seed: int = 2004,
+    model: str = "downey",
+    window: tuple[int, int] | None = None,
+    validate: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: object = None,
+) -> ParetoSweepResult:
+    """Run a trade-off sweep and assemble per-instance fronts.
+
+    Synthetic sources sweep the ``task_counts x runs`` instance grid
+    (instance streams identical to the campaign runner's); a trace source
+    contributes a single window cell.  ``backend`` / ``jobs`` / ``cache``
+    are the standard executor knobs — clouds are bit-identical across
+    backends, and a persistent cache makes re-sweeps re-execute nothing.
+    """
+    from repro.experiments.runner import run_pareto_cells
+
+    src = resolve_source(source, model=model, window=window)
+    variants = resolve_sweep(sweep)
+    specs = tuple(v.spec for v in variants)
+
+    if src.trace is not None:
+        m = src.trace.resolve_m(m)
+        cells = [(src.kind, src.trace.n, src.trace.offset)]
+        payloads = {src.kind: (src.trace, src.model)}
+        seed = 0  # trace cells are seed-free (pure function of the window)
+    else:
+        m = 64 if m is None else m
+        cells = [(src.kind, n, r) for n in task_counts for r in range(runs)]
+        payloads = None
+
+    results = run_pareto_cells(
+        cells,
+        variants,
+        seed=seed,
+        m=m,
+        validate=validate,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+        payloads=payloads,
+    )
+
+    out_cells = []
+    for kind, n, r in cells:
+        bounds, records = results[(kind, n, r)]
+        cloud = np.array(
+            [
+                [records[s].cmax / bounds.cmax_lb, records[s].minsum / bounds.minsum_lb]
+                for s in specs
+            ],
+            dtype=np.float64,
+        )
+        out_cells.append(
+            ParetoCell(
+                kind=kind,
+                n=n,
+                r=r,
+                m=m,
+                specs=specs,
+                cloud=cloud,
+                front_mask=pareto_mask(cloud),
+                cmax_lb=bounds.cmax_lb,
+                minsum_lb=bounds.minsum_lb,
+            )
+        )
+    return ParetoSweepResult(
+        source=src.label, m=m, seed=seed, specs=specs, cells=tuple(out_cells)
+    )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["ascii_chart"]
+__all__ = ["ascii_chart", "ascii_front"]
 
 #: Glyphs assigned to successive series.
 _MARKERS = "ox+*#@%&"
@@ -76,4 +76,71 @@ def ascii_chart(
     if y_label:
         lines.append(f"   y: {y_label}")
     lines.append("   " + "   ".join(legend))
+    return "\n".join(lines) + "\n"
+
+
+def ascii_front(
+    cloud: Sequence[tuple[float, float]],
+    front: Sequence[tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render a bi-criteria point cloud with its Pareto staircase.
+
+    Dominated points print as ``·``, front points as ``#``, and the
+    front's staircase steps are traced with ``─`` / ``│`` so the
+    dominated region reads directly off the chart.  ``front`` must be in
+    staircase order (ascending x, descending y — what
+    :func:`repro.pareto.front.pareto_front` returns).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    cloud = [(float(x), float(y)) for x, y in cloud]
+    front = [(float(x), float(y)) for x, y in front]
+    if not cloud:
+        return f"{title}\n(no data)\n"
+    xs = [p[0] for p in cloud]
+    ys = [p[1] for p in cloud]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, round((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, round((1.0 - frac) * (height - 1))))
+
+    # Staircase first, so the point markers draw over it.
+    cells = [(to_col(x), to_row(y)) for x, y in front]
+    for (c0, r0), (c1, r1) in zip(cells, cells[1:]):
+        for c in range(min(c0, c1) + 1, max(c0, c1)):
+            grid[r0][c] = "─"  # horizontal run at the left point's level
+        for r in range(min(r0, r1) + 1, max(r0, r1)):
+            grid[r][c1] = "│"  # vertical drop onto the next point
+    for x, y in cloud:
+        grid[to_row(y)][to_col(x)] = "·"
+    for c, r in cells:
+        grid[r][c] = "#"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}"
+    )
+    lines.append("   # = Pareto front   · = dominated")
     return "\n".join(lines) + "\n"

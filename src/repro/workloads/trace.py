@@ -333,18 +333,27 @@ def load_trace(source: "str | os.PathLike | IO[str]") -> Trace:
 
     ``source`` may be a file path, SWF text, or an open text stream.  A
     string is treated as a path when it names an existing file or could
-    plausibly be one (no newline, no inline whitespace) — so a one-record
-    log without a trailing newline still parses as text instead of
-    surfacing a confusing ``FileNotFoundError``.  File contents are
-    streamed — the whole log is never held as one string.
+    plausibly be one (no newline, no inline whitespace, and not shaped
+    like a path — no separator, no ``.swf`` suffix) — so a one-record
+    log without a trailing newline still parses as text, while a typo'd
+    or missing path surfaces ``FileNotFoundError`` instead of a
+    confusing parse error.  File contents are streamed — the whole log
+    is never held as one string.
     """
     if hasattr(source, "read"):
         return parse_trace(iter(source))
     if isinstance(source, os.PathLike):
         path = os.fspath(source)
     elif isinstance(source, str):
+        looks_like_path = (
+            os.sep in source
+            or (os.altsep is not None and os.altsep in source)
+            or source.endswith(".swf")
+        )
         is_text = "\n" in source or (
-            not os.path.exists(source) and len(source.split()) > 1
+            not os.path.exists(source)
+            and not looks_like_path
+            and len(source.split()) > 1
         )
         if is_text:
             return parse_trace(io.StringIO(source))

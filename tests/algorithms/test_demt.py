@@ -27,6 +27,14 @@ class TestConstruction:
         with pytest.raises(ValueError):
             DemtScheduler(shuffle_rounds=-1)
 
+    def test_bad_batch_ordering(self):
+        with pytest.raises(ValueError):
+            DemtScheduler(batch_ordering="alphabetical")
+
+    def test_bad_guess_relaxation(self):
+        with pytest.raises(ValueError):
+            DemtScheduler(guess_relaxation=0.9)
+
     def test_name(self):
         assert DemtScheduler().name == "DEMT"
 
@@ -147,6 +155,80 @@ class TestKnapsackSelectionQuality:
         res = DemtScheduler(shuffle_rounds=0).schedule_detailed(inst)
         stacked = [it for batch in res.batches for it in batch if it.stack]
         assert any(len(it.stack) > 1 for it in stacked)
+
+
+class TestSweepKnobs:
+    """The trade-off knobs: defaults are bit-identical to the paper
+    configuration; deviations stay feasible and actually take effect."""
+
+    def _inst(self, seed=5, n=40, m=16):
+        return generate_workload("mixed", n=n, m=m, seed=seed)
+
+    def test_default_knobs_change_nothing(self):
+        inst = self._inst()
+        base = DemtScheduler().schedule(inst)
+        explicit = DemtScheduler(
+            shuffle_rounds=10,
+            small_threshold_factor=0.5,
+            batch_ordering="smith",
+            guess_relaxation=1.0,
+        ).schedule(inst)
+        assert [(p.task.task_id, p.start, p.allotment) for p in base] == [
+            (p.task.task_id, p.start, p.allotment) for p in explicit
+        ]
+
+    def test_functional_form_passes_knobs(self):
+        inst = self._inst()
+        a = schedule_demt(
+            inst, batch_ordering="weight", guess_relaxation=1.5,
+            small_threshold_factor=0.25, shuffle_rounds=0,
+        )
+        b = DemtScheduler(
+            batch_ordering="weight", guess_relaxation=1.5,
+            small_threshold_factor=0.25, shuffle_rounds=0,
+        ).schedule(inst)
+        assert a.makespan() == b.makespan()
+        assert a.weighted_completion_sum() == b.weighted_completion_sum()
+
+    @pytest.mark.parametrize("ordering", ["smith", "weight", "duration", "id"])
+    def test_orderings_feasible(self, ordering):
+        inst = self._inst()
+        sched = DemtScheduler(batch_ordering=ordering).schedule(inst)
+        validate_schedule(sched, inst)
+
+    @pytest.mark.parametrize("relax", [1.0, 1.25, 1.5, 1.75])
+    def test_relaxations_feasible(self, relax):
+        inst = self._inst()
+        sched = DemtScheduler(guess_relaxation=relax).schedule(inst)
+        validate_schedule(sched, inst)
+
+    def test_relaxation_widens_estimate(self):
+        inst = self._inst()
+        base = DemtScheduler().schedule_detailed(inst)
+        relaxed = DemtScheduler(guess_relaxation=1.5).schedule_detailed(inst)
+        assert relaxed.cmax_estimate == pytest.approx(1.5 * base.cmax_estimate)
+
+    def test_doubling_relaxation_reproduces_grid(self):
+        # relax=2.0 increments K and regenerates the identical t-grid —
+        # the degeneracy the sweep's default relax axis avoids.
+        inst = self._inst()
+        base = DemtScheduler(shuffle_rounds=0).schedule_detailed(inst)
+        doubled = DemtScheduler(
+            shuffle_rounds=0, guess_relaxation=2.0
+        ).schedule_detailed(inst)
+        assert doubled.K == base.K + 1
+        assert doubled.schedule.makespan() == base.schedule.makespan()
+
+    def test_some_ordering_changes_some_schedule(self):
+        changed = False
+        for seed in range(6):
+            inst = self._inst(seed=seed)
+            a = DemtScheduler(shuffle_rounds=0).schedule(inst)
+            b = DemtScheduler(shuffle_rounds=0, batch_ordering="id").schedule(inst)
+            if a.weighted_completion_sum() != b.weighted_completion_sum():
+                changed = True
+                break
+        assert changed, "intra-batch ordering knob never took effect"
 
 
 class TestBicriteriaQuality:

@@ -10,7 +10,11 @@ compared with ``==`` by the regression suites:
 * ``traces/*.swf`` + ``trace_replay_goldens.json`` — deterministic
   synthetic SWF fixtures and the replay aggregates (makespan, weighted
   flow, batch count) of every moldability model on them, batch and
-  clairvoyant modes (``tests/integration/test_trace_replay.py``).
+  clairvoyant modes (``tests/integration/test_trace_replay.py``);
+* ``pareto_goldens.json`` — per-instance bi-criteria point clouds, front
+  masks and quality indicators of a frozen trade-off sweep (DEMT knob
+  deviations + registry algorithms) on synthetic cells and one trace
+  window (``tests/pareto/test_golden_pareto.py``).
 
 Regenerate ONLY when an intentional behavioral change is made (and say so
 in the commit message):
@@ -118,6 +122,75 @@ def trace_golden_cells() -> list[dict]:
     return cells
 
 
+PARETO_GOLDEN_PATH = Path(__file__).with_name("pareto_goldens.json")
+
+#: Frozen sweep: a DEMT knob slice plus registry anchors, on two synthetic
+#: cells per family and one trace window.  Changing any spec invalidates
+#: the file.
+PARETO_SWEEP = (
+    "DEMT",
+    "DEMT[order=weight]",
+    "DEMT[relax=1.5]",
+    "DEMT[shuffle=0]",
+    "DEMT[thresh=0.25]",
+    "SAF",
+    "LPTF",
+    "Gang",
+)
+PARETO_FAMILIES = ("mixed", "cirne")
+PARETO_N, PARETO_M, PARETO_RUNS = 24, 16, 2
+PARETO_TRACE = ("cirne_small.swf", "downey", (0, 24))
+
+
+def _pareto_cell_docs(result) -> list[dict]:
+    docs = []
+    for cell in result.cells:
+        docs.append(
+            {
+                "source": result.source,
+                "kind": cell.kind,
+                "n": cell.n,
+                "r": cell.r,
+                "m": cell.m,
+                "cmax_lb": cell.cmax_lb,
+                "minsum_lb": cell.minsum_lb,
+                "specs": list(cell.specs),
+                "cloud": cell.cloud.tolist(),
+                "front_mask": cell.front_mask.tolist(),
+                "indicators": cell.indicators(),
+            }
+        )
+    return docs
+
+
+def pareto_golden_cells() -> list[dict]:
+    from repro.pareto.sweep import sweep_tradeoffs
+    from repro.workloads.trace import load_trace
+
+    cells: list[dict] = []
+    for kind in PARETO_FAMILIES:
+        result = sweep_tradeoffs(
+            kind,
+            PARETO_SWEEP,
+            m=PARETO_M,
+            task_counts=(PARETO_N,),
+            runs=PARETO_RUNS,
+            seed=GOLDEN_SEED,
+            validate=True,
+        )
+        cells.extend(_pareto_cell_docs(result))
+    fixture, model, window = PARETO_TRACE
+    result = sweep_tradeoffs(
+        load_trace(TRACES_DIR / fixture),
+        PARETO_SWEEP,
+        model=model,
+        window=window,
+        validate=True,
+    )
+    cells.extend(_pareto_cell_docs(result))
+    return cells
+
+
 def main() -> None:
     payload = {
         "_meta": {
@@ -146,6 +219,21 @@ def main() -> None:
     }
     TRACE_GOLDEN_PATH.write_text(json.dumps(trace_payload, indent=1) + "\n")
     print(f"wrote {len(trace_payload['cells'])} replay cells to {TRACE_GOLDEN_PATH}")
+
+    pareto_payload = {
+        "_meta": {
+            "seed": GOLDEN_SEED,
+            "sweep": list(PARETO_SWEEP),
+            "comment": (
+                "Bit-exact Pareto sweep clouds, front masks and indicators "
+                "on frozen synthetic cells and one trace window; regenerate "
+                "with tests/data/make_goldens.py only for intentional changes."
+            ),
+        },
+        "cells": pareto_golden_cells(),
+    }
+    PARETO_GOLDEN_PATH.write_text(json.dumps(pareto_payload, indent=1) + "\n")
+    print(f"wrote {len(pareto_payload['cells'])} pareto cells to {PARETO_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":

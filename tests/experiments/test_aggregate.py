@@ -7,7 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.experiments.aggregate import RatioStats, aggregate_ratios, ratio_of_sums
+from repro.experiments.aggregate import (
+    RatioStats,
+    aggregate_ratios,
+    attainment_surface,
+    ratio_of_sums,
+)
 
 
 class TestRatioOfSums:
@@ -76,3 +81,58 @@ class TestAggregateRatios:
         # The ratio of sums is a weighted mean of per-run ratios, hence
         # inside the envelope.
         assert stats.minimum - 1e-12 <= stats.average <= stats.maximum + 1e-12
+
+
+class TestAttainmentSurface:
+    FRONTS = [
+        [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)],
+        [(1.0, 6.0), (3.0, 3.0)],
+    ]
+
+    def test_mean_surface_hand_checked(self):
+        xs, ys = attainment_surface(self.FRONTS, "mean")
+        # Union of x-coords, restricted to where both step functions are
+        # defined (both fronts start at x=1).
+        assert xs.tolist() == [1.0, 2.0, 3.0, 4.0]
+        # Front A steps 4 -> 2 -> 2 -> 1; front B steps 6 -> 6 -> 3 -> 3.
+        assert ys.tolist() == [5.0, 4.0, 2.5, 2.0]
+
+    def test_median_equals_mean_for_two_fronts(self):
+        xs_mean, ys_mean = attainment_surface(self.FRONTS, "mean")
+        xs_med, ys_med = attainment_surface(self.FRONTS, 0.5)
+        assert xs_mean.tolist() == xs_med.tolist()
+        assert ys_mean.tolist() == ys_med.tolist()
+
+    def test_undefined_region_is_clipped(self):
+        fronts = [[(0.0, 1.0)], [(5.0, 0.5)]]
+        xs, ys = attainment_surface(fronts)
+        # x=0 is dropped: the second front is undefined there.
+        assert xs.tolist() == [5.0]
+        assert ys.tolist() == [0.75]
+
+    def test_single_front_is_its_own_surface(self):
+        xs, ys = attainment_surface([[(1.0, 3.0), (2.0, 1.0)]])
+        assert xs.tolist() == [1.0, 2.0]
+        assert ys.tolist() == [3.0, 1.0]
+
+    def test_empty_inputs(self):
+        xs, ys = attainment_surface([])
+        assert xs.size == 0 and ys.size == 0
+        xs, ys = attainment_surface([np.empty((0, 2))])
+        assert xs.size == 0 and ys.size == 0
+
+    def test_surface_is_monotone_nonincreasing(self):
+        rng = np.random.default_rng(7)
+        from repro.pareto.front import pareto_front
+
+        fronts = [pareto_front(rng.random((30, 2))) for _ in range(5)]
+        xs, ys = attainment_surface(fronts)
+        assert (np.diff(ys) <= 1e-12).all()
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            attainment_surface(self.FRONTS, "median")
+        with pytest.raises(ValueError):
+            attainment_surface(self.FRONTS, 0.0)
+        with pytest.raises(ValueError):
+            attainment_surface(self.FRONTS, 1.5)

@@ -106,3 +106,58 @@ class TestReplayCommand:
     def test_replay_unknown_model_rejected(self, trace_path):
         with pytest.raises(SystemExit):
             main(["replay", trace_path, "--model", "telepathic"])
+
+
+class TestParetoCommand:
+    ARGS = ["pareto", "mixed", "--n", "10", "--runs", "2", "--m", "8"]
+
+    def test_pareto_smoke(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Pareto sweep: mixed" in out
+        assert "DEMT" in out and "on-front" in out and "eps+" in out
+
+    def test_pareto_sweep_choice_and_indicators(self, capsys):
+        assert main(self.ARGS + ["--sweep", "demt-knobs", "--indicators"]) == 0
+        out = capsys.readouterr().out
+        assert "DEMT[relax=1.5]" in out
+        assert "hypervol" in out and "mean front size" in out
+
+    def test_pareto_charts(self, capsys):
+        assert main(self.ARGS + ["--sweep", "registry", "--charts"]) == 0
+        out = capsys.readouterr().out
+        assert "# = Pareto front" in out
+        assert "mean attainment surface" in out
+
+    def test_pareto_cache_reuse(self, capsys, tmp_path):
+        argv = self.ARGS + ["--cache-dir", str(tmp_path / "cache"), "--sweep", "registry"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "misses" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Identical tables; the second run is all cache hits.
+        assert second.split("[cache]")[0] == first.split("[cache]")[0]
+        hits = int(second.split("[cache]")[1].split("(")[1].split(" hits")[0])
+        misses = int(second.split("[cache]")[1].split("/ ")[1].split(" misses")[0])
+        assert hits > 0 and misses == 0
+
+    def test_pareto_trace_source(self, capsys, tmp_path):
+        from repro.workloads.trace import synthesize_swf
+
+        path = tmp_path / "log.swf"
+        path.write_text(synthesize_swf(16, 8, seed=3))
+        assert main(
+            ["pareto", f"trace:{path}", "--sweep", "registry",
+             "--model", "downey", "--window", "0:8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto sweep: trace:" in out and "cells=1" in out
+
+    def test_pareto_unknown_source_rejected(self):
+        with pytest.raises(SystemExit, match="quantum"):
+            main(["pareto", "quantum"])
+
+    def test_pareto_bad_window(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["pareto", "mixed", "--window", "nope"])

@@ -1,0 +1,209 @@
+"""Property suite for the vectorized non-domination kernels.
+
+The contracts pinned here (the satellite checklist of the Pareto PR):
+
+* **front ⊆ points** — every front point is an input point;
+* **mutual non-domination** — no front point dominates another;
+* **completeness** — every non-front point is dominated by a front point;
+* **idempotence** — ``pareto_front(pareto_front(P)) == pareto_front(P)``;
+* **metamorphic invariance** — the front *membership* is invariant under
+  positive affine transforms (shift, positive scale) of the objectives;
+* **differential** — :func:`pareto_mask` equals both a pure-Python
+  brute-force loop and the vectorized ``O(n^2)``
+  :func:`pareto_mask_reference` oracle on every generated cloud.
+
+Hypothesis drives the clouds (including heavy tie/duplicate pressure via
+quantised coordinates); fixed edge cases pin the empty/single/duplicate
+corners exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pareto.front import (
+    as_points,
+    merge_fronts,
+    pareto_front,
+    pareto_indices,
+    pareto_mask,
+    pareto_mask_reference,
+)
+
+coords = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+#: Free-range clouds, plus quantised ones that force x/y ties and exact
+#: duplicate points (the branchy part of any dominance kernel).
+clouds = st.one_of(
+    st.lists(st.tuples(coords, coords), min_size=0, max_size=120),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6).map(float),
+            st.integers(min_value=0, max_value=6).map(float),
+        ),
+        min_size=0,
+        max_size=120,
+    ),
+)
+
+
+def brute_force_mask(points: np.ndarray) -> np.ndarray:
+    """The obviously-correct pure-Python O(n^2) loop."""
+    pts = [tuple(p) for p in np.asarray(points, dtype=float).reshape(-1, 2)]
+    out = []
+    for i, (x, y) in enumerate(pts):
+        dominated = any(
+            (ox <= x and oy <= y) and (ox < x or oy < y)
+            for j, (ox, oy) in enumerate(pts)
+            if j != i
+        )
+        out.append(not dominated)
+    return np.array(out, dtype=bool)
+
+
+class TestDifferential:
+    @given(clouds)
+    @settings(max_examples=120, deadline=None)
+    def test_mask_matches_pure_python_oracle(self, cloud):
+        pts = as_points(cloud)
+        assert (pareto_mask(pts) == brute_force_mask(pts)).all()
+
+    @given(clouds)
+    @settings(max_examples=120, deadline=None)
+    def test_mask_matches_vectorized_reference(self, cloud):
+        pts = as_points(cloud)
+        assert (pareto_mask(pts) == pareto_mask_reference(pts)).all()
+
+    def test_reference_chunking_boundaries(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((1030, 2))  # spans several 512-row chunks
+        assert (
+            pareto_mask_reference(pts, chunk=512)
+            == pareto_mask_reference(pts, chunk=7)
+        ).all()
+        assert (pareto_mask(pts) == pareto_mask_reference(pts)).all()
+
+
+class TestFrontProperties:
+    @given(clouds)
+    @settings(max_examples=120, deadline=None)
+    def test_front_subset_mutual_nondomination_completeness(self, cloud):
+        pts = as_points(cloud)
+        mask = pareto_mask(pts)
+        front = pareto_front(pts)
+
+        # front ⊆ points (as exact rows, no arithmetic).
+        pt_set = {tuple(p) for p in pts}
+        assert all(tuple(p) in pt_set for p in front)
+
+        # Mutual non-domination among front points.
+        assert brute_force_mask(front).all()
+
+        # Completeness: every dominated point is beaten by a front point.
+        dominated = pts[~mask]
+        if dominated.size and front.size:
+            beat = (front[:, None, :] <= dominated[None, :, :]).all(axis=2) & (
+                front[:, None, :] < dominated[None, :, :]
+            ).any(axis=2)
+            assert beat.any(axis=0).all()
+
+    @given(clouds)
+    @settings(max_examples=150, deadline=None)
+    def test_idempotence(self, cloud):
+        front = pareto_front(cloud)
+        again = pareto_front(front)
+        assert front.shape == again.shape
+        assert (front == again).all()
+
+    @given(clouds)
+    @settings(max_examples=150, deadline=None)
+    def test_staircase_order(self, cloud):
+        front = pareto_front(cloud)
+        if front.shape[0] > 1:
+            assert (np.diff(front[:, 0]) > 0).all() or (
+                # Equal x can only appear with distinct y on a front when
+                # one weakly dominates the other — impossible; so x is
+                # strictly increasing and y strictly decreasing.
+                False
+            )
+            assert (np.diff(front[:, 1]) < 0).all()
+
+    # Integer clouds, power-of-two scales and integer shifts keep the
+    # transform arithmetic *exact* — so the metamorphic claim is about the
+    # kernel, not about float rounding merging two distinct coordinates.
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-500, max_value=500).map(float),
+                st.integers(min_value=-500, max_value=500).map(float),
+            ),
+            min_size=0,
+            max_size=120,
+        ),
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+        st.sampled_from([0.25, 0.5, 1.0, 2.0, 8.0]),
+        st.sampled_from([0.25, 0.5, 1.0, 2.0, 8.0]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_metamorphic_shift_scale_invariance(self, cloud, dx, dy, sx, sy):
+        pts = as_points(cloud)
+        transformed = pts * np.array([sx, sy]) + np.array([float(dx), float(dy)])
+        assert (pareto_mask(pts) == pareto_mask(transformed)).all()
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        assert pareto_mask([]).shape == (0,)
+        assert pareto_front([]).shape == (0, 2)
+        assert pareto_indices([]).shape == (0,)
+        assert merge_fronts([]).shape == (0, 2)
+
+    def test_single_point(self):
+        assert (pareto_mask([(3.0, 4.0)]) == [True]).all()
+        assert (pareto_front([(3.0, 4.0)]) == [[3.0, 4.0]]).all()
+
+    def test_exact_duplicates_all_on_front(self):
+        pts = [(1.0, 2.0), (1.0, 2.0), (1.0, 2.0)]
+        assert pareto_mask(pts).all()
+        assert pareto_front(pts).shape == (1, 2)  # collapsed in the staircase
+
+    def test_equal_x_tie_breaks_on_y(self):
+        # (1, 5) is dominated by (1, 2): equal x, strictly smaller y.
+        mask = pareto_mask([(1.0, 5.0), (1.0, 2.0)])
+        assert (mask == [False, True]).all()
+
+    def test_equal_y_tie_breaks_on_x(self):
+        mask = pareto_mask([(5.0, 1.0), (2.0, 1.0)])
+        assert (mask == [False, True]).all()
+
+    def test_indices_match_mask(self):
+        pts = [(2.0, 2.0), (1.0, 3.0), (3.0, 1.0), (4.0, 4.0)]
+        assert (pareto_indices(pts) == [0, 1, 2]).all()
+
+    def test_merge_is_front_of_union(self):
+        a = pareto_front([(1.0, 3.0), (3.0, 1.0)])
+        b = pareto_front([(0.5, 2.0), (2.0, 2.0)])
+        merged = merge_fronts([a, b])
+        expected = pareto_front(np.vstack([a, b]))
+        assert (merged == expected).all()
+        # (1, 3) from a is dominated by (0.5, 2) from b and must drop out.
+        assert not (merged == np.array([1.0, 3.0])).all(axis=1).any()
+
+    def test_rejects_bad_shapes_and_nonfinite(self):
+        with pytest.raises(ValueError):
+            pareto_mask([(1.0, 2.0, 3.0)])
+        with pytest.raises(ValueError):
+            pareto_mask([(np.nan, 1.0)])
+        with pytest.raises(ValueError):
+            pareto_mask([(np.inf, 1.0)])
+
+    def test_large_cloud_against_reference(self):
+        rng = np.random.default_rng(42)
+        pts = rng.normal(size=(20_000, 2))
+        assert (pareto_mask(pts) == pareto_mask_reference(pts)).all()

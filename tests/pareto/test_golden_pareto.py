@@ -1,0 +1,136 @@
+"""Golden regression suite for the Pareto sweep subsystem.
+
+``tests/data/pareto_goldens.json`` pins, at full float precision, the
+bi-criteria clouds, front masks and quality indicators of a frozen sweep
+(DEMT knob deviations + registry anchors) on synthetic campaign cells and
+one trace window.  Asserted bit-for-bit along three executions paths:
+
+* a fresh serial run,
+* a process-backend run (backend interchangeability),
+* a zero-re-execution reload through a :class:`PersistentCellCache`
+  (every record served from disk; the backend would raise if asked to
+  run anything).
+
+Regenerate only for intentional behavioral changes::
+
+    PYTHONPATH=src python tests/data/make_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import PersistentCellCache
+from repro.pareto.sweep import sweep_tradeoffs
+
+DATA = Path(__file__).resolve().parents[1] / "data"
+GOLDENS = json.loads((DATA / "pareto_goldens.json").read_text())
+META = GOLDENS["_meta"]
+SWEEP = tuple(META["sweep"])
+SEED = META["seed"]
+
+SYNTH_CELLS = [c for c in GOLDENS["cells"] if not c["kind"].startswith("trace:")]
+TRACE_CELLS = [c for c in GOLDENS["cells"] if c["kind"].startswith("trace:")]
+SYNTH_SOURCES = sorted({c["source"] for c in SYNTH_CELLS})
+
+
+def _sweep_synthetic(source: str, **kw):
+    cells = [c for c in SYNTH_CELLS if c["source"] == source]
+    ns = sorted({c["n"] for c in cells})
+    runs = max(c["r"] for c in cells) + 1
+    return sweep_tradeoffs(
+        source,
+        SWEEP,
+        m=cells[0]["m"],
+        task_counts=tuple(ns),
+        runs=runs,
+        seed=SEED,
+        validate=True,
+        **kw,
+    )
+
+
+def _sweep_trace(**kw):
+    from repro.workloads.trace import load_trace
+
+    doc = TRACE_CELLS[0]
+    trace = load_trace(DATA / "traces" / "cirne_small.swf")
+    model = doc["kind"].rsplit(":", 1)[1]
+    return sweep_tradeoffs(
+        trace,
+        SWEEP,
+        model=model,
+        window=(doc["r"], doc["n"]),
+        validate=True,
+        **kw,
+    )
+
+
+def _assert_matches_golden(result, docs):
+    by_key = {(c["kind"], c["n"], c["r"]): c for c in docs}
+    assert len(result.cells) == len(docs)
+    for cell in result.cells:
+        doc = by_key[(cell.kind, cell.n, cell.r)]
+        assert cell.m == doc["m"]
+        assert cell.cmax_lb == doc["cmax_lb"]
+        assert cell.minsum_lb == doc["minsum_lb"]
+        assert list(cell.specs) == doc["specs"]
+        assert cell.cloud.tolist() == doc["cloud"]
+        assert cell.front_mask.tolist() == doc["front_mask"]
+        assert cell.indicators() == doc["indicators"]
+
+
+class TestGoldenFronts:
+    @pytest.mark.parametrize("source", SYNTH_SOURCES)
+    def test_serial_bit_exact(self, source):
+        _assert_matches_golden(
+            _sweep_synthetic(source),
+            [c for c in SYNTH_CELLS if c["source"] == source],
+        )
+
+    def test_process_backend_bit_exact(self):
+        source = SYNTH_SOURCES[0]
+        _assert_matches_golden(
+            _sweep_synthetic(source, backend="process", jobs=2),
+            [c for c in SYNTH_CELLS if c["source"] == source],
+        )
+
+    def test_trace_window_bit_exact(self):
+        _assert_matches_golden(_sweep_trace(), TRACE_CELLS)
+
+    def test_zero_reexec_cache_bit_exact(self, tmp_path):
+        source = SYNTH_SOURCES[0]
+        first = _sweep_synthetic(source, cache=str(tmp_path))
+        docs = [c for c in SYNTH_CELLS if c["source"] == source]
+        _assert_matches_golden(first, docs)
+
+        class _Exploding:
+            name = "exploding"
+
+            def map(self, fn, items):
+                items = list(items)
+                assert not items, f"cache should satisfy all {len(items)} cells"
+                return []
+
+        fresh = PersistentCellCache(tmp_path)
+        assert fresh.loaded > 0
+        second = _sweep_synthetic(source, cache=fresh, backend=_Exploding())
+        _assert_matches_golden(second, docs)
+
+    def test_front_membership_is_meaningful(self):
+        """Sanity on the corpus itself: every cell has a non-trivial cloud
+        and at least one on-front variant; DEMT's default configuration is
+        on the front in at least one golden cell (the paper's §4 claim at
+        this scale)."""
+        assert len(GOLDENS["cells"]) >= 5
+        demt_on_front = 0
+        for doc in GOLDENS["cells"]:
+            mask = np.asarray(doc["front_mask"], dtype=bool)
+            assert mask.any()
+            assert doc["indicators"]["hypervolume"] > 0.0
+            demt_on_front += int(mask[doc["specs"].index("DEMT")])
+        assert demt_on_front >= 1

@@ -1,0 +1,242 @@
+"""Trade-off sweep tests: variants, backends, caching, trace sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import CellCache, CellKey, PersistentCellCache
+from repro.experiments.runner import run_pareto_cells
+from repro.pareto.sweep import (
+    SWEEPS,
+    SweepVariant,
+    demt_knob_variants,
+    demt_variant,
+    parse_variant,
+    registry_variants,
+    resolve_source,
+    resolve_sweep,
+    sweep_tradeoffs,
+)
+
+
+class TestVariants:
+    def test_default_demt_is_bare_spec(self):
+        assert demt_variant().spec == "DEMT"
+        assert demt_variant(shuffle=10, thresh=0.5, order="smith", relax=1.0).spec == "DEMT"
+
+    def test_spec_is_canonical_and_sorted(self):
+        v = demt_variant(thresh=0.25, shuffle=0, relax=1.5, order="weight")
+        assert v.spec == "DEMT[order=weight,relax=1.5,shuffle=0,thresh=0.25]"
+
+    def test_spec_round_trips(self):
+        for v in demt_knob_variants() + registry_variants():
+            assert parse_variant(v.spec) == v
+
+    def test_build_applies_knobs(self):
+        s = parse_variant("DEMT[order=duration,relax=1.5,shuffle=3,thresh=0.25]").build()
+        assert s.batch_ordering == "duration"
+        assert s.guess_relaxation == 1.5
+        assert s.shuffle_rounds == 3
+        assert s.small_threshold_factor == 0.25
+
+    def test_build_registry_variant(self):
+        assert parse_variant("SAF").build().name == "SAF"
+
+    def test_rejects_unknown_algorithm_and_knob(self):
+        with pytest.raises(ValueError):
+            SweepVariant("Telepathy")
+        with pytest.raises(ValueError):
+            parse_variant("DEMT[warp=9]")
+        with pytest.raises(ValueError):
+            parse_variant("DEMT[order=sideways]")
+        with pytest.raises(ValueError):
+            parse_variant("DEMT[shuffle=0")  # missing bracket
+
+    def test_non_demt_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepVariant("SAF", (("shuffle", 0),))
+
+    def test_default_valued_knob_rejected_in_spec(self):
+        with pytest.raises(ValueError):
+            parse_variant("DEMT[shuffle=10]")
+
+    def test_named_sweeps_are_unique_and_nonempty(self):
+        for name in SWEEPS:
+            variants = resolve_sweep(name)
+            specs = [v.spec for v in variants]
+            assert specs and len(specs) == len(set(specs)), name
+
+    def test_resolve_sweep_accepts_specs_and_variants(self):
+        out = resolve_sweep(["DEMT", demt_variant(shuffle=0)])
+        assert [v.spec for v in out] == ["DEMT", "DEMT[shuffle=0]"]
+        with pytest.raises(ValueError):
+            resolve_sweep([])
+        with pytest.raises(ValueError):
+            resolve_sweep("imaginary-sweep")
+
+
+class TestSources:
+    def test_workload_kind(self):
+        src = resolve_source("mixed")
+        assert src.kind == "mixed" and src.trace is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_source("quantum")
+
+    def test_trace_path(self, tmp_path):
+        from repro.workloads.trace import synthesize_swf
+
+        path = tmp_path / "log.swf"
+        path.write_text(synthesize_swf(20, 8, seed=4))
+        src = resolve_source(f"trace:{path}", model="downey", window=(0, 10))
+        assert src.kind.startswith("trace:") and src.kind.endswith(":downey")
+        assert src.trace.n == 10
+
+    def test_trace_bad_model_rejected(self, tmp_path):
+        from repro.workloads.trace import synthesize_swf
+
+        path = tmp_path / "log.swf"
+        path.write_text(synthesize_swf(5, 4, seed=1))
+        with pytest.raises(ValueError):
+            resolve_source(f"trace:{path}", model="psychic")
+
+
+SMALL = ["DEMT", "DEMT[shuffle=0]", "DEMT[relax=1.5]", "SAF", "LPTF"]
+
+
+class TestRunParetoCells:
+    def test_records_and_bounds(self):
+        cells = [("mixed", 10, 0), ("mixed", 10, 1)]
+        out = run_pareto_cells(cells, SMALL, seed=3, m=8, validate=True)
+        assert set(out) == set(cells)
+        for bounds, records in out.values():
+            assert bounds.cmax_lb > 0 and bounds.minsum_lb > 0
+            assert set(records) == set(SMALL)
+            for rec in records.values():
+                assert rec.validated and rec.cmax > 0
+
+    def test_bounds_shared_with_campaign_runner(self):
+        """The pareto worker's instance stream and bounds match run_cells'."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_cells
+
+        cfg = ExperimentConfig(m=8, task_counts=(10,), runs=1, algorithms=("SAF",), seed=3)
+        campaign = run_cells([("mixed", 10, 0)], cfg)
+        pareto = run_pareto_cells([("mixed", 10, 0)], ["SAF"], seed=3, m=8)
+        cb, crec = campaign[("mixed", 10, 0)]
+        pb, prec = pareto[("mixed", 10, 0)]
+        assert cb == pb
+        assert crec["SAF"].cmax == prec["SAF"].cmax
+        assert crec["SAF"].minsum == prec["SAF"].minsum
+
+    def test_cache_zero_reexec(self, tmp_path):
+        cells = [("cirne", 8, 0)]
+        cache = PersistentCellCache(tmp_path)
+        first = run_pareto_cells(cells, SMALL, seed=1, m=8, cache=cache)
+        cache.close()
+
+        fresh = PersistentCellCache(tmp_path)
+        assert fresh.loaded > 0
+        second = run_pareto_cells(
+            cells, SMALL, seed=1, m=8, cache=fresh,
+            backend=_ExplodingBackend(),  # zero re-execution or bust
+        )
+        b1, r1 = first[cells[0]]
+        b2, r2 = second[cells[0]]
+        assert b1 == b2
+        for spec in SMALL:
+            assert r1[spec].cmax == r2[spec].cmax
+            assert r1[spec].minsum == r2[spec].minsum
+
+    def test_cache_keys_use_pareto_prefix(self):
+        cache = CellCache()
+        run_pareto_cells([("mixed", 8, 0)], ["DEMT[shuffle=0]"], seed=2, m=8, cache=cache)
+        key = CellKey(2, "mixed", 8, 8, 0, "pareto:DEMT[shuffle=0]")
+        assert cache.get_record(key) is not None
+
+
+class _ExplodingBackend:
+    """A backend that refuses to run anything (proves cache hits)."""
+
+    name = "exploding"
+
+    def map(self, fn, items):
+        items = list(items)
+        if items:
+            raise AssertionError(f"expected zero work, got {len(items)} cells")
+        return []
+
+
+class TestSweepTradeoffs:
+    def test_cloud_shape_and_front(self):
+        res = sweep_tradeoffs("mixed", SMALL, m=8, task_counts=(10,), runs=2, seed=3)
+        assert res.specs == tuple(SMALL)
+        assert len(res.cells) == 2
+        for cell in res.cells:
+            assert cell.cloud.shape == (len(SMALL), 2)
+            assert (cell.cloud >= 1.0 - 1e-9).all()  # ratio space
+            assert cell.front_mask.any()
+            assert cell.front.shape[0] >= 1
+            assert set(cell.front_specs) <= set(SMALL)
+
+    def test_serial_process_bit_identical(self):
+        kw = dict(m=8, task_counts=(10,), runs=2, seed=3)
+        serial = sweep_tradeoffs("mixed", SMALL, backend="serial", **kw)
+        procs = sweep_tradeoffs("mixed", SMALL, backend="process", jobs=2, **kw)
+        for cs, cp in zip(serial.cells, procs.cells):
+            assert (cs.cloud == cp.cloud).all()
+            assert (cs.front_mask == cp.front_mask).all()
+            assert cs.cmax_lb == cp.cmax_lb and cs.minsum_lb == cp.minsum_lb
+
+    def test_variant_rows_and_summary(self):
+        res = sweep_tradeoffs("mixed", SMALL, m=8, task_counts=(10,), runs=2, seed=3)
+        rows = res.variant_rows()
+        assert [r["spec"] for r in rows] == SMALL
+        for row in rows:
+            assert 0.0 <= row["on_front"] <= 1.0
+            assert row["eps_add"] >= -1e-12
+            assert row["eps_mult"] >= 1.0 - 1e-12
+            assert 0.0 < row["coverage"] <= 1.0
+            if row["on_front"] == 1.0:
+                assert row["eps_add"] == 0.0 and row["eps_mult"] == 1.0
+        summary = res.indicator_summary()
+        assert summary["cells"] == 2.0 and summary["mean_front_size"] >= 1.0
+
+    def test_attainment_surface(self):
+        res = sweep_tradeoffs("mixed", SMALL, m=8, task_counts=(10,), runs=3, seed=3)
+        xs, ys = res.attainment("mean")
+        assert xs.size == ys.size > 0
+        assert (np.diff(xs) > 0).all()
+        assert (np.diff(ys) <= 1e-12).all()  # attainment never goes back up
+        xs_med, ys_med = res.attainment(0.5)
+        assert xs_med.size == xs.size
+
+    def test_trace_source_sweep(self, tmp_path):
+        from repro.workloads.trace import synthesize_swf
+
+        path = tmp_path / "log.swf"
+        path.write_text(synthesize_swf(16, 8, seed=6))
+        res = sweep_tradeoffs(
+            f"trace:{path}", SMALL, model="downey", window=(2, 8), validate=True
+        )
+        assert len(res.cells) == 1
+        cell = res.cells[0]
+        assert cell.kind.startswith("trace:") and cell.n == 8 and cell.r == 2
+        assert cell.cloud.shape == (len(SMALL), 2)
+
+    def test_trace_sweep_cache_round_trip(self, tmp_path):
+        from repro.workloads.trace import synthesize_swf
+
+        path = tmp_path / "log.swf"
+        path.write_text(synthesize_swf(16, 8, seed=6))
+        cache_dir = tmp_path / "cache"
+        first = sweep_tradeoffs(
+            f"trace:{path}", SMALL, model="rigid", cache=str(cache_dir)
+        )
+        second = sweep_tradeoffs(
+            f"trace:{path}", SMALL, model="rigid", cache=str(cache_dir),
+            backend=_ExplodingBackend(),
+        )
+        assert (first.cells[0].cloud == second.cells[0].cloud).all()

@@ -13,6 +13,9 @@ import repro.experiments.aggregate
 import repro.experiments.config
 import repro.algorithms.knapsack
 import repro.algorithms.registry
+import repro.pareto.front
+import repro.pareto.indicators
+import repro.pareto.sweep
 import repro.workloads.generator
 
 MODULES = [
@@ -23,6 +26,9 @@ MODULES = [
     repro.experiments.config,
     repro.algorithms.knapsack,
     repro.algorithms.registry,
+    repro.pareto.front,
+    repro.pareto.indicators,
+    repro.pareto.sweep,
     repro.workloads.generator,
 ]
 

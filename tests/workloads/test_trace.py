@@ -95,6 +95,14 @@ class TestLoading:
         with pytest.raises(FileNotFoundError):
             load_trace("no_such_trace.swf")
 
+    def test_nonexistent_path_with_whitespace_still_errors(self):
+        # A typo'd path containing spaces must not be misclassified as
+        # inline SWF text (which would surface a confusing parse error).
+        with pytest.raises(FileNotFoundError):
+            load_trace("my logs/trace.swf")
+        with pytest.raises(FileNotFoundError):
+            load_trace("missing dir/archive log.swf")
+
 
 class TestWindow:
     def test_window_composes_offsets(self):
