@@ -213,7 +213,15 @@ class DemtScheduler:
             # nominal K+1 batches when the machine is narrow).
             max_batches = K + 2 + instance.n
             while remaining and j < max_batches:
-                length = t_grid[j] if j < len(t_grid) else t_grid[-1] * 2 ** (j - K - 1)
+                # The doubling exponent is clamped so `length` stays finite
+                # however many extension rounds a narrow machine needs: by
+                # then every task is admissible anyway, and an infinite
+                # length poisons the merge threshold and the shelf starts.
+                length = (
+                    t_grid[j]
+                    if j < len(t_grid)
+                    else t_grid[-1] * 2.0 ** min(j - K - 1, 900)
+                )
                 start = length  # window is [t_j, t_{j+1}] and t_j == length
                 selected = self._select_one_batch(
                     list(remaining.values()), length, instance.m

@@ -17,6 +17,7 @@ density per processor goes up.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -91,8 +92,14 @@ def merge_small_tasks(
             f"small_threshold_factor must lie in (0, 1], got {small_threshold_factor}"
         )
     threshold = small_threshold_factor * batch_length
-    small = [t for t in tasks if t.seq_time <= threshold]
-    untouched = [t for t in tasks if t.seq_time > threshold]
+    # A task with no sequential mode (p(1) = +inf: rigid jobs wider than
+    # one processor) can never be stacked, whatever the threshold — an
+    # infinite threshold (overlong doubling rounds) must not sweep it in.
+    small: list[MoldableTask] = []
+    untouched: list[MoldableTask] = []
+    for t in tasks:
+        is_small = t.seq_time <= threshold and math.isfinite(t.seq_time)
+        (small if is_small else untouched).append(t)
 
     small.sort(key=lambda t: (-t.weight, t.task_id))
     stacks: list[MergedStack] = []

@@ -29,9 +29,10 @@ from repro.core.metrics import (
     utilization,
     max_stretch,
 )
-from repro.core.validation import validate_schedule, is_feasible
+from repro.core.validation import validate_schedule, is_feasible, TIME_EPS
 
 __all__ = [
+    "TIME_EPS",
     "MoldableTask",
     "rigid_task",
     "sequential_task",

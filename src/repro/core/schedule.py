@@ -54,6 +54,26 @@ class ScheduledTask:
         object.__setattr__(self, "duration", self.task.p(self.allotment))
         object.__setattr__(self, "end", self.start + self.duration)
 
+    @classmethod
+    def _trusted(
+        cls, task: MoldableTask, start: float, allotment: int, duration: float
+    ) -> "ScheduledTask":
+        """Construct from an already-derived duration, skipping ``p()``.
+
+        The on-line batch kernel shifts whole sub-schedules whose durations
+        are already known; re-deriving ``p(allotment)`` per placement was a
+        measurable fraction of replay time.  ``duration`` must equal
+        ``task.p(allotment)`` — callers shift validated placements, they do
+        not invent new ones.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "task", task)
+        object.__setattr__(obj, "start", start)
+        object.__setattr__(obj, "allotment", allotment)
+        object.__setattr__(obj, "duration", duration)
+        object.__setattr__(obj, "end", start + duration)
+        return obj
+
     @property
     def work(self) -> float:
         """Gantt area ``allotment * duration``."""
@@ -123,6 +143,24 @@ class Schedule:
         """Add several placements (same checks as :meth:`add`)."""
         for p in placements:
             self.add(p.task, p.start, p.allotment)
+
+    def _place_trusted(
+        self, task: MoldableTask, start: float, allotment: int, duration: float
+    ) -> ScheduledTask:
+        """Append a placement whose validity the caller guarantees.
+
+        Used by the on-line batch kernel to shift placements of an
+        already-built batch schedule: the allotment/duration were checked
+        when the batch schedule was constructed, the shift keeps starts
+        non-negative, and task ids are unique across batches by
+        construction.  Skipping the per-placement checks (and the ``p()``
+        re-derivation) is what makes columnar replay cheap.
+        """
+        placement = ScheduledTask._trusted(task, start, allotment, duration)
+        self._placements.append(placement)
+        self._by_id[task.task_id] = placement
+        self.__dict__.pop("_events", None)
+        return placement
 
     # ------------------------------------------------------------------ #
     # Container protocol                                                 #

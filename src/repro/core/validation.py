@@ -23,9 +23,15 @@ from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.exceptions import InvalidScheduleError
 
-__all__ = ["validate_schedule", "is_feasible"]
+__all__ = ["validate_schedule", "is_feasible", "TIME_EPS"]
 
 #: Absolute slack on time comparisons (floating-point dust, not semantics).
+#: This is *the* time epsilon of the library: the validator, the event log,
+#: the discrete-event engine and the on-line policy kernel all compare
+#: timestamps against this one constant, so "simultaneous" means the same
+#: thing in every layer (two events within TIME_EPS of each other are one
+#: instant).  Import it from :mod:`repro.core` rather than redefining a
+#: local tolerance.
 TIME_EPS = 1e-9
 
 

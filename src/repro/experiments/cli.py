@@ -40,6 +40,12 @@ moldability model, DEMT off-line engine, batch + clairvoyant modes::
     repro-experiments --backend process --cache-dir .repro-cache \
         replay trace.swf --model downey --window 0:5000 --export replayed.swf
 
+Replay the same arrivals under every on-line policy of the registry
+(batch framework, FCFS, EASY backfilling, greedy-interval) and print the
+(Cmax, mean flow) Pareto front of the policy axis::
+
+    repro-experiments replay trace.swf --mode all --front
+
 Sweep the bi-criteria trade-off (DEMT knobs + the algorithm registry) and
 print per-instance Pareto fronts with quality indicators — synthetic
 families and SWF trace windows alike::
@@ -150,11 +156,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[*MOLDABILITY_MODELS, "all"],
         help="moldability reconstruction model(s) (default: rigid)",
     )
+    from repro.experiments.replay import REPLAY_MODES
+
     replay.add_argument(
         "--mode",
-        choices=["batch", "clairvoyant", "both"],
+        choices=[*REPLAY_MODES, "both", "all"],
         default="both",
-        help="replay mode; 'both' also prints the on-line/clairvoyant ratio",
+        help="replay mode: 'clairvoyant', an on-line policy (batch, fcfs, "
+        "fcfs-backfill, greedy-interval), 'both' (= batch + clairvoyant, "
+        "with the on-line/clairvoyant ratio) or 'all' (every mode)",
+    )
+    replay.add_argument(
+        "--front",
+        action="store_true",
+        help="also sweep every on-line policy and print the "
+        "(Cmax, mean flow) Pareto front of the policy axis",
     )
     replay.add_argument(
         "--engine",
@@ -304,11 +320,30 @@ def _run_replay(args, exec_kw: dict, cache) -> int:
     modes = ("batch", "clairvoyant") if args.mode == "both" else args.mode
     offline = REPLAY_ENGINES[args.engine]
     window = _parse_window(args.window)
+    if (args.front or args.export) and cache is None:
+        # The front sweep and the export each replay cells the table
+        # below needs again; an in-memory cache turns those into hits
+        # even without --cache-dir.
+        cache = CellCache()
+    if args.front:
+        from repro.experiments.reporting import format_policy_front_table
+        from repro.pareto.sweep import sweep_online_policies
+
+        front = sweep_online_policies(
+            trace,
+            "all",
+            engines=args.engine,
+            m=args.m,
+            model=models[0],
+            window=window,
+            validate=args.validate,
+            cache=cache,
+            **exec_kw,
+        )
+        print(format_policy_front_table(front))
     if args.export:
         # Export first: its batch run seeds the cell cache, so the table
         # below serves that cell as a hit instead of re-scheduling it.
-        if cache is None:
-            cache = CellCache()
         text = export_replay_swf(
             trace, m=args.m, model=models[0], offline=offline, window=window,
             validate=args.validate, cache=cache,

@@ -1,12 +1,18 @@
-"""Campaign execution engine: backends, cells, and the result cache.
+"""Campaign execution engine: cell families, backends, and the result cache.
 
 A *cell* is the smallest independently reproducible unit of a campaign:
-one algorithm run on one generated instance, addressed by
-``(seed, kind, n, m, r, algorithm)``.  Because every instance is generated
-from the stateless :func:`repro.utils.rng.derive_rng` stream keyed by
-``(seed, kind, n, r)``, a cell's result does not depend on which other
-cells ran, in which order, or in which process — which is what makes the
-two execution backends interchangeable:
+one measurement on one instance, addressed by
+``(seed, kind, n, m, r, algorithm)``.  A :class:`CellFamily` declares what
+a cell of one campaign type *is* — its key schema, its worker (measure
+function) and its record assembly — and :func:`execute_cells` drives every
+family through the same machinery: cache lookups, backend dispatch and
+journalling.  The figure campaigns, the Pareto sweeps, the on-line
+arrival sweeps and the trace replays are all families of this one
+protocol.  Because a cell's result is a pure function of its key (instances
+derive from stateless RNG streams or content-addressed traces), a cell's
+result does not depend on which other cells ran, in which order, or in
+which process — which is what makes the two execution backends
+interchangeable:
 
 * :class:`SerialBackend` — a plain in-process loop (the default; zero
   overhead, exact for tests);
@@ -30,9 +36,9 @@ from __future__ import annotations
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import Callable, Hashable, Iterable
 
 __all__ = [
     "CellKey",
@@ -40,6 +46,9 @@ __all__ = [
     "CellBounds",
     "CellCache",
     "PersistentCellCache",
+    "CellFamily",
+    "CellOutcome",
+    "execute_cells",
     "SerialBackend",
     "ProcessBackend",
     "resolve_backend",
@@ -339,6 +348,166 @@ def resolve_cache(
     if isinstance(cache, (str, os.PathLike)):
         return PersistentCellCache(cache)
     raise TypeError(f"cache must be a CellCache, a directory path, or None, got {cache!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Cell families                                                          #
+# ---------------------------------------------------------------------- #
+class CellFamily:
+    """Declarative description of one cell family.
+
+    A *cell family* is a kind of independently reproducible measurement —
+    the figure campaigns, the Pareto sweeps, the on-line arrival sweeps and
+    the trace replays are each one family.  A family declares three things
+    and inherits every piece of orchestration (cache lookups, validated-
+    record policy, serial/process dispatch, journalling) from
+    :func:`execute_cells`:
+
+    ``worker``
+        The measure function: a **module-level** (hence picklable)
+        callable taking the argument tuple built by :meth:`make_task` and
+        returning ``(bounds, {name: CellRecord})`` where ``bounds`` is a
+        :class:`CellBounds` (or ``None`` for families without bounds, or
+        when the bounds were already cached).
+    ``record_key`` / ``bounds_key``
+        The key schema: how a ``(cell, name)`` pair maps onto the global
+        :class:`CellKey` namespace, and (for families whose instances
+        carry certified lower bounds) which algorithm-independent key the
+        bounds live under.  The base implementation of :meth:`bounds_key`
+        returns ``None`` — "this family records no bounds".
+    ``make_task``
+        Record assembly on the dispatch side: how one cell plus the names
+        still missing from the cache becomes the worker's plain picklable
+        argument tuple.
+
+    Cells themselves are any hashable coordinates the family chooses —
+    ``(kind, n, r)`` for campaigns, ``(model, mode)`` for replays,
+    ``(fraction, r)`` for the on-line sweep.
+    """
+
+    #: Human-readable family name (progress reporting, tests).
+    name: str = "abstract"
+    #: Module-level worker function; see the class docstring.
+    worker: Callable[[tuple], "tuple[CellBounds | None, dict[str, CellRecord]]"]
+
+    def record_key(self, cell: Hashable, name: str) -> CellKey:
+        """The :class:`CellKey` addressing ``name``'s record on ``cell``."""
+        raise NotImplementedError
+
+    def bounds_key(self, cell: Hashable) -> tuple | None:
+        """Key of the cell's shared lower bounds (``None``: no bounds)."""
+        return None
+
+    def make_task(
+        self, cell: Hashable, names: tuple, validate: bool, need_bounds: bool
+    ) -> tuple:
+        """The worker's argument tuple for measuring ``names`` on ``cell``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Everything :func:`execute_cells` knows about one finished cell."""
+
+    bounds: CellBounds | None
+    records: dict[str, CellRecord]
+    #: Names whose records came from the cache (the rest were measured).
+    cached: frozenset[str] = field(default_factory=frozenset)
+
+    def __iter__(self):
+        """Unpack as ``(bounds, records)`` — the historical result shape."""
+        return iter((self.bounds, self.records))
+
+
+def execute_cells(
+    family: CellFamily,
+    cells: "Iterable[Hashable]",
+    names: "Iterable[str]",
+    *,
+    validate: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: "CellCache | str | os.PathLike | None" = None,
+) -> "dict[Hashable, CellOutcome]":
+    """Measure every ``(cell, name)`` pair of one family, uniformly.
+
+    This is the single execution path behind every campaign driver: cache
+    lookups decide the work list, the backend runs ``family.worker`` over
+    it (serially or across processes), and results merge back into the
+    cache.  Guarantees, identical for every family:
+
+    * **Backend equivalence** — serial and process backends produce
+      bit-identical records (workers receive plain picklable tuples and
+      derive everything from them; only wall-clock fields can differ
+      between *fresh* measurements).
+    * **Validated-record policy** — a ``validate=True`` call only accepts
+      cached records that were themselves measured under validation;
+      anything else is re-measured.
+    * **Zero re-execution** — with a warm cache (in-memory or a
+      :class:`PersistentCellCache` directory) a repeated call measures
+      nothing: every record is served as a hit.
+    * **Shared bounds** — families whose cells carry instance-level lower
+      bounds (``bounds_key`` not ``None``) read and journal them under
+      that key, so different families over the same instances share one
+      bounds computation.
+    """
+    backend = resolve_backend(backend, jobs)
+    cache = resolve_cache(cache)
+    names = tuple(names)
+    results: dict[Hashable, CellOutcome] = {}
+    work: list[tuple] = []
+    work_cells: list[Hashable] = []
+    cached_parts: dict[Hashable, dict[str, CellRecord]] = {}
+
+    for cell in cells:
+        have: dict[str, CellRecord] = {}
+        missing: list[str] = []
+        bkey = family.bounds_key(cell)
+        bounds = None
+        if cache is not None:
+            for name in names:
+                rec = cache.get_record(
+                    family.record_key(cell, name), require_validated=validate
+                )
+                if rec is None:
+                    missing.append(name)
+                else:
+                    have[name] = rec
+            if bkey is not None:
+                bounds = cache.get_bounds(bkey)
+        else:
+            missing = list(names)
+        if not missing and (bkey is None or bounds is not None):
+            results[cell] = CellOutcome(bounds, have, frozenset(have))
+            continue
+        cached_parts[cell] = have
+        work_cells.append(cell)
+        work.append(
+            family.make_task(
+                cell, tuple(missing), validate, bkey is not None and bounds is None
+            )
+        )
+
+    outputs = backend.map(family.worker, work)
+
+    for cell, (fresh_bounds, fresh_records) in zip(work_cells, outputs):
+        bkey = family.bounds_key(cell)
+        bounds = fresh_bounds
+        if bounds is None and bkey is not None:
+            # The bounds were cached while some records were not.
+            assert cache is not None
+            bounds = cache.get_bounds(bkey)
+        records = dict(cached_parts[cell])
+        records.update(fresh_records)
+        if cache is not None:
+            if bkey is not None:
+                cache.put_bounds(bkey, bounds)
+            for name, rec in fresh_records.items():
+                cache.put_record(family.record_key(cell, name), rec)
+        results[cell] = CellOutcome(
+            bounds, records, frozenset(cached_parts[cell])
+        )
+    return results
 
 
 class SerialBackend:

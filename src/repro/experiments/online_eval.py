@@ -23,13 +23,14 @@ import numpy as np
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
-from repro.experiments.engine import CellKey, CellRecord, resolve_backend, resolve_cache
-from repro.simulator.online import OnlineBatchScheduler
+from repro.experiments.engine import CellFamily, CellKey, CellRecord, execute_cells
+from repro.simulator.online import get_policy
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
 
 __all__ = [
     "OnlineEvalPoint",
+    "OnlineSweepFamily",
     "evaluate_online",
     "evaluate_trace_online",
     "DEFAULT_FRACTIONS",
@@ -53,14 +54,14 @@ class OnlineEvalPoint:
             raise ValueError("mean ratio exceeds max ratio")
 
 
-def _online_cell(args: tuple) -> tuple[float, int]:
+def _online_cell(args: tuple):
     """Worker: one seeded run at one arrival intensity.
 
     Top-level so the process backend can ship it; the ``offline`` engine
     travels inside the args tuple and must then be picklable (module-level
     functions and the library's scheduler classes are).
     """
-    offline, kind, n, m, frac, r, seed = args
+    offline, policy, kind, n, m, frac, r, seed, names = args
     rng = derive_rng(seed, "online", kind, n, int(frac * 1000), r)
     base = generate_workload(kind, n=n, m=m, seed=rng)
     off = offline(base)
@@ -74,8 +75,58 @@ def _online_cell(args: tuple) -> tuple[float, int]:
         [t.with_release(float(rel)) for t, rel in zip(base.tasks, releases)],
         m,
     )
-    result = OnlineBatchScheduler(offline).run(inst)
-    return result.schedule.makespan() / off_cmax, result.n_batches
+    result = get_policy(policy, offline=offline).run(inst)
+    record = CellRecord(
+        cmax=result.schedule.makespan() / off_cmax,
+        minsum=float(result.n_batches),
+        seconds=0.0,
+    )
+    return None, {name: record for name in names}
+
+
+class OnlineSweepFamily(CellFamily):
+    """The arrival-sweep family: ``(fraction, r)`` cells, the measured
+    on-line/off-line ratio stored in ``cmax`` and the batch count in
+    ``minsum`` (no instance bounds — the off-line run is the reference).
+
+    The record name (the ``algorithm`` field of the cell key) is the
+    off-line engine's label for the paper's batch policy — the historical
+    key, so warm caches stay valid — and ``policy:<name>:<label>`` for
+    every other policy, whose identity the engine label alone cannot
+    encode.
+    """
+
+    name = "online"
+    worker = staticmethod(_online_cell)
+
+    def __init__(
+        self, offline: Callable, policy: str, kind: str, n: int, m: int, seed: int
+    ) -> None:
+        self.offline = offline
+        self.policy = str(policy)
+        self.kind = str(kind)
+        self.n = int(n)
+        self.m = int(m)
+        self.seed = int(seed)
+
+    @staticmethod
+    def record_name(label: str | None, policy: str) -> str | None:
+        if label is None:
+            return None
+        return label if policy == "batch" else f"policy:{policy}:{label}"
+
+    def record_key(self, cell, name: str) -> CellKey:
+        frac, r = cell
+        return CellKey(
+            self.seed, f"online:{self.kind}:{frac!r}", self.n, self.m, r, name
+        )
+
+    def make_task(self, cell, names, validate, need_bounds) -> tuple:
+        frac, r = cell
+        return (
+            self.offline, self.policy, self.kind, self.n, self.m, frac, r,
+            self.seed, names,
+        )
 
 
 def _offline_label(offline: Callable) -> str | None:
@@ -103,6 +154,7 @@ def _offline_label(offline: Callable) -> str | None:
 def evaluate_online(
     offline: Callable[[Instance], Schedule],
     *,
+    policy: str = "batch",
     kind: str = "cirne",
     n: int = 60,
     m: int = 32,
@@ -115,15 +167,20 @@ def evaluate_online(
 ) -> list[OnlineEvalPoint]:
     """Sweep arrival horizons; return one point per fraction.
 
-    The theoretical envelope for ``fraction <= 1`` is ``ratio <= 2`` plus
-    lower-order terms (the §2.2 argument: the last two batches each cost
-    at most one off-line makespan).  The whole ``fractions x runs`` grid is
-    dispatched through one backend batch; with ``backend="process"`` the
-    ``offline`` callable must be picklable.
+    ``policy`` selects the on-line discipline from the
+    :data:`~repro.simulator.online.ONLINE_POLICIES` registry (default: the
+    paper's batch framework); the instances and their off-line reference
+    schedules are identical across policies, so points of different
+    policies are directly comparable.  The theoretical envelope of the
+    batch policy for ``fraction <= 1`` is ``ratio <= 2`` plus lower-order
+    terms (the §2.2 argument: the last two batches each cost at most one
+    off-line makespan).  The whole ``fractions x runs`` grid is dispatched
+    through one :func:`~repro.experiments.engine.execute_cells` batch;
+    with ``backend="process"`` the ``offline`` callable must be picklable.
 
     ``cache`` (a :class:`~repro.experiments.engine.CellCache` or directory
     path) memoises each ``(fraction, r)`` measurement under the cell key
-    ``(seed, "online:<kind>:<fraction>", n, m, r, <offline label>)``, with
+    ``(seed, "online:<kind>:<fraction>", n, m, r, <record name>)``, with
     the ratio stored in the ``cmax`` field and the batch count in
     ``minsum`` — a repeated sweep re-executes nothing.  Only plain
     module-level engine *functions* are cached; lambdas, closures, and
@@ -131,46 +188,27 @@ def evaluate_online(
     are measured but never journalled, because an ambiguous key could
     serve one engine's numbers for another.
     """
-    backend_obj = resolve_backend(backend, jobs)
-    cache = resolve_cache(cache)
     label = _offline_label(offline)
-    if label is None:
-        cache = None
-
-    def key(frac: float, r: int) -> CellKey:
-        return CellKey(seed, f"online:{kind}:{frac!r}", n, m, r, label)
-
-    have: dict[tuple[float, int], tuple[float, int]] = {}
-    cells = []
-    missing: list[tuple[float, int]] = []
-    for frac in fractions:
-        for r in range(runs):
-            if cache is not None:
-                rec = cache.get_record(key(frac, r))
-                if rec is not None:
-                    have[(frac, r)] = (rec.cmax, int(rec.minsum))
-                    continue
-            missing.append((frac, r))
-            cells.append((offline, kind, n, m, frac, r, seed))
-    outputs = backend_obj.map(_online_cell, cells)
-    for (frac, r), (ratio, n_batches) in zip(missing, outputs):
-        have[(frac, r)] = (ratio, n_batches)
-        if cache is not None:
-            cache.put_record(
-                key(frac, r),
-                CellRecord(cmax=ratio, minsum=float(n_batches), seconds=0.0),
-            )
+    record_name = OnlineSweepFamily.record_name(label, policy)
+    name = record_name or f"policy:{policy}:<uncached>"
+    outcomes = execute_cells(
+        OnlineSweepFamily(offline, policy, kind, n, m, seed),
+        [(frac, r) for frac in fractions for r in range(runs)],
+        (name,),
+        backend=backend,
+        jobs=jobs,
+        cache=cache if record_name is not None else None,
+    )
 
     points: list[OnlineEvalPoint] = []
     for frac in fractions:
-        ratios = [have[(frac, r)][0] for r in range(runs)]
-        batches = [have[(frac, r)][1] for r in range(runs)]
+        recs = [outcomes[(frac, r)].records[name] for r in range(runs)]
         points.append(
             OnlineEvalPoint(
                 horizon_fraction=frac,
-                mean_ratio=float(np.mean(ratios)),
-                max_ratio=float(np.max(ratios)),
-                mean_batches=float(np.mean(batches)),
+                mean_ratio=float(np.mean([rec.cmax for rec in recs])),
+                max_ratio=float(np.max([rec.cmax for rec in recs])),
+                mean_batches=float(np.mean([int(rec.minsum) for rec in recs])),
             )
         )
     return points
@@ -180,6 +218,7 @@ def evaluate_trace_online(
     offline: Callable[[Instance], Schedule],
     source: object,
     *,
+    policy: str = "batch",
     m: int | None = None,
     model: str = "rigid",
     window: tuple[int, int] | None = None,
@@ -192,7 +231,8 @@ def evaluate_trace_online(
     Instead of a synthetic Poisson arrival process, the arrival stream
     comes from an SWF log (path, text, or a loaded
     :class:`~repro.workloads.trace.Trace`), lifted to moldable tasks by
-    ``model``.  Both replay cells — the batch-framework run with real
+    ``model``.  Both replay cells — the on-line run (``policy`` selects
+    the discipline, default the paper's batch framework) with real
     release dates, and the clairvoyant off-line bound — go through
     :func:`repro.experiments.replay.replay_trace`, so they are cached and
     backend-dispatched like every other cell.
@@ -211,7 +251,7 @@ def evaluate_trace_online(
         trace,
         m=m,
         models=model,
-        modes=("batch", "clairvoyant"),
+        modes=(policy, "clairvoyant"),
         offline=offline,
         backend=backend,
         jobs=jobs,

@@ -18,17 +18,26 @@ campaign cells of :mod:`repro.experiments.runner`:
 * **record** — makespan in ``cmax``, the total flow ``sum (C_i - r_i)``
   in ``minsum``, the batch count in ``batches``.
 
-Two replay modes:
+Replay modes (the on-line policy axis):
 
 ``batch``
-    The real thing: :class:`~repro.simulator.online.OnlineBatchScheduler`
-    with the trace submit times as release dates.
+    The real thing: the :class:`~repro.simulator.online.BatchPolicy`
+    kernel with the trace submit times as release dates.
 ``clairvoyant``
     The omniscient baseline: one off-line schedule of the whole window,
     started at the first arrival.  It relaxes release dates (jobs may
     start before they exist), which is exactly what makes it a lower
     bound — the on-line/clairvoyant makespan ratio is the measured "price
     of not knowing the future" (the §2.2 analysis bounds it by ``2ρ``).
+``fcfs`` / ``fcfs-backfill`` / ``greedy-interval``
+    Every other zero-configuration policy of the
+    :data:`~repro.simulator.online.ONLINE_POLICIES` registry, replayed
+    under identical arrivals — what production clusters actually ran,
+    measured beside the paper's wrapper on the same cells.
+
+Replay cells are one family of the :func:`~repro.experiments.engine.
+execute_cells` protocol (:class:`ReplayCellFamily`), so backends, caching
+and journalling behave exactly like every other campaign family.
 """
 
 from __future__ import annotations
@@ -44,17 +53,19 @@ from repro.algorithms.wspt import schedule_wspt
 from repro.core.validation import validate_schedule
 from repro.exceptions import ModelError
 from repro.experiments.engine import (
+    CellFamily,
     CellKey,
     CellRecord,
-    resolve_backend,
+    execute_cells,
     resolve_cache,
 )
 from repro.io.swf import write_swf
-from repro.simulator.online import OnlineBatchScheduler
+from repro.simulator.online import ONLINE_POLICIES, ZERO_CONFIG_POLICIES, get_policy
 from repro.workloads.trace import MOLDABILITY_MODELS, Trace, load_trace, trace_instance
 
 __all__ = [
     "ReplayResult",
+    "ReplayCellFamily",
     "replay_trace",
     "replay_cell_key",
     "export_replay_swf",
@@ -62,8 +73,12 @@ __all__ = [
     "REPLAY_ENGINES",
 ]
 
-#: Supported replay modes (see module docstring).
-REPLAY_MODES = ("batch", "clairvoyant")
+#: Supported replay modes: ``clairvoyant`` (the omniscient off-line bound)
+#: plus every zero-configuration registry policy — ``batch`` is the
+#: paper's framework, the rest are the on-line baselines.
+REPLAY_MODES = ("batch", "clairvoyant") + tuple(
+    p for p in ZERO_CONFIG_POLICIES if p != "batch"
+)
 
 #: Named off-line engines for the CLI: module-level functions only, so
 #: every one of them has a stable cache label.
@@ -142,10 +157,11 @@ def _measure(
     process backends — and the SWF export path, which reuses this and the
     schedule it hands back — agree bit for bit.
     """
-    if mode == "batch":
+    if mode in ONLINE_POLICIES:
+        policy = get_policy(mode, offline=offline)
         inst = trace_instance(trace, m, model, online=True)
         t0 = time.perf_counter()
-        result = OnlineBatchScheduler(offline).run(inst)
+        result = policy.run(inst)
         seconds = time.perf_counter() - t0
         sched = result.schedule
         if validate:
@@ -169,12 +185,44 @@ def _measure(
     raise ModelError(f"unknown replay mode {mode!r}; available: {', '.join(REPLAY_MODES)}")
 
 
-def _replay_cell(args: tuple) -> tuple[float, float, int, float]:
-    """Worker: aggregates of one cell (top-level and picklable — a
+def _replay_cell(args: tuple):
+    """Worker: one replay cell's record (top-level and picklable — a
     :class:`Trace` ships as plain arrays — so the process backend can fan
     replay cells out across cores)."""
-    trace, m, model, mode, offline, validate = args
-    return _measure(trace, m, model, mode, offline, validate)[0]
+    trace, m, model, mode, offline, validate, names = args
+    (makespan, flow, batches, seconds), _ = _measure(
+        trace, m, model, mode, offline, validate
+    )
+    record = CellRecord(
+        cmax=makespan,
+        minsum=flow,
+        seconds=seconds,
+        validated=validate,
+        batches=batches,
+    )
+    return None, {name: record for name in names}
+
+
+class ReplayCellFamily(CellFamily):
+    """The trace-replay family: ``(model, mode)`` cells on one trace
+    window, records addressed by :func:`replay_cell_key` (no instance
+    bounds — the clairvoyant mode *is* the bound)."""
+
+    name = "replay"
+    worker = staticmethod(_replay_cell)
+
+    def __init__(self, trace: Trace, m: int, offline: Callable) -> None:
+        self.trace = trace
+        self.m = int(m)
+        self.offline = offline
+
+    def record_key(self, cell, name: str) -> CellKey:
+        model, mode = cell
+        return replay_cell_key(self.trace, self.m, model, mode, name)
+
+    def make_task(self, cell, names, validate, need_bounds) -> tuple:
+        model, mode = cell
+        return (self.trace, self.m, model, mode, self.offline, validate, names)
 
 
 def _as_trace(source: "Trace | str | object") -> Trace:
@@ -239,69 +287,44 @@ def replay_trace(
     model_list = _normalize(models, MOLDABILITY_MODELS, "moldability model")
     mode_list = _normalize(modes, REPLAY_MODES, "replay mode")
 
-    backend_obj = resolve_backend(backend, jobs)
-    cache = resolve_cache(cache)
     label = _engine_label(offline)
-    if label is None:
-        cache = None
+    engine = label or getattr(offline, "__name__", repr(offline))
     release_sum = float(trace.submits.sum()) if trace.n else 0.0
 
     grid = [(model, mode) for model in model_list for mode in mode_list]
-    results: dict[tuple[str, str], ReplayResult] = {}
-    work = []
-    missing = []
+    outcomes = execute_cells(
+        ReplayCellFamily(trace, m, offline),
+        grid,
+        (engine,),
+        validate=validate,
+        backend=backend,
+        jobs=jobs,
+        # An ambiguous engine label could serve one engine's numbers for
+        # another, so only named module-level engines are journalled.
+        cache=cache if label is not None else None,
+    )
+    results = []
     for model, mode in grid:
-        if cache is not None:
-            key = replay_cell_key(trace, m, model, mode, label)
-            rec = cache.get_record(key, require_validated=validate)
-            if rec is not None:
-                results[(model, mode)] = ReplayResult(
-                    digest=trace.digest,
-                    offset=trace.offset,
-                    n_jobs=trace.n,
-                    m=m,
-                    model=model,
-                    mode=mode,
-                    engine=label,
-                    makespan=rec.cmax,
-                    weighted_flow=rec.minsum,
-                    release_sum=release_sum,
-                    n_batches=rec.batches,
-                    seconds=rec.seconds,
-                    cached=True,
-                )
-                continue
-        missing.append((model, mode))
-        work.append((trace, m, model, mode, offline, validate))
-
-    outputs = backend_obj.map(_replay_cell, work)
-    for (model, mode), (makespan, flow, batches, seconds) in zip(missing, outputs):
-        results[(model, mode)] = ReplayResult(
-            digest=trace.digest,
-            offset=trace.offset,
-            n_jobs=trace.n,
-            m=m,
-            model=model,
-            mode=mode,
-            engine=label or getattr(offline, "__name__", repr(offline)),
-            makespan=makespan,
-            weighted_flow=flow,
-            release_sum=release_sum,
-            n_batches=batches,
-            seconds=seconds,
-        )
-        if cache is not None:
-            cache.put_record(
-                replay_cell_key(trace, m, model, mode, label),
-                CellRecord(
-                    cmax=makespan,
-                    minsum=flow,
-                    seconds=seconds,
-                    validated=validate,
-                    batches=batches,
-                ),
+        out = outcomes[(model, mode)]
+        rec = out.records[engine]
+        results.append(
+            ReplayResult(
+                digest=trace.digest,
+                offset=trace.offset,
+                n_jobs=trace.n,
+                m=m,
+                model=model,
+                mode=mode,
+                engine=engine,
+                makespan=rec.cmax,
+                weighted_flow=rec.minsum,
+                release_sum=release_sum,
+                n_batches=rec.batches,
+                seconds=rec.seconds,
+                cached=bool(out.cached),
             )
-    return [results[cell] for cell in grid]
+        )
+    return results
 
 
 def export_replay_swf(

@@ -18,6 +18,7 @@ __all__ = [
     "format_campaign_charts",
     "format_timing_table",
     "format_replay_table",
+    "format_policy_front_table",
     "format_front_table",
     "format_indicator_table",
     "format_front_charts",
@@ -79,13 +80,14 @@ def format_campaign_charts(result: CampaignResult) -> str:
 def format_replay_table(results) -> str:
     """Trace-replay grid: one row per (moldability model, mode).
 
-    When a model was replayed in both modes the batch row also prints the
-    on-line/clairvoyant makespan ratio — the measured price of not
-    knowing the future (§2.2 bounds it by ``2 rho``).
+    When a model's clairvoyant bound is on the table, every on-line
+    policy row also prints its on-line/clairvoyant makespan ratio — the
+    measured price of not knowing the future (§2.2 bounds the batch
+    policy's by ``2 rho``).
     """
     results = list(results)
     header = (
-        f"{'model':<18} {'mode':<12} {'jobs':>6} {'batches':>7} "
+        f"{'model':<18} {'mode':<16} {'jobs':>6} {'batches':>7} "
         f"{'Cmax':>12} {'mean flow':>12} {'ratio':>7} {'cache':>6}"
     )
     lines = []
@@ -103,13 +105,40 @@ def format_replay_table(results) -> str:
         base = clair.get(r.model)
         ratio = (
             f"{r.makespan / base:7.3f}"
-            if r.mode == "batch" and base
+            if r.mode != "clairvoyant" and base
             else f"{'-':>7}"
         )
         lines.append(
-            f"{r.model:<18} {r.mode:<12} {r.n_jobs:>6} {r.n_batches:>7} "
+            f"{r.model:<18} {r.mode:<16} {r.n_jobs:>6} {r.n_batches:>7} "
             f"{r.makespan:>12.4f} {r.mean_flow:>12.4f} {ratio} "
             f"{'hit' if r.cached else 'miss':>6}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def format_policy_front_table(result) -> str:
+    """On-line policy front: one row per (policy[, engine]) spec.
+
+    ``ratio`` is the measured price of not knowing the future —
+    makespan over the clairvoyant off-line bound of the same window
+    (the §2.2 analysis bounds the batch policy's by ``2 rho``); ``*``
+    marks specs on the (makespan, mean flow) Pareto front.
+    """
+    header = (
+        f"{'policy':<28} {'Cmax':>12} {'mean flow':>12} {'ratio':>7} {'front':>6}"
+    )
+    lines = [
+        f"On-line policy front: {result.source}  m={result.m}  "
+        f"model {result.model}  clairvoyant Cmax "
+        f"{result.clairvoyant_makespan:.4f}",
+        header,
+        "-" * len(header),
+    ]
+    for row in result.rows():
+        lines.append(
+            f"{row['spec']:<28} {row['makespan']:>12.4f} "
+            f"{row['mean_flow']:>12.4f} {row['ratio']:>7.3f} "
+            f"{'*' if row['on_front'] else '':>6}"
         )
     return "\n".join(lines) + "\n"
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
@@ -35,10 +34,11 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import (
     CellBounds,
     CellCache,
+    CellFamily,
     CellKey,
     CellRecord,
+    execute_cells,
     resolve_backend,
-    resolve_cache,
 )
 from repro.utils.rng import derive_rng
 from repro.workloads.generator import generate_workload
@@ -48,6 +48,8 @@ __all__ = [
     "AlgorithmPointStats",
     "PointResult",
     "CampaignResult",
+    "CampaignCellFamily",
+    "ParetoCellFamily",
     "run_cells",
     "run_pareto_cells",
     "run_point",
@@ -160,83 +162,30 @@ def _run_cell(args: tuple) -> tuple[CellBounds | None, dict[str, CellRecord]]:
     return bounds, records
 
 
-def _execute_cached_cells(
-    cells: list[tuple[str, int, int]],
-    names: tuple,
-    *,
-    seed: int,
-    m: int,
-    validate: bool,
-    backend: object,
-    jobs: int | None,
-    cache: "CellCache | None",
-    worker: "Callable",
-    record_key: "Callable[[str], str]",
-    extra_args: "Callable[[str], tuple]",
-) -> dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]]:
-    """The executor scaffolding shared by every cell family.
+class CampaignCellFamily(CellFamily):
+    """The figure/ablation family: ``(kind, n, r)`` cells, every algorithm
+    measured on the seeded synthetic instance, records cached under the
+    plain algorithm name and instance bounds under the standard bounds
+    key ``(seed, kind, n, m, r)`` (shared with the Pareto sweeps)."""
 
-    Cache lookups decide the work list, the backend runs ``worker`` over
-    it (serially or across processes), results merge back into the cache.
-    A ``validate=True`` call only accepts cached records that were
-    themselves measured under validation; anything else is re-measured.
+    name = "campaign"
+    worker = staticmethod(_run_cell)
 
-    ``record_key`` maps a measured name to the ``algorithm`` field of its
-    :class:`~repro.experiments.engine.CellKey` (identity for campaign
-    cells, ``pareto:<spec>`` for sweep cells); ``extra_args`` appends
-    per-``kind`` trailing arguments to the worker tuple (the trace
-    payload of a pareto cell).  Per-instance bounds always live under the
-    shared standard bounds key.
-    """
-    backend = resolve_backend(backend, jobs)
-    cache = resolve_cache(cache)
-    results: dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]] = {}
-    work: list[tuple] = []
-    work_cells: list[tuple[str, int, int]] = []
-    cached_parts: dict[tuple[str, int, int], dict[str, CellRecord]] = {}
+    def __init__(self, seed: int, m: int) -> None:
+        self.seed = int(seed)
+        self.m = int(m)
 
-    for cell in cells:
+    def record_key(self, cell, name: str) -> CellKey:
         kind, n, r = cell
-        have: dict[str, CellRecord] = {}
-        missing: list[str] = []
-        if cache is not None:
-            for name in names:
-                key = CellKey(seed, kind, n, m, r, record_key(name))
-                rec = cache.get_record(key, require_validated=validate)
-                if rec is None:
-                    missing.append(name)
-                else:
-                    have[name] = rec
-            bounds = cache.get_bounds((seed, kind, n, m, r))
-        else:
-            missing = list(names)
-            bounds = None
-        if not missing and bounds is not None:
-            results[cell] = (bounds, have)
-            continue
-        cached_parts[cell] = have
-        work_cells.append(cell)
-        work.append(
-            (seed, kind, n, m, r, tuple(missing), validate, bounds is None)
-            + extra_args(kind)
-        )
+        return CellKey(self.seed, kind, n, self.m, r, name)
 
-    outputs = backend.map(worker, work)
-
-    for cell, (fresh_bounds, fresh_records) in zip(work_cells, outputs):
+    def bounds_key(self, cell) -> tuple:
         kind, n, r = cell
-        bounds = fresh_bounds
-        if bounds is None:  # bounds were cached, records were not
-            assert cache is not None
-            bounds = cache.get_bounds((seed, kind, n, m, r))
-        records = dict(cached_parts[cell])
-        records.update(fresh_records)
-        if cache is not None:
-            cache.put_bounds((seed, kind, n, m, r), bounds)
-            for name, rec in fresh_records.items():
-                cache.put_record(CellKey(seed, kind, n, m, r, record_key(name)), rec)
-        results[cell] = (bounds, records)
-    return results
+        return (self.seed, kind, n, self.m, r)
+
+    def make_task(self, cell, names, validate, need_bounds) -> tuple:
+        kind, n, r = cell
+        return (self.seed, kind, n, self.m, r, names, validate, need_bounds)
 
 
 def run_cells(
@@ -250,25 +199,22 @@ def run_cells(
 ) -> dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]]:
     """Measure every ``(kind, n, r)`` cell under all ``cfg.algorithms``.
 
-    The campaign instantiation of :func:`_execute_cached_cells`: records
-    are cached under the plain algorithm name, and ``cache`` may also be
-    a directory path — it is then opened as a
+    The campaign instantiation of :func:`~repro.experiments.engine.
+    execute_cells`: records are cached under the plain algorithm name, and
+    ``cache`` may also be a directory path — it is then opened as a
     :class:`~repro.experiments.engine.PersistentCellCache`, so the results
     survive the process and a repeated campaign re-executes nothing.
     """
-    return _execute_cached_cells(
+    outcomes = execute_cells(
+        CampaignCellFamily(cfg.seed, cfg.m),
         cells,
         tuple(cfg.algorithms),
-        seed=cfg.seed,
-        m=cfg.m,
         validate=validate,
         backend=backend,
         jobs=jobs,
         cache=cache,
-        worker=_run_cell,
-        record_key=lambda name: name,
-        extra_args=lambda kind: (),
     )
+    return {cell: (out.bounds, out.records) for cell, out in outcomes.items()}
 
 
 # ---------------------------------------------------------------------- #
@@ -332,6 +278,34 @@ def _run_pareto_cell(args: tuple) -> tuple[CellBounds | None, dict[str, CellReco
     return bounds, records
 
 
+class ParetoCellFamily(CampaignCellFamily):
+    """The trade-off sweep family: same ``(kind, n, r)`` cells and the same
+    shared bounds key as the campaigns, but the measured axis is a set of
+    :class:`~repro.pareto.sweep.SweepVariant` spec strings cached under
+    ``pareto:<spec>``; ``payloads`` carries the ``(trace, model)`` instance
+    material of ``trace:`` kinds into the worker tuple."""
+
+    name = "pareto"
+    worker = staticmethod(_run_pareto_cell)
+
+    def __init__(
+        self, seed: int, m: int, payloads: dict[str, object] | None = None
+    ) -> None:
+        super().__init__(seed, m)
+        self.payloads = payloads or {}
+
+    def record_key(self, cell, name: str) -> CellKey:
+        kind, n, r = cell
+        return CellKey(self.seed, kind, n, self.m, r, f"pareto:{name}")
+
+    def make_task(self, cell, names, validate, need_bounds) -> tuple:
+        kind, n, r = cell
+        return (
+            self.seed, kind, n, self.m, r, names, validate, need_bounds,
+            self.payloads.get(kind),
+        )
+
+
 def run_pareto_cells(
     cells: list[tuple[str, int, int]],
     variants: "list",
@@ -346,10 +320,11 @@ def run_pareto_cells(
 ) -> dict[tuple[str, int, int], tuple[CellBounds, dict[str, CellRecord]]]:
     """Measure every ``(kind, n, r)`` cell under all sweep ``variants``.
 
-    The Pareto instantiation of :func:`_execute_cached_cells`: the
-    measured axis is a set of :class:`~repro.pareto.sweep.SweepVariant`
-    configurations instead of registry algorithms.  Records are cached
-    under ``CellKey(..., algorithm="pareto:<spec>")``; per-instance lower
+    The Pareto instantiation of :func:`~repro.experiments.engine.
+    execute_cells`: the measured axis is a set of
+    :class:`~repro.pareto.sweep.SweepVariant` configurations instead of
+    registry algorithms.  Records are cached under
+    ``CellKey(..., algorithm="pareto:<spec>")``; per-instance lower
     bounds live under the standard bounds key and are therefore *shared*
     with the campaign runner and the ablations.  ``payloads`` maps
     ``trace:`` kinds to their ``(trace, model)`` instance material.
@@ -359,19 +334,16 @@ def run_pareto_cells(
     specs = tuple(
         v.spec if isinstance(v, SweepVariant) else str(v) for v in variants
     )
-    return _execute_cached_cells(
+    outcomes = execute_cells(
+        ParetoCellFamily(seed, m, payloads),
         cells,
         specs,
-        seed=seed,
-        m=m,
         validate=validate,
         backend=backend,
         jobs=jobs,
         cache=cache,
-        worker=_run_pareto_cell,
-        record_key=lambda spec: f"pareto:{spec}",
-        extra_args=lambda kind: (payloads.get(kind) if payloads else None,),
     )
+    return {cell: (out.bounds, out.records) for cell, out in outcomes.items()}
 
 
 # ---------------------------------------------------------------------- #

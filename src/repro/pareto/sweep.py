@@ -57,6 +57,8 @@ __all__ = [
     "ParetoSweepResult",
     "resolve_source",
     "sweep_tradeoffs",
+    "PolicyFrontResult",
+    "sweep_online_policies",
 ]
 
 #: Spec knob -> DemtScheduler keyword (and the value each defaults to).
@@ -502,4 +504,159 @@ def sweep_tradeoffs(
         )
     return ParetoSweepResult(
         source=src.label, m=m, seed=seed, specs=specs, cells=tuple(out_cells)
+    )
+
+
+# --------------------------------------------------------------------- #
+# On-line policy fronts                                                 #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PolicyFrontResult:
+    """The on-line policy axis as a bi-criteria point cloud.
+
+    ``cloud[i]`` is spec ``specs[i]``'s ``(makespan, mean flow time)``
+    point on one trace window — both minimised, both *measured under
+    identical arrivals*, so the front is directly a statement about which
+    on-line disciplines are worth running.  ``clairvoyant_makespan`` is
+    the omniscient off-line bound of the same window (the §2.2 reference:
+    ``makespan / clairvoyant_makespan`` is each policy's measured price of
+    not knowing the future).
+    """
+
+    source: str
+    m: int
+    model: str
+    specs: tuple[str, ...]
+    cloud: np.ndarray
+    front_mask: np.ndarray
+    clairvoyant_makespan: float
+
+    @property
+    def front(self) -> np.ndarray:
+        """The staircase of non-dominated (makespan, mean flow) points."""
+        return pareto_front(self.cloud)
+
+    @property
+    def front_specs(self) -> tuple[str, ...]:
+        return tuple(s for s, on in zip(self.specs, self.front_mask) if on)
+
+    def rows(self) -> list[dict[str, float | str | bool]]:
+        """Per-spec table rows (reporting feeds on this)."""
+        out = []
+        for i, spec in enumerate(self.specs):
+            makespan, flow = self.cloud[i]
+            out.append(
+                {
+                    "spec": spec,
+                    "makespan": float(makespan),
+                    "mean_flow": float(flow),
+                    "ratio": (
+                        float(makespan / self.clairvoyant_makespan)
+                        if self.clairvoyant_makespan > 0
+                        else float("nan")
+                    ),
+                    "on_front": bool(self.front_mask[i]),
+                }
+            )
+        return out
+
+
+def sweep_online_policies(
+    source: object,
+    policies: "Sequence[str] | str" = ("batch", "fcfs", "fcfs-backfill", "greedy-interval"),
+    *,
+    engines: "Sequence[str] | str" = ("demt",),
+    m: int | None = None,
+    model: str = "rigid",
+    window: tuple[int, int] | None = None,
+    validate: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: object = None,
+) -> PolicyFrontResult:
+    """Trace the on-line trade-off front over the policy registry.
+
+    Every ``(policy, engine)`` pair replays one SWF trace window under
+    identical arrivals through :func:`repro.experiments.replay.
+    replay_trace` — so the points are ordinary replay cells: cached,
+    backend-dispatched, bit-identical across backends.  The cloud is
+    ``(makespan, mean flow time)``; the clairvoyant bound (best over the
+    engines) anchors the competitive ratios.
+
+    ``policies`` are registry names (``"all"`` = every zero-configuration
+    policy); ``engines`` are :data:`~repro.experiments.replay.
+    REPLAY_ENGINES` names.  Only the engine-driven policies (the batch
+    family) are crossed with the engines — the immediate policies ignore
+    the engine and are measured once.  Specs read ``<policy>`` with a
+    single engine and ``<policy>@<engine>`` otherwise.
+    """
+    from repro.experiments.replay import REPLAY_ENGINES, _as_trace, replay_trace
+    from repro.simulator.online import (
+        ENGINE_DRIVEN_POLICIES,
+        ZERO_CONFIG_POLICIES,
+    )
+
+    def expand(values, universe, what):
+        # The sweep-spec convention of this module (ValueError, like
+        # resolve_sweep/resolve_source): one name, a sequence, or "all".
+        universe = list(universe)
+        if isinstance(values, str):
+            values = universe if values == "all" else [values]
+        for v in values:
+            if v not in universe:
+                raise ValueError(
+                    f"unknown {what} {v!r}; available: {', '.join(universe)}"
+                )
+        return list(values)
+
+    policies = expand(policies, ZERO_CONFIG_POLICIES, "on-line policy")
+    engines = expand(engines, REPLAY_ENGINES, "engine")
+
+    trace = _as_trace(source)
+    if window is not None:
+        trace = trace.window(*window)
+    m = trace.resolve_m(m)
+
+    specs: list[str] = []
+    points: list[tuple[float, float]] = []
+    clairvoyant = float("inf")
+    for i, engine in enumerate(engines):
+        # Engine-independent policies are replayed with the first engine
+        # only; repeating them per engine would duplicate identical
+        # measurements (and identical front points).
+        mode_list = [
+            p for p in policies if p in ENGINE_DRIVEN_POLICIES or i == 0
+        ]
+        results = replay_trace(
+            trace,
+            m=m,
+            models=model,
+            modes=tuple(mode_list) + ("clairvoyant",),
+            offline=REPLAY_ENGINES[engine],
+            validate=validate,
+            backend=backend,
+            jobs=jobs,
+            cache=cache,
+        )
+        for res in results:
+            if res.mode == "clairvoyant":
+                clairvoyant = min(clairvoyant, res.makespan)
+                continue
+            engine_driven = res.mode in ENGINE_DRIVEN_POLICIES
+            specs.append(
+                f"{res.mode}@{engine}"
+                if engine_driven and len(engines) > 1
+                else res.mode
+            )
+            points.append((res.makespan, res.mean_flow))
+
+    cloud = np.array(points, dtype=np.float64).reshape(len(points), 2)
+    return PolicyFrontResult(
+        source=f"trace:<{trace.digest[:12]}>",
+        m=m,
+        model=model,
+        specs=tuple(specs),
+        cloud=cloud,
+        front_mask=pareto_mask(cloud),
+        clairvoyant_makespan=clairvoyant if np.isfinite(clairvoyant) else 0.0,
     )

@@ -10,23 +10,49 @@ a front-end job queue.  This package provides:
   a schedule on the cluster, assigning concrete processors and verifying
   feasibility live (the closest analogue of running on Icluster2 that a
   simulation can offer);
-* :mod:`repro.simulator.online` — the batch doubling framework of Shmoys,
-  Wein & Williamson (paper ref [21], §2.2) that turns any off-line
-  ρ-approximation into a 2ρ-competitive on-line scheduler.
+* :mod:`repro.simulator.online` — the pluggable on-line policy registry:
+  the batch doubling framework of Shmoys, Wein & Williamson (paper ref
+  [21], §2.2) that turns any off-line ρ-approximation into a
+  2ρ-competitive on-line scheduler, the immediate FCFS / EASY-backfill
+  baselines, and the greedy-interval / reservation batch variants — all
+  running on the shared :class:`~repro.simulator.events.EventWindowQueue`
+  event core;
+* :mod:`repro.simulator.reference` — the seed batch scheduler, preserved
+  verbatim as the differential oracle of the policy kernel.
 """
 
 from repro.simulator.cluster import Cluster
-from repro.simulator.events import Event, EventKind, EventLog
+from repro.simulator.events import Event, EventKind, EventLog, EventWindowQueue
 from repro.simulator.engine import ClusterSimulator, ExecutionTrace
-from repro.simulator.online import OnlineBatchScheduler, OnlineResult
+from repro.simulator.online import (
+    ONLINE_POLICIES,
+    BatchPolicy,
+    FcfsOnlinePolicy,
+    GreedyIntervalPolicy,
+    OnlineBatchScheduler,
+    OnlinePolicy,
+    OnlineResult,
+    ReservationPolicy,
+    get_policy,
+)
+from repro.simulator.reference import ReferenceBatchScheduler
 
 __all__ = [
     "Cluster",
     "Event",
     "EventKind",
     "EventLog",
+    "EventWindowQueue",
     "ClusterSimulator",
     "ExecutionTrace",
+    "OnlinePolicy",
+    "BatchPolicy",
+    "FcfsOnlinePolicy",
+    "GreedyIntervalPolicy",
+    "ReservationPolicy",
     "OnlineBatchScheduler",
     "OnlineResult",
+    "ReferenceBatchScheduler",
+    "ONLINE_POLICIES",
+    "get_policy",
 ]

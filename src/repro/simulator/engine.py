@@ -11,14 +11,14 @@ framework build on.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.core.validation import TIME_EPS
 from repro.exceptions import SchedulingError
 from repro.simulator.cluster import Cluster
-from repro.simulator.events import Event, EventKind, EventLog
+from repro.simulator.events import Event, EventKind, EventLog, EventWindowQueue
 
 __all__ = ["ExecutionTrace", "ClusterSimulator"]
 
@@ -37,7 +37,12 @@ class ExecutionTrace:
         return len(self.processor_assignment)
 
     def busy_time(self) -> float:
-        """Total processor-seconds consumed."""
+        """Total processor-seconds consumed.
+
+        One indexed lookup per job (the :class:`~repro.simulator.events.
+        EventLog` keeps a per-job event index), so this is linear in the
+        number of jobs even on archive-scale executions.
+        """
         total = 0.0
         for job_id, procs in self.processor_assignment.items():
             start = self.log.start_of(job_id).time
@@ -83,11 +88,10 @@ class ClusterSimulator:
                 all_events.append((task.release, 1, task.task_id))
         for job_id, p in placements.items():
             all_events.append((p.start, 2, job_id))
-            if instance is not None and p.start < p.task.release - 1e-9:
+            if instance is not None and p.start < p.task.release - TIME_EPS:
                 raise SchedulingError(
                     f"job {job_id} starts at {p.start} before release {p.task.release}"
                 )
-        heapq.heapify(all_events)
         assignment: dict[int, tuple[int, ...]] = {}
         completion_times: dict[int, float] = {}
 
@@ -95,14 +99,9 @@ class ClusterSimulator:
         # handled completions-first: shifted schedules (on-line batches) can
         # place a start one ulp before the completion that frees its
         # processors, and the static validator tolerates exactly this noise.
-        TIME_EPS = 1e-9
-        while all_events:
-            window = [heapq.heappop(all_events)]
-            t0 = window[0][0]
-            while all_events and all_events[0][0] <= t0 + TIME_EPS:
-                window.append(heapq.heappop(all_events))
-            window.sort(key=lambda e: (e[1], e[0], e[2]))  # kind, time, job
-            for time, kind, job_id in window:
+        queue = EventWindowQueue(all_events)
+        while queue:
+            for time, kind, job_id in queue.pop_window():
                 if kind == 0:  # completion
                     procs = cluster.release(job_id)
                     completion_times[job_id] = time
@@ -119,7 +118,7 @@ class ClusterSimulator:
                         ) from exc
                     assignment[job_id] = procs
                     log.append(Event(time, EventKind.STARTED, job_id, procs))
-                    heapq.heappush(all_events, (p.end, 0, job_id))
+                    queue.push(p.end, 0, job_id)
 
         makespan = max(completion_times.values(), default=0.0)
         return ExecutionTrace(

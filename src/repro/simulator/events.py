@@ -1,12 +1,31 @@
-"""Typed event log for simulated executions."""
+"""Typed event log for simulated executions, and the shared event core.
+
+Two pieces live here:
+
+* :class:`EventLog` — the append-only, time-ordered record of what a
+  simulated execution did.  Per-job ``STARTED`` / ``COMPLETED`` lookups
+  are O(1) through an index maintained on append (the seed scanned the
+  whole log per query, which made
+  :meth:`~repro.simulator.engine.ExecutionTrace.busy_time` quadratic).
+* :class:`EventWindowQueue` — the event core shared by
+  :class:`~repro.simulator.engine.ClusterSimulator` and the on-line
+  policies of :mod:`repro.simulator.online`: a min-heap of
+  ``(time, priority, id)`` tuples drained in windows of width
+  :data:`~repro.core.validation.TIME_EPS`, each window sorted by
+  ``(priority, time, id)`` so that ties resolve deterministically and
+  completions free resources before simultaneous starts allocate them.
+"""
 
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
-__all__ = ["EventKind", "Event", "EventLog"]
+from repro.core.validation import TIME_EPS
+
+__all__ = ["EventKind", "Event", "EventLog", "EventWindowQueue"]
 
 
 class EventKind(enum.Enum):
@@ -38,16 +57,30 @@ class Event:
 
 @dataclass
 class EventLog:
-    """Append-only, time-ordered collection of events."""
+    """Append-only, time-ordered collection of events.
+
+    ``start_of`` / ``completion_of`` answer in O(1) from a per-job index
+    maintained incrementally; everything else is a plain list scan.
+    """
 
     events: list[Event] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._index: dict[tuple[EventKind, int], Event] = {}
+        for e in self.events:
+            self._remember(e)
+
+    def _remember(self, event: Event) -> None:
+        if event.kind in (EventKind.STARTED, EventKind.COMPLETED):
+            self._index.setdefault((event.kind, event.job_id), event)
+
     def append(self, event: Event) -> None:
-        if self.events and event.time < self.events[-1].time - 1e-9:
+        if self.events and event.time < self.events[-1].time - TIME_EPS:
             raise ValueError(
                 f"event at {event.time} appended after {self.events[-1].time}"
             )
         self.events.append(event)
+        self._remember(event)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
@@ -61,14 +94,54 @@ class EventLog:
 
     def start_of(self, job_id: int) -> Event:
         """The START event of ``job_id`` (KeyError if absent)."""
-        for e in self.events:
-            if e.kind == EventKind.STARTED and e.job_id == job_id:
-                return e
-        raise KeyError(f"job {job_id} never started")
+        try:
+            return self._index[(EventKind.STARTED, job_id)]
+        except KeyError:
+            raise KeyError(f"job {job_id} never started") from None
 
     def completion_of(self, job_id: int) -> Event:
         """The COMPLETED event of ``job_id`` (KeyError if absent)."""
-        for e in self.events:
-            if e.kind == EventKind.COMPLETED and e.job_id == job_id:
-                return e
-        raise KeyError(f"job {job_id} never completed")
+        try:
+            return self._index[(EventKind.COMPLETED, job_id)]
+        except KeyError:
+            raise KeyError(f"job {job_id} never completed") from None
+
+
+class EventWindowQueue:
+    """Min-heap of ``(time, priority, id)`` drained in TIME_EPS windows.
+
+    Events within :data:`~repro.core.validation.TIME_EPS` of the window's
+    first event form one processing instant, returned sorted by
+    ``(priority, time, id)``: at equal times, lower priorities act first
+    (by convention 0 = completion, so processors are freed before
+    simultaneous submissions are logged and starts allocate).  Pushes made
+    while a window is being handled land in the heap and surface in a
+    later window — the exact semantics of the seed simulator loop, now
+    shared with the on-line policies.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, events: Iterable[tuple[float, int, int]] = ()) -> None:
+        self._heap: list[tuple[float, int, int]] = list(events)
+        heapq.heapify(self._heap)
+
+    def push(self, time: float, priority: int, ident: int) -> None:
+        heapq.heappush(self._heap, (time, priority, ident))
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def pop_window(self) -> list[tuple[float, int, int]]:
+        """Pop every event within TIME_EPS of the earliest one, sorted by
+        ``(priority, time, id)``."""
+        heap = self._heap
+        window = [heapq.heappop(heap)]
+        t0 = window[0][0]
+        while heap and heap[0][0] <= t0 + TIME_EPS:
+            window.append(heapq.heappop(heap))
+        window.sort(key=lambda e: (e[1], e[0], e[2]))
+        return window

@@ -1,30 +1,78 @@
-"""On-line batch scheduling framework (§2.2; Shmoys–Wein–Williamson [21]).
+"""On-line scheduling policies (§2.2 and the §1.2 baselines), pluggable.
 
-Jobs arrive over time (release dates).  The framework runs the cluster in
-*batches*: while batch ``k`` executes, arriving jobs queue up; when the
-batch completes, all queued jobs are scheduled as one off-line instance by
-a pluggable off-line scheduler, forming batch ``k+1``.
+Jobs arrive over time (release dates).  An :class:`OnlinePolicy` decides,
+without seeing the future, when and how wide each job runs; the registry
+:data:`ONLINE_POLICIES` makes the policy a first-class, sweepable campaign
+axis (trace replays, arrival sweeps and Pareto fronts all take a policy
+name):
 
-The classical analysis (§2.2 of the paper): if the off-line scheduler has
-approximation ratio ρ for the makespan, the batched on-line scheduler is
-``2ρ``-competitive — every job of the last batch arrived after the
-*previous* batch started, so the last two batch lengths are each at most
-ρ times the optimal on-line makespan.  This is how the paper derives its
-``3 + ε`` on-line guarantee from the ``3/2 + ε`` off-line algorithm, and
-the same wrapper turns DEMT into the production scheduler deployed on
-Icluster2.
+``batch``
+    The paper's framework (Shmoys–Wein–Williamson [21]): while batch ``k``
+    executes, arriving jobs queue up; when the batch completes, all queued
+    jobs are scheduled as one off-line instance by a pluggable off-line
+    scheduler.  If that scheduler is a ρ-approximation for the makespan,
+    the wrapper is ``2ρ``-competitive — this is how the paper derives its
+    ``3 + ε`` on-line guarantee from the ``3/2 + ε`` off-line DEMT, and
+    the wrapper deployed on Icluster2.  :class:`BatchPolicy` is the
+    production kernel: batch sub-instances are built by **zero-copy
+    columnar restriction** (:meth:`repro.core.instance.Instance.
+    from_arrays` over row slices) instead of the seed's per-task object
+    rebuilds, and shifted placements skip re-derivation.  The seed
+    implementation survives verbatim as
+    :class:`repro.simulator.reference.ReferenceBatchScheduler`, the
+    differential oracle the tests pin this kernel against bit for bit.
+``fcfs`` / ``fcfs-backfill``
+    The §1.2 production-scheduler baselines, lifted from
+    :mod:`repro.extensions.fcfs` into the on-line setting: jobs are
+    rigidified on arrival and started first-come-first-served on the
+    shared event core (``fcfs-backfill`` adds EASY backfilling — later
+    jobs may jump ahead only if they cannot delay the queue head's
+    reservation).
+``greedy-interval``
+    The batch wrapper around the plain Shmoys-style interval scheduler
+    (:class:`repro.extensions.greedy_interval.GreedyIntervalScheduler`) —
+    the structural ablation of the batch policy.
+``reservation``
+    The batch wrapper scheduling each batch around administrator
+    reservations (:mod:`repro.extensions.reservations`), the §5
+    time-varying-capacity extension.  Requires a ``reservations=``
+    argument, so the trace-replay CLI exposes every policy except this
+    one.
+
+All policies run on the same primitives as
+:class:`~repro.simulator.engine.ClusterSimulator` — the
+:data:`~repro.core.validation.TIME_EPS` arrival/event windowing of
+:class:`~repro.simulator.events.EventWindowQueue` — so "simultaneous"
+means the same thing when a schedule is produced and when it is replayed
+on the simulated cluster.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.core.validation import TIME_EPS
 from repro.exceptions import SchedulingError
+from repro.simulator.events import EventWindowQueue
 
-__all__ = ["OnlineResult", "OnlineBatchScheduler"]
+__all__ = [
+    "OnlineResult",
+    "OnlinePolicy",
+    "BatchPolicy",
+    "FcfsOnlinePolicy",
+    "GreedyIntervalPolicy",
+    "ReservationPolicy",
+    "OnlineBatchScheduler",
+    "ONLINE_POLICIES",
+    "ENGINE_DRIVEN_POLICIES",
+    "ZERO_CONFIG_POLICIES",
+    "get_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -36,7 +84,8 @@ class OnlineResult:
     schedule:
         The combined schedule (release-date feasible).
     batch_starts:
-        Start time of every executed batch.
+        Start time of every executed batch (empty for immediate policies,
+        which make one decision per job instead of per batch).
     batch_contents:
         Task ids scheduled in each batch (parallel to ``batch_starts``).
     """
@@ -50,8 +99,29 @@ class OnlineResult:
         return len(self.batch_starts)
 
 
-class OnlineBatchScheduler:
-    """Batch-doubling wrapper around any off-line scheduler.
+class OnlinePolicy:
+    """One on-line scheduling discipline: ``run(instance) -> OnlineResult``.
+
+    Subclasses must set :attr:`name` (the registry/cache identity) and
+    implement :meth:`run`; they share the arrival ordering helper so every
+    policy agrees on what order jobs "appear" in.
+    """
+
+    #: Registry name; also the policy axis of replay cell keys.
+    name: str = "abstract"
+
+    def run(self, instance: Instance) -> OnlineResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _arrival_order(instance: Instance) -> np.ndarray:
+        """Indices of the instance's rows sorted by ``(release, task_id)``
+        — computed columnar, no task objects materialised."""
+        return np.lexsort((instance.task_ids, instance.releases))
+
+
+class BatchPolicy(OnlinePolicy):
+    """The paper's batch-doubling wrapper, on the columnar kernel.
 
     Parameters
     ----------
@@ -60,61 +130,102 @@ class OnlineBatchScheduler:
         :func:`repro.algorithms.demt.schedule_demt`).  The sub-instances it
         receives are off-line (releases stripped); its output is shifted to
         the batch start.
+
+    Batches follow the arrival process: the first batch starts at the
+    earliest release; batch ``k+1`` starts when batch ``k`` completes (or
+    at the next release if the machine went idle with an empty queue).
+    Arrivals within :data:`~repro.core.validation.TIME_EPS` of the batch
+    cut count as arrived — the same windowing the simulator engine applies
+    when it replays the result (the seed used a private ``1e-12`` here).
+
+    Each batch's sub-instance is a zero-copy columnar restriction: one
+    row-slice of the times matrix / weight vector handed to
+    :meth:`~repro.core.instance.Instance.from_arrays` with validation
+    skipped (the rows were validated when the parent instance was built).
+    No :class:`~repro.core.task.MoldableTask` objects are rebuilt per
+    batch, and shifting the batch schedule into place reuses each
+    placement's already-derived duration.
     """
 
-    def __init__(self, offline: Callable[[Instance], Schedule]) -> None:
+    name = "batch"
+
+    def __init__(self, offline: Callable[[Instance], Schedule] | None = None) -> None:
+        if offline is None:
+            from repro.algorithms.demt import schedule_demt
+
+            offline = schedule_demt
         self.offline = offline
 
-    def run(self, instance: Instance) -> OnlineResult:
-        """Schedule ``instance`` respecting release dates.
+    def _schedule_batch(self, sub: Instance, now: float) -> Schedule:
+        """Hook: produce the off-line schedule of one batch (time origin 0
+        at ``now``).  Subclasses may use ``now`` (reservations do)."""
+        return self.offline(sub)
 
-        Batches follow the arrival process: the first batch starts at the
-        earliest release; batch ``k+1`` starts when batch ``k`` completes
-        (or at the next release if the machine went idle with an empty
-        queue).
-        """
+    def run(self, instance: Instance) -> OnlineResult:
+        """Schedule ``instance`` respecting release dates."""
         m = instance.m
         out = Schedule(m)
-        if instance.n == 0:
+        n = instance.n
+        if n == 0:
             return OnlineResult(out, (), ())
 
-        # Tasks sorted by arrival; `head` walks forward, so each batch is a
-        # slice of the sorted order and the whole run is O(n log n) instead
-        # of re-filtering the full pending list per batch.
-        pending = sorted(instance.tasks, key=lambda t: (t.release, t.task_id))
+        # Arrival-sorted columnar view; `head` walks forward, so each batch
+        # is a contiguous slice of the sorted order.
+        order = self._arrival_order(instance)
+        rel = instance.releases[order]
+        times = instance.times_matrix
+        weights = instance.weights
+        ids = instance.task_ids
+        task_of = instance._id_index  # materialises task objects once
+        place = out._place_trusted
+
         head = 0
-        now = pending[0].release
+        now = float(rel[0])
         batch_starts: list[float] = []
         batch_contents: list[frozenset[int]] = []
 
-        while head < len(pending):
-            # Jobs that have arrived by `now` form the next batch; if none
-            # (idle gap), jump to the next arrival.
-            cut = head
-            while cut < len(pending) and pending[cut].release <= now + 1e-12:
-                cut += 1
-            if cut == head:
-                now = pending[head].release
+        while head < n:
+            # Jobs that have arrived by `now` (within the shared event
+            # window) form the next batch; if none, jump to the next
+            # arrival (idle gap).
+            cut = int(np.searchsorted(rel, now + TIME_EPS, side="right"))
+            if cut <= head:
+                now = float(rel[head])
                 continue
-            arrived = pending[head:cut]
+            idx = order[head:cut]
             head = cut
+            batch_ids = ids[idx].tolist()
 
-            # Off-line sub-instance at time origin 0 (releases stripped).
-            sub = Instance([t.with_release(0.0) for t in arrived], m)
-            batch_schedule = self.offline(sub)
-            if batch_schedule.task_ids() != {t.task_id for t in arrived}:
+            # Off-line sub-instance at time origin 0: a zero-copy row
+            # restriction with releases dropped (all-zero by default).
+            sub = Instance.from_arrays(
+                times[idx],
+                weights[idx],
+                None,
+                m,
+                task_ids=ids[idx],
+                validate=False,
+            )
+            batch_schedule = self._schedule_batch(sub, now)
+            if len(batch_schedule) != len(batch_ids) or (
+                batch_schedule.task_ids() != set(batch_ids)
+            ):
                 raise SchedulingError(
                     "off-line scheduler did not place exactly the batch's tasks"
                 )
-            # Shift into the batch window.  Tasks are re-bound to the
-            # *original* instance objects so release metadata is kept.
-            by_id = {t.task_id: t for t in arrived}
+            # Shift into the batch window.  Placements are re-bound to the
+            # *original* tasks so release metadata is kept; durations are
+            # already derived, so the shift is pure arithmetic.
             batch_end = now
             for p in batch_schedule:
-                out.add(by_id[p.task.task_id], now + p.start, p.allotment)
-                batch_end = max(batch_end, now + p.end)
+                place(
+                    task_of[p.task.task_id], now + p.start, p.allotment, p.duration
+                )
+                end = now + p.end
+                if end > batch_end:
+                    batch_end = end
             batch_starts.append(now)
-            batch_contents.append(frozenset(t.task_id for t in arrived))
+            batch_contents.append(frozenset(batch_ids))
             now = batch_end
 
         return OnlineResult(
@@ -122,3 +233,240 @@ class OnlineBatchScheduler:
             batch_starts=tuple(batch_starts),
             batch_contents=tuple(batch_contents),
         )
+
+
+class OnlineBatchScheduler(BatchPolicy):
+    """Historical name of the batch policy (kept as the public API).
+
+    ``OnlineBatchScheduler(offline).run(instance)`` behaves exactly like
+    ``BatchPolicy(offline).run(instance)``; the seed implementation it
+    replaced lives on as :class:`repro.simulator.reference.
+    ReferenceBatchScheduler`, the differential oracle of the test suite.
+    """
+
+
+class GreedyIntervalPolicy(BatchPolicy):
+    """The batch wrapper around the plain interval-doubling scheduler.
+
+    The structural ablation of :class:`BatchPolicy`: same arrival
+    batching, but each batch is scheduled by
+    :class:`~repro.extensions.greedy_interval.GreedyIntervalScheduler`
+    (geometric batches, no merging, no compaction, no shuffling).  The
+    ``offline`` argument is ignored — the engine *is* the policy here.
+    """
+
+    name = "greedy-interval"
+
+    def __init__(self, offline: Callable | None = None) -> None:
+        from repro.extensions.greedy_interval import GreedyIntervalScheduler
+
+        super().__init__(GreedyIntervalScheduler().schedule)
+
+
+class ReservationPolicy(BatchPolicy):
+    """Batch policy scheduling around administrator reservations (§5).
+
+    Each batch is placed by :class:`~repro.extensions.reservations.
+    ReservationScheduler` against the capacity profile *as seen from the
+    batch start*: a reservation ``[s, e)`` in absolute time becomes
+    ``[max(0, s - now), e - now)`` for the batch starting at ``now``
+    (expired reservations vanish).  ``offline`` configures the DEMT used
+    for batch ordering when it is a :class:`~repro.algorithms.demt.
+    DemtScheduler`; other callables fall back to the default DEMT.
+    """
+
+    name = "reservation"
+
+    def __init__(
+        self,
+        reservations: "Sequence",
+        offline: Callable[[Instance], Schedule] | None = None,
+    ) -> None:
+        super().__init__(offline)
+        self.reservations = tuple(reservations)
+
+    def _schedule_batch(self, sub: Instance, now: float) -> Schedule:
+        from repro.algorithms.demt import DemtScheduler
+        from repro.extensions.reservations import Reservation, ReservationScheduler
+
+        shifted = [
+            Reservation(max(0.0, r.start - now), r.end - now, r.procs)
+            for r in self.reservations
+            if r.end - now > TIME_EPS
+        ]
+        demt = self.offline if isinstance(self.offline, DemtScheduler) else None
+        return ReservationScheduler(shifted, demt).schedule(sub)
+
+
+class FcfsOnlinePolicy(OnlinePolicy):
+    """Immediate FCFS (optionally EASY-backfilled) on the event core.
+
+    The §1.2 baseline of :mod:`repro.extensions.fcfs`, run genuinely
+    on-line: jobs are rigidified (fixed user-request allotments via
+    :func:`~repro.extensions.fcfs.rigidify`) and dispatched at arrival
+    and completion events — no batching, no clairvoyance.  With
+    ``backfill=True`` a job that cannot start computes its reservation
+    (the earliest instant enough processors will have been freed) and
+    later arrivals may jump ahead only if they terminate by then, so the
+    queue head is never delayed — EASY semantics.
+
+    The event loop is the shared
+    :class:`~repro.simulator.events.EventWindowQueue` (completions free
+    processors before simultaneous arrivals dispatch), so its notion of
+    simultaneity is identical to the simulator engine's.
+    """
+
+    def __init__(self, backfill: bool = True, slack: float = 2.0) -> None:
+        self.backfill = bool(backfill)
+        self.slack = float(slack)
+        self.name = "fcfs-backfill" if backfill else "fcfs"
+
+    def run(self, instance: Instance) -> OnlineResult:
+        from repro.extensions.fcfs import rigidify
+
+        m = instance.m
+        out = Schedule(m)
+        if instance.n == 0:
+            return OnlineResult(out, (), ())
+
+        allot = rigidify(instance, slack=self.slack)
+        task_of = instance.task_by_id
+        durations = {tid: task_of(tid).p(k) for tid, k in allot.items()}
+
+        # Events: (time, priority, id) — completions (0) free processors
+        # before arrivals (1) enqueue; each window dispatches once.  The
+        # waiting queue is a list walked by a head index; backfilled jobs
+        # are tombstoned and compacted away once they outnumber the live
+        # tail, so a long backlog never pays O(queue) element shifts per
+        # start and the EASY scan only walks live entries.
+        queue = EventWindowQueue((t.release, 1, t.task_id) for t in instance)
+        waiting: list[int | None] = []  # arrival order; None = backfilled
+        head_i = 0
+        running: dict[int, tuple[float, int]] = {}  # id -> (end, allotment)
+        free = m
+
+        def start(job_id: int, now: float) -> None:
+            nonlocal free
+            k = allot[job_id]
+            duration = durations[job_id]
+            free -= k
+            running[job_id] = (now + duration, k)
+            out._place_trusted(task_of(job_id), now, k, duration)
+            queue.push(now + duration, 0, job_id)
+
+        def reservation_time(k: int) -> float:
+            """Earliest time ``k`` processors will be free, given the
+            currently running jobs (free count only grows at completions;
+            at most ``m`` jobs run at once, so the sort is O(m log m))."""
+            avail = free
+            for end, held in sorted(running.values()):
+                avail += held
+                if avail >= k:
+                    return end
+            raise SchedulingError(  # pragma: no cover - k <= m always frees
+                f"allotment {k} can never be satisfied"
+            )
+
+        tombstones = 0
+
+        def dispatch(now: float) -> None:
+            nonlocal head_i, tombstones
+            if tombstones * 2 > len(waiting) - head_i:
+                # Compact so the backfill scan only walks live entries.
+                live = [j for j in waiting[head_i:] if j is not None]
+                waiting[:] = live
+                head_i = 0
+                tombstones = 0
+            while head_i < len(waiting):
+                head = waiting[head_i]
+                if head is None:  # backfilled earlier
+                    head_i += 1
+                    tombstones -= 1
+                    continue
+                if allot[head] <= free:
+                    start(head, now)
+                    head_i += 1
+                    continue
+                if not self.backfill:
+                    return
+                # EASY: the head holds a reservation; later jobs may fill
+                # the current hole only if they finish by it.
+                t_res = reservation_time(allot[head])
+                for i in range(head_i + 1, len(waiting)):
+                    cand = waiting[i]
+                    if (
+                        cand is not None
+                        and allot[cand] <= free
+                        and now + durations[cand] <= t_res + TIME_EPS
+                    ):
+                        start(cand, now)
+                        waiting[i] = None
+                        tombstones += 1
+                return
+
+        while queue:
+            window = queue.pop_window()
+            now = window[0][0]
+            for _time, priority, job_id in window:
+                if priority == 0:  # completion
+                    _, k = running.pop(job_id)
+                    free += k
+                else:  # arrival
+                    waiting.append(job_id)
+            dispatch(now)
+
+        if head_i < len(waiting) and any(
+            j is not None for j in waiting[head_i:]
+        ):  # pragma: no cover - every start enqueues a completion
+            raise SchedulingError("FCFS policy stalled with jobs waiting")
+        return OnlineResult(out, (), ())
+
+
+#: Policy name -> factory.  Factories accept the keyword arguments their
+#: class documents (``offline=`` for the batch family, ``backfill`` /
+#: ``slack`` for FCFS, ``reservations=`` for the reservation policy).
+ONLINE_POLICIES: dict[str, Callable[..., OnlinePolicy]] = {
+    "batch": BatchPolicy,
+    "fcfs": lambda offline=None, **kw: FcfsOnlinePolicy(backfill=False, **kw),
+    "fcfs-backfill": lambda offline=None, **kw: FcfsOnlinePolicy(backfill=True, **kw),
+    "greedy-interval": GreedyIntervalPolicy,
+    "reservation": ReservationPolicy,
+}
+
+#: Policies whose behavior depends on the ``offline`` engine.  The rest
+#: (the immediate FCFS variants, the fixed-engine greedy-interval) ignore
+#: it — sweeping them across engines would just repeat one measurement.
+ENGINE_DRIVEN_POLICIES = ("batch", "reservation")
+
+#: Policies constructible without extra configuration — the set exposed
+#: as replay modes, swept by ``--front`` and raced by the bench grid.
+#: (``reservation`` needs a reservations argument and is library-only.)
+ZERO_CONFIG_POLICIES = tuple(p for p in ONLINE_POLICIES if p != "reservation")
+
+
+def get_policy(
+    spec: "str | OnlinePolicy",
+    *,
+    offline: Callable[[Instance], Schedule] | None = None,
+    **kwargs,
+) -> OnlinePolicy:
+    """Resolve a policy spec: a registry name or an instance (passthrough).
+
+    ``offline`` configures the off-line engine of the batch-family
+    policies; the immediate policies ignore it (they take no engine).
+
+    >>> get_policy("batch").name
+    'batch'
+    >>> get_policy("fcfs").backfill
+    False
+    """
+    if isinstance(spec, OnlinePolicy):
+        return spec
+    try:
+        factory = ONLINE_POLICIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown on-line policy {spec!r}; available: "
+            f"{', '.join(ONLINE_POLICIES)}"
+        ) from None
+    return factory(offline=offline, **kwargs)

@@ -122,6 +122,57 @@ def trace_golden_cells() -> list[dict]:
     return cells
 
 
+ONLINE_GOLDEN_PATH = Path(__file__).with_name("online_goldens.json")
+
+#: Frozen on-line corpus: seeded instances with deterministic Poisson-ish
+#: releases, scheduled by the *seed* batch framework
+#: (:class:`repro.simulator.reference.ReferenceBatchScheduler`).  The
+#: production :class:`~repro.simulator.online.BatchPolicy` must reproduce
+#: every placement bit for bit.
+ONLINE_SIZES = ((15, 13), (60, 32))  # (n, m)
+ONLINE_SPREADS = (0.5, 2.0)  # release horizon as a fraction of n
+
+
+def online_golden_cells() -> list[dict]:
+    from repro.algorithms.demt import schedule_demt
+    from repro.core.instance import Instance
+    from repro.simulator.reference import ReferenceBatchScheduler
+
+    cells = []
+    for kind in GOLDEN_FAMILIES:
+        for n, m in ONLINE_SIZES:
+            for spread in ONLINE_SPREADS:
+                rng = derive_rng(GOLDEN_SEED, "online", kind, n, int(spread * 10))
+                base = generate_workload(kind, n=n, m=m, seed=rng)
+                releases = rng.exponential(spread, size=n).cumsum()
+                inst = Instance(
+                    [
+                        t.with_release(float(r))
+                        for t, r in zip(base.tasks, releases)
+                    ],
+                    m,
+                )
+                res = ReferenceBatchScheduler(schedule_demt).run(inst)
+                cells.append(
+                    {
+                        "kind": kind,
+                        "n": n,
+                        "m": m,
+                        "spread": spread,
+                        "makespan": res.schedule.makespan(),
+                        "batch_starts": list(res.batch_starts),
+                        "batch_contents": [
+                            sorted(c) for c in res.batch_contents
+                        ],
+                        "placements": sorted(
+                            [p.task.task_id, p.start, p.allotment, p.end]
+                            for p in res.schedule
+                        ),
+                    }
+                )
+    return cells
+
+
 PARETO_GOLDEN_PATH = Path(__file__).with_name("pareto_goldens.json")
 
 #: Frozen sweep: a DEMT knob slice plus registry anchors, on two synthetic
@@ -219,6 +270,22 @@ def main() -> None:
     }
     TRACE_GOLDEN_PATH.write_text(json.dumps(trace_payload, indent=1) + "\n")
     print(f"wrote {len(trace_payload['cells'])} replay cells to {TRACE_GOLDEN_PATH}")
+
+    online_payload = {
+        "_meta": {
+            "seed": GOLDEN_SEED,
+            "comment": (
+                "Bit-exact on-line batch schedules of the seed "
+                "ReferenceBatchScheduler (DEMT engine) on frozen instances "
+                "with deterministic releases; the BatchPolicy kernel must "
+                "reproduce every placement.  Regenerate with "
+                "tests/data/make_goldens.py only for intentional changes."
+            ),
+        },
+        "cells": online_golden_cells(),
+    }
+    ONLINE_GOLDEN_PATH.write_text(json.dumps(online_payload, indent=1) + "\n")
+    print(f"wrote {len(online_payload['cells'])} online cells to {ONLINE_GOLDEN_PATH}")
 
     pareto_payload = {
         "_meta": {

@@ -52,3 +52,91 @@ class TestEventLog:
         log = EventLog()
         log.append(Event(0.0, EventKind.BATCH_STARTED))
         assert [e.kind for e in log] == [EventKind.BATCH_STARTED]
+
+
+class TestEventLogIndex:
+    """The per-job index behind O(1) start_of / completion_of."""
+
+    def test_constructor_events_indexed(self):
+        events = [
+            Event(0.0, EventKind.STARTED, 4, (0,)),
+            Event(1.0, EventKind.COMPLETED, 4, (0,)),
+        ]
+        log = EventLog(events)
+        assert log.start_of(4).time == 0.0
+        assert log.completion_of(4).time == 1.0
+
+    def test_first_event_wins(self):
+        # The seed scanned forward and returned the first match; the index
+        # must preserve that (duplicate events should not shadow it).
+        log = EventLog()
+        log.append(Event(1.0, EventKind.STARTED, 3, (0,)))
+        log.append(Event(2.0, EventKind.STARTED, 3, (1,)))
+        assert log.start_of(3).time == 1.0
+
+    def test_busy_time_linear_at_10k_jobs(self):
+        """Regression: busy_time was O(n^2) (a full log scan per job).
+
+        10k jobs through the indexed path complete in milliseconds; the
+        quadratic seed took tens of seconds.  The generous wall-clock
+        bound fails loudly if the linear scan ever regresses.
+        """
+        import time as _time
+
+        from repro.simulator.engine import ExecutionTrace
+
+        n = 10_000
+        log = EventLog()
+        assignment = {}
+        completions = {}
+        for j in range(n):
+            log.append(Event(float(j), EventKind.STARTED, j, (0, 1)))
+            log.append(Event(float(j) + 0.5, EventKind.COMPLETED, j, (0, 1)))
+            assignment[j] = (0, 1)
+            completions[j] = float(j) + 0.5
+        trace = ExecutionTrace(
+            log=log,
+            makespan=float(n),
+            processor_assignment=assignment,
+            completion_times=completions,
+        )
+        t0 = _time.perf_counter()
+        busy = trace.busy_time()
+        elapsed = _time.perf_counter() - t0
+        assert busy == pytest.approx(n * 2 * 0.5)
+        assert elapsed < 2.0, f"busy_time took {elapsed:.2f}s at n={n}"
+        assert trace.utilization(2) == pytest.approx(0.5)
+
+
+class TestEventWindowQueue:
+    """The TIME_EPS windowing shared by the engine and the policies."""
+
+    def test_window_collects_near_simultaneous(self):
+        from repro.simulator.events import EventWindowQueue
+
+        q = EventWindowQueue([(1.0, 2, 1), (1.0 + 5e-10, 0, 2), (2.0, 1, 3)])
+        window = q.pop_window()
+        # Sorted by (priority, time, id): the completion acts first.
+        assert [e[2] for e in window] == [2, 1]
+        assert q.pop_window() == [(2.0, 1, 3)]
+        assert not q
+
+    def test_push_during_handling_lands_in_later_window(self):
+        from repro.simulator.events import EventWindowQueue
+
+        q = EventWindowQueue([(0.0, 0, 1)])
+        assert q.pop_window() == [(0.0, 0, 1)]
+        q.push(0.0, 0, 2)  # same instant, but its window already drained
+        assert q.pop_window() == [(0.0, 0, 2)]
+
+    def test_unified_epsilon_is_the_core_constant(self):
+        from repro.core import TIME_EPS
+        from repro.core.validation import TIME_EPS as validation_eps
+
+        assert TIME_EPS is validation_eps
+        # The log's ordering tolerance is the same constant.
+        log = EventLog()
+        log.append(Event(1.0, EventKind.STARTED, 1))
+        log.append(Event(1.0 - TIME_EPS / 2, EventKind.STARTED, 2))  # tolerated
+        with pytest.raises(ValueError):
+            log.append(Event(1.0 - 2 * TIME_EPS, EventKind.STARTED, 3))
