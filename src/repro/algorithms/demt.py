@@ -212,15 +212,22 @@ class DemtScheduler:
             # every task is placed (the knapsack may not fit all of them in the
             # nominal K+1 batches when the machine is narrow).
             max_batches = K + 2 + instance.n
+            # The doubling exponent is clamped so `length` stays finite
+            # however many extension rounds a narrow machine needs: by then
+            # every task is admissible anyway, and an infinite length
+            # poisons the merge threshold and the shelf starts.  The clamp
+            # must bound the *product*, not just the exponent: with
+            # t_grid[-1] above ~2e37 even small exponents overflowed the
+            # old `t_grid[-1] * 2.0 ** min(j - K - 1, 900)` form, so the
+            # extension saturates at the largest finite doubling instead
+            # (ldexp is exact, bit-identical to the multiply when finite).
+            t_last = t_grid[-1]
+            k_max = min(900, 1024 - math.frexp(t_last)[1]) if math.isfinite(t_last) else 900
             while remaining and j < max_batches:
-                # The doubling exponent is clamped so `length` stays finite
-                # however many extension rounds a narrow machine needs: by
-                # then every task is admissible anyway, and an infinite
-                # length poisons the merge threshold and the shelf starts.
                 length = (
                     t_grid[j]
                     if j < len(t_grid)
-                    else t_grid[-1] * 2.0 ** min(j - K - 1, 900)
+                    else math.ldexp(t_last, min(j - K - 1, k_max))
                 )
                 start = length  # window is [t_j, t_{j+1}] and t_j == length
                 selected = self._select_one_batch(
@@ -265,13 +272,25 @@ class DemtScheduler:
         )
         # (c) price every knapsack item at its minimal allotment (stacks
         # first, then plain tasks — the DP processes them in this order).
-        candidates = [
-            ListItem(stack.tasks[0], 1, stack=stack.tasks) for stack in stacks
-        ] + [ListItem(task, allot_by_id[task.task_id]) for task in rest]
-        allots = [1] * len(stacks) + [allot_by_id[t.task_id] for t in rest]
-        weights = [s.weight for s in stacks] + [t.weight for t in rest]
-        selected, _, _ = knapsack_select_indices(allots, weights, m)
-        chosen = [candidates[i] for i in selected]
+        # Columnar: the knapsack gets flat arrays and ListItems are built
+        # only for the *selected* items — the pool can be 10-100x larger
+        # than the batch, so materialising a candidate object per pool
+        # member every round was the selection loop's dominant allocation.
+        ns = len(stacks)
+        cand_allots = np.ones(ns + len(rest), dtype=np.int64)
+        cand_weights = np.empty(ns + len(rest), dtype=np.float64)
+        for k, stack in enumerate(stacks):
+            cand_weights[k] = stack.weight
+        for k, task in enumerate(rest):
+            cand_allots[ns + k] = allot_by_id[task.task_id]
+            cand_weights[ns + k] = task.weight
+        selected, _, _ = knapsack_select_indices(cand_allots, cand_weights, m)
+        chosen = [
+            ListItem(stacks[i].tasks[0], 1, stack=stacks[i].tasks)
+            if i < ns
+            else ListItem(rest[i - ns], allot_by_id[rest[i - ns].task_id])
+            for i in selected
+        ]
         # (d) local ordering inside the batch (default: Smith ratio).
         chosen.sort(key=_BATCH_SORT_KEYS[self.batch_ordering])
         return chosen

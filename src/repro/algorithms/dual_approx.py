@@ -48,9 +48,30 @@ from repro.algorithms.list_scheduling import ListItem, list_schedule
 from repro.core.allotment import minimal_allotments, minimal_area_allotments
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.core.validation import TIME_EPS
 from repro.exceptions import SchedulingError
 
 __all__ = ["DualApproxResult", "dual_approximation", "feasibility_check"]
+
+#: Guard bands of the feasibility tests, derived from the library-wide
+#: time-comparison epsilon so a retuned :data:`TIME_EPS` moves every layer
+#: together (they were hardcoded ``1e-12``/``1e-9`` literals before and
+#: got missed by the TIME_EPS unification).  ``TIME_EPS / 1000.0`` is
+#: *exactly* ``1e-12`` in IEEE double (the ``* 1e-3`` form is not), so the
+#: derived constants are bit-identical to the old literals.
+#:
+#: * ``_BUDGET_EPS`` widens the work budget ``m·λ`` — the knapsack's total
+#:   is a long float sum, and a probe must not flip infeasible over
+#:   rounding in the last few ulps.
+#: * ``_SUM_GUARD`` pads the closed-form sum bounds that decide most
+#:   probes without running the DP: their one-shot ``np.sum`` uses a
+#:   different pairwise order than the DP's accumulation, so only
+#:   decisions clear of the band are taken without it.
+_BUDGET_EPS = TIME_EPS / 1000.0
+_SUM_GUARD = TIME_EPS
+
+#: Doubling guesses evaluated per sweep while growing the bracket.
+_GROWTH_CHUNK = 8
 
 
 @dataclass(frozen=True)
@@ -124,41 +145,40 @@ def feasibility_check(instance: Instance, lam: float) -> tuple[bool, np.ndarray,
         work_b=work_small,
         m=m,
     )
-    if not np.isfinite(total) or total > m * lam * (1 + 1e-12):
+    if not np.isfinite(total) or total > m * lam * (1.0 + _BUDGET_EPS):
         return False, np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
     allot = np.where(in_big, g_big, g_small).astype(np.int64)
     return True, in_big, allot
 
 
-def _is_feasible(instance: Instance, lam: float) -> bool:
-    """Boolean-only :func:`feasibility_check` (no assignment reconstruction).
+def _decide(
+    m: int,
+    lam: float,
+    g_big: np.ndarray,
+    work_big: np.ndarray,
+    work_small: np.ndarray,
+) -> bool:
+    """Value-only feasibility decision from precomputed per-λ vectors.
 
-    Same tests, same dynamic-program float sequence — the binary search
-    probes through this and reconstructs once at the accepted ``λ*``.
+    Same tests, same dynamic-program float sequence as
+    :func:`feasibility_check` — the binary search probes through this and
+    reconstructs once at the accepted ``λ*``.
     """
     if lam <= 0:
         return False
-    tm = instance.times_matrix
-    m = instance.m
-
-    g_big = minimal_allotments(tm, lam)
     if (g_big == 0).any():
         return False
-    am = instance.areas_matrix
-    work_big = minimal_area_allotments(tm, lam, areas_matrix=am)
-    work_small = minimal_area_allotments(tm, lam / 2.0, areas_matrix=am)
-
     # Sum bounds decide most probes without the knapsack: the optimum W*
     # satisfies sum(work_big) <= W* <= sum(work_small) (work_big is the
-    # elementwise min since a looser deadline never costs area).  The 1e-9
+    # elementwise min since a looser deadline never costs area).  The
     # guard band keeps decisions identical to the DP's despite its
     # different float summation order (ulp-level differences).
-    budget = m * lam * (1 + 1e-12)
+    budget = m * lam * (1.0 + _BUDGET_EPS)
     lower = float(np.sum(work_big))
-    if lower > budget * (1 + 1e-9):
+    if lower > budget * (1.0 + _SUM_GUARD):
         return False
     upper = float(np.sum(work_small))
-    if np.isfinite(upper) and upper <= budget * (1 - 1e-9):
+    if np.isfinite(upper) and upper <= budget * (1.0 - _SUM_GUARD):
         return True
 
     total = knapsack_min_work_value(
@@ -168,6 +188,33 @@ def _is_feasible(instance: Instance, lam: float) -> bool:
         m=m,
     )
     return np.isfinite(total) and total <= budget
+
+
+def _batch_feasible(instance: Instance, lams: list[float]) -> list[bool]:
+    """Value-only feasibility for several targets in one vectorised sweep.
+
+    The admissibility and minimal-area scans run once over a λ-axis
+    instead of once per guess; the per-λ decision then reads row ``l`` of
+    the λ-major ``(L, n)`` results.  Rows are C-contiguous, so the row
+    sums and the DP inputs see exactly the floats the one-λ-at-a-time
+    path produced — probe outcomes are decision-for-decision identical.
+    """
+    lam_arr = np.asarray(lams, dtype=np.float64)
+    tm = instance.times_matrix
+    m = instance.m
+    am = instance.areas_matrix
+    g_big = minimal_allotments(tm, lam_arr)
+    work_big = minimal_area_allotments(tm, lam_arr, areas_matrix=am)
+    work_small = minimal_area_allotments(tm, lam_arr / 2.0, areas_matrix=am)
+    return [
+        _decide(m, lam, g_big[l], work_big[l], work_small[l])
+        for l, lam in enumerate(lam_arr.tolist())
+    ]
+
+
+def _is_feasible(instance: Instance, lam: float) -> bool:
+    """Boolean-only :func:`feasibility_check` (no assignment reconstruction)."""
+    return _batch_feasible(instance, [lam])[0]
 
 
 def dual_approximation(
@@ -193,31 +240,76 @@ def dual_approximation(
     # Probe with the value-only test; the accepted λ* is rechecked once in
     # full below to reconstruct the shelf assignment (deterministic, so
     # this splits the seed's combined probe without changing any outcome).
-    if not _is_feasible(instance, lo):
-        # Grow until accepted (geometric; must terminate because for lam >=
-        # max sequential/min time everything fits on one shelf).
-        hi = lo * 2.0
-        for _ in range(max_iter):
-            if _is_feasible(instance, hi):
-                break
-            lo = hi
-            hi *= 2.0
-        else:  # pragma: no cover - defensive
-            raise SchedulingError("dual approximation did not find a feasible lambda")
-        # Shrink the bracket [lo, hi].
-        for _ in range(max_iter):
-            if hi - lo <= rel_tol * lo:
-                break
-            mid = 0.5 * (lo + hi)
-            if _is_feasible(instance, mid):
-                hi = mid
-            else:
-                lo = mid
-        lam = hi
-    else:
+    #
+    # Probes are issued in vectorised batches and the sequential decision
+    # tree is replayed over the results, so the bracket evolution, the
+    # max_iter accounting and the accepted λ* are bit-identical to the
+    # one-probe-at-a-time search.  First sweep: the closed-form floor plus
+    # a chunk of doubling guesses (built by repeated doubling, the exact
+    # floats the sequential growth loop would form).
+    cands = [lo]
+    h = lo * 2.0
+    for _ in range(_GROWTH_CHUNK):
+        cands.append(h)
+        h *= 2.0
+    feas = _batch_feasible(instance, cands)
+    if feas[0]:
         # The closed-form bound itself passes the test: accept it directly
         # (searching below `lo` is pointless — it is already certified).
         lam = lo
+    else:
+        # Growth: first accepted doubling wins; each inspected guess
+        # counts against max_iter exactly like a sequential probe.
+        first = None
+        consumed = 0
+        k = 1
+        while first is None:
+            while k < len(cands):
+                if consumed >= max_iter:  # pragma: no cover - defensive
+                    raise SchedulingError(
+                        "dual approximation did not find a feasible lambda"
+                    )
+                consumed += 1
+                if feas[k]:
+                    first = k
+                    break
+                k += 1
+            if first is None:
+                ext = []
+                for _ in range(_GROWTH_CHUNK):
+                    ext.append(h)
+                    h *= 2.0
+                feas.extend(_batch_feasible(instance, ext))
+                cands.extend(ext)
+        lo = cands[first - 1]
+        hi = cands[first]
+        # Shrink the bracket [lo, hi]: three midpoints per sweep cover two
+        # sequential bisection steps — m2 is the immediate midpoint and
+        # m1/m3 the exact expressions the follow-up step computes after an
+        # accept/reject of m2 (0.5*(lo+m2) and 0.5*(m2+hi)).  Termination
+        # is re-tested before every consumed probe, as the sequential loop
+        # tests it before every iteration.
+        iters = 0
+        while iters < max_iter and hi - lo > rel_tol * lo:
+            m2 = 0.5 * (lo + hi)
+            m1 = 0.5 * (lo + m2)
+            m3 = 0.5 * (m2 + hi)
+            f2, f1, f3 = _batch_feasible(instance, [m2, m1, m3])
+            if f2:
+                hi = m2
+                nxt_mid, nxt_f = m1, f1
+            else:
+                lo = m2
+                nxt_mid, nxt_f = m3, f3
+            iters += 1
+            if iters >= max_iter or hi - lo <= rel_tol * lo:
+                break
+            if nxt_f:
+                hi = nxt_mid
+            else:
+                lo = nxt_mid
+            iters += 1
+        lam = hi
 
     feasible, in_big, allot = feasibility_check(instance, lam)
     if not feasible:  # pragma: no cover - probe and full check agree

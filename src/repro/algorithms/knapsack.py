@@ -12,6 +12,8 @@ complexity is ``O(n m)``.
 
 This module implements exactly that dynamic program (vectorised over the
 capacity axis) plus the choice reconstruction the paper leaves implicit.
+The hot DP loops are dispatched through :mod:`repro.kernels` (pure-NumPy
+fallback, optional compiled cffi/numba backends — all bit-identical).
 """
 
 from __future__ import annotations
@@ -21,6 +23,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+
+from repro import kernels
 
 __all__ = [
     "KnapsackItem",
@@ -108,6 +112,8 @@ def knapsack_select_indices(
     n = len(allotments)
     if n == 0 or m == 0:
         return [], 0.0, 0
+    allot_arr = np.ascontiguousarray(allotments, dtype=np.int64)
+    weight_arr = np.ascontiguousarray(weights, dtype=np.float64)
     # Short-circuit: when every item fits simultaneously, the optimum is
     # "take everything" — the common case for DEMT's late batches, whose
     # shrinking pools stop filling the machine.  Restricted to strictly
@@ -116,48 +122,21 @@ def knapsack_select_indices(
     # positive weights the DP's reconstruction keeps every item).  The
     # total is accumulated in index order, exactly like the DP rows, so
     # the reported weight is bit-identical.
-    used = 0
-    total = 0.0
-    for a, w in zip(allotments, weights):
-        if not w > 0:  # also catches NaN: fall through to the DP
-            break
-        used += a
-        total += w
-    else:
+    if bool(np.all(weight_arr > 0)):  # False for NaN too: fall to the DP
+        used = int(allot_arr.sum())
         if used <= m:
+            total = 0.0
+            for w in weight_arr.tolist():
+                total += w
             return list(range(n)), float(total), used
-    # best[q] = max weight using at most q processors, items 0..i.
-    best = np.zeros(m + 1, dtype=np.float64)
-    # keep[i, q] = True iff item i is taken in the optimum for capacity q.
-    keep = np.zeros((n, m + 1), dtype=bool)
-    scratch = np.empty(m + 1, dtype=np.float64)
-
-    for i in range(n):
-        a = allotments[i]
-        if a > m:
-            continue  # can never fit; row of keep stays False
-        candidate = scratch[: m + 1 - a]
-        np.add(best[: m + 1 - a], weights[i], out=candidate)
-        np.greater(candidate, best[a:], out=keep[i, a:])
-        np.maximum(best[a:], candidate, out=best[a:])
-
-    # Reconstruct at the smallest capacity achieving the maximal weight
-    # (fewest processors used for the same weight).  The comparison must be
-    # exact: `best` is non-decreasing in the capacity, so `best[q] >= total`
-    # already means equality, whereas a tolerance would accept a capacity
-    # whose optimum is a *strictly lighter* selection when item weights
-    # differ by less than the tolerance — the reconstruction would then not
-    # reproduce the reported total.
-    total = float(best[m])
-    q = int(np.argmax(best >= total))
-    chosen_idx: list[int] = []
-    for i in range(n - 1, -1, -1):
-        if keep[i, q]:
-            chosen_idx.append(i)
-            q -= allotments[i]
-    chosen_idx.reverse()
-    used = sum(allotments[i] for i in chosen_idx)
-    return chosen_idx, total, used
+    # DP + reconstruction through the kernel layer (bit-identical across
+    # backends; see repro.kernels).  The reconstruction picks the smallest
+    # capacity achieving the maximal weight — fewest processors used for
+    # the same weight — with an *exact* `best[q] >= total` comparison: a
+    # tolerance would accept a capacity whose optimum is a strictly
+    # lighter selection when item weights differ by less than it, and the
+    # reconstruction would then not reproduce the reported total.
+    return kernels.knapsack_select_core(allot_arr, weight_arr, m)
 
 
 def knapsack_min_work(
@@ -240,33 +219,17 @@ def knapsack_min_work_value(
     Same dynamic program, same float operations in the same order (so
     feasibility decisions based on the value are identical), but no choice
     matrix — the dual-approximation binary search only needs the value for
-    all but its final, accepted probe.
+    all but its final, accepted probe.  Runs through the kernel layer.
     """
     n = work_a.size
     if not (cost_a.size == n and work_b.size == n):
         raise ValueError("work_a, cost_a and work_b must have the same length")
     if m < 0:
         raise ValueError(f"capacity must be non-negative, got {m}")
-
-    INF = np.inf
-    dp = np.zeros(m + 1)
-    via_a = np.empty(m + 1)
-    via_b = np.empty(m + 1)
-    wa_list = np.asarray(work_a, dtype=np.float64).tolist()
-    wb_list = np.asarray(work_b, dtype=np.float64).tolist()
-    cost_list = [int(c) for c in cost_a]
-    for i in range(n):
-        wa = wa_list[i]
-        wb = wb_list[i]
-        if wa >= wb:
-            np.add(dp, wb, out=dp)
-            continue
-        a_cost = cost_list[i]
-        np.add(dp, wb, out=via_b)
-        if a_cost <= m and math.isfinite(wa):
-            via_a[:a_cost] = INF
-            np.add(dp[: m + 1 - a_cost], wa, out=via_a[a_cost:])
-        else:
-            via_a[:] = INF
-        np.minimum(via_a, via_b, out=dp)
-    return float(dp[m])
+    return kernels.knapsack_min_work_value_core(
+        np.ascontiguousarray(work_a, dtype=np.float64),
+        # float -> int64 truncates toward zero, same as the old int(c).
+        np.ascontiguousarray(cost_a, dtype=np.int64),
+        np.ascontiguousarray(work_b, dtype=np.float64),
+        m,
+    )

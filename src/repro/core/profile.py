@@ -36,11 +36,9 @@ map items to tasks, merged stacks, or rigid jobs however they like.
 
 from __future__ import annotations
 
-import heapq
-from bisect import bisect_right
-
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import SchedulingError
 
 __all__ = ["FreeProfile", "graham_starts"]
@@ -78,72 +76,14 @@ def graham_starts(
     ``order`` lists item indices in chronological placement order (ties in
     priority order) — the insertion order the seed implementation produced,
     which callers preserve so downstream float summations stay identical.
+
+    The event loop itself lives in :mod:`repro.kernels` (pure-NumPy
+    fallback, optional compiled cffi/numba backends, all bit-identical).
     """
     n = len(allotments)
     if n == 0:
         return np.empty(0, dtype=np.float64), []
-    # The event loop runs on plain Python scalars: element reads/writes on
-    # numpy arrays cost ~100ns each, which dominates at this granularity.
-    dlist = np.asarray(durations, dtype=np.float64).tolist()
-    alist = np.asarray(allotments).tolist() if not isinstance(allotments, list) else allotments
-    starts = [0.0] * n
-
-    # Pending items are bucketed by allotment value, each bucket keeping
-    # its items in priority order.  "First pending item with allotment
-    # <= free" is then the minimum of the bucket heads over the distinct
-    # values <= free — a bisect plus a C-level min over a short list,
-    # instead of rescanning the pending list.
-    buckets: dict[int, list[int]] = {}
-    for idx, a in enumerate(alist):
-        buckets.setdefault(a, []).append(idx)
-    values = sorted(buckets)  # distinct allotment values, ascending
-    slot_of = {a: s for s, a in enumerate(values)}
-    bucket_lists = [buckets[a] for a in values]
-    cursors = [0] * len(values)
-    heads = [b[0] for b in bucket_lists]  # per-slot next pending index (n = empty)
-
-    order: list[int] = []
-    free = int(m)
-    now = float(start_time)
-    heap: list[tuple[float, int]] = []  # (end_time, allotment) min-heap
-    placed = 0
-
-    while placed < n:
-        # Burst phase: the free count only shrinks between two completion
-        # events, so repeatedly taking the head of the cheapest-index
-        # fitting bucket reproduces the textbook restart-from-the-head scan.
-        while free > 0:
-            cut = bisect_right(values, free)
-            if cut == 0:
-                break
-            idx = heads[0] if cut == 1 else min(heads[:cut])
-            if idx == n:
-                break
-            starts[idx] = now
-            order.append(idx)
-            a = alist[idx]
-            heapq.heappush(heap, (now + dlist[idx], a))
-            free -= a
-            placed += 1
-            slot = slot_of[a]
-            bucket = bucket_lists[slot]
-            cursor = cursors[slot] + 1
-            cursors[slot] = cursor
-            heads[slot] = bucket[cursor] if cursor < len(bucket) else n
-        if placed == n:
-            break
-        if not heap:  # pragma: no cover - defensive; free == m yet nothing fits
-            raise SchedulingError("graham kernel deadlocked (item larger than machine?)")
-        # Advance to the next completion (plus simultaneous ones).
-        end, allot = heapq.heappop(heap)
-        free += allot
-        now = end
-        while heap and heap[0][0] <= now:
-            _, a = heapq.heappop(heap)
-            free += a
-        if cutoff is not None and now > cutoff:
-            return None
-    return np.asarray(starts, dtype=np.float64), order
+    return kernels.graham_starts_core(allotments, durations, m, float(start_time), cutoff)
 
 
 class FreeProfile:
@@ -158,16 +98,28 @@ class FreeProfile:
     Intervals are half-open: a reservation ending at ``t`` frees its
     processors for one starting at ``t`` — the same convention as
     :mod:`repro.core.validation`.
+
+    Storage is amortised: the breakpoint and usage arrays are
+    over-allocated (capacity doubling) and grown in place with tail
+    shifts, so ``B`` reservations cost ``O(B)`` amortised appends plus the
+    shifts instead of the two fresh ``np.insert`` copies per reservation
+    the seed paid (``O(B^2)`` profile growth).  Reservation *starts* must
+    be ``>= 0``: the profile's domain begins at 0, and a negative start
+    used to read the trailing interval's usage through Python's negative
+    indexing — now it is rejected explicitly.
     """
 
-    __slots__ = ("m", "_times", "_usage")
+    __slots__ = ("m", "_times", "_usage", "_size")
+
+    _INITIAL_CAPACITY = 16
 
     def __init__(self, m: int) -> None:
         if m < 1:
             raise ValueError(f"profile needs m >= 1 processors, got {m}")
         self.m = int(m)
-        self._times = np.zeros(1, dtype=np.float64)
-        self._usage = np.zeros(1, dtype=np.int64)
+        self._times = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._usage = np.zeros(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._size = 1  # live prefix length of both buffers
 
     # ------------------------------------------------------------------ #
     # Queries                                                            #
@@ -176,7 +128,7 @@ class FreeProfile:
         """Processors in use at instant ``t`` (half-open intervals)."""
         if t < 0:
             return 0
-        i = int(np.searchsorted(self._times, t, side="right")) - 1
+        i = int(np.searchsorted(self._times[: self._size], t, side="right")) - 1
         return int(self._usage[i])
 
     def earliest_fit(
@@ -193,7 +145,7 @@ class FreeProfile:
             raise SchedulingError(
                 f"allotment {allotment} exceeds machine size m={self.m}"
             )
-        times, usage = self._times, self._usage
+        times, usage = self._times[: self._size], self._usage[: self._size]
         i0 = int(np.searchsorted(times, not_before, side="right")) - 1
         if i0 < 0:  # not_before precedes time 0
             i0 = 0
@@ -218,29 +170,47 @@ class FreeProfile:
     # ------------------------------------------------------------------ #
     # Updates                                                            #
     # ------------------------------------------------------------------ #
+    def _insert_breakpoint(self, i: int, t: float) -> None:
+        """Open a breakpoint at position ``i`` (amortised in-place shift)."""
+        size = self._size
+        if size == self._times.size:  # grow: capacity doubling
+            self._times = np.concatenate([self._times, np.empty_like(self._times)])
+            self._usage = np.concatenate([self._usage, np.empty_like(self._usage)])
+        times, usage = self._times, self._usage
+        times[i + 1 : size + 1] = times[i:size]
+        usage[i + 1 : size + 1] = usage[i:size]
+        times[i] = t
+        usage[i] = usage[i - 1] if i > 0 else 0
+        self._size = size + 1
+
     def reserve(self, start: float, duration: float, allotment: int) -> None:
         """Occupy ``allotment`` processors over ``[start, start + duration)``.
 
         Incremental insertion: two ``searchsorted`` + at most two breakpoint
-        insertions, then a range add — ``O(breakpoints)`` instead of a full
-        rebuild.  The caller is responsible for having checked capacity
-        (normally via :meth:`earliest_fit`).
+        insertions into the over-allocated buffers, then a range add.  The
+        caller is responsible for having checked capacity (normally via
+        :meth:`earliest_fit`).  ``start`` must be ``>= 0`` — the profile's
+        domain starts at 0 (a negative start has no interval to inherit
+        usage from; the seed silently read the *trailing* interval there).
         """
         if duration <= 0:
             return
+        if start < 0:
+            raise SchedulingError(f"reservation start must be >= 0, got {start}")
         end = start + duration
-        times, usage = self._times, self._usage
-        i = int(np.searchsorted(times, start))
-        if i == times.size or times[i] != start:
-            times = np.insert(times, i, start)
-            usage = np.insert(usage, i, usage[i - 1])
-        j = int(np.searchsorted(times, end))
-        if j == times.size or times[j] != end:
-            times = np.insert(times, j, end)
-            usage = np.insert(usage, j, usage[j - 1])
-        usage[i:j] += allotment
-        self._times, self._usage = times, usage
+        live = self._times[: self._size]
+        i = int(np.searchsorted(live, start))
+        if i == live.size or live[i] != start:
+            # times[0] == 0.0 <= start, so i >= 1 and usage[i-1] is the
+            # genuine preceding interval (never a wrapped trailing read).
+            self._insert_breakpoint(i, start)
+        live = self._times[: self._size]
+        j = int(np.searchsorted(live, end))
+        if j == live.size or live[j] != end:
+            self._insert_breakpoint(j, end)
+        self._usage[i:j] += allotment
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        peak = int(self._usage.max()) if self._usage.size else 0
-        return f"FreeProfile(m={self.m}, breakpoints={self._times.size}, peak={peak})"
+        size = self._size
+        peak = int(self._usage[:size].max()) if size else 0
+        return f"FreeProfile(m={self.m}, breakpoints={size}, peak={peak})"

@@ -36,11 +36,15 @@ from __future__ import annotations
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Hashable, Iterable
 
+from repro.utils.shm import SharedColumnar
+
 __all__ = [
+    "SharedColumnar",
     "CellKey",
     "CellRecord",
     "CellBounds",
@@ -404,6 +408,20 @@ class CellFamily:
         """The worker's argument tuple for measuring ``names`` on ``cell``."""
         raise NotImplementedError
 
+    def dispatch(self, backend) -> "object":
+        """Context manager wrapped around task building and dispatch.
+
+        :func:`execute_cells` enters it before the first :meth:`make_task`
+        call and exits it after ``backend.map`` returns.  The default is a
+        no-op.  Families whose tasks share a large columnar payload
+        override it to stage the columns in shared memory
+        (:class:`~repro.utils.shm.SharedColumnar`) while the process
+        backend fans out, so the payload crosses to the workers once
+        through the OS instead of once per task through pickle — see
+        :class:`~repro.experiments.replay.ReplayCellFamily`.
+        """
+        return nullcontext()
+
 
 @dataclass(frozen=True)
 class CellOutcome:
@@ -459,36 +477,37 @@ def execute_cells(
     work_cells: list[Hashable] = []
     cached_parts: dict[Hashable, dict[str, CellRecord]] = {}
 
-    for cell in cells:
-        have: dict[str, CellRecord] = {}
-        missing: list[str] = []
-        bkey = family.bounds_key(cell)
-        bounds = None
-        if cache is not None:
-            for name in names:
-                rec = cache.get_record(
-                    family.record_key(cell, name), require_validated=validate
+    with family.dispatch(backend):
+        for cell in cells:
+            have: dict[str, CellRecord] = {}
+            missing: list[str] = []
+            bkey = family.bounds_key(cell)
+            bounds = None
+            if cache is not None:
+                for name in names:
+                    rec = cache.get_record(
+                        family.record_key(cell, name), require_validated=validate
+                    )
+                    if rec is None:
+                        missing.append(name)
+                    else:
+                        have[name] = rec
+                if bkey is not None:
+                    bounds = cache.get_bounds(bkey)
+            else:
+                missing = list(names)
+            if not missing and (bkey is None or bounds is not None):
+                results[cell] = CellOutcome(bounds, have, frozenset(have))
+                continue
+            cached_parts[cell] = have
+            work_cells.append(cell)
+            work.append(
+                family.make_task(
+                    cell, tuple(missing), validate, bkey is not None and bounds is None
                 )
-                if rec is None:
-                    missing.append(name)
-                else:
-                    have[name] = rec
-            if bkey is not None:
-                bounds = cache.get_bounds(bkey)
-        else:
-            missing = list(names)
-        if not missing and (bkey is None or bounds is not None):
-            results[cell] = CellOutcome(bounds, have, frozenset(have))
-            continue
-        cached_parts[cell] = have
-        work_cells.append(cell)
-        work.append(
-            family.make_task(
-                cell, tuple(missing), validate, bkey is not None and bounds is None
             )
-        )
 
-    outputs = backend.map(family.worker, work)
+        outputs = backend.map(family.worker, work)
 
     for cell, (fresh_bounds, fresh_records) in zip(work_cells, outputs):
         bkey = family.bounds_key(cell)

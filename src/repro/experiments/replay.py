@@ -43,6 +43,7 @@ and journalling behave exactly like every other campaign family.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -61,7 +62,14 @@ from repro.experiments.engine import (
 )
 from repro.io.swf import write_swf
 from repro.simulator.online import ONLINE_POLICIES, ZERO_CONFIG_POLICIES, get_policy
-from repro.workloads.trace import MOLDABILITY_MODELS, Trace, load_trace, trace_instance
+from repro.workloads.trace import (
+    MOLDABILITY_MODELS,
+    SharedTraceHandle,
+    Trace,
+    load_trace,
+    resolve_trace,
+    trace_instance,
+)
 
 __all__ = [
     "ReplayResult",
@@ -186,12 +194,14 @@ def _measure(
 
 
 def _replay_cell(args: tuple):
-    """Worker: one replay cell's record (top-level and picklable — a
-    :class:`Trace` ships as plain arrays — so the process backend can fan
-    replay cells out across cores)."""
+    """Worker: one replay cell's record (top-level and picklable, so the
+    process backend can fan replay cells out across cores).  Under that
+    backend the trace arrives as zero-copy views over the family's shared
+    block (a :class:`~repro.workloads.trace.SharedTraceHandle` unpickles
+    straight into a :class:`Trace`); in-process calls unwrap the handle."""
     trace, m, model, mode, offline, validate, names = args
     (makespan, flow, batches, seconds), _ = _measure(
-        trace, m, model, mode, offline, validate
+        resolve_trace(trace), m, model, mode, offline, validate
     )
     record = CellRecord(
         cmax=makespan,
@@ -215,14 +225,36 @@ class ReplayCellFamily(CellFamily):
         self.trace = trace
         self.m = int(m)
         self.offline = offline
+        self._ship: SharedTraceHandle | None = None
 
     def record_key(self, cell, name: str) -> CellKey:
         model, mode = cell
         return replay_cell_key(self.trace, self.m, model, mode, name)
 
+    def dispatch(self, backend):
+        """Stage the trace columns in shared memory for a process fan-out.
+
+        Every task of this family references the same trace; without this
+        the process backend re-pickles all five columns per task.  Serial
+        dispatch keeps the plain in-process object.
+        """
+        if getattr(backend, "name", "") != "process" or self.trace.n == 0:
+            return nullcontext()
+        return self._shared_dispatch()
+
+    @contextmanager
+    def _shared_dispatch(self):
+        self._ship = SharedTraceHandle(self.trace)
+        try:
+            yield
+        finally:
+            ship, self._ship = self._ship, None
+            ship.release()
+
     def make_task(self, cell, names, validate, need_bounds) -> tuple:
         model, mode = cell
-        return (self.trace, self.m, model, mode, self.offline, validate, names)
+        trace = self._ship if self._ship is not None else self.trace
+        return (trace, self.m, model, mode, self.offline, validate, names)
 
 
 def _as_trace(source: "Trace | str | object") -> Trace:

@@ -20,6 +20,7 @@ produce identical numbers; only the wall-clock ``seconds`` fields differ.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -238,10 +239,10 @@ def _run_pareto_cell(args: tuple) -> tuple[CellBounds | None, dict[str, CellReco
         rng = derive_rng(seed, kind, n, r)
         inst = generate_workload(kind, n=n, m=m, seed=rng)
     else:
-        from repro.workloads.trace import trace_instance
+        from repro.workloads.trace import resolve_trace, trace_instance
 
         trace, model = payload
-        inst = trace_instance(trace, m, model, online=False)
+        inst = trace_instance(resolve_trace(trace), m, model, online=False)
 
     schedulers = [(spec, parse_variant(spec).build()) for spec in specs]
     # Share one dual approximation across the bounds and every list
@@ -293,16 +294,44 @@ class ParetoCellFamily(CampaignCellFamily):
     ) -> None:
         super().__init__(seed, m)
         self.payloads = payloads or {}
+        self._shipped: dict[str, object] | None = None
 
     def record_key(self, cell, name: str) -> CellKey:
         kind, n, r = cell
         return CellKey(self.seed, kind, n, self.m, r, f"pareto:{name}")
 
+    def dispatch(self, backend):
+        """Stage each payload trace in shared memory for a process fan-out
+        (one block per ``trace:`` kind, shared by all that kind's cells)."""
+        if getattr(backend, "name", "") != "process" or not self.payloads:
+            return nullcontext()
+        return self._shared_dispatch()
+
+    @contextmanager
+    def _shared_dispatch(self):
+        from repro.workloads.trace import SharedTraceHandle
+
+        handles = []
+        shipped = {}
+        for kind, payload in self.payloads.items():
+            trace, model = payload
+            handle = SharedTraceHandle(trace)
+            handles.append(handle)
+            shipped[kind] = (handle, model)
+        self._shipped = shipped
+        try:
+            yield
+        finally:
+            self._shipped = None
+            for handle in handles:
+                handle.release()
+
     def make_task(self, cell, names, validate, need_bounds) -> tuple:
         kind, n, r = cell
+        payloads = self._shipped if self._shipped is not None else self.payloads
         return (
             self.seed, kind, n, self.m, r, names, validate, need_bounds,
-            self.payloads.get(kind),
+            payloads.get(kind),
         )
 
 

@@ -1,0 +1,194 @@
+"""Pluggable compiled kernels for the DEMT algorithm core.
+
+The three inner loops that dominate DEMT end-to-end time — the max-weight
+knapsack DP + reconstruction, the binary-choice min-work DP of the dual
+approximation, and the Graham list-scheduling event loop — live behind
+this package's dispatch layer.  Three interchangeable backends implement
+them:
+
+``numpy``
+    The incumbent pure-NumPy/Python implementations (always available).
+``cffi``
+    The same loops as C, compiled on first import via :mod:`cffi` and a C
+    toolchain (both optional), cached on disk by source hash.
+``numba``
+    The same loops as ``@njit`` functions (requires :mod:`numba`,
+    optional; JIT artifacts disk-cached).
+
+Every backend preserves the incumbent float-operation order, so schedules
+and feasibility decisions are **bit-identical** across backends — the
+golden corpora and the differential suites hold with kernels on and off.
+The suite in ``tests/kernels/`` fuzzes all importable backends against
+each other and against the seed oracles of ``algorithms/reference.py``.
+
+Selection: the ``REPRO_KERNELS`` environment variable (``numpy`` |
+``cffi`` | ``numba``; unset/``auto`` picks the fastest importable backend
+in the order numba, cffi, numpy).  An explicitly requested backend that
+fails to import falls back to NumPy with a :class:`RuntimeWarning` —
+numbers are identical either way, only speed differs.  Tests can swap
+backends at runtime via :func:`set_backend`.
+
+Each candidate backend is smoke-tested on import against the NumPy
+reference on tiny fixed inputs; a backend that returns different bits is
+rejected (fall through to the next candidate) rather than trusted.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.kernels import _numpy as _numpy_backend
+
+__all__ = [
+    "backend_name",
+    "available_backend_names",
+    "load_backend",
+    "set_backend",
+    "knapsack_select_core",
+    "knapsack_min_work_value_core",
+    "graham_starts_core",
+]
+
+#: Backend preference for auto-selection (first importable wins).
+_AUTO_ORDER = ("numba", "cffi")
+_KNOWN = ("numpy", "cffi", "numba")
+
+_loaded: dict[str, object] = {"numpy": _numpy_backend}
+_failed: dict[str, str] = {}
+
+
+def _smoke(mod) -> None:
+    """Assert a backend reproduces the NumPy reference bit-for-bit on a
+    tiny fixed corpus (one exercise per kernel, including a tie and an
+    infeasible option)."""
+    allot = np.array([2, 2, 3, 1, 7], dtype=np.int64)
+    weights = np.array([5.0, 4.0, 6.0, 0.25, 9.0], dtype=np.float64)
+    ref = _numpy_backend.knapsack_select_core(allot, weights, 6)
+    got = mod.knapsack_select_core(allot, weights, 6)
+    if got != ref:
+        raise ImportError(f"{mod.name} knapsack_select mismatch: {got} != {ref}")
+
+    work_a = np.array([4.0, 2.5, np.inf, 1.0], dtype=np.float64)
+    cost_a = np.array([2, 1, 3, 9], dtype=np.int64)
+    work_b = np.array([6.0, 2.5, 3.0, np.inf], dtype=np.float64)
+    ref_v = _numpy_backend.knapsack_min_work_value_core(work_a, cost_a, work_b, 4)
+    got_v = mod.knapsack_min_work_value_core(work_a, cost_a, work_b, 4)
+    if not (got_v == ref_v or (np.isnan(got_v) and np.isnan(ref_v))):
+        raise ImportError(f"{mod.name} min_work_value mismatch: {got_v} != {ref_v}")
+
+    ga = np.array([2, 1, 3, 1, 2], dtype=np.int64)
+    gd = np.array([3.0, 5.0, 1.0, 1.0, 2.0], dtype=np.float64)
+    ref_g = _numpy_backend.graham_starts_core(ga, gd, 4, 0.0, None)
+    got_g = mod.graham_starts_core(ga, gd, 4, 0.0, None)
+    if (
+        got_g is None
+        or not np.array_equal(got_g[0], ref_g[0])
+        or list(got_g[1]) != list(ref_g[1])
+    ):
+        raise ImportError(f"{mod.name} graham mismatch: {got_g} != {ref_g}")
+
+
+def load_backend(name: str):
+    """Import, smoke-test and cache one backend; ``None`` if unavailable."""
+    if name in _loaded:
+        return _loaded[name]
+    if name in _failed:
+        return None
+    if name not in _KNOWN:
+        raise ValueError(f"unknown kernel backend {name!r}; known: {_KNOWN}")
+    try:
+        if name == "cffi":
+            from repro.kernels import _cffi as mod
+        else:
+            from repro.kernels import _numba as mod
+        _smoke(mod)
+    except Exception as exc:  # noqa: BLE001 - record and fall through
+        _failed[name] = str(exc)
+        return None
+    _loaded[name] = mod
+    return mod
+
+
+def available_backend_names() -> tuple[str, ...]:
+    """Names of backends that import and pass the smoke test here."""
+    return tuple(n for n in _KNOWN if load_backend(n) is not None)
+
+
+def _resolve_initial():
+    env = os.environ.get("REPRO_KERNELS", "").strip().lower()
+    if env in ("", "auto"):
+        for name in _AUTO_ORDER:
+            mod = load_backend(name)
+            if mod is not None:
+                return mod
+        return _numpy_backend
+    if env == "numpy":
+        return _numpy_backend
+    if env in _KNOWN:
+        mod = load_backend(env)
+        if mod is not None:
+            return mod
+        warnings.warn(
+            f"REPRO_KERNELS={env} requested but unavailable "
+            f"({_failed.get(env, 'unknown error')}); falling back to numpy "
+            "(numbers are identical, only speed differs)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _numpy_backend
+    warnings.warn(
+        f"unknown REPRO_KERNELS={env!r} (known: {', '.join(_KNOWN)}); using numpy",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return _numpy_backend
+
+
+#: The active backend module.  Swapped by :func:`set_backend`; the
+#: dispatch functions below always read it, so a swap takes effect for
+#: every subsequent kernel call library-wide.
+ACTIVE = _resolve_initial()
+
+
+def backend_name() -> str:
+    """Name of the active backend (``numpy`` | ``cffi`` | ``numba``)."""
+    return ACTIVE.name
+
+
+def set_backend(name: str) -> str:
+    """Activate a backend by name; returns the previously active name.
+
+    Raises :class:`ValueError` for unknown names and :class:`RuntimeError`
+    when the backend is known but not importable here — tests use this to
+    run the same code paths under every available backend.
+    """
+    global ACTIVE
+    previous = ACTIVE.name
+    if name == "numpy":
+        ACTIVE = _numpy_backend
+        return previous
+    mod = load_backend(name)
+    if mod is None:
+        raise RuntimeError(
+            f"kernel backend {name!r} unavailable: {_failed.get(name, 'unknown')}"
+        )
+    ACTIVE = mod
+    return previous
+
+
+def knapsack_select_core(allotments, weights, m):
+    """Dispatch: max-weight knapsack DP + reconstruction."""
+    return ACTIVE.knapsack_select_core(allotments, weights, m)
+
+
+def knapsack_min_work_value_core(work_a, cost_a, work_b, m):
+    """Dispatch: binary-choice min-work knapsack value."""
+    return ACTIVE.knapsack_min_work_value_core(work_a, cost_a, work_b, m)
+
+
+def graham_starts_core(allotments, durations, m, start_time, cutoff):
+    """Dispatch: Graham list-scheduling event loop."""
+    return ACTIVE.graham_starts_core(allotments, durations, m, start_time, cutoff)

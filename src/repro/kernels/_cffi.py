@@ -1,0 +1,492 @@
+"""cffi kernel backend: the three inner loops as compiled C.
+
+The C code replicates the NumPy backend's float-op order exactly — IEEE
+double adds and compares in the same sequence — so every DP value, every
+keep/choice bit and every Graham start time is bit-identical to
+:mod:`._numpy` (the differential suite pins this).  Where the order could
+matter:
+
+* the max-weight knapsack walks capacities *descending* per item, which
+  reads only pre-item values — the same read set as NumPy's out-of-place
+  ``candidate`` row — and applies ``np.maximum``'s NaN propagation
+  explicitly;
+* the min-work DP mirrors the ``wa >= wb`` shift collapse and the
+  ``via_a``/``via_b`` elementwise minimum (again descending, again the
+  pre-item read set);
+* the Graham heap orders by end time only; Python's ``(end, allot)``
+  tuple heap breaks end-time ties by allotment, but tied completions are
+  always drained together before the next placement, so the freed-count
+  sum — the only thing the loop reads — is order-independent.
+
+The extension module is compiled on first import into a cache directory
+(``REPRO_KERNELS_CACHE``, default ``<tempdir>/repro_kernels``) keyed by a
+hash of the C source, so rebuilds only happen when the source changes and
+process-pool workers reuse the cached artifact.  Any build or toolchain
+failure raises ``ImportError`` — the package then falls back to NumPy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+
+__all__ = [
+    "name",
+    "knapsack_select_core",
+    "knapsack_min_work_value_core",
+    "graham_starts_core",
+]
+
+name = "cffi"
+
+_CDEF = """
+int64_t repro_knapsack_select(const int64_t *allot, const double *weights,
+                              int64_t n, int64_t m, double *best,
+                              int64_t *chosen, double *total_out,
+                              int64_t *used_out);
+void repro_min_work_value(const double *work_a, const int64_t *cost_a,
+                          const double *work_b, int64_t n, int64_t m,
+                          double *dp);
+int64_t repro_graham(const int64_t *allot, const double *dur, int64_t n,
+                     int64_t m, double start_time, double cutoff,
+                     int use_cutoff, double *starts, int64_t *order);
+"""
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+
+/* ------------------------------------------------------------------ */
+/* Max-weight 0/1 knapsack DP + reconstruction.                        */
+/*                                                                     */
+/* Capacities walk DESCENDING per item so best[q - a] is always the    */
+/* pre-item value -- the exact read set of the NumPy backend's         */
+/* out-of-place candidate row.  The keep bits live in one bitset of    */
+/* n * ceil((m+1)/64) words (the bit-packed replacement for the old    */
+/* n x (m+1) bool matrix).  Returns the number of chosen items, or -1  */
+/* on allocation failure.                                              */
+/* ------------------------------------------------------------------ */
+int64_t repro_knapsack_select(const int64_t *allot, const double *weights,
+                              int64_t n, int64_t m, double *best,
+                              int64_t *chosen, double *total_out,
+                              int64_t *used_out)
+{
+    int64_t stride = (m + 1 + 63) / 64;
+    uint64_t *keep = calloc((size_t)(n * stride), sizeof(uint64_t));
+    if (!keep)
+        return -1;
+    for (int64_t q = 0; q <= m; q++)
+        best[q] = 0.0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = allot[i];
+        if (a > m)
+            continue; /* can never fit; keep row stays 0 */
+        double w = weights[i];
+        uint64_t *row = keep + i * stride;
+        for (int64_t q = m; q >= a; q--) {
+            double cand = best[q - a] + w;
+            double cur = best[q];
+            if (cand > cur) {
+                best[q] = cand;
+                row[q >> 6] |= (uint64_t)1 << (q & 63);
+            } else if (cand != cand) {
+                best[q] = cand; /* np.maximum propagates NaN */
+            }
+        }
+    }
+    double total = best[m];
+    /* np.argmax(best >= total): first capacity achieving the optimum
+       (0 when no comparison is true, e.g. a NaN total). */
+    int64_t q = 0;
+    while (q <= m && !(best[q] >= total))
+        q++;
+    if (q > m)
+        q = 0;
+    int64_t cnt = 0;
+    for (int64_t i = n - 1; i >= 0; i--) {
+        if ((keep[i * stride + (q >> 6)] >> (q & 63)) & 1) {
+            chosen[cnt++] = i;
+            q -= allot[i];
+        }
+    }
+    for (int64_t x = 0, y = cnt - 1; x < y; x++, y--) {
+        int64_t t = chosen[x];
+        chosen[x] = chosen[y];
+        chosen[y] = t;
+    }
+    int64_t used = 0;
+    for (int64_t x = 0; x < cnt; x++)
+        used += allot[chosen[x]];
+    *total_out = total;
+    *used_out = used;
+    free(keep);
+    return cnt;
+}
+
+/* ------------------------------------------------------------------ */
+/* Binary-choice min-work knapsack, value only.                        */
+/* ------------------------------------------------------------------ */
+static inline double npy_minimum(double a, double b)
+{
+    /* np.minimum: the smaller operand, NaN if either is NaN. */
+    if (a != a)
+        return a;
+    if (b != b)
+        return b;
+    return (a < b) ? a : b;
+}
+
+void repro_min_work_value(const double *work_a, const int64_t *cost_a,
+                          const double *work_b, int64_t n, int64_t m,
+                          double *dp)
+{
+    for (int64_t q = 0; q <= m; q++)
+        dp[q] = 0.0;
+    for (int64_t i = 0; i < n; i++) {
+        double wa = work_a[i];
+        double wb = work_b[i];
+        if (wa >= wb) {
+            /* Option A can never strictly win: constant shift. */
+            for (int64_t q = 0; q <= m; q++)
+                dp[q] = dp[q] + wb;
+            continue;
+        }
+        int64_t c = cost_a[i];
+        if (c <= m && isfinite(wa)) {
+            /* Descending q: dp[q - c] is still the pre-item value. */
+            for (int64_t q = m; q >= c; q--) {
+                double va = dp[q - c] + wa;
+                double vb = dp[q] + wb;
+                dp[q] = npy_minimum(va, vb);
+            }
+            for (int64_t q = c - 1; q >= 0; q--)
+                dp[q] = dp[q] + wb; /* via_a = inf there: min is via_b */
+        } else {
+            for (int64_t q = 0; q <= m; q++)
+                dp[q] = dp[q] + wb;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Graham list-scheduling event loop.                                  */
+/*                                                                     */
+/* Binary min-heap of (end, allot) ordered by end only; bucket heads   */
+/* per distinct allotment value exactly like the Python loop.  Returns */
+/* 0 on success, -1 on deadlock, -2 when the cutoff was exceeded, -3   */
+/* on allocation failure.                                              */
+/* ------------------------------------------------------------------ */
+static void heap_push(double *he, int64_t *ha, int64_t *size, double e,
+                      int64_t a)
+{
+    int64_t i = (*size)++;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (he[p] <= e)
+            break;
+        he[i] = he[p];
+        ha[i] = ha[p];
+        i = p;
+    }
+    he[i] = e;
+    ha[i] = a;
+}
+
+static void heap_pop(double *he, int64_t *ha, int64_t *size)
+{
+    int64_t last = --(*size);
+    double e = he[last];
+    int64_t a = ha[last];
+    int64_t i = 0;
+    for (;;) {
+        int64_t l = 2 * i + 1;
+        if (l >= last)
+            break;
+        int64_t r = l + 1;
+        int64_t sm = (r < last && he[r] < he[l]) ? r : l;
+        if (he[sm] >= e)
+            break;
+        he[i] = he[sm];
+        ha[i] = ha[sm];
+        i = sm;
+    }
+    he[i] = e;
+    ha[i] = a;
+}
+
+int64_t repro_graham(const int64_t *allot, const double *dur, int64_t n,
+                     int64_t m, double start_time, double cutoff,
+                     int use_cutoff, double *starts, int64_t *order)
+{
+    int64_t status = 0;
+    int64_t *slot_of = malloc((size_t)(m + 1) * sizeof(int64_t));
+    int64_t *count = calloc((size_t)(m + 1), sizeof(int64_t));
+    int64_t *values = malloc((size_t)(m + 1) * sizeof(int64_t));
+    int64_t *cut = malloc((size_t)(m + 1) * sizeof(int64_t));
+    int64_t *items = malloc((size_t)n * sizeof(int64_t));
+    int64_t *offset = malloc((size_t)(m + 2) * sizeof(int64_t));
+    int64_t *fill = malloc((size_t)(m + 1) * sizeof(int64_t));
+    int64_t *cursor = calloc((size_t)(m + 1), sizeof(int64_t));
+    int64_t *heads = malloc((size_t)(m + 1) * sizeof(int64_t));
+    double *hend = malloc((size_t)(n > 0 ? n : 1) * sizeof(double));
+    int64_t *hal = malloc((size_t)(n > 0 ? n : 1) * sizeof(int64_t));
+    if (!slot_of || !count || !values || !cut || !items || !offset || !fill ||
+        !cursor || !heads || !hend || !hal) {
+        status = -3;
+        goto done;
+    }
+
+    for (int64_t i = 0; i < n; i++) {
+        if (allot[i] < 0 || allot[i] > m) {
+            status = -1; /* would deadlock: report like the Python loop */
+            goto done;
+        }
+        count[allot[i]]++;
+    }
+    int64_t V = 0;
+    for (int64_t a = 0; a <= m; a++) {
+        if (count[a]) {
+            slot_of[a] = V;
+            values[V] = a;
+            V++;
+        } else {
+            slot_of[a] = -1;
+        }
+    }
+    offset[0] = 0;
+    for (int64_t s = 0; s < V; s++)
+        offset[s + 1] = offset[s] + count[values[s]];
+    for (int64_t s = 0; s < V; s++)
+        fill[s] = offset[s];
+    for (int64_t i = 0; i < n; i++)
+        items[fill[slot_of[allot[i]]]++] = i;
+    for (int64_t s = 0; s < V; s++)
+        heads[s] = items[offset[s]];
+    { /* cut[f] = number of distinct values <= f (bisect_right) */
+        int64_t s = 0;
+        for (int64_t f = 0; f <= m; f++) {
+            while (s < V && values[s] <= f)
+                s++;
+            cut[f] = s;
+        }
+    }
+
+    int64_t free_p = m;
+    double now = start_time;
+    int64_t placed = 0;
+    int64_t pos = 0;
+    int64_t hsize = 0;
+
+    while (placed < n) {
+        while (free_p > 0) {
+            int64_t c = cut[free_p];
+            if (c == 0)
+                break;
+            int64_t idx = n;
+            for (int64_t s = 0; s < c; s++)
+                if (heads[s] < idx)
+                    idx = heads[s];
+            if (idx == n)
+                break;
+            starts[idx] = now;
+            order[pos++] = idx;
+            int64_t a = allot[idx];
+            heap_push(hend, hal, &hsize, now + dur[idx], a);
+            free_p -= a;
+            placed++;
+            int64_t s = slot_of[a];
+            int64_t cur = ++cursor[s];
+            heads[s] = (offset[s] + cur < offset[s + 1]) ? items[offset[s] + cur]
+                                                         : n;
+        }
+        if (placed == n)
+            break;
+        if (hsize == 0) {
+            status = -1; /* deadlock */
+            break;
+        }
+        double end = hend[0];
+        int64_t a = hal[0];
+        heap_pop(hend, hal, &hsize);
+        free_p += a;
+        now = end;
+        while (hsize && hend[0] <= now) {
+            free_p += hal[0];
+            heap_pop(hend, hal, &hsize);
+        }
+        if (use_cutoff && now > cutoff) {
+            status = -2;
+            break;
+        }
+    }
+
+done:
+    free(slot_of);
+    free(count);
+    free(values);
+    free(cut);
+    free(items);
+    free(offset);
+    free(fill);
+    free(cursor);
+    free(heads);
+    free(hend);
+    free(hal);
+    return status;
+}
+"""
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_KERNELS_CACHE")
+    if root:
+        return Path(root)
+    return Path(tempfile.gettempdir()) / "repro_kernels"
+
+
+def _load_extension():
+    """Compile (once, cached by source hash) and import the extension."""
+    from cffi import FFI  # may raise ImportError: caller falls back
+
+    tag = hashlib.sha256((_CDEF + _C_SOURCE).encode()).hexdigest()[:16]
+    modname = f"_repro_kernels_{tag}"
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+
+    def _find_so() -> Path | None:
+        hits = sorted(cache.glob(f"{modname}*.so")) + sorted(
+            cache.glob(f"{modname}*.pyd")
+        )
+        return hits[0] if hits else None
+
+    sofile = _find_so()
+    if sofile is None:
+        # Build in a per-pid staging dir, then move the artifact into the
+        # cache root — concurrent builders race benignly (same bytes).
+        stage = cache / f"build-{os.getpid()}"
+        stage.mkdir(parents=True, exist_ok=True)
+        ffibuilder = FFI()
+        ffibuilder.cdef(_CDEF)
+        ffibuilder.set_source(modname, _C_SOURCE, extra_compile_args=["-O2"])
+        built = Path(ffibuilder.compile(tmpdir=str(stage), verbose=False))
+        target = cache / built.name
+        try:
+            os.replace(built, target)
+        except OSError:  # pragma: no cover - cross-device fallback
+            import shutil
+
+            shutil.copy2(built, target)
+        sofile = _find_so()
+        if sofile is None:  # pragma: no cover - defensive
+            raise ImportError("cffi kernel build produced no extension module")
+
+    spec = importlib.util.spec_from_file_location(modname, str(sofile))
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise ImportError(f"cannot load compiled kernel module {sofile}")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault(modname, mod)
+    spec.loader.exec_module(mod)
+    return mod.ffi, mod.lib
+
+
+try:
+    _ffi, _lib = _load_extension()
+except Exception as exc:  # noqa: BLE001 - any toolchain failure disables cffi
+    raise ImportError(f"cffi kernel backend unavailable: {exc}") from exc
+
+
+def _i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _f64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def _ptr(ctype: str, arr: np.ndarray):
+    return _ffi.cast(ctype, _ffi.from_buffer(arr))
+
+
+def knapsack_select_core(
+    allotments: np.ndarray, weights: np.ndarray, m: int
+) -> tuple[list[int], float, int]:
+    allot = _i64(allotments)
+    w = _f64(weights)
+    n = int(allot.size)
+    best = np.empty(m + 1, dtype=np.float64)
+    chosen = np.empty(n, dtype=np.int64)
+    total = _ffi.new("double *")
+    used = _ffi.new("int64_t *")
+    cnt = _lib.repro_knapsack_select(
+        _ptr("int64_t *", allot),
+        _ptr("double *", w),
+        n,
+        int(m),
+        _ptr("double *", best),
+        _ptr("int64_t *", chosen),
+        total,
+        used,
+    )
+    if cnt < 0:  # pragma: no cover - allocation failure
+        raise MemoryError("knapsack kernel allocation failed")
+    return chosen[:cnt].tolist(), float(total[0]), int(used[0])
+
+
+def knapsack_min_work_value_core(
+    work_a: np.ndarray, cost_a: np.ndarray, work_b: np.ndarray, m: int
+) -> float:
+    wa = _f64(work_a)
+    wb = _f64(work_b)
+    cost = _i64(cost_a)
+    dp = np.empty(m + 1, dtype=np.float64)
+    _lib.repro_min_work_value(
+        _ptr("double *", wa),
+        _ptr("int64_t *", cost),
+        _ptr("double *", wb),
+        int(wa.size),
+        int(m),
+        _ptr("double *", dp),
+    )
+    return float(dp[m])
+
+
+def graham_starts_core(
+    allotments,
+    durations,
+    m: int,
+    start_time: float,
+    cutoff: float | None,
+) -> tuple[np.ndarray, list[int]] | None:
+    allot = _i64(allotments)
+    dur = _f64(durations)
+    n = int(allot.size)
+    starts = np.zeros(n, dtype=np.float64)
+    order = np.empty(n, dtype=np.int64)
+    status = _lib.repro_graham(
+        _ptr("int64_t *", allot),
+        _ptr("double *", dur),
+        n,
+        int(m),
+        float(start_time),
+        float(cutoff) if cutoff is not None else 0.0,
+        1 if cutoff is not None else 0,
+        _ptr("double *", starts),
+        _ptr("int64_t *", order),
+    )
+    if status == -2:
+        return None
+    if status == -1:  # pragma: no cover - defensive; caller guards allotments
+        raise SchedulingError("graham kernel deadlocked (item larger than machine?)")
+    if status == -3:  # pragma: no cover - allocation failure
+        raise MemoryError("graham kernel allocation failed")
+    return starts, order.tolist()

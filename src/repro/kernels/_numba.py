@@ -1,0 +1,270 @@
+"""Numba kernel backend: the three inner loops as ``@njit`` functions.
+
+Same float-op order as :mod:`._numpy` and :mod:`._cffi` (see the latter's
+docstring for the order-equivalence argument; the compiled loops here are
+line-for-line the C ones).  Importing this module requires ``numba``; the
+JIT artifacts are disk-cached (``cache=True``) so process-pool workers and
+repeat runs skip recompilation.  Any import or JIT failure surfaces as
+``ImportError`` via the package's backend resolution, which then falls
+back to NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+
+try:
+    from numba import njit
+except ImportError as exc:  # pragma: no cover - exercised only without numba
+    raise ImportError(f"numba kernel backend unavailable: {exc}") from exc
+
+__all__ = [
+    "name",
+    "knapsack_select_core",
+    "knapsack_min_work_value_core",
+    "graham_starts_core",
+]
+
+name = "numba"
+
+
+@njit(cache=True)
+def _knapsack_select_jit(allot, weights, m):  # pragma: no cover - jitted
+    n = allot.size
+    stride = (m + 1 + 63) // 64
+    keep = np.zeros(n * stride, dtype=np.uint64)
+    best = np.zeros(m + 1, dtype=np.float64)
+    for i in range(n):
+        a = allot[i]
+        if a > m:
+            continue
+        w = weights[i]
+        base = i * stride
+        # Descending capacities: best[q - a] is always the pre-item value.
+        for q in range(m, a - 1, -1):
+            cand = best[q - a] + w
+            cur = best[q]
+            if cand > cur:
+                best[q] = cand
+                keep[base + (q >> 6)] |= np.uint64(1) << np.uint64(q & 63)
+            elif cand != cand:
+                best[q] = cand  # np.maximum propagates NaN
+    total = best[m]
+    q = 0
+    while q <= m and not (best[q] >= total):
+        q += 1
+    if q > m:
+        q = 0  # argmax over all-False: index 0
+    chosen = np.empty(n, dtype=np.int64)
+    cnt = 0
+    for i in range(n - 1, -1, -1):
+        if (keep[i * stride + (q >> 6)] >> np.uint64(q & 63)) & np.uint64(1):
+            chosen[cnt] = i
+            cnt += 1
+            q -= allot[i]
+    # Reverse to ascending index order.
+    for x in range(cnt // 2):
+        y = cnt - 1 - x
+        chosen[x], chosen[y] = chosen[y], chosen[x]
+    used = 0
+    for x in range(cnt):
+        used += allot[chosen[x]]
+    return chosen[:cnt], total, used
+
+
+@njit(cache=True)
+def _min_work_value_jit(work_a, cost_a, work_b, m):  # pragma: no cover - jitted
+    n = work_a.size
+    dp = np.zeros(m + 1, dtype=np.float64)
+    for i in range(n):
+        wa = work_a[i]
+        wb = work_b[i]
+        if wa >= wb:
+            for q in range(m + 1):
+                dp[q] = dp[q] + wb
+            continue
+        c = cost_a[i]
+        if c <= m and np.isfinite(wa):
+            for q in range(m, c - 1, -1):
+                va = dp[q - c] + wa
+                vb = dp[q] + wb
+                # np.minimum: smaller operand, NaN if either is NaN.
+                if va != va:
+                    dp[q] = va
+                elif vb != vb:
+                    dp[q] = vb
+                elif va < vb:
+                    dp[q] = va
+                else:
+                    dp[q] = vb
+            for q in range(c - 1, -1, -1):
+                dp[q] = dp[q] + wb
+        else:
+            for q in range(m + 1):
+                dp[q] = dp[q] + wb
+    return dp[m]
+
+
+@njit(cache=True)
+def _graham_jit(allot, dur, m, start_time, cutoff, use_cutoff):  # pragma: no cover
+    n = allot.size
+    starts = np.zeros(n, dtype=np.float64)
+    order = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        if allot[i] < 0 or allot[i] > m:
+            return starts, order, np.int64(-1)
+
+    count = np.zeros(m + 1, dtype=np.int64)
+    for i in range(n):
+        count[allot[i]] += 1
+    slot_of = np.full(m + 1, -1, dtype=np.int64)
+    values = np.empty(m + 1, dtype=np.int64)
+    V = 0
+    for a in range(m + 1):
+        if count[a] > 0:
+            slot_of[a] = V
+            values[V] = a
+            V += 1
+    offset = np.zeros(V + 1, dtype=np.int64)
+    for s in range(V):
+        offset[s + 1] = offset[s] + count[values[s]]
+    items = np.empty(n, dtype=np.int64)
+    fill = offset[:V].copy()
+    for i in range(n):
+        s = slot_of[allot[i]]
+        items[fill[s]] = i
+        fill[s] += 1
+    cursor = np.zeros(V, dtype=np.int64)
+    heads = np.empty(V, dtype=np.int64)
+    for s in range(V):
+        heads[s] = items[offset[s]]
+    cut = np.zeros(m + 1, dtype=np.int64)
+    s = 0
+    for f in range(m + 1):
+        while s < V and values[s] <= f:
+            s += 1
+        cut[f] = s
+
+    hend = np.empty(max(n, 1), dtype=np.float64)
+    hal = np.empty(max(n, 1), dtype=np.int64)
+    hsize = 0
+
+    free_p = m
+    now = start_time
+    placed = 0
+    pos = 0
+    while placed < n:
+        while free_p > 0:
+            c = cut[free_p]
+            if c == 0:
+                break
+            idx = n
+            for sl in range(c):
+                if heads[sl] < idx:
+                    idx = heads[sl]
+            if idx == n:
+                break
+            starts[idx] = now
+            order[pos] = idx
+            pos += 1
+            a = allot[idx]
+            # heap push (now + dur[idx], a), ordered by end time only
+            e = now + dur[idx]
+            i = hsize
+            hsize += 1
+            while i > 0:
+                p = (i - 1) >> 1
+                if hend[p] <= e:
+                    break
+                hend[i] = hend[p]
+                hal[i] = hal[p]
+                i = p
+            hend[i] = e
+            hal[i] = a
+            free_p -= a
+            placed += 1
+            sl = slot_of[a]
+            cursor[sl] += 1
+            nxt = offset[sl] + cursor[sl]
+            heads[sl] = items[nxt] if nxt < offset[sl + 1] else n
+        if placed == n:
+            break
+        if hsize == 0:
+            return starts, order, np.int64(-1)
+        # pop-and-drain completions at the next event time
+        while True:
+            end = hend[0]
+            a = hal[0]
+            free_p += a
+            now = end
+            # heap pop (siftdown with the last element)
+            hsize -= 1
+            last_e = hend[hsize]
+            last_a = hal[hsize]
+            i = 0
+            while True:
+                l = 2 * i + 1
+                if l >= hsize:
+                    break
+                r = l + 1
+                sm = r if (r < hsize and hend[r] < hend[l]) else l
+                if hend[sm] >= last_e:
+                    break
+                hend[i] = hend[sm]
+                hal[i] = hal[sm]
+                i = sm
+            if hsize > 0:
+                hend[i] = last_e
+                hal[i] = last_a
+            if hsize == 0 or hend[0] > now:
+                break
+        if use_cutoff and now > cutoff:
+            return starts, order, np.int64(-2)
+    return starts, order, np.int64(0)
+
+
+def _i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _f64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def knapsack_select_core(
+    allotments: np.ndarray, weights: np.ndarray, m: int
+) -> tuple[list[int], float, int]:
+    chosen, total, used = _knapsack_select_jit(_i64(allotments), _f64(weights), int(m))
+    return chosen.tolist(), float(total), int(used)
+
+
+def knapsack_min_work_value_core(
+    work_a: np.ndarray, cost_a: np.ndarray, work_b: np.ndarray, m: int
+) -> float:
+    return float(
+        _min_work_value_jit(_f64(work_a), _i64(cost_a), _f64(work_b), int(m))
+    )
+
+
+def graham_starts_core(
+    allotments,
+    durations,
+    m: int,
+    start_time: float,
+    cutoff: float | None,
+) -> tuple[np.ndarray, list[int]] | None:
+    starts, order, status = _graham_jit(
+        _i64(allotments),
+        _f64(durations),
+        int(m),
+        float(start_time),
+        float(cutoff) if cutoff is not None else 0.0,
+        cutoff is not None,
+    )
+    if status == -2:
+        return None
+    if status == -1:
+        raise SchedulingError("graham kernel deadlocked (item larger than machine?)")
+    return starts, order.tolist()

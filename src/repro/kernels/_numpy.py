@@ -1,0 +1,198 @@
+"""Pure-NumPy kernel backend — the always-available reference.
+
+These are the incumbent implementations of the three DEMT inner loops,
+moved verbatim from ``algorithms/knapsack.py`` and ``core/profile.py``
+(same float operations in the same order, so every schedule and every
+feasibility decision is bit-identical to the pre-kernel library).  The
+compiled backends (:mod:`._cffi`, :mod:`._numba`) mirror this float-op
+order exactly; the differential suite in ``tests/kernels/`` pins all
+backends against each other and against ``algorithms/reference.py``.
+
+The one intentional change over the pre-kernel code is the knapsack
+``keep`` matrix: the old code allocated a fresh ``n × (m+1)`` bool matrix
+per call (quadratic transient memory at replay scale); here the keep bits
+are built in a small rolling chunk and bit-packed into ``n × ceil((m+1)/8)``
+bytes.  The bits themselves — and therefore the reconstruction — are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+
+__all__ = [
+    "name",
+    "knapsack_select_core",
+    "knapsack_min_work_value_core",
+    "graham_starts_core",
+]
+
+name = "numpy"
+
+#: Rows of ``keep`` bits buffered before packing (keeps the unpacked
+#: scratch at ``64 × (m+1)`` bools however large the item pool gets).
+_KEEP_CHUNK = 64
+
+
+def knapsack_select_core(
+    allotments: np.ndarray, weights: np.ndarray, m: int
+) -> tuple[list[int], float, int]:
+    """Max-weight 0/1 knapsack DP + reconstruction (no short-circuits).
+
+    ``allotments`` is int64, ``weights`` float64, both 1-D of the same
+    length; the caller (``knapsack_select_indices``) has already handled
+    the empty and take-all cases.
+    """
+    n = int(allotments.size)
+    # best[q] = max weight using at most q processors, items 0..i.
+    best = np.zeros(m + 1, dtype=np.float64)
+    scratch = np.empty(m + 1, dtype=np.float64)
+    # keep[i, q] = True iff item i is taken in the optimum for capacity q,
+    # bit-packed row-wise (big-endian within a byte, np.packbits order).
+    row_bytes = (m + 1 + 7) // 8
+    packed = np.empty((n, row_bytes), dtype=np.uint8)
+    chunk = np.zeros((_KEEP_CHUNK, m + 1), dtype=bool)
+
+    alist = allotments.tolist()
+    for base in range(0, n, _KEEP_CHUNK):
+        hi = min(base + _KEEP_CHUNK, n)
+        rows = chunk[: hi - base]
+        rows.fill(False)
+        for i in range(base, hi):
+            a = alist[i]
+            if a > m:
+                continue  # can never fit; row of keep stays False
+            candidate = scratch[: m + 1 - a]
+            np.add(best[: m + 1 - a], weights[i], out=candidate)
+            np.greater(candidate, best[a:], out=rows[i - base, a:])
+            np.maximum(best[a:], candidate, out=best[a:])
+        packed[base:hi] = np.packbits(rows, axis=1)
+
+    # Reconstruct at the smallest capacity achieving the maximal weight
+    # (fewest processors used for the same weight).  The comparison must be
+    # exact: `best` is non-decreasing in the capacity, so `best[q] >= total`
+    # already means equality, whereas a tolerance would accept a capacity
+    # whose optimum is a *strictly lighter* selection when item weights
+    # differ by less than the tolerance — the reconstruction would then not
+    # reproduce the reported total.
+    total = float(best[m])
+    q = int(np.argmax(best >= total))
+    data = packed.tobytes()  # flat row-major bytes; cheap Python-int bit tests
+    chosen_idx: list[int] = []
+    for i in range(n - 1, -1, -1):
+        if (data[i * row_bytes + (q >> 3)] >> (7 - (q & 7))) & 1:
+            chosen_idx.append(i)
+            q -= alist[i]
+    chosen_idx.reverse()
+    used = sum(alist[i] for i in chosen_idx)
+    return chosen_idx, total, used
+
+
+def knapsack_min_work_value_core(
+    work_a: np.ndarray, cost_a: np.ndarray, work_b: np.ndarray, m: int
+) -> float:
+    """Binary-choice min-work knapsack, value only (``cost_a`` int64)."""
+    n = int(work_a.size)
+    INF = np.inf
+    dp = np.zeros(m + 1)
+    via_a = np.empty(m + 1)
+    via_b = np.empty(m + 1)
+    wa_list = work_a.tolist()
+    wb_list = work_b.tolist()
+    cost_list = cost_a.tolist()
+    for i in range(n):
+        wa = wa_list[i]
+        wb = wb_list[i]
+        if wa >= wb:
+            # Option A can never strictly win: dp is non-increasing in the
+            # capacity, so via_a(q) = dp(q - c) + wa >= dp(q) + wb = via_b(q).
+            np.add(dp, wb, out=dp)
+            continue
+        a_cost = cost_list[i]
+        np.add(dp, wb, out=via_b)
+        if a_cost <= m and math.isfinite(wa):
+            via_a[:a_cost] = INF
+            np.add(dp[: m + 1 - a_cost], wa, out=via_a[a_cost:])
+        else:
+            via_a[:] = INF
+        np.minimum(via_a, via_b, out=dp)
+    return float(dp[m])
+
+
+def graham_starts_core(
+    allotments,
+    durations,
+    m: int,
+    start_time: float,
+    cutoff: float | None,
+) -> tuple[np.ndarray, list[int]] | None:
+    """Graham list-scheduling event loop (see ``core/profile.graham_starts``)."""
+    n = len(allotments)
+    # The event loop runs on plain Python scalars: element reads/writes on
+    # numpy arrays cost ~100ns each, which dominates at this granularity.
+    dlist = np.asarray(durations, dtype=np.float64).tolist()
+    alist = np.asarray(allotments).tolist() if not isinstance(allotments, list) else allotments
+    starts = [0.0] * n
+
+    # Pending items are bucketed by allotment value, each bucket keeping
+    # its items in priority order.  "First pending item with allotment
+    # <= free" is then the minimum of the bucket heads over the distinct
+    # values <= free — a bisect plus a C-level min over a short list,
+    # instead of rescanning the pending list.
+    buckets: dict[int, list[int]] = {}
+    for idx, a in enumerate(alist):
+        buckets.setdefault(a, []).append(idx)
+    values = sorted(buckets)  # distinct allotment values, ascending
+    slot_of = {a: s for s, a in enumerate(values)}
+    bucket_lists = [buckets[a] for a in values]
+    cursors = [0] * len(values)
+    heads = [b[0] for b in bucket_lists]  # per-slot next pending index (n = empty)
+
+    order: list[int] = []
+    free = int(m)
+    now = float(start_time)
+    heap: list[tuple[float, int]] = []  # (end_time, allotment) min-heap
+    placed = 0
+
+    while placed < n:
+        # Burst phase: the free count only shrinks between two completion
+        # events, so repeatedly taking the head of the cheapest-index
+        # fitting bucket reproduces the textbook restart-from-the-head scan.
+        while free > 0:
+            cut = bisect_right(values, free)
+            if cut == 0:
+                break
+            idx = heads[0] if cut == 1 else min(heads[:cut])
+            if idx == n:
+                break
+            starts[idx] = now
+            order.append(idx)
+            a = alist[idx]
+            heapq.heappush(heap, (now + dlist[idx], a))
+            free -= a
+            placed += 1
+            slot = slot_of[a]
+            bucket = bucket_lists[slot]
+            cursor = cursors[slot] + 1
+            cursors[slot] = cursor
+            heads[slot] = bucket[cursor] if cursor < len(bucket) else n
+        if placed == n:
+            break
+        if not heap:  # pragma: no cover - defensive; free == m yet nothing fits
+            raise SchedulingError("graham kernel deadlocked (item larger than machine?)")
+        # Advance to the next completion (plus simultaneous ones).
+        end, allot = heapq.heappop(heap)
+        free += allot
+        now = end
+        while heap and heap[0][0] <= now:
+            _, a = heapq.heappop(heap)
+            free += a
+        if cutoff is not None and now > cutoff:
+            return None
+    return np.asarray(starts, dtype=np.float64), order

@@ -1,0 +1,148 @@
+"""Shared-memory columnar staging for process fan-outs.
+
+The process backend of :mod:`repro.experiments.engine` pickles each
+worker's argument tuple.  For families whose tasks all reference the same
+large columnar payload — a replay trace's five ``(n,)`` columns, an
+instance's ``(n, m)`` time matrix — that means re-serialising megabytes
+per task even though every worker reads the identical bytes.
+
+:class:`SharedColumnar` fixes this at the transport layer: the dispatching
+process copies the columns **once** into a ``multiprocessing.shared_memory``
+block, and the object pickles as a tiny descriptor (block name + per-column
+dtype/shape/offset).  Unpickling in a worker attaches to the block and
+rebuilds the columns as zero-copy read-only views — no per-task array
+bytes cross the pipe at all.
+
+Ownership is explicitly one-sided:
+
+* the **creator** owns the block and must call :meth:`SharedColumnar.destroy`
+  once the fan-out has returned;
+* **workers** only borrow it.  Attaching registers the segment with the
+  worker's resource tracker (CPython gh-82300), which would try to unlink
+  the creator's block when the worker exits — so the borrow is immediately
+  deregistered.  Attached blocks are cached per process and stay mapped
+  for the worker's lifetime (pool workers die with their pool), so a
+  worker draining a chunk of tasks maps the block once, not per task.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["SharedColumnar"]
+
+#: Column offsets are aligned so every dtype's natural alignment holds.
+_ALIGN = 16
+
+#: Per-process cache of borrowed segments, keyed by block name.
+_ATTACHED: dict[str, "SharedColumnar"] = {}
+
+
+def _deregister_borrow(shm: shared_memory.SharedMemory) -> None:
+    # SharedMemory(name=...) registers even a plain attach with the
+    # resource tracker (gh-82300).  What that implies depends on whose
+    # tracker the worker talks to:
+    #
+    # * ``spawn``: the worker runs its own tracker, and the attach-side
+    #   registration would unlink the creator's block when the worker
+    #   exits — deregister the borrow.
+    # * ``fork`` / ``forkserver``: the tracker (and its registration set)
+    #   is inherited from the creator, so the attach-side register is an
+    #   idempotent set-add — and an unregister here would strip the
+    #   *creator's* registration, making the tracker whine at exit.
+    #   Leave it alone.
+    try:
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) == "spawn":
+            resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variants across versions
+        pass
+
+
+def _attach(name: str, specs: tuple) -> "SharedColumnar":
+    """Worker-side reconstruction; the unpickle target of ``__reduce__``."""
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached
+    shm = shared_memory.SharedMemory(name=name)
+    _deregister_borrow(shm)
+    obj = SharedColumnar.__new__(SharedColumnar)
+    obj._shm = shm
+    obj._specs = specs
+    obj._owner = False
+    obj._arrays = obj._build_views()
+    _ATTACHED[name] = obj
+    return obj
+
+
+class SharedColumnar:
+    """Named read-only numpy columns in one shared-memory block.
+
+    Built from a ``{name: array}`` mapping in the dispatching process;
+    pickles as a descriptor and unpickles as zero-copy views over the
+    attached block (see the module docstring for the lifetime contract).
+
+    >>> cols = SharedColumnar({"xs": np.arange(4)})
+    >>> cols.arrays["xs"].tolist()
+    [0, 1, 2, 3]
+    >>> cols.destroy()
+    """
+
+    __slots__ = ("_shm", "_specs", "_arrays", "_owner")
+
+    def __init__(self, arrays: "dict[str, np.ndarray]") -> None:
+        specs = []
+        offset = 0
+        for name, arr in arrays.items():
+            offset = -(-offset // _ALIGN) * _ALIGN
+            specs.append((name, arr.dtype.str, arr.shape, offset))
+            offset += arr.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self._specs = tuple(specs)
+        self._owner = True
+        self._arrays = self._build_views()
+        for name, view in self._arrays.items():
+            # The write happens through a temporarily writable alias; the
+            # exposed view itself is read-only on both sides.
+            np.ndarray(view.shape, view.dtype, buffer=self._shm.buf,
+                       offset=self._offset_of(name))[...] = arrays[name]
+
+    def _offset_of(self, name: str) -> int:
+        for cname, _, _, off in self._specs:
+            if cname == name:
+                return off
+        raise KeyError(name)  # pragma: no cover - internal misuse
+
+    def _build_views(self) -> "dict[str, np.ndarray]":
+        views = {}
+        for name, dtype, shape, off in self._specs:
+            view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=off)
+            view.setflags(write=False)
+            views[name] = view
+        return views
+
+    @property
+    def arrays(self) -> "dict[str, np.ndarray]":
+        """The named columns, as read-only views over the block."""
+        return self._arrays
+
+    def __reduce__(self):
+        return (_attach, (self._shm.name, self._specs))
+
+    def destroy(self) -> None:
+        """Creator-side teardown: drop the views, close and unlink.
+
+        Call once every worker result has been collected — attached
+        workers keep their own mappings alive, the unlink only removes
+        the name so the segment dies with the last mapping.
+        """
+        self._arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - an escaped view holds the map
+            pass
+        if self._owner:
+            self._shm.unlink()

@@ -123,3 +123,54 @@ def _brute_earliest_fit(placed, allotment, duration, m):
         ):
             return t0
     return max((e for _, e, _ in placed), default=0.0)
+
+
+class TestFreeProfileAmortisedGrowth:
+    """PR-6 regressions: reserve() used to rebuild both breakpoint arrays
+    with np.insert per call (O(n^2) growth) and wrapped a negative start
+    straight into ``usage[-1]`` via the searchsorted index."""
+
+    def test_negative_start_rejected(self):
+        prof = FreeProfile(4)
+        with pytest.raises(SchedulingError, match="must be >= 0"):
+            prof.reserve(-1.0, 2.0, 1)
+
+    def test_negative_start_zero_duration_still_noop(self):
+        # duration <= 0 was (and stays) a silent no-op, even before the
+        # start sign is inspected.
+        prof = FreeProfile(4)
+        prof.reserve(-5.0, 0.0, 1)
+        assert prof.usage_at(0.0) == 0
+
+    def test_capacity_doubles_not_per_insert(self):
+        prof = FreeProfile(8)
+        for i in range(500):
+            prof.reserve(float(2 * i), 1.0, 1)
+        # live breakpoints: one per reservation edge (the first start
+        # coincides with the origin breakpoint)
+        assert prof._size == 1000
+        capacity = prof._times.size
+        assert capacity >= prof._size
+        # geometric doubling: capacity is 16 * 2^k and within 2x of the need
+        assert capacity & (capacity - 1) == 0
+        assert capacity < 2 * prof._size + 16
+
+    def test_growth_preserves_profile_semantics(self):
+        rng = np.random.default_rng(42)
+        prof = FreeProfile(6)
+        placed: list[tuple[float, float, int]] = []
+        for _ in range(200):
+            start = float(rng.integers(0, 50)) * 0.5
+            duration = float(rng.integers(1, 8)) * 0.25
+            allot = int(rng.integers(1, 4))
+            prof.reserve(start, duration, allot)
+            placed.append((start, start + duration, allot))
+        for probe in np.arange(0.0, 30.0, 0.25):
+            expected = sum(a for s, e, a in placed if s <= probe < e)
+            assert prof.usage_at(float(probe)) == expected
+
+    def test_earliest_fit_ignores_spare_capacity(self):
+        prof = FreeProfile(2)
+        for i in range(40):  # force several doublings
+            prof.reserve(float(i), 1.0, 2)
+        assert prof.earliest_fit(1, 1.0) == 40.0

@@ -1,0 +1,123 @@
+"""Tests for the shared-memory columnar handoff of the process backend.
+
+:class:`SharedColumnar` must pickle as a tiny descriptor and unpickle as
+zero-copy views; :class:`SharedTraceHandle` must unpickle as a *real*
+Trace (digest passed through, never recomputed); and both cell families
+that stage payloads through it must produce bit-identical records under
+the serial and process backends.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments.replay import replay_trace
+from repro.experiments.runner import run_pareto_cells
+from repro.utils.shm import SharedColumnar
+from repro.workloads.trace import (
+    SharedTraceHandle,
+    Trace,
+    load_trace,
+    resolve_trace,
+    synthesize_swf,
+)
+
+
+class TestSharedColumnar:
+    def test_roundtrip_pickle(self):
+        arrays = {
+            "ints": np.arange(5, dtype=np.int64),
+            "floats": np.linspace(0.0, 1.0, 7),
+        }
+        cols = SharedColumnar(arrays)
+        try:
+            clone = pickle.loads(pickle.dumps(cols))
+            assert clone is not cols
+            for name, arr in arrays.items():
+                assert clone.arrays[name].dtype == arr.dtype
+                assert clone.arrays[name].tobytes() == arr.tobytes()
+            # a second unpickle in the same process hits the attach cache
+            assert pickle.loads(pickle.dumps(cols)) is clone
+        finally:
+            cols.destroy()
+
+    def test_views_are_read_only(self):
+        cols = SharedColumnar({"xs": np.arange(3)})
+        try:
+            with pytest.raises(ValueError):
+                cols.arrays["xs"][0] = 99
+        finally:
+            cols.destroy()
+
+    def test_descriptor_dies_with_the_block(self):
+        cols = SharedColumnar({"xs": np.arange(3)})
+        blob = pickle.dumps(cols)
+        cols.destroy()
+        with pytest.raises(FileNotFoundError):
+            pickle.loads(blob)
+
+
+@pytest.fixture(scope="module")
+def trace() -> Trace:
+    return load_trace(synthesize_swf(40, 8, seed=5))
+
+
+class TestSharedTraceHandle:
+    def test_unpickles_as_a_real_trace(self, trace):
+        handle = SharedTraceHandle(trace)
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            assert isinstance(clone, Trace)
+            assert clone is not trace
+            for col in ("job_ids", "submits", "waits", "runs", "procs"):
+                assert getattr(clone, col).tobytes() == getattr(trace, col).tobytes()
+            # digest is passed through, not recomputed from the views
+            assert clone.digest == trace.digest
+            assert clone.offset == trace.offset
+            assert clone.max_procs == trace.max_procs
+        finally:
+            handle.release()
+
+    def test_resolve_trace_unwraps(self, trace):
+        handle = SharedTraceHandle(trace)
+        try:
+            assert resolve_trace(handle) is trace
+            assert resolve_trace(trace) is trace
+        finally:
+            handle.release()
+
+
+def _replay_key(r):
+    return (
+        r.digest, r.offset, r.n_jobs, r.m, r.model, r.mode, r.engine,
+        r.makespan, r.weighted_flow, r.release_sum, r.n_batches,
+    )
+
+
+class TestProcessHandoff:
+    def test_replay_process_matches_serial(self, trace):
+        kwargs = dict(models=["rigid", "linear"], modes=["batch", "clairvoyant"])
+        serial = replay_trace(trace, **kwargs)
+        proc = replay_trace(trace, backend="process", jobs=2, **kwargs)
+        assert [_replay_key(r) for r in proc] == [_replay_key(r) for r in serial]
+
+    def test_pareto_process_matches_serial(self, trace):
+        cells = [("trace:shmtest", trace.n, 0)]
+        variants = ["DEMT[shuffle=2]", "SAF"]
+        kwargs = dict(seed=1, m=8, payloads={"trace:shmtest": (trace, "rigid")})
+        serial = run_pareto_cells(cells, variants, **kwargs)
+        proc = run_pareto_cells(cells, variants, backend="process", jobs=2, **kwargs)
+        assert serial.keys() == proc.keys()
+        for cell in serial:
+            b_s, rec_s = serial[cell]
+            b_p, rec_p = proc[cell]
+            assert (b_s is None) == (b_p is None)
+            if b_s is not None:
+                assert (b_s.cmax_lb, b_s.minsum_lb) == (b_p.cmax_lb, b_p.minsum_lb)
+            assert rec_s.keys() == rec_p.keys()
+            for spec in rec_s:
+                assert rec_s[spec].cmax == rec_p[spec].cmax
+                assert rec_s[spec].minsum == rec_p[spec].minsum

@@ -1,0 +1,15 @@
+"""Fixtures for the kernel-layer suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave whatever backend the session selected active after each test."""
+    before = kernels.backend_name()
+    yield
+    kernels.set_backend(before)

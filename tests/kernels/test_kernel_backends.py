@@ -1,0 +1,299 @@
+"""Differential suite for the pluggable kernel layer.
+
+Every backend that imports here (``numpy`` always; ``cffi``/``numba``
+when their toolchains are present) must reproduce the pure-NumPy
+reference **bit for bit** on all three kernels, and the library-level
+entry points must agree with the seed oracles of
+``algorithms/reference.py`` and with exhaustive brute force on small
+inputs.  The same guarantee end-to-end: DEMT schedules are identical
+whichever backend is active.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import kernels
+from repro.algorithms.demt import DemtScheduler
+from repro.algorithms.dual_approx import dual_approximation
+from repro.algorithms.knapsack import (
+    knapsack_min_work,
+    knapsack_min_work_value,
+    knapsack_select_indices,
+)
+from repro.algorithms.reference import (
+    ReferenceDemtScheduler,
+    reference_dual_approximation,
+    reference_knapsack_min_work,
+)
+from repro.workloads.generator import generate_workload
+
+BACKENDS = kernels.available_backend_names()
+NUMPY = kernels.load_backend("numpy")
+OTHERS = tuple(kernels.load_backend(n) for n in BACKENDS if n != "numpy")
+
+
+def _bits(x: float) -> bytes:
+    """Exact float identity (distinguishes -0.0, tolerates inf)."""
+    return struct.pack("<d", float(x))
+
+
+# --------------------------------------------------------------------- #
+# Max-weight knapsack DP + reconstruction                               #
+# --------------------------------------------------------------------- #
+_weights = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+_knap_cases = st.tuples(
+    st.lists(st.tuples(st.integers(1, 9), _weights), min_size=1, max_size=10),
+    st.integers(1, 14),
+)
+
+
+@given(_knap_cases)
+@settings(max_examples=80, deadline=None)
+def test_knapsack_select_backends_and_bruteforce(case):
+    items, m = case
+    allot = np.array([a for a, _ in items], dtype=np.int64)
+    weights = np.array([w for _, w in items], dtype=np.float64)
+
+    chosen, total, used = NUMPY.knapsack_select_core(allot, weights, m)
+    for mod in OTHERS:
+        got = mod.knapsack_select_core(allot, weights, m)
+        assert list(got[0]) == list(chosen), mod.name
+        assert _bits(got[1]) == _bits(total), mod.name
+        assert int(got[2]) == used, mod.name
+
+    # The reported total is the fold-left sum of the chosen weights and
+    # the selection fits.
+    assert used == sum(int(allot[i]) for i in chosen)
+    assert used <= m
+    acc = 0.0
+    for i in chosen:
+        acc += float(weights[i])
+    assert _bits(acc) == _bits(total)
+
+    # Optimal against exhaustive subset enumeration.  Subset sums are
+    # folded left in index order — exactly the DP's addition order — so
+    # the comparison is float-exact, not approximate.
+    n = len(items)
+    best = 0.0
+    for mask in range(1 << n):
+        cap, s = 0, 0.0
+        for i in range(n):
+            if mask >> i & 1:
+                cap += int(allot[i])
+                s += float(weights[i])
+        if cap <= m and s > best:
+            best = s
+    assert total == best
+
+
+@given(_knap_cases)
+@settings(max_examples=40, deadline=None)
+def test_knapsack_select_indices_shortcut_consistent(case):
+    """The take-all short-circuit returns exactly what the DP would."""
+    items, m = case
+    allot = np.array([a for a, _ in items], dtype=np.int64)
+    # Strictly positive weights: the zero-weight tie is the one case the
+    # shortcut is (documented to be) allowed to differ on.
+    weights = np.array([w + 0.5 for _, w in items], dtype=np.float64)
+    via_api = knapsack_select_indices(allot, weights, m)
+    via_dp = NUMPY.knapsack_select_core(allot, weights, m)
+    assert list(via_api[0]) == list(via_dp[0])
+    assert _bits(via_api[1]) == _bits(via_dp[1])
+    assert via_api[2] == via_dp[2]
+
+
+# --------------------------------------------------------------------- #
+# Binary-choice min-work DP                                             #
+# --------------------------------------------------------------------- #
+_work = st.floats(min_value=0.0, max_value=1e6, allow_nan=False) | st.just(np.inf)
+_minwork_cases = st.tuples(
+    st.lists(st.tuples(_work, st.integers(0, 9), _work), min_size=1, max_size=16),
+    st.integers(0, 12),
+)
+
+
+@given(_minwork_cases)
+@settings(max_examples=120, deadline=None)
+def test_min_work_value_backends_and_oracles(case):
+    rows, m = case
+    work_a = np.array([r[0] for r in rows], dtype=np.float64)
+    cost_i = np.array([r[1] for r in rows], dtype=np.int64)
+    work_b = np.array([r[2] for r in rows], dtype=np.float64)
+    cost_f = cost_i.astype(np.float64)
+
+    ref = NUMPY.knapsack_min_work_value_core(work_a, cost_i, work_b, m)
+    for mod in OTHERS:
+        got = mod.knapsack_min_work_value_core(work_a, cost_i, work_b, m)
+        assert _bits(got) == _bits(ref), mod.name
+
+    # The dispatching wrapper, the reconstructing variant and the seed
+    # oracle all land on the same bits.
+    assert _bits(knapsack_min_work_value(work_a, cost_f, work_b, m)) == _bits(ref)
+    assert _bits(knapsack_min_work(work_a, cost_f, work_b, m)[1]) == _bits(ref)
+    assert _bits(reference_knapsack_min_work(work_a, cost_f, work_b, m)[1]) == _bits(ref)
+
+
+# --------------------------------------------------------------------- #
+# Graham event loop                                                     #
+# --------------------------------------------------------------------- #
+def _graham_oracle(alist, dlist, m, start_time, cutoff):
+    """Textbook restart-from-the-head list scheduling, O(n^2) scan."""
+    n = len(alist)
+    starts = [0.0] * n
+    order: list[int] = []
+    pending = list(range(n))
+    heap: list[tuple[float, int]] = []
+    free = m
+    now = float(start_time)
+    while pending:
+        while True:
+            for idx in pending:
+                if alist[idx] <= free:
+                    starts[idx] = now
+                    order.append(idx)
+                    heapq.heappush(heap, (now + dlist[idx], alist[idx]))
+                    free -= alist[idx]
+                    pending.remove(idx)
+                    break
+            else:
+                break
+        if not pending:
+            break
+        end, a = heapq.heappop(heap)
+        free += a
+        now = end
+        while heap and heap[0][0] <= now:
+            _, a2 = heapq.heappop(heap)
+            free += a2
+        if cutoff is not None and now > cutoff:
+            return None
+    return starts, order
+
+
+@st.composite
+def _graham_case(draw):
+    m = draw(st.integers(1, 8))
+    n = draw(st.integers(1, 20))
+    alist = [draw(st.integers(1, m)) for _ in range(n)]
+    dlist = [
+        draw(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+        for _ in range(n)
+    ]
+    start = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    cutoff = draw(st.none() | st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    return alist, dlist, m, start, cutoff
+
+
+@given(_graham_case())
+@settings(max_examples=120, deadline=None)
+def test_graham_backends_and_oracle(case):
+    alist, dlist, m, start, cutoff = case
+    allot = np.array(alist, dtype=np.int64)
+    dur = np.array(dlist, dtype=np.float64)
+
+    ref = NUMPY.graham_starts_core(allot, dur, m, start, cutoff)
+    oracle = _graham_oracle(alist, dlist, m, start, cutoff)
+    if ref is None:
+        assert oracle is None
+    else:
+        assert np.asarray(oracle[0], dtype=np.float64).tobytes() == ref[0].tobytes()
+        assert oracle[1] == list(ref[1])
+
+    for mod in OTHERS:
+        got = mod.graham_starts_core(allot, dur, m, start, cutoff)
+        if ref is None:
+            assert got is None, mod.name
+        else:
+            assert got is not None, mod.name
+            assert np.asarray(got[0], dtype=np.float64).tobytes() == ref[0].tobytes(), mod.name
+            assert list(got[1]) == list(ref[1]), mod.name
+
+
+# --------------------------------------------------------------------- #
+# End to end: identical schedules under every backend                   #
+# --------------------------------------------------------------------- #
+def _sched_key(sched):
+    """Bit-exact canonical form: placement order, starts, allotments."""
+    return (
+        sched.m,
+        tuple((p.task.task_id, _bits(p.start), p.allotment) for p in sched.placements),
+    )
+
+
+@pytest.mark.parametrize("kind", ["mixed", "cirne", "linear_speedup"])
+def test_demt_identical_across_backends_and_vs_seed(kind):
+    inst = generate_workload(kind, n=24, m=8, seed=11)
+
+    outcomes = []
+    for name in BACKENDS:
+        kernels.set_backend(name)
+        sched = DemtScheduler().schedule(inst)
+        dual = dual_approximation(inst)
+        outcomes.append((name, _sched_key(sched), _bits(dual.lam), _sched_key(dual.schedule)))
+
+    base = outcomes[0]
+    for other in outcomes[1:]:
+        assert other[1] == base[1], f"{other[0]} schedule != {base[0]}"
+        assert other[2] == base[2], f"{other[0]} lambda != {base[0]}"
+        assert other[3] == base[3], f"{other[0]} two-shelf != {base[0]}"
+
+    # ... and all of them equal the sequential seed implementation.
+    kernels.set_backend("numpy")
+    assert _sched_key(ReferenceDemtScheduler().schedule(inst)) == base[1]
+    ref_dual = reference_dual_approximation(inst)
+    assert _bits(ref_dual.lam) == base[2]
+    assert _sched_key(ref_dual.schedule) == base[3]
+
+
+# --------------------------------------------------------------------- #
+# Selection plumbing                                                    #
+# --------------------------------------------------------------------- #
+class TestBackendSelection:
+    def test_numpy_always_available(self):
+        assert "numpy" in BACKENDS
+        assert kernels.load_backend("numpy") is NUMPY
+
+    def test_set_backend_round_trip(self):
+        for name in BACKENDS:
+            prev = kernels.set_backend(name)
+            assert prev in kernels._KNOWN
+            assert kernels.backend_name() == name
+
+    def test_set_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("fortran")
+
+    def test_set_backend_unavailable(self):
+        missing = [n for n in kernels._KNOWN if n not in BACKENDS]
+        if not missing:
+            pytest.skip("every known backend imports here")
+        with pytest.raises(RuntimeError, match="unavailable"):
+            kernels.set_backend(missing[0])
+
+    @pytest.mark.parametrize("requested", ["numpy"] + [n for n in BACKENDS if n != "numpy"])
+    def test_env_override_selects_backend(self, requested):
+        env = dict(os.environ, REPRO_KERNELS=requested)
+        src = Path(repro.__file__).resolve().parents[1]
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src), env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", "from repro import kernels; print(kernels.backend_name())"],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == requested
