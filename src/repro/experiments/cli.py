@@ -53,6 +53,17 @@ families and SWF trace windows alike::
     repro-experiments pareto mixed cirne --indicators --charts
     repro-experiments --cache-dir .repro-cache \
         pareto trace:log.swf --model downey --window 0:200 --sweep demt-knobs
+
+Run a robustness campaign — inject runtime misestimation, machine
+failures and adversarial arrivals into the on-line simulation, compare
+nominal vs degraded makespans per off-line engine, and mark the engines
+on the (nominal, degraded) Pareto front.  The campaign engine retries
+crashed cells and quarantines poison ones instead of aborting::
+
+    repro-experiments robustness mixed --noise lognormal:0.4 \
+        --failures exp:30:5 --engines demt gang
+    repro-experiments --backend process robustness mixed \
+        --scenario 'overestimate:4|exp:50:5|bursty:4' --retries 3
 """
 
 from __future__ import annotations
@@ -140,7 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.pareto.sweep import SWEEPS
     from repro.workloads.trace import MOLDABILITY_MODELS
 
-    sub = parser.add_subparsers(dest="command", metavar="{replay,pareto}")
+    sub = parser.add_subparsers(
+        dest="command", metavar="{replay,pareto,robustness}"
+    )
     replay = sub.add_parser(
         "replay",
         help="replay an SWF trace through the on-line batch framework",
@@ -290,6 +303,109 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument(
         "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
     )
+
+    from repro.faults.campaign import ROBUSTNESS_ENGINES
+
+    robust = sub.add_parser(
+        "robustness",
+        help="fault-injection campaign: nominal vs degraded makespans",
+        description="Robustness campaign: run seeded workload cells "
+        "through the faulty on-line batch policy — scheduling on "
+        "noise-perturbed estimates, surviving machine failures, under "
+        "synthetic arrival patterns — and compare each off-line engine's "
+        "nominal and degraded makespans.  Cells whose worker crashes are "
+        "retried with backoff; poison cells are quarantined and marked "
+        "in the table instead of aborting the campaign.",
+    )
+    robust.add_argument(
+        "kind",
+        nargs="?",
+        default="mixed",
+        help="workload family for the seeded cells (default: mixed)",
+    )
+    robust.add_argument(
+        "--scenario",
+        default="",
+        metavar="NOISE|FAIL|ARRIVE",
+        help="combined fault spec, e.g. 'lognormal:0.4|exp:50:5|bursty:4' "
+        "(the three flags below override individual axes)",
+    )
+    robust.add_argument(
+        "--noise",
+        default=None,
+        help="misestimation model: none, lognormal[:sigma], "
+        "overestimate[:fmax]; append @SEED to reseed",
+    )
+    robust.add_argument(
+        "--failures",
+        default=None,
+        help="machine-failure process: none or exp:MTBF:MTTR[@SEED]",
+    )
+    robust.add_argument(
+        "--arrivals",
+        default=None,
+        help="arrival pattern: none, poisson[:load], bursty[:waves[:load]], "
+        "adversarial",
+    )
+    robust.add_argument(
+        "--engines",
+        nargs="+",
+        default=["demt"],
+        choices=[*ROBUSTNESS_ENGINES, "all"],
+        help="off-line engines to compare (default: demt)",
+    )
+    robust.add_argument(
+        "--n",
+        type=_positive_int,
+        nargs="+",
+        default=None,
+        help="task counts (default: the scale's smallest)",
+    )
+    robust.add_argument(
+        "--runs",
+        type=_positive_int,
+        default=3,
+        help="instances per task count (default: 3)",
+    )
+    robust.add_argument(
+        "--m", type=_positive_int, default=None,
+        help="machine size (default: the scale's m)",
+    )
+    robust.add_argument(
+        "--validate",
+        action="store_true",
+        help="feasibility-check every realized schedule against the truth",
+    )
+    robust.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per crashed cell before quarantine (default: 2)",
+    )
+    robust.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base retry backoff in seconds, doubled per attempt (default: 0.05)",
+    )
+    robust.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any cell attempt exceeding this wall-clock budget",
+    )
+    robust.add_argument(
+        "--backend", choices=list(BACKENDS), default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    robust.add_argument(
+        "--jobs", type=_positive_int, default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    robust.add_argument(
+        "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
+    )
     return parser
 
 
@@ -315,7 +431,12 @@ def _run_replay(args, exec_kw: dict, cache) -> int:
     )
     from repro.workloads.trace import MOLDABILITY_MODELS, load_trace
 
-    trace = load_trace(args.trace)
+    try:
+        trace = load_trace(args.trace)
+    except OSError as exc:  # missing/unreadable path: clean one-line exit
+        raise SystemExit(f"replay: cannot read trace: {exc}")
+    except ValueError as exc:  # unparseable log
+        raise SystemExit(f"replay: {exc}")
     models = list(MOLDABILITY_MODELS) if "all" in args.model else args.model
     modes = ("batch", "clairvoyant") if args.mode == "both" else args.mode
     offline = REPLAY_ENGINES[args.engine]
@@ -394,6 +515,8 @@ def _run_pareto(args, cfg, exec_kw: dict, cache) -> int:
                 cache=cache,
                 **exec_kw,
             )
+        except OSError as exc:  # trace:<path> missing/unreadable
+            raise SystemExit(f"pareto: cannot read trace: {exc}")
         except ValueError as exc:  # bad source/sweep spec: clean CLI error
             raise SystemExit(f"pareto: {exc}")
         print(format_front_table(result))
@@ -401,6 +524,55 @@ def _run_pareto(args, cfg, exec_kw: dict, cache) -> int:
             print(format_indicator_table(result))
         if args.charts:
             print(format_front_charts(result))
+    return 0
+
+
+def _run_robustness(args, cfg, exec_kw: dict, cache) -> int:
+    from repro.exceptions import ModelError
+    from repro.experiments.engine import RetryPolicy
+    from repro.experiments.reporting import format_robustness_table
+    from repro.faults.campaign import (
+        ROBUSTNESS_ENGINES,
+        parse_scenario,
+        run_robustness_campaign,
+    )
+
+    try:
+        scenario = parse_scenario(
+            args.scenario,
+            noise=args.noise,
+            failures=args.failures,
+            arrivals=args.arrivals,
+        )
+    except ModelError as exc:
+        raise SystemExit(f"robustness: {exc}")
+    try:
+        policy = RetryPolicy(
+            retries=args.retries, backoff=args.backoff, timeout=args.cell_timeout
+        )
+    except ValueError as exc:
+        raise SystemExit(f"robustness: {exc}")
+    engines = (
+        ROBUSTNESS_ENGINES if "all" in args.engines else tuple(args.engines)
+    )
+    task_counts = tuple(args.n) if args.n else (min(cfg.task_counts),)
+    try:
+        result = run_robustness_campaign(
+            args.kind,
+            task_counts,
+            args.runs,
+            scenario,
+            engines=engines,
+            seed=cfg.seed,
+            m=args.m if args.m is not None else cfg.m,
+            validate=args.validate,
+            cache=cache,
+            policy=policy,
+            **exec_kw,
+        )
+    except (ModelError, ValueError) as exc:  # bad kind/spec: clean CLI error
+        raise SystemExit(f"robustness: {exc}")
+    print(format_robustness_table(result))
     return 0
 
 
@@ -416,7 +588,12 @@ def main(argv: list[str] | None = None) -> int:
         cfg = cfg.scaled(seed=args.seed)
 
     exec_kw = dict(backend=args.backend, jobs=args.jobs)
-    cache = resolve_cache(args.cache_dir)
+    try:
+        cache = resolve_cache(args.cache_dir)
+    except OSError as exc:  # unusable cache dir: clean one-line exit
+        raise SystemExit(
+            f"repro-experiments: cache dir {args.cache_dir!r} is unusable: {exc}"
+        )
     cached_kw = dict(exec_kw, cache=cache)
 
     if command == "replay":
@@ -426,6 +603,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if command == "pareto":
         _run_pareto(args, cfg, exec_kw, cache)
+
+    if command == "robustness":
+        _run_robustness(args, cfg, exec_kw, cache)
 
     if args.figure:
         wanted = list(FIGURES) if args.figure == "all" else [args.figure]

@@ -21,6 +21,17 @@ interchangeable:
   and return plain records; numbers are guaranteed identical to the serial
   backend (only the wall-clock ``seconds`` measurements differ).
 
+Both backends optionally take a :class:`RetryPolicy`, which turns them
+crash-tolerant: failed cell attempts are retried with exponential backoff
+and deterministic jitter, a cell still failing after its attempt budget is
+**quarantined** (recorded as a :class:`CellFailure` instead of aborting
+the campaign — surfaced as :attr:`CellOutcome.error`), each attempt is
+bounded by a per-cell timeout (process backend; a hung worker is killed
+with its pool), and a pool that keeps dying degrades gracefully to
+in-process execution.  Because cell results are pure functions of their
+keys, a record produced on a retry is bit-identical to a first-try record
+— crash-tolerance never changes the numbers.
+
 The :class:`CellCache` memoises per-cell records and per-instance lower
 bounds, so repeated campaigns — sweeps over algorithm subsets, ablations
 re-using the same instances, figure regeneration after adding one point —
@@ -35,7 +46,11 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,6 +67,8 @@ __all__ = [
     "PersistentCellCache",
     "CellFamily",
     "CellOutcome",
+    "CellFailure",
+    "RetryPolicy",
     "execute_cells",
     "SerialBackend",
     "ProcessBackend",
@@ -87,6 +104,8 @@ class CellRecord:
     lookup under ``validate=True`` refuses records measured without it.
     ``batches`` is only meaningful for on-line cells (trace replay, the
     batch framework): the number of batches the run executed; off-line
+    cells leave it 0.  ``crashes`` counts the simulated crash-and-restart
+    evictions behind the measurement (:mod:`repro.faults`); fault-free
     cells leave it 0.
     """
 
@@ -95,6 +114,7 @@ class CellRecord:
     seconds: float
     validated: bool = False
     batches: int = 0
+    crashes: int = 0
 
 
 @dataclass(frozen=True)
@@ -166,7 +186,9 @@ class PersistentCellCache(CellCache):
 
     * **Loading merges every shard** (later lines win), and unparseable or
       truncated lines — a crashed writer, a half-synced file — are skipped,
-      not fatal: at worst a cell is re-measured.
+      not fatal: at worst a cell is re-measured.  ``loaded`` / ``dropped``
+      count the salvaged and discarded lines of the merge, so callers can
+      report exactly what a mid-write crash cost.
     * **Writes go to a per-process shard** (``cells-<pid>.jsonl``), so two
       campaigns sharing a directory never interleave within one file.  The
       process *backend* needs no extra care: workers return plain records
@@ -199,8 +221,13 @@ class PersistentCellCache(CellCache):
         )
 
     def _load(self) -> int:
-        """Merge every shard into memory; return the number of loaded rows."""
+        """Merge every shard into memory; return the number of loaded rows.
+
+        Sets :attr:`dropped` to the number of non-empty lines that could
+        not be salvaged (truncated tails, half-written documents).
+        """
         rows = 0
+        self.dropped = 0
         self._loaded_files = self._shard_files()
         for path in self._loaded_files:
             try:
@@ -224,6 +251,7 @@ class PersistentCellCache(CellCache):
                             seconds=float(doc["seconds"]),
                             validated=bool(doc["validated"]),
                             batches=int(doc.get("batches", 0)),
+                            crashes=int(doc.get("crashes", 0)),
                         )
                     elif doc["t"] == "bounds":
                         seed, kind, n, m, r = doc["k"]
@@ -237,6 +265,7 @@ class PersistentCellCache(CellCache):
                         continue
                     rows += 1
                 except (ValueError, KeyError, TypeError):
+                    self.dropped += 1
                     continue  # corrupt/foreign line: tolerate, re-measure
         return rows
 
@@ -259,6 +288,8 @@ class PersistentCellCache(CellCache):
         }
         if record.batches:  # only on-line cells carry a batch count
             doc["batches"] = record.batches
+        if record.crashes:  # only faulty cells carry a crash count
+            doc["crashes"] = record.crashes
         return doc
 
     def put_record(self, key: CellKey, record: CellRecord) -> None:
@@ -425,16 +456,141 @@ class CellFamily:
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """Everything :func:`execute_cells` knows about one finished cell."""
+    """Everything :func:`execute_cells` knows about one finished cell.
+
+    ``error`` is ``None`` for healthy cells; a quarantined cell (every
+    attempt of a :class:`RetryPolicy` failed) carries the final failure
+    message here, keeps whatever records were already cached, and never
+    aborts the rest of the campaign.
+    """
 
     bounds: CellBounds | None
     records: dict[str, CellRecord]
     #: Names whose records came from the cache (the rest were measured).
     cached: frozenset[str] = field(default_factory=frozenset)
+    #: Quarantine message (``None``: the cell executed normally).
+    error: str | None = None
 
     def __iter__(self):
         """Unpack as ``(bounds, records)`` — the historical result shape."""
         return iter((self.bounds, self.records))
+
+
+# ---------------------------------------------------------------------- #
+# Crash tolerance                                                        #
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Crash-tolerance knobs of a backend.
+
+    A cell attempt that raises (or whose worker process dies) is retried
+    up to ``retries`` more times; the delay before attempt ``a`` is
+    ``backoff * 2**(a-1)``, scaled by a deterministic jitter in
+    ``[1, 1.5)`` derived from the cell index — no RNG state, so two runs
+    of the same campaign back off identically.  A cell that exhausts its
+    ``1 + retries`` attempts is *quarantined*: its slot in the backend's
+    result list becomes a :class:`CellFailure` and the campaign carries
+    on.  ``timeout`` bounds one attempt's wall-clock seconds (process
+    backend only — a hung worker is killed together with its pool; the
+    in-process backends cannot preempt and ignore it).
+    """
+
+    retries: int = 2
+    backoff: float = 0.05
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    @property
+    def attempts(self) -> int:
+        return 1 + self.retries
+
+    def delay(self, attempt: int, index: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of cell ``index``."""
+        jitter = 1.0 + ((index * 2654435761 + attempt * 40503) % 1024) / 2048
+        return self.backoff * (2.0 ** (attempt - 1)) * jitter
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Terminal failure of one cell: quarantined, not fatal.
+
+    Takes the cell's slot in ``backend.map``'s result list;
+    :func:`execute_cells` converts it into :attr:`CellOutcome.error`.
+    """
+
+    message: str
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def _log(message: str) -> None:
+    """Engine diagnostics go to stderr (CI greps for retry/quarantine)."""
+    print(f"[engine] {message}", file=sys.stderr, flush=True)
+
+
+def _maybe_inject_crash() -> None:
+    """Deliberate crash hook for fault-injection tests and CI smoke.
+
+    When ``REPRO_INJECT_CRASH`` names a directory, the first
+    ``REPRO_INJECT_CRASH_COUNT`` (default 1) guarded worker calls —
+    across every process sharing the directory — claim a marker file
+    atomically and die: a worker process hard-exits (simulating a kill),
+    an in-process call raises.  Subsequent calls run normally, so a
+    retried attempt succeeds.
+    """
+    marker_dir = os.environ.get("REPRO_INJECT_CRASH")
+    if not marker_dir:
+        return
+    count = int(os.environ.get("REPRO_INJECT_CRASH_COUNT", "1"))
+    for i in range(count):
+        try:
+            fd = os.open(
+                os.path.join(marker_dir, f"crash-{i}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        os.close(fd)
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(23)  # a pool worker: die like a real crash
+        raise RuntimeError("injected crash (REPRO_INJECT_CRASH)")
+
+
+def _guarded_call(fn: Callable, item: object):
+    """One resilient cell attempt (module-level: picklable for pools)."""
+    _maybe_inject_crash()
+    return fn(item)
+
+
+def _attempts_in_process(
+    fn: Callable, item: object, index: int, attempt: int, policy: RetryPolicy
+):
+    """Run one cell in-process under the retry policy, from ``attempt``."""
+    while True:
+        try:
+            return _guarded_call(fn, item)
+        except Exception as exc:
+            attempt += 1
+            if attempt >= policy.attempts:
+                _log(f"cell {index} quarantined after {attempt} attempts: {exc}")
+                return CellFailure(str(exc), attempts=attempt)
+            delay = policy.delay(attempt, index)
+            _log(
+                f"cell {index} failed (attempt {attempt}/{policy.attempts}): "
+                f"{exc}; retrying in {delay:.2f}s"
+            )
+            time.sleep(delay)
 
 
 def execute_cells(
@@ -446,6 +602,7 @@ def execute_cells(
     backend: object = None,
     jobs: int | None = None,
     cache: "CellCache | str | os.PathLike | None" = None,
+    policy: "RetryPolicy | None" = None,
 ) -> "dict[Hashable, CellOutcome]":
     """Measure every ``(cell, name)`` pair of one family, uniformly.
 
@@ -468,8 +625,13 @@ def execute_cells(
       bounds (``bounds_key`` not ``None``) read and journal them under
       that key, so different families over the same instances share one
       bounds computation.
+    * **Quarantine, not abort** — with a :class:`RetryPolicy` (the
+      ``policy`` argument, attached to the resolved backend), a cell
+      whose every attempt failed yields a :class:`CellOutcome` carrying
+      :attr:`~CellOutcome.error` (plus any cached records) instead of
+      raising; healthy cells are unaffected.
     """
-    backend = resolve_backend(backend, jobs)
+    backend = resolve_backend(backend, jobs, policy)
     cache = resolve_cache(cache)
     names = tuple(names)
     results: dict[Hashable, CellOutcome] = {}
@@ -509,7 +671,16 @@ def execute_cells(
 
         outputs = backend.map(family.worker, work)
 
-    for cell, (fresh_bounds, fresh_records) in zip(work_cells, outputs):
+    for cell, output in zip(work_cells, outputs):
+        if isinstance(output, CellFailure):
+            results[cell] = CellOutcome(
+                None,
+                dict(cached_parts[cell]),
+                frozenset(cached_parts[cell]),
+                error=str(output),
+            )
+            continue
+        fresh_bounds, fresh_records = output
         bkey = family.bounds_key(cell)
         bounds = fresh_bounds
         if bounds is None and bkey is not None:
@@ -530,12 +701,26 @@ def execute_cells(
 
 
 class SerialBackend:
-    """Run cells in-process, in order (deterministic, no pickling needed)."""
+    """Run cells in-process, in order (deterministic, no pickling needed).
+
+    With a :class:`RetryPolicy`, each cell runs under the in-process
+    retry/quarantine loop (per-cell ``timeout`` cannot be enforced
+    without preemption and is ignored); without one, the historical
+    plain loop — any worker exception propagates.
+    """
 
     name = "serial"
 
+    def __init__(self, policy: "RetryPolicy | None" = None) -> None:
+        self.policy = policy
+
     def map(self, fn: Callable, items: Iterable) -> list:
-        return [fn(item) for item in items]
+        if self.policy is None:
+            return [fn(item) for item in items]
+        return [
+            _attempts_in_process(fn, item, i, 0, self.policy)
+            for i, item in enumerate(items)
+        ]
 
 
 class ProcessBackend:
@@ -545,23 +730,139 @@ class ProcessBackend:
     module-level functions taking plain tuples).  Result order matches
     item order, so aggregation is deterministic regardless of completion
     order; a single-item batch short-circuits to an in-process call.
+
+    With a :class:`RetryPolicy` the fan-out is crash-tolerant (see
+    :meth:`_resilient_map`): worker deaths and per-cell timeouts cost a
+    retry instead of the campaign, and a pool that dies twice degrades
+    to in-process execution of whatever is left.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None) -> None:
+    #: Pool deaths tolerated before degrading to in-process execution.
+    max_pool_deaths = 2
+
+    def __init__(
+        self, jobs: int | None = None, policy: "RetryPolicy | None" = None
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.policy = policy
 
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
+        if self.policy is not None:
+            return self._resilient_map(fn, items)
         if len(items) <= 1 or self.jobs == 1:
             return [fn(item) for item in items]
         workers = min(self.jobs, len(items))
         chunksize = max(1, len(items) // (4 * workers))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
+
+    # -- crash-tolerant fan-out ----------------------------------------- #
+    def _resilient_map(self, fn: Callable, items: list) -> list:
+        """Submit-based fan-out with retry, timeout and quarantine.
+
+        Invariants: every item ends up with exactly one result (a worker
+        return value or a :class:`CellFailure`) in item order; a pool
+        death (``BrokenProcessPool``, or a timeout — the hung worker is
+        killed with its pool) penalises only the cell whose future
+        surfaced it, and requeues the other unfinished cells at their
+        current attempt count; after :attr:`max_pool_deaths` deaths the
+        remainder runs in-process, where attribution is exact.
+        """
+        policy = self.policy
+        results: dict[int, object] = {}
+        pending: deque[tuple[int, int]] = deque((i, 0) for i in range(len(items)))
+        pool_deaths = 0
+
+        while pending:
+            if pool_deaths >= self.max_pool_deaths or self.jobs == 1:
+                if pool_deaths:
+                    _log(
+                        f"process pool died {pool_deaths} times; degrading to "
+                        f"serial execution of {len(pending)} remaining cells"
+                    )
+                while pending:
+                    i, attempt = pending.popleft()
+                    results[i] = _attempts_in_process(
+                        fn, items[i], i, attempt, policy
+                    )
+                break
+
+            batch = list(pending)
+            pending.clear()
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(batch)))
+            futures = [(i, attempt, pool.submit(_guarded_call, fn, items[i]))
+                       for i, attempt in batch]
+            died = False
+            try:
+                for pos, (i, attempt, fut) in enumerate(futures):
+                    if died:
+                        # The pool is gone: salvage finished futures, requeue
+                        # the rest at their current attempt count.
+                        if fut.done() and fut.exception() is None:
+                            results[i] = fut.result()
+                        else:
+                            pending.append((i, attempt))
+                        continue
+                    try:
+                        results[i] = fut.result(timeout=policy.timeout)
+                    except FutureTimeout:
+                        _kill_pool(pool)
+                        died = True
+                        pool_deaths += 1
+                        self._register_failure(
+                            pending, results, i, attempt, "cell attempt timed out"
+                        )
+                    except BrokenProcessPool:
+                        died = True
+                        pool_deaths += 1
+                        self._register_failure(
+                            pending, results, i, attempt,
+                            "worker process died (pool broken)",
+                        )
+                    except Exception as exc:  # worker raised; pool is healthy
+                        self._register_failure(pending, results, i, attempt, str(exc))
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        return [results[i] for i in range(len(items))]
+
+    def _register_failure(
+        self,
+        pending: "deque[tuple[int, int]]",
+        results: dict,
+        index: int,
+        attempt: int,
+        message: str,
+    ) -> None:
+        """One failed attempt: retry with backoff, or quarantine."""
+        policy = self.policy
+        attempt += 1
+        if attempt >= policy.attempts:
+            _log(f"cell {index} quarantined after {attempt} attempts: {message}")
+            results[index] = CellFailure(message, attempts=attempt)
+            return
+        delay = policy.delay(attempt, index)
+        _log(
+            f"cell {index} failed (attempt {attempt}/{policy.attempts}): "
+            f"{message}; retrying in {delay:.2f}s"
+        )
+        time.sleep(delay)
+        pending.append((index, attempt))
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill a pool's workers (a hung cell cannot be cancelled)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
 
 
 #: Backend name -> factory.
@@ -571,8 +872,16 @@ BACKENDS: dict[str, Callable[..., object]] = {
 }
 
 
-def resolve_backend(backend: object = None, jobs: int | None = None):
+def resolve_backend(
+    backend: object = None,
+    jobs: int | None = None,
+    policy: "RetryPolicy | None" = None,
+):
     """Normalise a backend spec: name, instance, or ``None`` (serial).
+
+    ``policy`` attaches a :class:`RetryPolicy` when the spec names a
+    backend to build (an already-constructed instance is passed through
+    unchanged, keeping whatever policy it was built with).
 
     >>> resolve_backend().name
     'serial'
@@ -580,7 +889,7 @@ def resolve_backend(backend: object = None, jobs: int | None = None):
     2
     """
     if backend is None:
-        return SerialBackend()
+        return SerialBackend(policy)
     if isinstance(backend, str):
         try:
             factory = BACKENDS[backend]
@@ -588,7 +897,7 @@ def resolve_backend(backend: object = None, jobs: int | None = None):
             raise ValueError(
                 f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
             ) from None
-        return factory(jobs) if factory is ProcessBackend else factory()
+        return factory(jobs, policy) if factory is ProcessBackend else factory(policy)
     if hasattr(backend, "map"):
         return backend
     raise TypeError(f"backend must be a name or expose .map(), got {backend!r}")

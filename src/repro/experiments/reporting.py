@@ -19,6 +19,7 @@ __all__ = [
     "format_timing_table",
     "format_replay_table",
     "format_policy_front_table",
+    "format_robustness_table",
     "format_front_table",
     "format_indicator_table",
     "format_front_charts",
@@ -140,6 +141,58 @@ def format_policy_front_table(result) -> str:
             f"{row['mean_flow']:>12.4f} {row['ratio']:>7.3f} "
             f"{'*' if row['on_front'] else '':>6}"
         )
+    return "\n".join(lines) + "\n"
+
+
+def format_robustness_table(result) -> str:
+    """Robustness campaign: per-cell rows plus the per-engine summary.
+
+    Each row compares one ``(cell, engine)`` pair's nominal and degraded
+    makespan; ``degr`` is their ratio (the measured price of the faults).
+    Quarantined cells — the engine's retry budget ran out — print
+    ``QUARANTINED`` in place of numbers; they are marked, never dropped.
+    The summary aggregates the healthy cells per engine and stars the
+    engines on the (nominal, degraded) Pareto front.
+    """
+    header = (
+        f"{'cell':<24} {'engine':<12} {'nominal':>10} {'degraded':>10} "
+        f"{'degr':>6} {'crash':>5} {'batches':>7}"
+    )
+    lines = [
+        f"Robustness campaign: scenario {result.scenario.spec}   "
+        f"cells={len(result.rows) // max(len(result.engines), 1)}   "
+        f"quarantined={result.n_quarantined}",
+        header,
+        "-" * len(header),
+    ]
+    for row in result.rows:
+        cell = f"{row.kind} n={row.n} r={row.r}"
+        if row.quarantined:
+            lines.append(f"{cell:<24} {row.engine:<12} {'QUARANTINED':>21}")
+            continue
+        lines.append(
+            f"{cell:<24} {row.engine:<12} {row.nominal_cmax:>10.4f} "
+            f"{row.degraded_cmax:>10.4f} {row.degradation:>6.3f} "
+            f"{row.crashes:>5} {row.batches:>7}"
+        )
+    lines.append("-" * len(header))
+    points = result.engine_points()
+    front = result.front()
+    for engine in result.engines:
+        if engine not in points:
+            lines.append(f"{'  ' + engine:<24} {'(all cells quarantined)'}")
+            continue
+        nom, deg = points[engine]
+        degr = deg / nom if nom > 0 else float("nan")
+        mark = "  *front*" if engine in front else ""
+        lines.append(
+            f"{'  ' + engine:<24} mean nominal {nom:>10.4f}   "
+            f"mean degraded {deg:>10.4f}   degr {degr:>6.3f}{mark}"
+        )
+    lines.append(
+        f"total restarts-from-scratch across healthy cells: "
+        f"{result.total_crashes}"
+    )
     return "\n".join(lines) + "\n"
 
 

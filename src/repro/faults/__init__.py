@@ -1,0 +1,82 @@
+"""Uncertainty and fault plane: what happens when the model is wrong.
+
+Every campaign of :mod:`repro.experiments` trusts the processing-time
+matrix ``p(j, k)`` exactly and assumes machines never die.  The paper's
+``3·sqrt(2)``-style guarantee is only meaningful in production if its
+degradation under *runtime misestimation*, *machine failures* and
+*adversarial arrivals* can be measured — this package injects all three,
+deterministically, and sweeps them as campaign axes:
+
+:mod:`repro.faults.noise`
+    Seeded, splitmix64-keyed noise models over moldability
+    reconstructions: the scheduler plans on *estimates* (multiplicative
+    lognormal error, user-overestimate distributions — optionally fitted
+    from an SWF log's requested-vs-actual columns) while execution takes
+    the true times.  Pure functions of ``(task_id, spec)``: perturbation
+    commutes with trace ``window``/``shift`` and is bit-identical across
+    processes and backends.
+:mod:`repro.faults.failures`
+    Per-machine up/down interval processes (exponential MTBF/MTTR
+    renewals) realised as capacity-change events, and
+    :class:`~repro.faults.failures.FaultyBatchPolicy` — the batch
+    framework with crash-and-restart-from-scratch job semantics: a
+    machine failure evicts the jobs it was running, wasted work is lost,
+    and the victims rejoin the queue for a later batch.
+:mod:`repro.faults.campaign`
+    The ``robustness`` campaign family of the
+    :func:`~repro.experiments.engine.execute_cells` protocol: scenarios
+    (noise × failures × arrivals) swept over seeded instances and
+    off-line engines, emitting Pareto fronts of
+    ``(nominal Cmax, degraded Cmax)`` through the
+    :mod:`repro.pareto` kernels.
+
+Arrival-side attacks (bursty and adversarial release-date generators)
+live with the other workload machinery in
+:mod:`repro.workloads.arrivals`.
+"""
+
+from repro.faults.campaign import (
+    FaultScenario,
+    RobustnessCellFamily,
+    RobustnessResult,
+    RobustnessRow,
+    parse_scenario,
+    run_robustness_campaign,
+)
+from repro.faults.failures import (
+    FAILURE_MODELS,
+    FailureTrace,
+    FaultyBatchPolicy,
+    FaultyOnlineResult,
+    generate_failures,
+    parse_failures,
+)
+from repro.faults.noise import (
+    NOISE_MODELS,
+    NoiseModel,
+    fit_overestimate_quantiles,
+    parse_noise,
+    perturb_instance,
+    perturb_times,
+)
+
+__all__ = [
+    "NOISE_MODELS",
+    "NoiseModel",
+    "parse_noise",
+    "perturb_times",
+    "perturb_instance",
+    "fit_overestimate_quantiles",
+    "FAILURE_MODELS",
+    "FailureTrace",
+    "FaultyBatchPolicy",
+    "FaultyOnlineResult",
+    "generate_failures",
+    "parse_failures",
+    "FaultScenario",
+    "parse_scenario",
+    "RobustnessCellFamily",
+    "RobustnessResult",
+    "RobustnessRow",
+    "run_robustness_campaign",
+]

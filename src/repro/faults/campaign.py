@@ -1,0 +1,401 @@
+"""The ``robustness`` campaign family: fault scenarios as sweepable cells.
+
+A :class:`FaultScenario` bundles the three fault axes — a
+:mod:`~repro.faults.noise` model, a :mod:`~repro.faults.failures` model
+and a :mod:`~repro.workloads.arrivals` pattern — into one canonical spec
+string (``noise|failures|arrivals``) that addresses cache records, so a
+scenario is a first-class campaign coordinate exactly like an algorithm
+name.  :func:`run_robustness_campaign` measures every seeded instance
+cell twice through the standard
+:func:`~repro.experiments.engine.execute_cells` machinery:
+
+* **degraded** — :class:`~repro.faults.failures.FaultyBatchPolicy` under
+  the full scenario (plan on estimates, execute the truth, survive the
+  failures);
+* **nominal** — the same policy under the scenario's *baseline* (same
+  arrivals, no misestimation, no failures), so the comparison isolates
+  the faults rather than the on-line setting.
+
+Each engine then becomes one point ``(nominal Cmax, degraded Cmax)``
+(mean over cells) and the existing :func:`~repro.pareto.front.pareto_mask`
+kernel marks the engines on the robustness/performance trade-off front.
+
+Every record is a pure function of its key: workers zero their
+wall-clock field, so a robustness campaign is **bit-identical between
+the serial and process backends** — including cells whose first attempts
+were crashed and retried by the engine's
+:class:`~repro.experiments.engine.RetryPolicy`.  Cells quarantined after
+exhausting their attempts surface as
+:attr:`~repro.experiments.engine.CellOutcome.error` and are explicitly
+marked in the aggregate rows, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.dual_approx import dual_approximation
+from repro.bounds.minsum_lp import minsum_lower_bound
+from repro.core.instance import Instance
+from repro.core.validation import validate_schedule
+from repro.exceptions import ModelError
+from repro.experiments.engine import (
+    CellBounds,
+    CellKey,
+    CellRecord,
+    RetryPolicy,
+    execute_cells,
+)
+from repro.experiments.runner import CampaignCellFamily
+from repro.faults.failures import generate_failures, parse_failures
+from repro.faults.noise import parse_noise
+from repro.utils.rng import derive_rng
+from repro.workloads.arrivals import apply_arrivals, parse_arrivals
+from repro.workloads.generator import generate_workload
+
+__all__ = [
+    "FaultScenario",
+    "parse_scenario",
+    "ROBUSTNESS_ENGINES",
+    "RobustnessCellFamily",
+    "RobustnessRow",
+    "RobustnessResult",
+    "run_robustness_campaign",
+]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One point on the fault axes: canonical ``noise|failures|arrivals``.
+
+    Fields hold *canonical* sub-specs (build through
+    :func:`parse_scenario`, which normalises them); :attr:`spec` is the
+    cache identity of the scenario's records.
+    """
+
+    noise: str = "none"
+    failures: str = "none"
+    arrivals: str = "none"
+
+    @property
+    def spec(self) -> str:
+        return f"{self.noise}|{self.failures}|{self.arrivals}"
+
+    @property
+    def is_nominal(self) -> bool:
+        """True when no fault axis is active (arrivals alone are not a fault)."""
+        return self.noise == "none" and self.failures == "none"
+
+    def baseline(self) -> "FaultScenario":
+        """The fault-free twin: same arrivals, no noise, no failures."""
+        return FaultScenario(arrivals=self.arrivals)
+
+
+def parse_scenario(
+    spec: "str | FaultScenario",
+    *,
+    noise: str | None = None,
+    failures: str | None = None,
+    arrivals: str | None = None,
+) -> FaultScenario:
+    """Resolve and canonicalise a scenario.
+
+    ``spec`` is ``noise[|failures[|arrivals]]`` (missing parts default to
+    ``none``); the keyword arguments override individual axes — the CLI
+    passes its three flags through them with ``spec=""``.
+
+    >>> parse_scenario("lognormal:0.30|exp:50:5").spec
+    'lognormal:0.3|exp:50:5|none'
+    >>> parse_scenario("", arrivals="bursty:4").spec
+    'none|none|bursty:4:0.9'
+    """
+    if isinstance(spec, FaultScenario):
+        parts = [spec.noise, spec.failures, spec.arrivals]
+    else:
+        parts = [p.strip() for p in str(spec).split("|")] if spec else []
+        if len(parts) > 3:
+            raise ModelError(
+                f"scenario spec has more than 3 '|'-separated axes: {spec!r}"
+            )
+        parts += ["none"] * (3 - len(parts))
+    if noise is not None:
+        parts[0] = noise
+    if failures is not None:
+        parts[1] = failures
+    if arrivals is not None:
+        parts[2] = arrivals
+    return FaultScenario(
+        noise=parse_noise(parts[0] or "none").spec,
+        failures=parse_failures(parts[1] or "none").spec,
+        arrivals=parse_arrivals(parts[2] or "none").spec,
+    )
+
+
+def _robustness_engines() -> dict:
+    """Named off-line engines (module-level functions, stable labels)."""
+    from repro.experiments.replay import REPLAY_ENGINES
+
+    return REPLAY_ENGINES
+
+
+#: Engine names accepted by the robustness campaign (the replay engines:
+#: every entry is a module-level off-line scheduler with a stable label).
+ROBUSTNESS_ENGINES = ("demt", "gang", "sequential", "wspt")
+
+
+def _failure_horizon(instance: Instance) -> float:
+    """Deterministic horizon for failure generation on one instance.
+
+    Long enough that failures keep arriving for any plausible execution:
+    the last release plus four times (total minimal work area over ``m``
+    plus the longest best-case job).  Beyond it machines stay up, which
+    also guarantees every faulty run terminates.
+    """
+    times = np.asarray(instance.times_matrix, dtype=np.float64)
+    if times.size == 0:
+        return 1.0
+    ks = np.arange(1, instance.m + 1, dtype=np.float64)
+    areas = np.min(np.where(np.isfinite(times), times * ks, np.inf), axis=1)
+    areas = np.where(np.isfinite(areas), areas, 0.0)
+    best = np.min(times, axis=1)
+    best = np.where(np.isfinite(best), best, 0.0)
+    rel = float(instance.releases.max()) if instance.n else 0.0
+    return rel + 4.0 * (float(areas.sum()) / instance.m + float(best.max())) + 1.0
+
+
+def _run_robustness_cell(args: tuple) -> "tuple[CellBounds | None, dict[str, CellRecord]]":
+    """Worker: one seeded instance through the faulty batch policy.
+
+    ``args`` is ``(seed, kind, n, m, r, engines, scenario_spec, validate,
+    need_bounds)``.  The instance is the exact
+    ``derive_rng(seed, kind, n, r)`` stream of the figure campaigns, so
+    the bounds key is shared with them.  ``seconds`` is recorded as 0.0:
+    every field of a robustness record is then a pure function of the
+    key, which is what makes serial and process backends bit-identical.
+    """
+    from repro.faults.failures import FaultyBatchPolicy
+
+    seed, kind, n, m, r, engines, scenario_spec, validate, need_bounds = args
+    scenario = parse_scenario(scenario_spec)
+    rng = derive_rng(seed, kind, n, r)
+    inst = generate_workload(kind, n=n, m=m, seed=rng)
+
+    bounds = None
+    if need_bounds:
+        dual = dual_approximation(inst)
+        bounds = CellBounds(
+            cmax_lb=dual.lower_bound,
+            minsum_lb=minsum_lower_bound(inst, dual.lam).value,
+        )
+
+    truth = apply_arrivals(inst, scenario.arrivals)
+    trace = (
+        None
+        if scenario.failures == "none"
+        else generate_failures(m, _failure_horizon(truth), scenario.failures)
+    )
+
+    offline_of = _robustness_engines()
+    records: dict[str, CellRecord] = {}
+    for name in engines:
+        policy = FaultyBatchPolicy(
+            offline_of[name], noise=scenario.noise, failures=trace
+        )
+        result = policy.run(truth)
+        if validate:
+            validate_schedule(result.schedule, truth)
+        records[name] = CellRecord(
+            cmax=result.schedule.makespan(),
+            minsum=result.schedule.weighted_completion_sum(),
+            seconds=0.0,
+            validated=validate,
+            batches=result.n_batches,
+            crashes=result.crashes,
+        )
+    return bounds, records
+
+
+class RobustnessCellFamily(CampaignCellFamily):
+    """Robustness cells: ``(kind, n, r)`` instances under one scenario.
+
+    Records are cached under ``robust[<scenario>]:<engine>`` — one
+    namespace per scenario, so sweeping scenarios never collides — and
+    the per-instance lower bounds live under the standard bounds key,
+    shared with the figure campaigns and the Pareto sweeps.
+    """
+
+    name = "robustness"
+    worker = staticmethod(_run_robustness_cell)
+
+    def __init__(self, seed: int, m: int, scenario: FaultScenario) -> None:
+        super().__init__(seed, m)
+        self.scenario = parse_scenario(scenario)
+
+    def record_key(self, cell, name: str) -> CellKey:
+        kind, n, r = cell
+        return CellKey(
+            self.seed, kind, n, self.m, r, f"robust[{self.scenario.spec}]:{name}"
+        )
+
+    def make_task(self, cell, names, validate, need_bounds) -> tuple:
+        kind, n, r = cell
+        return (
+            self.seed, kind, n, self.m, r, names, self.scenario.spec,
+            validate, need_bounds,
+        )
+
+
+@dataclass(frozen=True)
+class RobustnessRow:
+    """One ``(cell, engine)`` comparison of nominal vs degraded execution.
+
+    A quarantined cell (the engine's retry budget ran out) carries the
+    failure message in ``error`` and NaNs for whatever was not measured —
+    it stays in the table, explicitly marked, instead of vanishing.
+    """
+
+    kind: str
+    n: int
+    r: int
+    engine: str
+    nominal_cmax: float
+    degraded_cmax: float
+    cmax_lb: float
+    crashes: int = 0
+    batches: int = 0
+    error: str | None = None
+
+    @property
+    def quarantined(self) -> bool:
+        return self.error is not None
+
+    @property
+    def degradation(self) -> float:
+        """Degraded over nominal makespan (NaN when quarantined)."""
+        if not np.isfinite(self.nominal_cmax) or self.nominal_cmax <= 0:
+            return float("nan")
+        return self.degraded_cmax / self.nominal_cmax
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """One scenario's campaign: rows, per-engine points, and the front."""
+
+    scenario: FaultScenario
+    engines: tuple[str, ...]
+    rows: tuple[RobustnessRow, ...]
+
+    def engine_rows(self, engine: str) -> list[RobustnessRow]:
+        return [row for row in self.rows if row.engine == engine]
+
+    def engine_points(self) -> "dict[str, tuple[float, float]]":
+        """Per-engine ``(mean nominal Cmax, mean degraded Cmax)`` over the
+        healthy (non-quarantined) cells."""
+        points = {}
+        for engine in self.engines:
+            ok = [r for r in self.engine_rows(engine) if not r.quarantined]
+            if not ok:
+                continue
+            points[engine] = (
+                float(np.mean([r.nominal_cmax for r in ok])),
+                float(np.mean([r.degraded_cmax for r in ok])),
+            )
+        return points
+
+    def front(self) -> frozenset:
+        """Engines on the (nominal, degraded) Pareto front (minimisation)."""
+        from repro.pareto.front import pareto_mask
+
+        points = self.engine_points()
+        if not points:
+            return frozenset()
+        names = list(points)
+        mask = pareto_mask([points[name] for name in names])
+        return frozenset(name for name, keep in zip(names, mask) if keep)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for row in self.rows if row.quarantined)
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(row.crashes for row in self.rows if not row.quarantined)
+
+
+def run_robustness_campaign(
+    kind: str,
+    task_counts: "tuple[int, ...] | list[int]",
+    runs: int,
+    scenario: "str | FaultScenario",
+    *,
+    engines: "tuple[str, ...]" = ("demt",),
+    seed: int = 0,
+    m: int = 32,
+    validate: bool = False,
+    backend: object = None,
+    jobs: int | None = None,
+    cache: object = None,
+    policy: "RetryPolicy | None" = None,
+) -> RobustnessResult:
+    """Measure ``engines`` on every seeded cell, nominal and degraded.
+
+    Two :func:`~repro.experiments.engine.execute_cells` passes over the
+    same ``(kind, n, r)`` cells — the full scenario and its fault-free
+    baseline — folded into :class:`RobustnessRow` comparisons.  All the
+    engine machinery applies: caching (records keyed by scenario spec),
+    serial/process interchangeability, and crash tolerance via
+    ``policy``; a quarantined cell marks its rows instead of raising.
+    """
+    scenario = parse_scenario(scenario)
+    for engine in engines:
+        if engine not in _robustness_engines():
+            raise ModelError(
+                f"unknown robustness engine {engine!r}; available: "
+                f"{', '.join(_robustness_engines())}"
+            )
+    cells = [(kind, int(n), r) for n in task_counts for r in range(runs)]
+    common = dict(
+        validate=validate, backend=backend, jobs=jobs, cache=cache, policy=policy
+    )
+    degraded = execute_cells(
+        RobustnessCellFamily(seed, m, scenario), cells, engines, **common
+    )
+    if scenario.is_nominal:
+        nominal = degraded
+    else:
+        nominal = execute_cells(
+            RobustnessCellFamily(seed, m, scenario.baseline()), cells, engines,
+            **common,
+        )
+
+    rows = []
+    nan = float("nan")
+    for cell in cells:
+        kind_c, n_c, r_c = cell
+        deg, nom = degraded[cell], nominal[cell]
+        error = deg.error or nom.error
+        lb = deg.bounds.cmax_lb if deg.bounds is not None else (
+            nom.bounds.cmax_lb if nom.bounds is not None else nan
+        )
+        for engine in engines:
+            drec = deg.records.get(engine)
+            nrec = nom.records.get(engine)
+            rows.append(
+                RobustnessRow(
+                    kind=kind_c,
+                    n=n_c,
+                    r=r_c,
+                    engine=engine,
+                    nominal_cmax=nrec.cmax if nrec is not None else nan,
+                    degraded_cmax=drec.cmax if drec is not None else nan,
+                    cmax_lb=lb,
+                    crashes=drec.crashes if drec is not None else 0,
+                    batches=drec.batches if drec is not None else 0,
+                    error=error if (drec is None or nrec is None) else None,
+                )
+            )
+    return RobustnessResult(
+        scenario=scenario, engines=tuple(engines), rows=tuple(rows)
+    )

@@ -1,0 +1,306 @@
+"""Seeded misestimation models over processing-time matrices.
+
+A noise model turns the *true* ``(n, m)`` processing-time matrix into the
+matrix the scheduler *believes* — each job's whole row is scaled by one
+multiplicative factor, because misestimation is a property of the job
+(the user's runtime guess, the reconstruction's error), not of one
+allotment.  Factors are a pure function of ``(task_id, spec)`` through
+the same splitmix64 hash the moldability reconstruction uses
+(:func:`repro.workloads.trace._hash_u01`): no RNG state, so
+
+* the same spec always produces bit-identical perturbations, in any
+  process, on any backend;
+* perturbation *commutes* with trace ``window``/``shift`` operations —
+  the rows of a perturbed window equal the windowed rows of the
+  perturbed full trace (both pinned by the Hypothesis suite in
+  ``tests/faults/``).
+
+Models (spec grammar ``name[:param][@seed]``, e.g. ``lognormal:0.3@2``):
+
+``none``
+    Identity — estimates equal the truth.
+``lognormal:<sigma>``
+    Symmetric multiplicative error ``exp(sigma * z)``, ``z`` standard
+    normal: the classical model of reconstruction error, median 1.
+``overestimate:<fmax>``
+    One-sided user overestimation: the believed time is ``1 ..  fmax``
+    times the truth, skewed toward small factors (``1 + (fmax-1) u^2``)
+    — the stylised shape of SWF requested-vs-actual ratios.  A table
+    *fitted* from a real log replaces the stylised shape:
+    :func:`fit_overestimate_quantiles` reads the requested-time and
+    actual-runtime columns of an SWF source and
+    :meth:`OverestimateNoise.fitted` maps hash uniforms through the
+    empirical quantiles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+from dataclasses import dataclass, field
+from typing import IO
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.exceptions import ModelError
+
+__all__ = [
+    "NoiseModel",
+    "LognormalNoise",
+    "OverestimateNoise",
+    "NOISE_MODELS",
+    "parse_noise",
+    "perturb_times",
+    "perturb_instance",
+    "fit_overestimate_quantiles",
+]
+
+#: Clamp hash uniforms into the open interval so inverse CDFs stay finite.
+_U_EPS = 2.0**-53
+
+
+def _job_uniforms(task_ids: np.ndarray, salt: int, seed: int) -> np.ndarray:
+    """One deterministic uniform per job, keyed by ``(id, model, seed)``."""
+    from repro.workloads.trace import _hash_u01
+
+    ids = np.ascontiguousarray(task_ids, dtype=np.int64)
+    u = _hash_u01(ids, salt=salt + 0x9E37 * (int(seed) + 1))
+    return np.clip(u, _U_EPS, 1.0 - _U_EPS)
+
+
+class NoiseModel:
+    """One misestimation model: per-job multiplicative factors.
+
+    Subclasses set :attr:`name`, a canonical :attr:`spec` (the campaign
+    cache identity) and implement :meth:`factors`.
+    """
+
+    name: str = "abstract"
+    seed: int = 0
+
+    @property
+    def spec(self) -> str:
+        raise NotImplementedError
+
+    def factors(self, task_ids: np.ndarray) -> np.ndarray:
+        """``(n,)`` positive multiplicative factors, one per job."""
+        raise NotImplementedError
+
+    def perturb(self, times: np.ndarray, task_ids: np.ndarray) -> np.ndarray:
+        """The *estimated* matrix: each row scaled by its job's factor.
+
+        ``+inf`` entries (forbidden allotments) stay ``+inf`` — noise
+        cannot make an inadmissible width admissible.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        return times * self.factors(task_ids)[:, None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+@dataclass(frozen=True)
+class IdentityNoise(NoiseModel):
+    """``none``: estimates equal the truth."""
+
+    name = "none"
+    seed: int = 0
+
+    @property
+    def spec(self) -> str:
+        return "none"
+
+    def factors(self, task_ids: np.ndarray) -> np.ndarray:
+        return np.ones(np.asarray(task_ids).shape[0])
+
+    def perturb(self, times: np.ndarray, task_ids: np.ndarray) -> np.ndarray:
+        return np.asarray(times, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class LognormalNoise(NoiseModel):
+    """``lognormal:<sigma>``: symmetric multiplicative error, median 1."""
+
+    sigma: float = 0.3
+    seed: int = 0
+    name = "lognormal"
+
+    def __post_init__(self) -> None:
+        if not self.sigma >= 0:
+            raise ModelError(f"lognormal sigma must be >= 0, got {self.sigma}")
+
+    @property
+    def spec(self) -> str:
+        base = f"lognormal:{self.sigma:g}"
+        return f"{base}@{self.seed}" if self.seed else base
+
+    def factors(self, task_ids: np.ndarray) -> np.ndarray:
+        from scipy.special import ndtri
+
+        u = _job_uniforms(task_ids, salt=0x10F2, seed=self.seed)
+        return np.exp(self.sigma * ndtri(u))
+
+
+@dataclass(frozen=True)
+class OverestimateNoise(NoiseModel):
+    """``overestimate:<fmax>``: one-sided user overestimation, >= 1.
+
+    The stylised distribution is ``1 + (fmax - 1) u^2`` (most users guess
+    close, a few wildly over); :meth:`fitted` swaps it for an empirical
+    quantile table of requested/actual ratios from a real archive log.
+    """
+
+    fmax: float = 4.0
+    seed: int = 0
+    quantiles: tuple[float, ...] = field(default=(), repr=False)
+    name = "overestimate"
+
+    def __post_init__(self) -> None:
+        if not self.fmax >= 1.0:
+            raise ModelError(f"overestimate factor must be >= 1, got {self.fmax}")
+        if any(q < 1.0 for q in self.quantiles):
+            raise ModelError("fitted overestimate quantiles must all be >= 1")
+
+    @classmethod
+    def fitted(cls, quantiles: np.ndarray, seed: int = 0) -> "OverestimateNoise":
+        """Model mapping hash uniforms through an empirical quantile table
+        (see :func:`fit_overestimate_quantiles`)."""
+        qs = tuple(float(q) for q in np.asarray(quantiles, dtype=np.float64))
+        if len(qs) < 2:
+            raise ModelError("need at least 2 quantiles to interpolate")
+        return cls(fmax=max(qs), seed=seed, quantiles=qs)
+
+    @property
+    def spec(self) -> str:
+        if self.quantiles:
+            digest = hashlib.sha256(
+                np.asarray(self.quantiles, dtype=np.float64).tobytes()
+            ).hexdigest()[:8]
+            base = f"overestimate:fit-{digest}"
+        else:
+            base = f"overestimate:{self.fmax:g}"
+        return f"{base}@{self.seed}" if self.seed else base
+
+    def factors(self, task_ids: np.ndarray) -> np.ndarray:
+        u = _job_uniforms(task_ids, salt=0x0BE5, seed=self.seed)
+        if self.quantiles:
+            grid = np.linspace(0.0, 1.0, len(self.quantiles))
+            return np.interp(u, grid, np.asarray(self.quantiles))
+        return 1.0 + (self.fmax - 1.0) * u * u
+
+
+#: Model name -> parser of the part after ``name:`` (``None`` = default).
+NOISE_MODELS = {
+    "none": lambda param, seed: IdentityNoise(),
+    "lognormal": lambda param, seed: LognormalNoise(
+        sigma=float(param) if param is not None else 0.3, seed=seed
+    ),
+    "overestimate": lambda param, seed: OverestimateNoise(
+        fmax=float(param) if param is not None else 4.0, seed=seed
+    ),
+}
+
+
+def parse_noise(spec: "str | NoiseModel") -> NoiseModel:
+    """Resolve a noise spec (``name[:param][@seed]``) or pass through.
+
+    >>> parse_noise("lognormal:0.5").sigma
+    0.5
+    >>> parse_noise("none").spec
+    'none'
+    """
+    if isinstance(spec, NoiseModel):
+        return spec
+    body, seed = spec, 0
+    if "@" in body:
+        body, seed_s = body.rsplit("@", 1)
+        try:
+            seed = int(seed_s)
+        except ValueError:
+            raise ModelError(f"noise seed must be an int, got {spec!r}") from None
+    name, _, param = body.partition(":")
+    try:
+        factory = NOISE_MODELS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown noise model {name!r}; available: {', '.join(NOISE_MODELS)}"
+        ) from None
+    try:
+        return factory(param if param else None, seed)
+    except ValueError:
+        raise ModelError(f"bad noise parameter in {spec!r}") from None
+
+
+def perturb_times(
+    times: np.ndarray, task_ids: np.ndarray, noise: "str | NoiseModel"
+) -> np.ndarray:
+    """The estimated matrix for ``times`` under ``noise`` (see module doc)."""
+    return parse_noise(noise).perturb(times, task_ids)
+
+
+def perturb_instance(instance: Instance, noise: "str | NoiseModel") -> Instance:
+    """The *estimates* instance: same ids/weights/releases, perturbed times.
+
+    This is what the scheduler plans on when misestimation is injected;
+    execution realises the original instance's (true) times.
+    """
+    model = parse_noise(noise)
+    if isinstance(model, IdentityNoise):
+        return instance
+    est = model.perturb(instance.times_matrix, instance.task_ids)
+    return Instance.from_arrays(
+        est,
+        instance.weights,
+        instance.releases,
+        instance.m,
+        task_ids=instance.task_ids,
+        validate=False,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fitting from archive logs                                             #
+# --------------------------------------------------------------------- #
+def fit_overestimate_quantiles(
+    source: "str | os.PathLike | IO[str]", *, points: int = 33
+) -> np.ndarray:
+    """Empirical requested/actual ratio quantiles from an SWF source.
+
+    Reads the actual-runtime (field 4) and requested-time (field 9)
+    columns of an SWF log — the misestimation data every archive already
+    carries — and returns ``points`` quantiles of the overestimation
+    ratio ``max(1, requested / actual)``, ready for
+    :meth:`OverestimateNoise.fitted`.  Records without both fields
+    positive are skipped; an archive with no usable pair is an error.
+    """
+    if hasattr(source, "read"):
+        lines = iter(source)
+    elif isinstance(source, (str, os.PathLike)) and (
+        "\n" not in str(source) and os.path.exists(os.fspath(source))
+    ):
+        with open(os.fspath(source), "r", encoding="utf-8") as fh:
+            return fit_overestimate_quantiles(io.StringIO(fh.read()), points=points)
+    else:
+        lines = iter(io.StringIO(str(source)))
+
+    ratios: list[float] = []
+    for raw in lines:
+        line = raw.lstrip("\ufeff").strip()
+        if not line or line.startswith(";"):
+            continue
+        fields = line.split()
+        if len(fields) < 9:
+            continue
+        try:
+            run, req = float(fields[3]), float(fields[8])
+        except ValueError:
+            continue
+        if run > 0 and req > 0:
+            ratios.append(max(1.0, req / run))
+    if not ratios:
+        raise ModelError("no records with both requested and actual runtimes")
+    return np.quantile(
+        np.asarray(ratios, dtype=np.float64), np.linspace(0.0, 1.0, points)
+    )

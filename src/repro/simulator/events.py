@@ -35,6 +35,13 @@ class EventKind(enum.Enum):
     BATCH_STARTED = "batch_started"
     STARTED = "started"
     COMPLETED = "completed"
+    #: Fault-plane events (:mod:`repro.faults.failures`): a machine left
+    #: or rejoined the capacity profile (``procs`` carries its id), or a
+    #: running job was evicted by a capacity drop and will restart from
+    #: scratch (``job_id`` is the victim).
+    MACHINE_DOWN = "machine_down"
+    MACHINE_UP = "machine_up"
+    CRASHED = "crashed"
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ Ownership is explicitly one-sided:
 
 from __future__ import annotations
 
+import atexit
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
@@ -38,6 +39,24 @@ _ALIGN = 16
 
 #: Per-process cache of borrowed segments, keyed by block name.
 _ATTACHED: dict[str, "SharedColumnar"] = {}
+
+#: Blocks this process *created* and has not destroyed yet.  The atexit
+#: sweep unlinks whatever is left, so a dispatch that died between
+#: creating a block and calling :meth:`SharedColumnar.destroy` — a worker
+#: crash unwinding the fan-out, an exception between unpickle and attach
+#: on the far side — cannot leak the segment past process exit.
+_OWNED: dict[str, "SharedColumnar"] = {}
+
+
+def _cleanup_owned() -> None:  # pragma: no cover - exercised via subprocess
+    for obj in list(_OWNED.values()):
+        try:
+            obj.destroy()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_owned)
 
 
 def _deregister_borrow(shm: shared_memory.SharedMemory) -> None:
@@ -63,17 +82,27 @@ def _deregister_borrow(shm: shared_memory.SharedMemory) -> None:
 
 
 def _attach(name: str, specs: tuple) -> "SharedColumnar":
-    """Worker-side reconstruction; the unpickle target of ``__reduce__``."""
+    """Worker-side reconstruction; the unpickle target of ``__reduce__``.
+
+    Exception-safe: if anything fails between mapping the block and
+    finishing the views (a worker dying mid-unpickle, a corrupt spec),
+    the mapping is closed again before the error propagates — a
+    half-attached borrow never outlives the call.
+    """
     cached = _ATTACHED.get(name)
     if cached is not None:
         return cached
     shm = shared_memory.SharedMemory(name=name)
-    _deregister_borrow(shm)
-    obj = SharedColumnar.__new__(SharedColumnar)
-    obj._shm = shm
-    obj._specs = specs
-    obj._owner = False
-    obj._arrays = obj._build_views()
+    try:
+        _deregister_borrow(shm)
+        obj = SharedColumnar.__new__(SharedColumnar)
+        obj._shm = shm
+        obj._specs = specs
+        obj._owner = False
+        obj._arrays = obj._build_views()
+    except BaseException:
+        shm.close()
+        raise
     _ATTACHED[name] = obj
     return obj
 
@@ -103,12 +132,19 @@ class SharedColumnar:
         self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
         self._specs = tuple(specs)
         self._owner = True
-        self._arrays = self._build_views()
-        for name, view in self._arrays.items():
-            # The write happens through a temporarily writable alias; the
-            # exposed view itself is read-only on both sides.
-            np.ndarray(view.shape, view.dtype, buffer=self._shm.buf,
-                       offset=self._offset_of(name))[...] = arrays[name]
+        try:
+            self._arrays = self._build_views()
+            for name, view in self._arrays.items():
+                # The write happens through a temporarily writable alias; the
+                # exposed view itself is read-only on both sides.
+                np.ndarray(view.shape, view.dtype, buffer=self._shm.buf,
+                           offset=self._offset_of(name))[...] = arrays[name]
+        except BaseException:
+            self._arrays = {}
+            self._shm.close()
+            self._shm.unlink()
+            raise
+        _OWNED[self._shm.name] = self
 
     def _offset_of(self, name: str) -> int:
         for cname, _, _, off in self._specs:
@@ -137,7 +173,10 @@ class SharedColumnar:
 
         Call once every worker result has been collected — attached
         workers keep their own mappings alive, the unlink only removes
-        the name so the segment dies with the last mapping.
+        the name so the segment dies with the last mapping.  Idempotent:
+        a second call (e.g. the atexit sweep after an explicit destroy,
+        or cleanup racing a crashed worker's resource tracker) is a
+        no-op rather than an error.
         """
         self._arrays = {}
         try:
@@ -145,4 +184,9 @@ class SharedColumnar:
         except BufferError:  # pragma: no cover - an escaped view holds the map
             pass
         if self._owner:
-            self._shm.unlink()
+            self._owner = False
+            _OWNED.pop(self._shm.name, None)
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass

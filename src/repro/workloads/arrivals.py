@@ -1,0 +1,279 @@
+"""Arrival-process generators: release-date patterns as a campaign axis.
+
+The off-line generators of :mod:`repro.workloads.generator` produce
+instances with all-zero release dates; the on-line policies only become
+interesting — and the batch wrapper's ``2ρ`` argument only gets
+stressed — when jobs *arrive over time*.  An :class:`ArrivalPattern`
+turns an off-line instance into an on-line one by generating a release
+date per job, deterministically from ``(pattern spec, task ids, times)``:
+
+``none``
+    All-zero releases — the off-line instance unchanged.
+``poisson:<load>``
+    Memoryless arrivals: exponential inter-arrival gaps scaled so the
+    offered load (total minimal work area per unit time, relative to
+    ``m`` machines) is ``load``.  ``load`` near 1 keeps the system
+    critically busy; above 1 the backlog grows without bound.
+``bursty:<bursts>[:<load>]``
+    ``bursts`` synchronized waves evenly spread over the same span the
+    Poisson pattern would use; each job joins a wave chosen by its
+    splitmix64 hash.  The crash-test for batch policies: every wave
+    lands as one huge batch.
+``adversarial``
+    The staircase adversary against batch-style policies: jobs sorted
+    by decreasing best-case duration, each released just *before* the
+    previous one could possibly finish.  Every job misses the running
+    batch's cut, so a batching policy degenerates to one batch per job
+    — the arrival process behind the ``2ρ`` lower-bound intuition.
+
+Patterns parse from ``name[:param[:param]][@seed]`` specs
+(:func:`parse_arrivals`) so campaigns sweep them as plain strings, and
+every draw derives from :func:`repro.utils.rng.derive_rng` or the
+splitmix64 job hash — bit-identical in any process, on any backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.exceptions import ModelError
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "ArrivalPattern",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "AdversarialArrivals",
+    "ARRIVAL_PATTERNS",
+    "parse_arrivals",
+    "generate_releases",
+    "apply_arrivals",
+]
+
+
+def _arrival_span(instance: Instance, load: float) -> float:
+    """Time span over which arrivals are spread for an offered ``load``.
+
+    The minimal work area of job ``j`` is ``min_k k * p(j, k)``; spreading
+    the total area over ``area / (m * load)`` time units makes the arrival
+    process offer ``load`` machine-fractions of work per unit time.
+    """
+    times = np.asarray(instance.times_matrix, dtype=np.float64)
+    ks = np.arange(1, instance.m + 1, dtype=np.float64)
+    areas = np.min(np.where(np.isfinite(times), times * ks, np.inf), axis=1)
+    total = float(areas[np.isfinite(areas)].sum())
+    return total / (instance.m * load) if total > 0 else 0.0
+
+
+def _best_durations(instance: Instance) -> np.ndarray:
+    """Per-job best-case duration ``min_k p(j, k)`` (inf rows -> 0)."""
+    times = np.asarray(instance.times_matrix, dtype=np.float64)
+    best = np.min(times, axis=1)
+    return np.where(np.isfinite(best), best, 0.0)
+
+
+class ArrivalPattern:
+    """One arrival process: ``releases(instance) -> (n,) float array``.
+
+    Subclasses set :attr:`name`, a canonical :attr:`spec` (the campaign
+    cache identity) and implement :meth:`releases`.
+    """
+
+    name: str = "abstract"
+    seed: int = 0
+
+    @property
+    def spec(self) -> str:
+        raise NotImplementedError
+
+    def releases(self, instance: Instance) -> np.ndarray:
+        """Release dates for the instance's jobs, in row order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+@dataclass(frozen=True)
+class ZeroArrivals(ArrivalPattern):
+    """``none``: everything available at time 0 (the off-line setting)."""
+
+    name = "none"
+    seed: int = 0
+
+    @property
+    def spec(self) -> str:
+        return "none"
+
+    def releases(self, instance: Instance) -> np.ndarray:
+        return np.zeros(instance.n)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalPattern):
+    """``poisson:<load>``: exponential gaps at offered load ``load``."""
+
+    load: float = 0.9
+    seed: int = 0
+    name = "poisson"
+
+    def __post_init__(self) -> None:
+        if not self.load > 0:
+            raise ModelError(f"poisson load must be > 0, got {self.load}")
+
+    @property
+    def spec(self) -> str:
+        base = f"poisson:{self.load:g}"
+        return f"{base}@{self.seed}" if self.seed else base
+
+    def releases(self, instance: Instance) -> np.ndarray:
+        n = instance.n
+        if n == 0:
+            return np.zeros(0)
+        span = _arrival_span(instance, self.load)
+        rng = derive_rng(self.seed, "arrivals", "poisson")
+        gaps = rng.exponential(scale=span / n if n else 1.0, size=n)
+        gaps[0] = 0.0  # anchor the first arrival at the time origin
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalPattern):
+    """``bursty:<bursts>[:<load>]``: synchronized waves of arrivals."""
+
+    bursts: int = 4
+    load: float = 0.9
+    seed: int = 0
+    name = "bursty"
+
+    def __post_init__(self) -> None:
+        if self.bursts < 1:
+            raise ModelError(f"need at least 1 burst, got {self.bursts}")
+        if not self.load > 0:
+            raise ModelError(f"bursty load must be > 0, got {self.load}")
+
+    @property
+    def spec(self) -> str:
+        base = f"bursty:{self.bursts}:{self.load:g}"
+        return f"{base}@{self.seed}" if self.seed else base
+
+    def releases(self, instance: Instance) -> np.ndarray:
+        from repro.workloads.trace import _hash_u01
+
+        n = instance.n
+        if n == 0:
+            return np.zeros(0)
+        span = _arrival_span(instance, self.load)
+        wave_times = np.linspace(0.0, span, self.bursts)
+        ids = np.ascontiguousarray(instance.task_ids, dtype=np.int64)
+        u = _hash_u01(ids, salt=0xB57 + 0x9E37 * (self.seed + 1))
+        wave = np.minimum((u * self.bursts).astype(np.int64), self.bursts - 1)
+        return wave_times[wave]
+
+
+@dataclass(frozen=True)
+class AdversarialArrivals(ArrivalPattern):
+    """``adversarial``: the staircase adversary against batching.
+
+    Jobs are ordered by decreasing best-case duration; each is released
+    a hair *before* the cumulative best-case completion of its
+    predecessors, so under a batch policy every job arrives just after
+    the previous batch was cut and waits a full batch length.
+    """
+
+    seed: int = 0
+    name = "adversarial"
+
+    #: Release fraction of the predecessor's earliest possible finish —
+    #: strictly below 1 so the arrival *misses* the running batch's cut.
+    margin: float = 0.999
+
+    @property
+    def spec(self) -> str:
+        return "adversarial"
+
+    def releases(self, instance: Instance) -> np.ndarray:
+        n = instance.n
+        if n == 0:
+            return np.zeros(0)
+        best = _best_durations(instance)
+        # Decreasing duration, ids break ties: the longest job anchors the
+        # staircase so every later arrival hides behind a running batch.
+        order = np.lexsort((instance.task_ids, -best))
+        stairs = self.margin * np.concatenate(([0.0], np.cumsum(best[order])[:-1]))
+        releases = np.empty(n)
+        releases[order] = stairs
+        return releases
+
+
+#: Pattern name -> factory of ``(params, seed)`` where ``params`` is the
+#: (possibly empty) tuple of ``:``-separated arguments after the name.
+ARRIVAL_PATTERNS = {
+    "none": lambda params, seed: ZeroArrivals(),
+    "poisson": lambda params, seed: PoissonArrivals(
+        load=float(params[0]) if params else 0.9, seed=seed
+    ),
+    "bursty": lambda params, seed: BurstyArrivals(
+        bursts=int(params[0]) if params else 4,
+        load=float(params[1]) if len(params) > 1 else 0.9,
+        seed=seed,
+    ),
+    "adversarial": lambda params, seed: AdversarialArrivals(seed=seed),
+}
+
+
+def parse_arrivals(spec: "str | ArrivalPattern") -> ArrivalPattern:
+    """Resolve an arrival spec (``name[:param[:param]][@seed]``).
+
+    >>> parse_arrivals("bursty:8:0.5").bursts
+    8
+    >>> parse_arrivals("none").spec
+    'none'
+    """
+    if isinstance(spec, ArrivalPattern):
+        return spec
+    body, seed = spec, 0
+    if "@" in body:
+        body, seed_s = body.rsplit("@", 1)
+        try:
+            seed = int(seed_s)
+        except ValueError:
+            raise ModelError(f"arrival seed must be an int, got {spec!r}") from None
+    parts = body.split(":")
+    name, params = parts[0], tuple(parts[1:])
+    try:
+        factory = ARRIVAL_PATTERNS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown arrival pattern {name!r}; available: "
+            f"{', '.join(ARRIVAL_PATTERNS)}"
+        ) from None
+    try:
+        return factory(params, seed)
+    except (ValueError, IndexError):
+        raise ModelError(f"bad arrival parameter in {spec!r}") from None
+
+
+def generate_releases(
+    instance: Instance, pattern: "str | ArrivalPattern"
+) -> np.ndarray:
+    """Release dates for ``instance`` under ``pattern`` (see module doc)."""
+    return parse_arrivals(pattern).releases(instance)
+
+
+def apply_arrivals(instance: Instance, pattern: "str | ArrivalPattern") -> Instance:
+    """The on-line version of ``instance``: same jobs, generated releases."""
+    model = parse_arrivals(pattern)
+    if isinstance(model, ZeroArrivals):
+        return instance
+    return Instance.from_arrays(
+        instance.times_matrix,
+        instance.weights,
+        model.releases(instance),
+        instance.m,
+        task_ids=instance.task_ids,
+        validate=False,
+    )

@@ -161,3 +161,33 @@ class TestParetoCommand:
     def test_pareto_bad_window(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["pareto", "mixed", "--window", "nope"])
+
+
+class TestCleanErrorExits:
+    """Missing traces and unusable cache dirs exit non-zero with one
+    line of stderr-style text, never a traceback (the robustness-PR
+    satellite)."""
+
+    def test_replay_missing_trace(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["replay", "/no/such/trace.swf"])
+        assert "replay: cannot read trace" in str(exc.value)
+        assert "Traceback" not in str(exc.value)
+
+    def test_replay_unreadable_trace(self, tmp_path):
+        # A directory path is the portable "unreadable file" (root would
+        # sail through a chmod-000 file): still an OSError, still clean.
+        path = tmp_path / "dir.swf"
+        path.mkdir()
+        with pytest.raises(SystemExit, match="replay: cannot read trace"):
+            main(["replay", str(path)])
+
+    def test_pareto_missing_trace(self):
+        with pytest.raises(SystemExit, match="pareto: cannot read trace"):
+            main(["pareto", "trace:/no/such.swf", "--n", "6", "--runs", "1"])
+
+    def test_unusable_cache_dir(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file, not a directory")
+        with pytest.raises(SystemExit, match="cache dir .* is unusable"):
+            main(["--figure", "7", "--scale", "smoke", "--cache-dir", str(blocker)])

@@ -256,3 +256,90 @@ class TestJournalFormat:
         cell = next(doc for doc in lines if doc["t"] == "cell")
         assert cell["k"] == [7, "cirne", 10, 8, 1, "DEMT"]
         assert cell["validated"] is True
+
+
+class TestMidWriteCrash:
+    """A killed writer must cost at most its torn line, never the cache.
+
+    The robustness-PR satellite: truncated tails, half-written shards
+    from SIGKILL'd processes and concurrent compaction all load cleanly,
+    and ``loaded`` / ``dropped`` report exactly what was salvaged.
+    """
+
+    def test_salvage_and_drop_counts(self, tmp_path):
+        shard = tmp_path / "cells-1.jsonl"
+        good = (
+            '{"t":"cell","k":[1,"k",2,3,0,"A"],"cmax":1.0,"minsum":2.0,'
+            '"seconds":0.0,"validated":false}\n'
+            '{"t":"bounds","k":[1,"k",2,3,0],"cmax_lb":0.5,"minsum_lb":1.5}\n'
+        )
+        shard.write_text(good + '{"t":"cell","k":[2,"k"\n' + "garbage\n")
+        cache = PersistentCellCache(tmp_path)
+        assert cache.loaded == 2
+        assert cache.dropped == 2
+        assert cache.get_record(CellKey(1, "k", 2, 3, 0, "A")) is not None
+
+    def test_sigkilled_writer_shard_is_salvaged(self, tmp_path):
+        """A writer killed mid-line leaves a half-written shard; a fresh
+        cache salvages every complete row and reports the torn one."""
+        import signal
+        import subprocess
+        import sys
+
+        snippet = (
+            "import os, signal\n"
+            "from repro.experiments.engine import CellKey, CellRecord, "
+            "PersistentCellCache\n"
+            f"cache = PersistentCellCache({str(tmp_path)!r})\n"
+            "for r in range(3):\n"
+            "    cache.put_record(CellKey(0, 'k', 8, 4, r, 'A'), "
+            "CellRecord(float(r), 1.0, 0.0))\n"
+            # tear the journal mid-document, then die like a real kill
+            "cache._fh.write('{\"t\":\"cell\",\"k\":[0,\"k\",8,4,9')\n"
+            "cache._fh.flush()\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", snippet])
+        assert proc.returncode == -signal.SIGKILL
+        cache = PersistentCellCache(tmp_path)
+        assert cache.loaded == 3
+        assert cache.dropped == 1
+        for r in range(3):
+            rec = cache.get_record(CellKey(0, "k", 8, 4, r, "A"))
+            assert rec is not None and rec.cmax == float(r)
+
+    def test_compact_with_concurrent_writer_shard(self, tmp_path):
+        """Compaction folds every shard on disk — including one another
+        process wrote after this cache was opened — losslessly."""
+        import subprocess
+        import sys
+
+        cache = PersistentCellCache(tmp_path)
+        cache.put_record(CellKey(0, "k", 8, 4, 0, "A"), CellRecord(1.0, 2.0, 0.0))
+        snippet = (
+            "from repro.experiments.engine import CellKey, CellRecord, "
+            "PersistentCellCache\n"
+            f"other = PersistentCellCache({str(tmp_path)!r})\n"
+            "other.put_record(CellKey(0, 'k', 8, 4, 1, 'B'), "
+            "CellRecord(3.0, 4.0, 0.0))\n"
+            "other.close()\n"
+        )
+        subprocess.run([sys.executable, "-c", snippet], check=True)
+        rows = cache.compact()
+        assert rows == 2
+        assert [p.name for p in tmp_path.glob("*.jsonl")] == ["cells.jsonl"]
+        fresh = PersistentCellCache(tmp_path)
+        assert fresh.loaded == 2 and fresh.dropped == 0
+        assert fresh.get_record(CellKey(0, "k", 8, 4, 1, "B")).cmax == 3.0
+
+    def test_double_compact_from_two_instances(self, tmp_path):
+        """Two caches compacting the same directory in sequence (the
+        'concurrent compact' crash shape) converge on one clean journal."""
+        a = PersistentCellCache(tmp_path)
+        a.put_record(CellKey(0, "k", 8, 4, 0, "A"), CellRecord(1.0, 2.0, 0.0))
+        b = PersistentCellCache(tmp_path)
+        b.put_record(CellKey(0, "k", 8, 4, 1, "A"), CellRecord(5.0, 6.0, 0.0))
+        assert a.compact() == 2
+        assert b.compact() == 2
+        fresh = PersistentCellCache(tmp_path)
+        assert fresh.loaded == 2 and fresh.dropped == 0

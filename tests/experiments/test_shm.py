@@ -121,3 +121,79 @@ class TestProcessHandoff:
             for spec in rec_s:
                 assert rec_s[spec].cmax == rec_p[spec].cmax
                 assert rec_s[spec].minsum == rec_p[spec].minsum
+
+
+# -- ownership & crash cleanup (the fault-plane satellite) -------------- #
+def _attach_and_die(cols):
+    """Worker: map the block (unpickle already did), then die like a kill."""
+    import os
+
+    assert cols.arrays["xs"].shape == (4,)
+    os._exit(9)
+
+
+class TestOwnershipCleanup:
+    def test_destroy_is_idempotent(self):
+        cols = SharedColumnar({"xs": np.arange(3)})
+        cols.destroy()
+        cols.destroy()  # second call (e.g. the atexit sweep) is a no-op
+
+    def test_worker_killed_mid_fanout_leaks_nothing(self):
+        """A worker dying between unpickle and returning must not strand
+        the creator's block: destroy() still unlinks it afterwards."""
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+        from multiprocessing import shared_memory
+
+        cols = SharedColumnar({"xs": np.arange(4)})
+        name = cols._shm.name
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_attach_and_die, cols).result()
+        cols.destroy()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_atexit_sweep_unlinks_undestroyed_blocks(self):
+        """A dispatch that never reached destroy() (an exception unwound
+        the fan-out) must not leak the segment past process exit — and
+        the cleanup must be ours, not the resource tracker's whining."""
+        import subprocess
+        import sys
+        from multiprocessing import shared_memory
+
+        snippet = (
+            "import numpy as np\n"
+            "from repro.utils.shm import SharedColumnar\n"
+            "cols = SharedColumnar({'xs': np.arange(8)})\n"
+            "print(cols._shm.name)\n"
+            # exit WITHOUT destroy(): the atexit sweep must unlink
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", snippet], capture_output=True, text=True,
+            check=True,
+        )
+        name = proc.stdout.strip()
+        assert "leaked" not in proc.stderr  # no resource-tracker complaints
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_failed_init_leaves_no_block_behind(self):
+        """An exception while staging the columns must close and unlink
+        the half-built block before propagating."""
+
+        class Exploding:
+            dtype = np.dtype(np.float64)
+            shape = (3,)
+            nbytes = 24
+
+            def __array__(self, *a, **k):
+                raise RuntimeError("boom")
+
+        from repro.utils import shm as shm_mod
+
+        owned_before = set(shm_mod._OWNED)
+        with pytest.raises(RuntimeError, match="boom"):
+            SharedColumnar({"xs": Exploding()})
+        # Nothing new registered as owned: the sweep has nothing to do.
+        assert set(shm_mod._OWNED) == owned_before

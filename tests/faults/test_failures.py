@@ -1,0 +1,236 @@
+"""Machine-failure traces and the crash-and-restart batch policy.
+
+The load-bearing contracts of the fault plane's second axis:
+
+* failure traces are pure functions of their spec (bit-identical across
+  calls), balanced (every down has its up) and horizon-bounded;
+* with no faults, :class:`FaultyBatchPolicy` degenerates *exactly* to
+  :class:`~repro.simulator.online.BatchPolicy` — same schedule, same
+  batches;
+* under capacity drops, evicted jobs restart from scratch and every job
+  still completes exactly once; the realised schedule validates against
+  the truth instance;
+* the event log tells the whole story in time order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.core.validation import validate_schedule
+from repro.exceptions import ModelError, SchedulingError
+from repro.faults.failures import (
+    ExponentialFailures,
+    FailureTrace,
+    FaultyBatchPolicy,
+    generate_failures,
+    parse_failures,
+)
+from repro.simulator.events import EventKind
+from repro.simulator.online import BatchPolicy
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_instance
+
+
+class TestSpecGrammar:
+    def test_canonical_specs(self):
+        assert parse_failures("none").spec == "none"
+        assert parse_failures("exp").spec == "exp:50:5"
+        assert parse_failures("exp:100:10").spec == "exp:100:10"
+        assert parse_failures("exp:20:2@3").spec == "exp:20:2@3"
+
+    def test_model_passthrough(self):
+        model = ExponentialFailures(mtbf=10, mttr=1)
+        assert parse_failures(model) is model
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError, match="unknown failure model"):
+            parse_failures("weibull:2")
+
+    def test_bad_parameter(self):
+        with pytest.raises(ModelError, match="bad failure parameter"):
+            parse_failures("exp:abc")
+
+    def test_nonpositive_rates_rejected(self):
+        with pytest.raises(ModelError):
+            ExponentialFailures(mtbf=0.0, mttr=1.0)
+
+
+class TestFailureTrace:
+    def test_unbalanced_events_rejected(self):
+        with pytest.raises(ModelError, match="matching up"):
+            FailureTrace(m=2, horizon=10.0, events=((1.0, 0, -1),))
+
+    def test_bad_machine_rejected(self):
+        with pytest.raises(ModelError):
+            FailureTrace(m=2, horizon=10.0, events=((1.0, 5, -1), (2.0, 5, 1)))
+
+    def test_hand_trace_statistics(self):
+        trace = FailureTrace(
+            m=2,
+            horizon=10.0,
+            events=((1.0, 0, -1), (3.0, 0, 1), (4.0, 1, -1), (5.0, 1, 1)),
+        )
+        assert trace.n_failures == 2
+        assert trace.downtime() == pytest.approx(3.0)
+        assert trace.availability() == pytest.approx(1.0 - 3.0 / 20.0)
+        times, caps = trace.capacity_profile()
+        assert times.tolist() == [0.0, 1.0, 3.0, 4.0, 5.0]
+        assert caps.tolist() == [2, 1, 2, 1, 2]
+
+    def test_exponential_realisation_is_deterministic(self):
+        a = generate_failures(4, 200.0, "exp:30:5@1")
+        b = generate_failures(4, 200.0, "exp:30:5@1")
+        assert a == b
+        assert a.n_failures > 0
+        assert all(t <= 200.0 for t, _m, _d in a.events)
+
+    def test_seed_changes_the_trace(self):
+        a = generate_failures(4, 200.0, "exp:30:5@1")
+        b = generate_failures(4, 200.0, "exp:30:5@2")
+        assert a.events != b.events
+
+
+def _seeded_instance(n: int = 12, m: int = 8, r: int = 0) -> Instance:
+    rng = derive_rng(0, "mixed", n, r)
+    return generate_workload("mixed", n=n, m=m, seed=rng)
+
+
+class TestNominalEquivalence:
+    """No noise, no failures: the faulty path IS the batch policy."""
+
+    @pytest.mark.parametrize("r", [0, 1, 2])
+    def test_matches_batch_policy_exactly(self, r):
+        inst = _seeded_instance(r=r)
+        nominal = BatchPolicy().run(inst)
+        faulty = FaultyBatchPolicy().run(inst)
+        assert faulty.crashes == 0 and faulty.deferrals == 0
+        assert faulty.batch_starts == nominal.batch_starts
+        assert faulty.schedule.makespan() == nominal.schedule.makespan()
+        # Placement order differs, so the sum may differ by float
+        # association only.
+        assert faulty.schedule.weighted_completion_sum() == pytest.approx(
+            nominal.schedule.weighted_completion_sum(), rel=1e-12
+        )
+        validate_schedule(faulty.schedule, inst)
+
+    def test_empty_instance(self):
+        inst = Instance([], 4)
+        result = FaultyBatchPolicy().run(inst)
+        assert result.n_batches == 0
+        assert len(result.schedule) == 0
+
+
+class TestNoiseOnly:
+    def test_realised_schedule_uses_true_durations(self):
+        inst = _seeded_instance()
+        result = FaultyBatchPolicy(noise="overestimate:4@1").run(inst)
+        validate_schedule(result.schedule, inst)  # true times, so it validates
+        assert result.crashes == 0
+
+    def test_noise_changes_the_outcome(self):
+        inst = _seeded_instance(n=20)
+        nominal = FaultyBatchPolicy().run(inst)
+        noisy = FaultyBatchPolicy(noise="lognormal:0.8@1").run(inst)
+        assert noisy.schedule.makespan() != nominal.schedule.makespan()
+
+
+class TestFailures:
+    def test_trace_m_mismatch_rejected(self):
+        inst = _seeded_instance(m=8)
+        trace = FailureTrace(m=4, horizon=10.0)
+        with pytest.raises(SchedulingError, match="4 machines"):
+            FaultyBatchPolicy(failures=trace).run(inst)
+
+    def test_eviction_restart_and_completion(self):
+        # Two unit-width jobs of duration 10 on 2 machines; machine 1 dies
+        # at t=4 and recovers at t=6: exactly one job is evicted (LIFO by
+        # largest id at equal starts) and restarts from scratch.
+        tasks = [MoldableTask(i, [10.0, 10.0]) for i in range(2)]
+        inst = Instance(tasks, 2)
+        trace = FailureTrace(
+            m=2, horizon=100.0, events=((4.0, 1, -1), (6.0, 1, 1)), spec="hand"
+        )
+        result = FaultyBatchPolicy(failures=trace).run(inst)
+        assert result.crashes == 1
+        validate_schedule(result.schedule, inst)
+        crashed = result.log.of_kind(EventKind.CRASHED)
+        assert [e.job_id for e in crashed] == [1]
+        # The victim restarted from scratch: its one successful placement
+        # begins at/after the crash and still takes the full duration.
+        placement = [p for p in result.schedule if p.task.task_id == 1]
+        assert len(placement) == 1
+        assert placement[0].start >= 4.0
+        assert placement[0].duration == pytest.approx(10.0)
+        # Job 0 was untouched.
+        survivor = [p for p in result.schedule if p.task.task_id == 0]
+        assert survivor[0].start == pytest.approx(0.0)
+        assert survivor[0].duration == pytest.approx(10.0)
+
+    def test_every_job_completes_exactly_once_under_heavy_failures(self):
+        inst = _seeded_instance(n=30, m=8, r=1)
+        trace = generate_failures(8, 500.0, "exp:5:3@2")
+        result = FaultyBatchPolicy(failures=trace).run(inst)
+        assert result.crashes > 0
+        assert len(result.schedule) == inst.n
+        validate_schedule(result.schedule, inst)
+        completed = result.log.of_kind(EventKind.COMPLETED)
+        assert sorted(e.job_id for e in completed) == sorted(
+            inst.task_ids.tolist()
+        )
+
+    def test_event_log_is_time_ordered_and_complete(self):
+        inst = _seeded_instance(n=20, m=8)
+        trace = generate_failures(8, 500.0, "exp:10:4@1")
+        result = FaultyBatchPolicy(
+            noise="lognormal:0.4@1", failures=trace
+        ).run(inst)
+        times = [e.time for e in result.log]
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+        kinds = {e.kind for e in result.log}
+        assert EventKind.MACHINE_DOWN in kinds and EventKind.MACHINE_UP in kinds
+
+    def test_max_restarts_budget(self):
+        # One machine, one 10s job.  Each attempt starts at t=6k and the
+        # machine dies 5s in (at 6k+5), recovering at 6k+6 — so every
+        # attempt crashes mid-run until the restart budget blows.
+        tasks = [MoldableTask(0, [10.0])]
+        inst = Instance(tasks, 1)
+        events = []
+        for k in range(5):
+            events.append((6.0 * k + 5.0, 0, -1))
+            events.append((6.0 * k + 6.0, 0, 1))
+        trace = FailureTrace(m=1, horizon=100.0, events=tuple(events))
+        with pytest.raises(SchedulingError, match="crashed more than"):
+            FaultyBatchPolicy(failures=trace, max_restarts=2).run(inst)
+
+    def test_deterministic_rerun_is_bit_identical(self):
+        inst = _seeded_instance(n=25, m=8, r=2)
+        trace = generate_failures(8, 500.0, "exp:15:5@3")
+        a = FaultyBatchPolicy(noise="lognormal:0.5@1", failures=trace).run(inst)
+        b = FaultyBatchPolicy(noise="lognormal:0.5@1", failures=trace).run(inst)
+        assert a.schedule.makespan() == b.schedule.makespan()
+        assert a.batch_starts == b.batch_starts
+        assert a.crashes == b.crashes and a.deferrals == b.deferrals
+        assert [
+            (p.task.task_id, p.start, p.allotment, p.duration) for p in a.schedule
+        ] == [
+            (p.task.task_id, p.start, p.allotment, p.duration) for p in b.schedule
+        ]
+
+
+class TestArrivalsIntegration:
+    def test_bursty_arrivals_feed_batches(self):
+        from repro.workloads.arrivals import apply_arrivals
+
+        inst = make_instance(n=12, m=4)
+        burst = apply_arrivals(inst, "bursty:3@1")
+        assert not np.array_equal(burst.releases, inst.releases)
+        result = FaultyBatchPolicy().run(burst)
+        assert result.n_batches >= 2
+        validate_schedule(result.schedule, burst)

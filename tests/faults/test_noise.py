@@ -1,0 +1,175 @@
+"""Unit tests for the misestimation (noise) models.
+
+The fault plane's first axis: seeded, RNG-free multiplicative noise over
+processing-time matrices.  Pinned here: spec grammar round-trips, factor
+ranges and shapes, identity short-circuits, SWF quantile fitting, and
+the inf-preservation contract (noise never legalises a forbidden
+allotment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.faults.noise import (
+    NOISE_MODELS,
+    LognormalNoise,
+    OverestimateNoise,
+    fit_overestimate_quantiles,
+    parse_noise,
+    perturb_instance,
+    perturb_times,
+)
+
+from tests.conftest import make_instance
+
+
+class TestSpecGrammar:
+    def test_canonical_specs(self):
+        assert parse_noise("none").spec == "none"
+        assert parse_noise("lognormal").spec == "lognormal:0.3"
+        assert parse_noise("lognormal:0.50").spec == "lognormal:0.5"
+        assert parse_noise("overestimate:2").spec == "overestimate:2"
+        assert parse_noise("lognormal:0.4@7").spec == "lognormal:0.4@7"
+
+    def test_model_passthrough(self):
+        model = LognormalNoise(sigma=0.2)
+        assert parse_noise(model) is model
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError, match="unknown noise model"):
+            parse_noise("gaussian:0.3")
+
+    def test_bad_parameter(self):
+        with pytest.raises(ModelError, match="bad noise parameter"):
+            parse_noise("lognormal:abc")
+
+    def test_bad_seed(self):
+        with pytest.raises(ModelError, match="seed must be an int"):
+            parse_noise("lognormal:0.3@x")
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ModelError):
+            LognormalNoise(sigma=-0.1)
+
+    def test_overestimate_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            OverestimateNoise(fmax=0.5)
+
+    def test_registry_covers_spec_names(self):
+        for name in NOISE_MODELS:
+            assert parse_noise(name).spec.split(":")[0].split("@")[0] in (
+                name,
+                "none",
+            )
+
+
+class TestFactors:
+    ids = np.arange(500, dtype=np.int64)
+
+    def test_lognormal_positive_median_near_one(self):
+        f = LognormalNoise(sigma=0.3).factors(self.ids)
+        assert f.shape == (500,)
+        assert (f > 0).all()
+        assert abs(np.log(np.median(f))) < 0.1
+
+    def test_overestimate_range(self):
+        f = OverestimateNoise(fmax=4.0).factors(self.ids)
+        assert (f >= 1.0).all() and (f <= 4.0).all()
+
+    def test_seed_changes_factors(self):
+        a = LognormalNoise(sigma=0.3, seed=0).factors(self.ids)
+        b = LognormalNoise(sigma=0.3, seed=1).factors(self.ids)
+        assert not np.array_equal(a, b)
+
+    def test_models_use_distinct_salts(self):
+        a = LognormalNoise(sigma=0.3).factors(self.ids)
+        b = OverestimateNoise(fmax=4.0).factors(self.ids)
+        # Same uniforms would make ranks coincide; the salts decouple them.
+        assert not np.array_equal(np.argsort(a), np.argsort(b))
+
+    def test_inf_entries_stay_inf(self):
+        times = np.array([[1.0, np.inf], [2.0, 1.5]])
+        est = perturb_times(times, np.array([0, 1]), "lognormal:0.5")
+        assert np.isinf(est[0, 1])
+        assert np.isfinite(est[est != np.inf]).all()
+
+
+class TestPerturbInstance:
+    def test_identity_short_circuit(self):
+        inst = make_instance()
+        assert perturb_instance(inst, "none") is inst
+
+    def test_metadata_preserved(self):
+        inst = make_instance(n=6, m=4)
+        est = perturb_instance(inst, "overestimate:3@1")
+        assert est.m == inst.m
+        assert np.array_equal(est.task_ids, inst.task_ids)
+        assert np.array_equal(est.weights, inst.weights)
+        assert np.array_equal(est.releases, inst.releases)
+        factors = est.times_matrix / inst.times_matrix
+        # One factor per job: every row is scaled uniformly.
+        assert np.allclose(factors, factors[:, :1])
+
+    def test_overestimate_never_shrinks(self):
+        inst = make_instance(n=8, m=4)
+        est = perturb_instance(inst, "overestimate:4")
+        assert (est.times_matrix >= inst.times_matrix - 1e-12).all()
+
+
+SWF = "\n".join(
+    [
+        "; Comment line",
+        # job submit wait run procs cpu mem req_procs req_time ...
+        "1 0 0 10 4 -1 -1 4 40 -1",
+        "2 5 0 20 2 -1 -1 2 20 -1",
+        "3 9 1 5 1 -1 -1 1 50 -1",
+        "4 12 0 0 1 -1 -1 1 10 -1",  # run=0: skipped
+        "5 15 0 8 2 -1 -1 2 -1 -1",  # req<=0: skipped
+    ]
+)
+
+
+class TestFitting:
+    def test_quantiles_from_swf_text(self):
+        qs = fit_overestimate_quantiles(SWF, points=5)
+        assert qs.shape == (5,)
+        # Ratios are 4.0, 1.0, 10.0 -> quantiles span [1, 10], sorted.
+        assert qs[0] == pytest.approx(1.0)
+        assert qs[-1] == pytest.approx(10.0)
+        assert (np.diff(qs) >= 0).all()
+
+    def test_fitted_model_maps_through_quantiles(self):
+        qs = fit_overestimate_quantiles(SWF, points=9)
+        model = OverestimateNoise.fitted(qs, seed=3)
+        f = model.factors(np.arange(100))
+        assert (f >= qs[0] - 1e-12).all() and (f <= qs[-1] + 1e-12).all()
+        assert model.spec.startswith("overestimate:fit-")
+        assert model.spec.endswith("@3")
+
+    def test_fitted_spec_is_content_addressed(self):
+        qs = fit_overestimate_quantiles(SWF, points=5)
+        a = OverestimateNoise.fitted(qs)
+        b = OverestimateNoise.fitted(qs)
+        c = OverestimateNoise.fitted(qs * 1.5)
+        assert a.spec == b.spec != c.spec
+
+    def test_fitted_needs_two_quantiles(self):
+        with pytest.raises(ModelError):
+            OverestimateNoise.fitted(np.array([2.0]))
+
+    def test_fitted_quantiles_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            OverestimateNoise.fitted(np.array([0.5, 2.0]))
+
+    def test_no_usable_records(self):
+        with pytest.raises(ModelError, match="no records"):
+            fit_overestimate_quantiles("; only comments\n")
+
+    def test_reads_from_file(self, tmp_path):
+        path = tmp_path / "log.swf"
+        path.write_text(SWF + "\n")
+        qs = fit_overestimate_quantiles(str(path), points=5)
+        assert qs[-1] == pytest.approx(10.0)

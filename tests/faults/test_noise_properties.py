@@ -1,0 +1,160 @@
+"""Property suite: noise-model determinism and commutation laws.
+
+The fault plane's determinism guarantees (the satellite checklist of the
+robustness PR), pinned with Hypothesis:
+
+* **bit-identity** — the same spec produces bit-identical factors on
+  every call, for any id set, and across a *process boundary* (a fresh
+  interpreter reproduces the exact bytes);
+* **window commutation** — factors are a pure per-id function, so
+  perturbing a sub-selection equals sub-selecting the perturbation:
+  ``factors(ids[sel]) == factors(ids)[sel]`` exactly, which is what
+  makes noise commute with trace ``window()``;
+* **shift commutation** — factors never read release dates, so noise
+  commutes with trace ``shifted()``: the perturbed times of a shifted
+  trace equal the perturbed times of the original, byte for byte;
+* **permutation equivariance** — reordering jobs reorders factors.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.noise import (
+    LognormalNoise,
+    OverestimateNoise,
+    parse_noise,
+    perturb_instance,
+)
+from repro.workloads.trace import load_trace, synthesize_swf, trace_instance
+
+ids_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**31 - 1), min_size=1, max_size=60,
+    unique=True,
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+models = st.one_of(
+    st.floats(min_value=0.0, max_value=2.0).map(
+        lambda s: LognormalNoise(sigma=round(s, 3))
+    ),
+    st.floats(min_value=1.0, max_value=8.0).map(
+        lambda f: OverestimateNoise(fmax=round(f, 3))
+    ),
+    st.integers(min_value=0, max_value=99).map(
+        lambda seed: LognormalNoise(sigma=0.4, seed=seed)
+    ),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids=ids_arrays, model=models)
+def test_factors_are_bit_identical_across_calls(ids, model):
+    a = model.factors(ids)
+    b = model.factors(ids)
+    assert a.tobytes() == b.tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids=ids_arrays, model=models, data=st.data())
+def test_window_commutation(ids, model, data):
+    """Sub-selecting ids then perturbing == perturbing then sub-selecting."""
+    sel = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(ids) - 1),
+            min_size=1, max_size=len(ids), unique=True,
+        )
+    )
+    sel = np.asarray(sorted(sel), dtype=np.intp)
+    whole = model.factors(ids)
+    part = model.factors(ids[sel])
+    assert part.tobytes() == whole[sel].tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids=ids_arrays, model=models, data=st.data())
+def test_permutation_equivariance(ids, model, data):
+    perm = np.asarray(
+        data.draw(st.permutations(list(range(len(ids))))), dtype=np.intp
+    )
+    assert np.array_equal(model.factors(ids[perm]), model.factors(ids)[perm])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=999),
+    spec=st.sampled_from(["lognormal:0.5@3", "overestimate:3@1"]),
+)
+def test_shift_commutation_on_traces(seed, spec):
+    """Noise commutes with ``Trace.shifted``: same times, shifted releases."""
+    trace = load_trace(synthesize_swf(12, 8, seed=seed))
+    base = perturb_instance(trace_instance(trace, model="downey"), spec)
+    shifted = perturb_instance(
+        trace_instance(trace.shifted(7.5), model="downey"), spec
+    )
+    assert shifted.times_matrix.tobytes() == base.times_matrix.tobytes()
+    assert np.allclose(shifted.releases, base.releases + 7.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=999),
+    offset=st.integers(min_value=0, max_value=8),
+    count=st.integers(min_value=1, max_value=12),
+    spec=st.sampled_from(["lognormal:0.5@3", "overestimate:3@1"]),
+)
+def test_window_commutation_on_traces(seed, offset, count, spec):
+    """Perturbing a trace window == windowing the perturbed full trace."""
+    trace = load_trace(synthesize_swf(12, 8, seed=seed))
+    whole = perturb_instance(trace_instance(trace, model="downey"), spec)
+    part = perturb_instance(
+        trace_instance(trace.window(offset, count), model="downey"), spec
+    )
+    stop = min(trace.n, offset + count)
+    assert (
+        part.times_matrix.tobytes()
+        == whole.times_matrix[offset:stop].tobytes()
+    )
+
+
+_SUBPROCESS_SNIPPET = """
+import sys
+import numpy as np
+from repro.faults.noise import parse_noise
+
+ids = np.arange(64, dtype=np.int64) * 7919
+for spec in sys.argv[1:]:
+    sys.stdout.write(parse_noise(spec).factors(ids).tobytes().hex() + "\\n")
+"""
+
+
+def test_bit_identity_across_process_boundary():
+    """A fresh interpreter reproduces the exact factor bytes."""
+    specs = ["lognormal:0.4@5", "overestimate:4@2", "lognormal:1.1"]
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET, *specs],
+        capture_output=True, text=True, check=True,
+    )
+    remote = proc.stdout.split()
+    ids = np.arange(64, dtype=np.int64) * 7919
+    local = [parse_noise(s).factors(ids).tobytes().hex() for s in specs]
+    assert remote == local
+
+
+def test_failure_traces_are_bit_identical_across_process_boundary():
+    from repro.faults.failures import generate_failures
+
+    snippet = (
+        "from repro.faults.failures import generate_failures\n"
+        "print(repr(generate_failures(6, 300.0, 'exp:20:4@7').events))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet], capture_output=True, text=True,
+        check=True,
+    )
+    local = generate_failures(6, 300.0, "exp:20:4@7").events
+    assert proc.stdout.strip() == repr(local)

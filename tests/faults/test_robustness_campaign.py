@@ -1,0 +1,214 @@
+"""End-to-end robustness campaign: scenarios, cells, quarantine, CLI.
+
+The acceptance criterion of the robustness plane is pinned here: a
+seeded campaign with injected machine failures **and** a deliberately
+crashed worker completes end-to-end and produces records bit-identical
+between the serial and process backends — retried cells included — with
+quarantined cells explicitly marked in the aggregate table rather than
+dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.experiments.engine import PersistentCellCache, RetryPolicy
+from repro.experiments.reporting import format_robustness_table
+from repro.faults.campaign import (
+    ROBUSTNESS_ENGINES,
+    FaultScenario,
+    RobustnessResult,
+    RobustnessRow,
+    parse_scenario,
+    run_robustness_campaign,
+)
+
+SCENARIO = "lognormal:0.4@1|exp:25:5@1|poisson:0.8@1"
+
+
+class TestScenario:
+    def test_parse_and_canonicalise(self):
+        s = parse_scenario("lognormal:0.30|exp:50:5")
+        assert s.spec == "lognormal:0.3|exp:50:5|none"
+        assert not s.is_nominal
+        assert s.baseline().spec == "none|none|none"
+
+    def test_axis_overrides(self):
+        s = parse_scenario("", noise="overestimate:2", arrivals="bursty:4")
+        assert s.spec == "overestimate:2|none|bursty:4:0.9"
+
+    def test_arrivals_survive_in_baseline(self):
+        s = parse_scenario("lognormal:0.4|exp:50:5|adversarial")
+        assert s.baseline().spec == "none|none|adversarial"
+        assert s.baseline().is_nominal
+
+    def test_too_many_axes(self):
+        with pytest.raises(ModelError, match="more than 3"):
+            parse_scenario("a|b|c|d")
+
+    def test_bad_axis_spec(self):
+        with pytest.raises(ModelError):
+            parse_scenario("bogus:1")
+
+    def test_scenario_passthrough(self):
+        s = FaultScenario(noise="lognormal:0.4")
+        assert parse_scenario(s) == s
+
+
+class TestCampaign:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ModelError, match="unknown robustness engine"):
+            run_robustness_campaign("mixed", (8,), 1, "none", engines=("nope",))
+
+    def test_nominal_scenario_degrades_nothing(self):
+        result = run_robustness_campaign(
+            "mixed", (8,), 2, "none", engines=("demt",), m=8, validate=True
+        )
+        assert result.n_quarantined == 0
+        for row in result.rows:
+            assert row.degraded_cmax == row.nominal_cmax
+            assert row.degradation == pytest.approx(1.0)
+            assert row.crashes == 0
+
+    def test_degraded_campaign_structure(self):
+        result = run_robustness_campaign(
+            "mixed", (10,), 2, SCENARIO, engines=("demt", "gang"), m=8,
+            validate=True,
+        )
+        assert len(result.rows) == 4
+        assert result.n_quarantined == 0
+        for row in result.rows:
+            assert row.degraded_cmax >= row.nominal_cmax - 1e-9
+            assert np.isfinite(row.cmax_lb) and row.cmax_lb > 0
+            assert row.nominal_cmax >= row.cmax_lb - 1e-9
+        points = result.engine_points()
+        assert set(points) == {"demt", "gang"}
+        assert result.front() <= {"demt", "gang"} and result.front()
+
+    def test_serial_process_bit_identity_with_injected_crash(
+        self, tmp_path, monkeypatch
+    ):
+        serial = run_robustness_campaign(
+            "mixed", (10,), 2, SCENARIO, engines=("demt",), m=8
+        )
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        monkeypatch.setenv("REPRO_INJECT_CRASH", str(marker))
+        monkeypatch.setenv("REPRO_INJECT_CRASH_COUNT", "1")
+        process = run_robustness_campaign(
+            "mixed", (10,), 2, SCENARIO, engines=("demt",), m=8,
+            backend="process", jobs=2,
+            policy=RetryPolicy(retries=2, backoff=0.01),
+        )
+        assert (marker / "crash-0").exists()  # the crash really fired
+        assert process.rows == serial.rows  # bit-identical, retries included
+        assert process.n_quarantined == 0
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = PersistentCellCache(tmp_path / "cache")
+        kwargs = dict(engines=("demt",), m=8, cache=cache)
+        first = run_robustness_campaign("mixed", (8,), 2, SCENARIO, **kwargs)
+        measured = cache.misses
+        assert measured > 0
+        second = run_robustness_campaign("mixed", (8,), 2, SCENARIO, **kwargs)
+        assert second.rows == first.rows
+        assert cache.misses == measured  # zero re-executions
+
+    def test_scenarios_do_not_collide_in_cache(self, tmp_path):
+        cache = PersistentCellCache(tmp_path / "cache")
+        kwargs = dict(engines=("demt",), m=8, cache=cache)
+        a = run_robustness_campaign("mixed", (8,), 1, "none", **kwargs)
+        b = run_robustness_campaign(
+            "mixed", (8,), 1, "lognormal:0.6@1", **kwargs
+        )
+        assert a.rows[0].degraded_cmax != b.rows[0].degraded_cmax
+
+
+class TestAggregateTable:
+    def _result_with_quarantine(self) -> RobustnessResult:
+        rows = (
+            RobustnessRow(
+                kind="mixed", n=8, r=0, engine="demt",
+                nominal_cmax=10.0, degraded_cmax=14.0, cmax_lb=8.0,
+                crashes=2, batches=3,
+            ),
+            RobustnessRow(
+                kind="mixed", n=8, r=1, engine="demt",
+                nominal_cmax=float("nan"), degraded_cmax=float("nan"),
+                cmax_lb=float("nan"), error="worker process died",
+            ),
+        )
+        return RobustnessResult(
+            scenario=parse_scenario("lognormal:0.4|exp:50:5"),
+            engines=("demt",),
+            rows=rows,
+        )
+
+    def test_quarantined_rows_are_marked_not_dropped(self):
+        result = self._result_with_quarantine()
+        assert result.n_quarantined == 1
+        assert result.total_crashes == 2
+        table = format_robustness_table(result)
+        assert "QUARANTINED" in table
+        assert "mixed n=8 r=1" in table  # the poisoned cell is still listed
+        assert "*front*" in table
+
+    def test_quarantined_cells_excluded_from_points(self):
+        result = self._result_with_quarantine()
+        (point,) = result.engine_points().values()
+        assert point == (10.0, 14.0)
+
+    def test_all_quarantined_engine_noted(self):
+        result = RobustnessResult(
+            scenario=parse_scenario("none"),
+            engines=("demt",),
+            rows=(
+                RobustnessRow(
+                    kind="mixed", n=8, r=0, engine="demt",
+                    nominal_cmax=float("nan"), degraded_cmax=float("nan"),
+                    cmax_lb=float("nan"), error="boom",
+                ),
+            ),
+        )
+        assert result.engine_points() == {}
+        assert result.front() == frozenset()
+        assert "all cells quarantined" in format_robustness_table(result)
+
+
+class TestCli:
+    def test_robustness_subcommand_smoke(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            [
+                "robustness", "mixed", "--noise", "lognormal:0.4@1",
+                "--failures", "exp:25:5@1", "--engines", "demt",
+                "--n", "8", "--runs", "1", "--m", "8", "--validate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Robustness campaign" in out
+        assert "lognormal:0.4@1|exp:25:5@1|none" in out
+        assert "*front*" in out
+
+    def test_robustness_all_engines_choice(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["robustness", "--engines", "all"])
+        assert args.engines == ["all"]
+        assert set(ROBUSTNESS_ENGINES) == {"demt", "gang", "sequential", "wspt"}
+
+    def test_bad_scenario_is_clean_error(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="robustness: unknown noise"):
+            main(["robustness", "mixed", "--noise", "bogus"])
+
+    def test_bad_retry_policy_is_clean_error(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="retries must be"):
+            main(["robustness", "mixed", "--retries", "-1"])

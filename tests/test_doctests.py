@@ -13,9 +13,13 @@ import repro.experiments.aggregate
 import repro.experiments.config
 import repro.algorithms.knapsack
 import repro.algorithms.registry
+import repro.faults.campaign
+import repro.faults.failures
+import repro.faults.noise
 import repro.pareto.front
 import repro.pareto.indicators
 import repro.pareto.sweep
+import repro.workloads.arrivals
 import repro.workloads.generator
 
 MODULES = [
@@ -26,9 +30,13 @@ MODULES = [
     repro.experiments.config,
     repro.algorithms.knapsack,
     repro.algorithms.registry,
+    repro.faults.campaign,
+    repro.faults.failures,
+    repro.faults.noise,
     repro.pareto.front,
     repro.pareto.indicators,
     repro.pareto.sweep,
+    repro.workloads.arrivals,
     repro.workloads.generator,
 ]
 

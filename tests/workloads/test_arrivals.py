@@ -1,0 +1,125 @@
+"""Arrival-process generators: spec grammar, shapes, determinism.
+
+Satellite coverage for the fault plane's third axis: release dates as a
+sweepable campaign coordinate.  The adversarial staircase — the arrival
+process behind the batch wrapper's ``2ρ`` lower-bound intuition — gets
+its shape pinned exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.task import MoldableTask
+from repro.exceptions import ModelError
+from repro.workloads.arrivals import (
+    ARRIVAL_PATTERNS,
+    AdversarialArrivals,
+    BurstyArrivals,
+    PoissonArrivals,
+    apply_arrivals,
+    generate_releases,
+    parse_arrivals,
+)
+
+from tests.conftest import make_instance
+
+
+class TestSpecGrammar:
+    def test_canonical_specs(self):
+        assert parse_arrivals("none").spec == "none"
+        assert parse_arrivals("poisson").spec == "poisson:0.9"
+        assert parse_arrivals("poisson:0.50").spec == "poisson:0.5"
+        assert parse_arrivals("bursty").spec == "bursty:4:0.9"
+        assert parse_arrivals("bursty:8:0.5@2").spec == "bursty:8:0.5@2"
+        assert parse_arrivals("adversarial").spec == "adversarial"
+
+    def test_pattern_passthrough(self):
+        pattern = PoissonArrivals(load=0.5)
+        assert parse_arrivals(pattern) is pattern
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ModelError, match="unknown arrival pattern"):
+            parse_arrivals("uniform")
+
+    def test_bad_parameter(self):
+        with pytest.raises(ModelError, match="bad arrival parameter"):
+            parse_arrivals("bursty:x")
+
+    def test_bad_seed(self):
+        with pytest.raises(ModelError, match="seed must be an int"):
+            parse_arrivals("poisson@x")
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ModelError):
+            PoissonArrivals(load=0.0)
+        with pytest.raises(ModelError):
+            BurstyArrivals(bursts=0)
+
+
+class TestReleases:
+    def test_none_is_identity(self):
+        inst = make_instance()
+        assert apply_arrivals(inst, "none") is inst
+        assert generate_releases(inst, "none").tolist() == [0.0] * inst.n
+
+    @pytest.mark.parametrize("spec", ["poisson:0.8@1", "bursty:3@1", "adversarial"])
+    def test_shapes_and_determinism(self, spec):
+        inst = make_instance(n=10, m=4)
+        a = generate_releases(inst, spec)
+        b = generate_releases(inst, spec)
+        assert a.shape == (10,)
+        assert (a >= 0).all()
+        assert np.array_equal(a, b)
+
+    def test_poisson_first_arrival_at_origin(self):
+        inst = make_instance(n=10, m=4)
+        rel = generate_releases(inst, "poisson:0.9@1")
+        assert rel[0] == 0.0
+        assert (np.diff(rel) >= 0).all()
+
+    def test_seed_changes_poisson(self):
+        inst = make_instance(n=10, m=4)
+        a = generate_releases(inst, "poisson:0.9@1")
+        b = generate_releases(inst, "poisson:0.9@2")
+        assert not np.array_equal(a, b)
+
+    def test_bursty_uses_exactly_the_wave_times(self):
+        inst = make_instance(n=40, m=4)
+        rel = generate_releases(inst, "bursty:3@1")
+        assert len(np.unique(rel)) <= 3
+
+    def test_adversarial_staircase_shape(self):
+        # Distinct durations: the staircase is the cumulative sum of the
+        # sorted-decreasing best-case durations, scaled by the margin.
+        tasks = [MoldableTask(i, [float(10 - i)]) for i in range(4)]
+        inst = Instance(tasks, 1)
+        rel = generate_releases(inst, "adversarial")
+        expected = 0.999 * np.array([0.0, 10.0, 19.0, 27.0])
+        assert rel.tolist() == pytest.approx(expected.tolist())
+        # Each job arrives strictly before its predecessor could finish.
+        assert rel[1] < 10.0 and rel[2] < 10.0 + 9.0
+
+    def test_apply_arrivals_preserves_everything_else(self):
+        inst = make_instance(n=8, m=4)
+        online = apply_arrivals(inst, "bursty:2@1")
+        assert online.m == inst.m
+        assert np.array_equal(online.task_ids, inst.task_ids)
+        assert np.array_equal(online.times_matrix, inst.times_matrix)
+        assert np.array_equal(online.weights, inst.weights)
+
+    def test_empty_instance(self):
+        inst = Instance([], 4)
+        for name in ARRIVAL_PATTERNS:
+            assert generate_releases(inst, name).shape == (0,)
+
+    def test_adversarial_forces_many_batches(self):
+        from repro.simulator.online import BatchPolicy
+
+        inst = make_instance(n=6, m=4)
+        online = apply_arrivals(inst, "adversarial")
+        offline = BatchPolicy().run(inst)
+        adversarial = BatchPolicy().run(online)
+        assert adversarial.n_batches > offline.n_batches
