@@ -1,0 +1,228 @@
+"""Event-spine benchmarks: the PR-8 acceptance bench.
+
+One measurement lives here: ``test_spine_replay_emits_bench_pr8`` — the
+on-line replay of synthetic archive windows through the **event-spine**
+:class:`~repro.simulator.online.BatchPolicy` kernel vs the frozen PR-5
+windowed path (:mod:`repro.simulator.windowed`), schedules asserted
+identical.  Both paths call the same off-line engine, so the headline
+number isolates the *replay path* (total minus time inside the engine):
+the arrival cursor, the batch cut, the sub-instance construction and the
+placement shift — exactly the code the spine refactor rewrote.  The
+spine path must be ``>= 3x`` faster at the 100k-job window
+(``REPRO_SPINE_SPEEDUP_MIN`` overrides the floor; CI runs with head-room
+for noisy shared runners).
+
+Alongside the comparison the bench records replay *throughput*
+(``jobs_per_sec``, window size over engine-subtracted path seconds) and
+the per-event cost (``us_per_event``; every job contributes one ARRIVAL
+on the spine's arrival tape and one completion at its batch cut, so a
+window of ``n`` jobs is ``2n`` events).  With ``REPRO_RUN_SLOW=1`` (CI's
+slow lane) the archive-scale window is measured too: 1M jobs on ``m=32``,
+spine path only — the windowed oracle is not raced at that scale, the
+differential suite already pins it at fuzz sizes.
+
+Everything is written to ``BENCH_PR8.json`` (``REPRO_BENCH_PR8_OUT``
+overrides the path); the checked-in copy doubles as the regression
+baseline — a measured path speedup below *half* the recorded one fails.
+
+Refreshing the baseline after intentional perf work::
+
+    PYTHONPATH=src REPRO_BENCH_REFRESH=1 REPRO_RUN_SLOW=1 python -m \
+        pytest benchmarks/bench_event_spine.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.algorithms.wspt import schedule_wspt
+from repro.simulator.online import BatchPolicy
+from repro.simulator.windowed import WINDOWED_POLICIES
+from repro.workloads.trace import load_trace, synthesize_swf, trace_instance
+
+#: Replay windows raced against the windowed oracle (the acceptance bar
+#: requires >= 100k jobs).
+REPLAY_NS = (20_000, 100_000)
+
+#: Machine size and arrival load of the synthetic archives.
+BENCH_M = 64
+BENCH_LOAD = 1.0
+
+#: The archive-scale window (slow lane only): 1M jobs on a smaller
+#: machine — the matrix is ``n x m`` and 64M float64 cells is where a
+#: shared runner starts swapping.
+MILLION_N = 1_000_000
+MILLION_M = 32
+
+#: Default location of the checked-in benchmark record / baseline.
+BENCH_PR8_PATH = Path(__file__).resolve().parent / "BENCH_PR8.json"
+
+
+class _TimedEngine:
+    """Wrap an off-line engine, accumulating the seconds spent inside it
+    (both replay paths call the same engine; subtracting it isolates the
+    wrapper)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.seconds = 0.0
+
+    def __call__(self, instance):
+        t0 = time.perf_counter()
+        out = self.fn(instance)
+        self.seconds += time.perf_counter() - t0
+        return out
+
+
+def _placements(schedule):
+    return sorted((p.task.task_id, p.start, p.allotment) for p in schedule)
+
+
+def _run(trace, m, policy_factory, reps=1):
+    """Timed replay, best of ``reps``: ``(result, total_s, engine_s)``.
+
+    "Best" means the rep with the smallest engine-subtracted path time —
+    the quantity the gates compare — so single-shot scheduler-noise
+    spikes on shared runners don't poison the recorded baseline.
+    """
+    best = None
+    for _ in range(reps):
+        engine = _TimedEngine(schedule_wspt)
+        inst = trace_instance(trace, m, "rigid", online=True)
+        t0 = time.perf_counter()
+        result = policy_factory(engine).run(inst)
+        total = time.perf_counter() - t0
+        if best is None or total - engine.seconds < best[1] - best[2]:
+            best = (result, total, engine.seconds)
+    return best
+
+
+def test_spine_replay_emits_bench_pr8(benchmark):
+    """Measure, emit, and gate ``BENCH_PR8.json`` (see module docstring)."""
+
+    def measure():
+        windows = []
+        for n in REPLAY_NS:
+            trace = load_trace(synthesize_swf(n, BENCH_M, seed=42, load=BENCH_LOAD))
+
+            spine, spine_total, spine_eng = _run(
+                trace, BENCH_M, lambda e: BatchPolicy(e), reps=2
+            )
+            win, win_total, win_eng = _run(
+                trace, BENCH_M, lambda e: WINDOWED_POLICIES["batch"](offline=e), reps=2
+            )
+
+            # The kernels must agree placement for placement.
+            assert _placements(spine.schedule) == _placements(win.schedule)
+            assert spine.batch_starts == win.batch_starts
+
+            spine_path = spine_total - spine_eng
+            win_path = win_total - win_eng
+            windows.append(
+                {
+                    "n": n,
+                    "batches": spine.n_batches,
+                    "spine_total_s": round(spine_total, 3),
+                    "windowed_total_s": round(win_total, 3),
+                    "total_speedup": round(win_total / spine_total, 2),
+                    "spine_path_s": round(spine_path, 3),
+                    "windowed_path_s": round(win_path, 3),
+                    "path_speedup": round(win_path / spine_path, 2),
+                    "jobs_per_sec": round(n / spine_path),
+                    "us_per_event": round(spine_path / (2 * n) * 1e6, 3),
+                }
+            )
+
+        # Archive scale, slow lane only: the spine path alone (the
+        # windowed oracle is pinned differentially at fuzz sizes, racing
+        # it at 1M just burns CI minutes).
+        million = None
+        if os.environ.get("REPRO_RUN_SLOW") == "1":
+            trace = load_trace(
+                synthesize_swf(MILLION_N, MILLION_M, seed=8, load=BENCH_LOAD)
+            )
+            res, total, eng = _run(trace, MILLION_M, lambda e: BatchPolicy(e))
+            path = total - eng
+            million = {
+                "n": MILLION_N,
+                "m": MILLION_M,
+                "batches": res.n_batches,
+                "spine_total_s": round(total, 3),
+                "spine_path_s": round(path, 3),
+                "jobs_per_sec": round(MILLION_N / path),
+                "us_per_event": round(path / (2 * MILLION_N) * 1e6, 3),
+            }
+        return windows, million
+
+    windows, million = benchmark.pedantic(measure, rounds=1, iterations=1)
+    doc = {
+        "bench": "event-spine-replay",
+        "description": "on-line replay of synthetic archive windows: the "
+        "event-spine BatchPolicy kernel vs the frozen PR-5 windowed path "
+        "(identical schedules asserted; wspt engine, its time subtracted "
+        "for the path_* figures); jobs_per_sec and us_per_event count the "
+        "engine-subtracted replay path over 2n events (one arrival + one "
+        "completion per job)",
+        "m": BENCH_M,
+        "load": BENCH_LOAD,
+        "engine": "wspt",
+        "windows": windows,
+        "million_job_window": million,
+    }
+
+    print()
+    for w in windows:
+        print(
+            f"  replay n={w['n']:>7}: path windowed {w['windowed_path_s']:7.3f} s"
+            f"  spine {w['spine_path_s']:7.3f} s  -> {w['path_speedup']:.2f}x"
+            f"   ({w['jobs_per_sec']:,} jobs/s, {w['us_per_event']:.3f} us/event)"
+        )
+    if million is not None:
+        print(
+            f"  replay n={million['n']:,} (m={million['m']}): spine path "
+            f"{million['spine_path_s']:.3f} s  ({million['jobs_per_sec']:,} jobs/s, "
+            f"{million['us_per_event']:.3f} us/event, {million['batches']} batches)"
+        )
+
+    # The measurement is written *before* any gate fires, so the CI
+    # artifact survives a failed floor (that record is exactly what a
+    # flake diagnosis needs).
+    refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
+    default_out = BENCH_PR8_PATH if refresh else BENCH_PR8_PATH.with_suffix(".new.json")
+    out_path = Path(os.environ.get("REPRO_BENCH_PR8_OUT", default_out))
+    refreshing_baseline = out_path.resolve() == BENCH_PR8_PATH.resolve() and refresh
+    if out_path.resolve() == BENCH_PR8_PATH.resolve() and not refresh:
+        raise AssertionError(
+            "refusing to overwrite the checked-in BENCH_PR8.json baseline "
+            "without REPRO_BENCH_REFRESH=1"
+        )
+    baseline = json.loads(BENCH_PR8_PATH.read_text()) if BENCH_PR8_PATH.exists() else None
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  wrote {out_path}")
+
+    # Acceptance gate: the spine path must carry its weight at archive
+    # scale.
+    floor = float(os.environ.get("REPRO_SPINE_SPEEDUP_MIN", "3.0"))
+    at_100k = next(w for w in windows if w["n"] == REPLAY_NS[-1])
+    assert at_100k["path_speedup"] >= floor, (
+        f"spine replay-path speedup {at_100k['path_speedup']:.2f}x at "
+        f"n={REPLAY_NS[-1]} below the {floor:.2f}x floor"
+    )
+
+    if baseline is not None and not refreshing_baseline:
+        base_by_n = {w["n"]: w for w in baseline.get("windows", [])}
+        for w in windows:
+            base = base_by_n.get(w["n"])
+            if base is None:
+                continue
+            regression_floor = base["path_speedup"] / 2.0
+            assert w["path_speedup"] >= regression_floor, (
+                f"spine-path speedup regression at n={w['n']}: measured "
+                f"{w['path_speedup']:.2f}x vs baseline "
+                f"{base['path_speedup']:.2f}x (floor {regression_floor:.2f}x)"
+            )

@@ -71,9 +71,8 @@ def _online_cell(args: tuple):
     else:
         gaps = rng.exponential(1.0, size=n)
         releases = np.sort(gaps.cumsum() / gaps.sum() * frac * off_cmax)
-    inst = Instance(
-        [t.with_release(float(rel)) for t, rel in zip(base.tasks, releases)],
-        m,
+    inst = Instance.from_arrays(
+        base.times_matrix, base.weights, releases, m, task_ids=base.task_ids
     )
     result = get_policy(policy, offline=offline).run(inst)
     record = CellRecord(

@@ -133,6 +133,18 @@ class ReplayResult:
     def mean_flow(self) -> float:
         return self.weighted_flow / self.n_jobs if self.n_jobs else 0.0
 
+    @property
+    def jobs_per_sec(self) -> float:
+        """Replay throughput: jobs scheduled per wall-clock second.
+
+        ``seconds`` is the pure policy/engine time measured by
+        :func:`_measure` (trace loading and instance construction are
+        excluded), so this is the number the event-spine benchmarks
+        report.  Zero-duration cells (cached or degenerate) report 0.0
+        rather than dividing by zero.
+        """
+        return self.n_jobs / self.seconds if self.seconds > 0 else 0.0
+
 
 def _engine_label(offline: Callable) -> str | None:
     """Stable cache label for the engine, or ``None`` (not cacheable)."""

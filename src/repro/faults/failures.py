@@ -17,14 +17,17 @@ fault axes at once:
   than planned can leave no room for a later planned start: that start
   is **deferred** to the next batch.
 * **failures** — capacity-change events interleave with the batch's
-  starts and completions on the shared
-  :class:`~repro.simulator.events.EventWindowQueue` (completions free
-  capacity first, capacity changes apply second, starts allocate last —
-  priorities 0/1/2).  When a drop leaves the running set over capacity,
-  victims are evicted LIFO (latest start, then largest id): the job
+  starts and completions on the shared incremental
+  :class:`~repro.simulator.events.EventSpine` (FINISH transitions free
+  capacity first, RESERVE capacity changes apply second, STARTs allocate
+  last).  When a drop leaves the running set over capacity, victims are
+  evicted LIFO (latest start, then largest id —
+  :meth:`~repro.simulator.events.EventSpine.evict_latest`): the job
   **crashes**, its work so far is lost, and it restarts *from scratch*
   in a later batch — the crash-and-restart semantics of checkpoint-free
-  clusters.
+  clusters.  A crashed job's pending FINISH stays in the heap as a
+  tombstone (it still anchors event windows, exactly like the pre-spine
+  loop's stale completions) and resolves to nothing.
 
 The realised schedule holds only the successful (completed) placements
 with their true durations, so it validates against the truth instance;
@@ -46,7 +49,7 @@ from repro.core.schedule import Schedule
 from repro.core.validation import TIME_EPS
 from repro.exceptions import ModelError, SchedulingError
 from repro.faults.noise import NoiseModel, parse_noise, perturb_instance
-from repro.simulator.events import Event, EventKind, EventLog, EventWindowQueue
+from repro.simulator.events import Event, EventKind, EventLog, EventSpine, Transition
 from repro.simulator.online import BatchPolicy
 from repro.utils.rng import derive_rng
 
@@ -268,9 +271,11 @@ class FaultyOnlineResult:
         return len(self.batch_starts)
 
 
-#: Event-queue priorities of the faulty batch simulation: completions
-#: free capacity, then capacity changes apply, then starts allocate.
-_PRIO_COMPLETE, _PRIO_CAPACITY, _PRIO_START = 0, 1, 2
+#: Spine transitions of the faulty batch simulation: FINISH frees
+#: capacity, then RESERVE capacity changes apply, then STARTs allocate.
+_FINISH = int(Transition.FINISH)
+_RESERVE = int(Transition.RESERVE)
+_START = int(Transition.START)
 
 
 class FaultyBatchPolicy(BatchPolicy):
@@ -399,15 +404,17 @@ class FaultyBatchPolicy(BatchPolicy):
             batch_contents.append(frozenset(batch))
 
             # Execute: starts at their planned offsets, completions at the
-            # *true* durations, capacity events interleaved (prio 0/1/2).
-            queue = EventWindowQueue()
+            # *true* durations, capacity events interleaved — all on one
+            # batch-local spine (FINISH / RESERVE / START transitions).
+            spine = EventSpine(m)
             alloc: dict[int, int] = {}
+            durs: dict[int, float] = {}  # true duration of the running run
             horizon_t = now
             for p in plan:
                 jid = p.task.task_id
                 alloc[jid] = p.allotment
                 s = now + p.start
-                queue.push(s, _PRIO_START, jid)
+                spine.at(s, Transition.START, jid)
                 horizon_t = max(
                     horizon_t, s + float(truth_times[row_of[jid], p.allotment - 1])
                 )
@@ -416,22 +423,20 @@ class FaultyBatchPolicy(BatchPolicy):
                 batch_cap_end < len(cap_events)
                 and cap_events[batch_cap_end][0] <= horizon_t + TIME_EPS
             ):
-                queue.push(cap_events[batch_cap_end][0], _PRIO_CAPACITY, batch_cap_end)
+                spine.at(
+                    cap_events[batch_cap_end][0], Transition.RESERVE, batch_cap_end
+                )
                 batch_cap_end += 1
 
             unresolved = len(alloc)
-            running: dict[int, tuple[float, int, float]] = {}  # id -> (s, k, dur)
-            used = 0
             started_any = False
             batch_end = now
 
             def evict_over_capacity(t: float) -> None:
-                nonlocal used, crashes, unresolved, batch_end
+                nonlocal crashes, unresolved, batch_end
                 batch_end = max(batch_end, t)
-                while used > capacity and running:
-                    victim = max(running, key=lambda j: (running[j][0], j))
-                    _s, k, _d = running.pop(victim)
-                    used -= k
+                while spine.used > capacity and spine.n_running:
+                    victim, _s, _k = spine.evict_latest()
                     restarts[victim] = restarts.get(victim, 0) + 1
                     if restarts[victim] > self.max_restarts:
                         raise SchedulingError(
@@ -443,22 +448,22 @@ class FaultyBatchPolicy(BatchPolicy):
                     unresolved -= 1
 
             while unresolved > 0:
-                if not queue:  # pragma: no cover - every start is queued
+                if not spine:  # pragma: no cover - every start is queued
                     raise SchedulingError("faulty batch simulation stalled")
-                for t, prio, ident in queue.pop_window():
-                    if prio == _PRIO_CAPACITY:
+                for t, prio, ident in spine.pop_window():
+                    if prio == _RESERVE:
                         if ident == cap_ptr:  # skipped events never reach here
                             apply_capacity(*cap_events[cap_ptr])
                             cap_ptr += 1
                             evict_over_capacity(t)
                         continue
                     jid = ident
-                    if prio == _PRIO_COMPLETE:
-                        if jid not in running:
-                            continue  # crashed after this completion was queued
-                        s, k, dur = running.pop(jid)
-                        used -= k
-                        place(task_of[jid], s, k, dur)
+                    if prio == _FINISH:
+                        resolved = spine.finish(jid, t)
+                        if resolved is None:
+                            continue  # crashed after this FINISH was queued
+                        s, k = resolved
+                        place(task_of[jid], s, k, durs[jid])
                         log.append(Event(t, EventKind.COMPLETED, job_id=jid))
                         unresolved -= 1
                         batch_end = max(batch_end, t)
@@ -466,13 +471,12 @@ class FaultyBatchPolicy(BatchPolicy):
                     # A planned start: allocate if it fits the *current*
                     # capacity, else defer the job to a later batch.
                     k = alloc[jid]
-                    if k <= capacity - used:
+                    if k <= capacity - spine.used:
                         dur = float(truth_times[row_of[jid], k - 1])
-                        running[jid] = (t, k, dur)
-                        used += k
+                        durs[jid] = dur
+                        spine.start(jid, k, t, t + dur)
                         started_any = True
                         log.append(Event(t, EventKind.STARTED, job_id=jid))
-                        queue.push(t + dur, _PRIO_COMPLETE, jid)
                     else:
                         heapq.heappush(pending, (t, jid))
                         deferrals += 1

@@ -15,14 +15,25 @@ a front-end job queue.  This package provides:
   [21], §2.2) that turns any off-line ρ-approximation into a
   2ρ-competitive on-line scheduler, the immediate FCFS / EASY-backfill
   baselines, and the greedy-interval / reservation batch variants — all
-  running on the shared :class:`~repro.simulator.events.EventWindowQueue`
-  event core;
+  running on the shared incremental
+  :class:`~repro.simulator.events.EventSpine`;
 * :mod:`repro.simulator.reference` — the seed batch scheduler, preserved
-  verbatim as the differential oracle of the policy kernel.
+  verbatim as the differential oracle of the policy kernel;
+* :mod:`repro.simulator.windowed` — the pre-spine policy loops (PR 5/7
+  generation), frozen as a second differential oracle layer (imported
+  lazily by the test suite, not re-exported here, because it reaches
+  into :mod:`repro.faults`).
 """
 
 from repro.simulator.cluster import Cluster
-from repro.simulator.events import Event, EventKind, EventLog, EventWindowQueue
+from repro.simulator.events import (
+    Event,
+    EventKind,
+    EventLog,
+    EventSpine,
+    EventWindowQueue,
+    Transition,
+)
 from repro.simulator.engine import ClusterSimulator, ExecutionTrace
 from repro.simulator.online import (
     ONLINE_POLICIES,
@@ -43,6 +54,8 @@ __all__ = [
     "EventKind",
     "EventLog",
     "EventWindowQueue",
+    "EventSpine",
+    "Transition",
     "ClusterSimulator",
     "ExecutionTrace",
     "OnlinePolicy",

@@ -18,7 +18,13 @@ from repro.core.schedule import Schedule
 from repro.core.validation import TIME_EPS
 from repro.exceptions import SchedulingError
 from repro.simulator.cluster import Cluster
-from repro.simulator.events import Event, EventKind, EventLog, EventWindowQueue
+from repro.simulator.events import (
+    Event,
+    EventKind,
+    EventLog,
+    EventSpine,
+    Transition,
+)
 
 __all__ = ["ExecutionTrace", "ClusterSimulator"]
 
@@ -31,6 +37,10 @@ class ExecutionTrace:
     makespan: float
     processor_assignment: dict[int, tuple[int, ...]]
     completion_times: dict[int, float] = field(default_factory=dict)
+    #: Busy-time integral accumulated incrementally by the event spine
+    #: during execution; ``None`` for hand-built traces, which fall back
+    #: to the per-job log walk.
+    busy: "float | None" = None
 
     @property
     def n_jobs(self) -> int:
@@ -39,10 +49,16 @@ class ExecutionTrace:
     def busy_time(self) -> float:
         """Total processor-seconds consumed.
 
-        One indexed lookup per job (the :class:`~repro.simulator.events.
-        EventLog` keeps a per-job event index), so this is linear in the
-        number of jobs even on archive-scale executions.
+        The simulator hands this over precomputed (the
+        :class:`~repro.simulator.events.EventSpine` integrates
+        ``k · (end − start)`` as FINISH transitions resolve); traces
+        built without it pay one indexed log lookup per job (the
+        :class:`~repro.simulator.events.EventLog` keeps a per-job event
+        index), so either way this is at most linear in the number of
+        jobs even on archive-scale executions.
         """
+        if self.busy is not None:
+            return self.busy
         total = 0.0
         for job_id, procs in self.processor_assignment.items():
             start = self.log.start_of(job_id).time
@@ -78,16 +94,16 @@ class ClusterSimulator:
         cluster = Cluster(self.m)
         log = EventLog()
 
-        # Event queue: (time, kind_priority, job_id).  At equal times,
-        # completions (0) free processors before submissions (1) are logged
-        # and starts (2) allocate.
+        # Typed spine transitions: at equal times, FINISH frees processors
+        # before ARRIVAL submissions are logged and STARTs allocate.
+        finish, arrival = int(Transition.FINISH), int(Transition.ARRIVAL)
         placements = {p.task.task_id: p for p in schedule}
         all_events: list[tuple[float, int, int]] = []
         if instance is not None:
             for task in instance:
-                all_events.append((task.release, 1, task.task_id))
+                all_events.append((task.release, arrival, task.task_id))
         for job_id, p in placements.items():
-            all_events.append((p.start, 2, job_id))
+            all_events.append((p.start, int(Transition.START), job_id))
             if instance is not None and p.start < p.task.release - TIME_EPS:
                 raise SchedulingError(
                     f"job {job_id} starts at {p.start} before release {p.task.release}"
@@ -99,14 +115,15 @@ class ClusterSimulator:
         # handled completions-first: shifted schedules (on-line batches) can
         # place a start one ulp before the completion that frees its
         # processors, and the static validator tolerates exactly this noise.
-        queue = EventWindowQueue(all_events)
-        while queue:
-            for time, kind, job_id in queue.pop_window():
-                if kind == 0:  # completion
+        spine = EventSpine(self.m, all_events)
+        while spine:
+            for time, kind, job_id in spine.pop_window():
+                if kind == finish:
                     procs = cluster.release(job_id)
+                    spine.finish(job_id, time)
                     completion_times[job_id] = time
                     log.append(Event(time, EventKind.COMPLETED, job_id, procs))
-                elif kind == 1:  # submission
+                elif kind == arrival:  # submission
                     log.append(Event(time, EventKind.SUBMITTED, job_id))
                 else:  # start
                     p = placements[job_id]
@@ -117,8 +134,10 @@ class ClusterSimulator:
                             f"at t={time:.6g}: {exc} (schedule is infeasible)"
                         ) from exc
                     assignment[job_id] = procs
+                    # Schedules the FINISH transition and keeps the busy
+                    # integral / free-capacity profile current.
+                    spine.start(job_id, p.allotment, time, p.end)
                     log.append(Event(time, EventKind.STARTED, job_id, procs))
-                    queue.push(p.end, 0, job_id)
 
         makespan = max(completion_times.values(), default=0.0)
         return ExecutionTrace(
@@ -126,4 +145,5 @@ class ClusterSimulator:
             makespan=makespan,
             processor_assignment=assignment,
             completion_times=completion_times,
+            busy=spine.busy_time,
         )

@@ -1,12 +1,17 @@
-"""Typed event log for simulated executions, and the shared event core.
+"""Typed event log for simulated executions, and the shared event spine.
 
-Two pieces live here:
+Three pieces live here:
 
 * :class:`EventLog` — the append-only, time-ordered record of what a
   simulated execution did.  Per-job ``STARTED`` / ``COMPLETED`` lookups
   are O(1) through an index maintained on append (the seed scanned the
   whole log per query, which made
-  :meth:`~repro.simulator.engine.ExecutionTrace.busy_time` quadratic).
+  :meth:`~repro.simulator.engine.ExecutionTrace.busy_time` quadratic);
+  :meth:`EventLog.of_kind` answers from per-kind lists maintained the
+  same way.  The index keeps the *latest* occurrence per (kind, job):
+  under the fault plane a crashed job restarts from scratch, and its
+  post-restart START/COMPLETED are the ones ``start_of`` /
+  ``completion_of`` / ``busy_time`` must report.
 * :class:`EventWindowQueue` — the event core shared by
   :class:`~repro.simulator.engine.ClusterSimulator` and the on-line
   policies of :mod:`repro.simulator.online`: a min-heap of
@@ -14,18 +19,51 @@ Two pieces live here:
   :data:`~repro.core.validation.TIME_EPS`, each window sorted by
   ``(priority, time, id)`` so that ties resolve deterministically and
   completions free resources before simultaneous starts allocate them.
+* :class:`EventSpine` — the incremental event spine every on-line policy
+  and the simulator engine run on: an :class:`EventWindowQueue` with
+  typed :class:`Transition` priorities, a per-job running index, an
+  incremental free-capacity profile (``used`` / ``free`` /
+  ``earliest_free``) and an incremental busy-time integral, all O(log n)
+  per event.
+
+Boundary semantics (pinned by the test suite, on both sides of the
+epsilon):
+
+* **Windows do not chain.**  A window is anchored at its earliest event
+  ``t0`` and closes at ``t0 + TIME_EPS`` exactly; an event at
+  ``t0 + 1.5·TIME_EPS`` — even one pushed while handling the window at
+  ``t0`` — belongs to a *later* window.  Chained windows would let a
+  dense event run extend "simultaneity" without bound.
+* **The log's tolerance is anchored at the high-water mark.**
+  :meth:`EventLog.append` accepts an event iff its time is within
+  ``TIME_EPS`` of the *latest time ever appended* — not of the previous
+  event's time, which would let each slightly-early event drag the
+  acceptance boundary backwards without bound (the dual of the window
+  chaining bug).
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
+import math
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from repro.core.validation import TIME_EPS
+import numpy as np
 
-__all__ = ["EventKind", "Event", "EventLog", "EventWindowQueue"]
+from repro.core.validation import TIME_EPS
+from repro.exceptions import SchedulingError
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventLog",
+    "EventWindowQueue",
+    "Transition",
+    "EventSpine",
+]
 
 
 class EventKind(enum.Enum):
@@ -67,24 +105,33 @@ class EventLog:
     """Append-only, time-ordered collection of events.
 
     ``start_of`` / ``completion_of`` answer in O(1) from a per-job index
-    maintained incrementally; everything else is a plain list scan.
+    maintained incrementally, and :meth:`of_kind` from per-kind lists
+    maintained the same way.  The per-job index keeps the **latest**
+    occurrence: when the fault plane restarts a crashed job from scratch,
+    its pre-crash START/COMPLETED are superseded by the attempt that
+    actually finished.
     """
 
     events: list[Event] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._index: dict[tuple[EventKind, int], Event] = {}
+        self._by_kind: dict[EventKind, list[Event]] = {}
+        self._tmax = -math.inf
         for e in self.events:
             self._remember(e)
 
     def _remember(self, event: Event) -> None:
         if event.kind in (EventKind.STARTED, EventKind.COMPLETED):
-            self._index.setdefault((event.kind, event.job_id), event)
+            self._index[(event.kind, event.job_id)] = event
+        self._by_kind.setdefault(event.kind, []).append(event)
+        if event.time > self._tmax:
+            self._tmax = event.time
 
     def append(self, event: Event) -> None:
-        if self.events and event.time < self.events[-1].time - TIME_EPS:
+        if event.time < self._tmax - TIME_EPS:
             raise ValueError(
-                f"event at {event.time} appended after {self.events[-1].time}"
+                f"event at {event.time} appended after {self._tmax}"
             )
         self.events.append(event)
         self._remember(event)
@@ -96,18 +143,18 @@ class EventLog:
         return len(self.events)
 
     def of_kind(self, kind: EventKind) -> list[Event]:
-        """All events of one kind, in time order."""
-        return [e for e in self.events if e.kind == kind]
+        """All events of one kind, in append (time) order — O(result)."""
+        return list(self._by_kind.get(kind, ()))
 
     def start_of(self, job_id: int) -> Event:
-        """The START event of ``job_id`` (KeyError if absent)."""
+        """The latest START event of ``job_id`` (KeyError if absent)."""
         try:
             return self._index[(EventKind.STARTED, job_id)]
         except KeyError:
             raise KeyError(f"job {job_id} never started") from None
 
     def completion_of(self, job_id: int) -> Event:
-        """The COMPLETED event of ``job_id`` (KeyError if absent)."""
+        """The latest COMPLETED event of ``job_id`` (KeyError if absent)."""
         try:
             return self._index[(EventKind.COMPLETED, job_id)]
         except KeyError:
@@ -120,11 +167,13 @@ class EventWindowQueue:
     Events within :data:`~repro.core.validation.TIME_EPS` of the window's
     first event form one processing instant, returned sorted by
     ``(priority, time, id)``: at equal times, lower priorities act first
-    (by convention 0 = completion, so processors are freed before
+    (by convention completions come first, so processors are freed before
     simultaneous submissions are logged and starts allocate).  Pushes made
     while a window is being handled land in the heap and surface in a
     later window — the exact semantics of the seed simulator loop, now
-    shared with the on-line policies.
+    shared with the on-line policies.  Windows are anchored, not chained:
+    the window at ``t0`` closes at ``t0 + TIME_EPS`` no matter what is
+    pushed while it is handled.
     """
 
     __slots__ = ("_heap",)
@@ -152,3 +201,217 @@ class EventWindowQueue:
             window.append(heapq.heappop(heap))
         window.sort(key=lambda e: (e[1], e[0], e[2]))
         return window
+
+
+class Transition(enum.IntEnum):
+    """Typed event priorities of the spine's heap.
+
+    The integer values *are* the within-window ordering: at equal times,
+    FINISH frees capacity first, CANCEL tombstones are resolved next,
+    ARRIVAL enqueues before capacity changes RESERVE, and START allocates
+    last.  The relative order of the subsets each consumer uses matches
+    the untyped priorities the pre-spine loops pushed (completions 0,
+    submissions/arrivals and capacity changes in between, starts last),
+    so schedules stay bit-identical.
+    """
+
+    FINISH = 0
+    CANCEL = 1
+    ARRIVAL = 2
+    RESERVE = 3
+    START = 4
+
+
+class EventSpine(EventWindowQueue):
+    """The incremental event core: windowed heap + running-set profile.
+
+    One :class:`EventWindowQueue` that also *owns the simulation state*
+    every consumer used to rebuild ad hoc:
+
+    * the **running set** — ``start(job, k, now, end)`` allocates ``k``
+      processors and schedules the FINISH transition; ``finish(job, t)``
+      resolves it (returning ``None`` for a stale FINISH whose job was
+      cancelled — stale heap entries still surface and anchor windows,
+      liveness is decided here); ``cancel(job)`` / ``evict_latest()``
+      release capacity without crediting busy time (crash-and-restart
+      semantics: the work is lost);
+    * the **free-capacity profile** — ``used`` / ``free`` are O(1), and
+      ``earliest_free(k)`` (the EASY reservation query) walks a sorted
+      completion-time list with lazily pruned tombstones instead of
+      re-sorting the running set per query;
+    * the **busy-time integral** — ``busy_time`` accumulates
+      ``k · (finish − start)`` per completed run, so utilization needs
+      no post-hoc log scan;
+    * the **arrival tape** — ``load_arrivals`` + ``take_arrivals`` /
+      ``next_arrival`` expose a release-sorted arrival cursor with the
+      shared ``t + TIME_EPS`` batch-cut windowing, so batch policies and
+      the heap agree on what "has arrived" means.
+
+    Every operation is O(log n) amortised (``earliest_free`` is O(r) in
+    the running-set size r ≤ m, with tombstone pruning keeping the walk
+    list at most 2r long).  ``m`` is the capacity the ``free`` property
+    reports against; the fault plane lowers/raises it as machines fail
+    and recover.
+    """
+
+    __slots__ = (
+        "m",
+        "_used",
+        "_busy",
+        "_running",
+        "_ends",
+        "_dead",
+        "_rel",
+        "_arr_ids",
+        "_arr_head",
+    )
+
+    def __init__(
+        self, m: int, events: Iterable[tuple[float, int, int]] = ()
+    ) -> None:
+        super().__init__(events)
+        self.m = int(m)
+        self._used = 0
+        self._busy = 0.0
+        #: job -> (start, allotment, scheduled end)
+        self._running: dict[int, tuple[float, int, float]] = {}
+        #: sorted (end, job), including tombstones of finished/cancelled runs
+        self._ends: list[tuple[float, int]] = []
+        self._dead = 0
+        self._rel = None
+        self._arr_ids = None
+        self._arr_head = 0
+
+    # -- typed pushes -------------------------------------------------
+
+    def at(self, time: float, transition: Transition, ident: int = -1) -> None:
+        """Schedule a typed transition (a ``push`` with a named priority)."""
+        self.push(time, int(transition), ident)
+
+    # -- running set / capacity profile -------------------------------
+
+    @property
+    def used(self) -> int:
+        """Processors currently allocated to running jobs."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        """Processors currently free (against the live capacity ``m``)."""
+        return self.m - self._used
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def busy_time(self) -> float:
+        """Processor-seconds of *completed* work so far (crashes excluded)."""
+        return self._busy
+
+    def __contains__(self, job: int) -> bool:
+        return job in self._running
+
+    def start(self, job: int, k: int, now: float, end: float) -> None:
+        """Allocate ``k`` processors to ``job`` and schedule its FINISH."""
+        self._running[job] = (now, k, end)
+        self._used += k
+        insort(self._ends, (end, job))
+        self.push(end, int(Transition.FINISH), job)
+
+    def finish(self, job: int, time: float) -> "tuple[float, int] | None":
+        """Resolve a popped FINISH transition.
+
+        Returns ``(start, allotment)`` and releases the capacity, or
+        ``None`` if this FINISH is stale — the job was cancelled (or
+        restarted with a different end) after it was scheduled.  Stale
+        entries are *expected*: cancellation tombstones the heap entry
+        rather than deleting it, so windows still anchor exactly where
+        the pre-spine loops anchored them.
+        """
+        entry = self._running.get(job)
+        if entry is None or entry[2] != time:
+            return None
+        start, k, _end = entry
+        del self._running[job]
+        self._used -= k
+        self._busy += k * (time - start)
+        self._dead += 1
+        return start, k
+
+    def cancel(self, job: int) -> "tuple[float, int] | None":
+        """Evict ``job`` (no busy-time credit — its work is lost).
+
+        Returns ``(start, allotment)``, or ``None`` if the job is not
+        running.  The pending FINISH heap entry becomes a tombstone that
+        :meth:`finish` later resolves to ``None``.
+        """
+        entry = self._running.pop(job, None)
+        if entry is None:
+            return None
+        start, k, _end = entry
+        self._used -= k
+        self._dead += 1
+        return start, k
+
+    def evict_latest(self) -> tuple[int, float, int]:
+        """Cancel and return the LIFO victim ``(job, start, allotment)``:
+        the running job with the latest start, largest id breaking ties —
+        the crash-and-restart eviction order of the fault plane."""
+        running = self._running
+        victim = max(running, key=lambda j: (running[j][0], j))
+        start, k = self.cancel(victim)
+        return victim, start, k
+
+    def earliest_free(self, k: int) -> float:
+        """Earliest time ``k`` processors will be free (the EASY
+        reservation bound), given the currently running jobs.
+
+        Walks the sorted completion-time list, skipping tombstones of
+        finished/cancelled runs; when tombstones outnumber live entries
+        the list is rebuilt, so the walk stays O(running set).
+        """
+        if self._dead * 2 > len(self._ends):
+            self._ends = sorted(
+                (end, job) for job, (_s, _k, end) in self._running.items()
+            )
+            self._dead = 0
+        avail = self.m - self._used
+        running = self._running
+        for end, job in self._ends:
+            entry = running.get(job)
+            if entry is None or entry[2] != end:
+                continue
+            avail += entry[1]
+            if avail >= k:
+                return end
+        raise SchedulingError(  # pragma: no cover - k <= m always frees
+            f"allotment {k} can never be satisfied"
+        )
+
+    # -- arrival tape --------------------------------------------------
+
+    def load_arrivals(self, releases, idents) -> None:
+        """Attach the release-sorted arrival tape (parallel arrays of
+        release times and task ids, already in arrival order)."""
+        self._rel = releases
+        self._arr_ids = idents
+        self._arr_head = 0
+
+    def next_arrival(self) -> "float | None":
+        """Release time of the next unconsumed arrival (None when done)."""
+        if self._rel is None or self._arr_head >= len(self._rel):
+            return None
+        return float(self._rel[self._arr_head])
+
+    def take_arrivals(self, now: float) -> tuple[int, int]:
+        """Consume every arrival released by ``now`` (inclusive of the
+        shared ``TIME_EPS`` batch-cut window) and return its half-open
+        index range ``(lo, hi)`` on the arrival tape.  When nothing has
+        arrived yet the range is empty and the cursor does not move."""
+        lo = self._arr_head
+        hi = int(np.searchsorted(self._rel, now + TIME_EPS, side="right"))
+        if hi <= lo:
+            return lo, lo
+        self._arr_head = hi
+        return lo, hi

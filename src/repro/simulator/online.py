@@ -40,11 +40,13 @@ name):
     one.
 
 All policies run on the same primitives as
-:class:`~repro.simulator.engine.ClusterSimulator` — the
-:data:`~repro.core.validation.TIME_EPS` arrival/event windowing of
-:class:`~repro.simulator.events.EventWindowQueue` — so "simultaneous"
-means the same thing when a schedule is produced and when it is replayed
-on the simulated cluster.
+:class:`~repro.simulator.engine.ClusterSimulator` — the incremental
+:class:`~repro.simulator.events.EventSpine` with its
+:data:`~repro.core.validation.TIME_EPS` arrival/event windowing — so
+"simultaneous" means the same thing when a schedule is produced and when
+it is replayed on the simulated cluster.  The pre-spine generation of
+these loops survives verbatim in :mod:`repro.simulator.windowed` as the
+differential oracle layer the tests pin this module against bit for bit.
 """
 
 from __future__ import annotations
@@ -58,7 +60,7 @@ from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.core.validation import TIME_EPS
 from repro.exceptions import SchedulingError
-from repro.simulator.events import EventWindowQueue
+from repro.simulator.events import EventSpine, Transition
 
 __all__ = [
     "OnlineResult",
@@ -138,13 +140,18 @@ class BatchPolicy(OnlinePolicy):
     cut count as arrived — the same windowing the simulator engine applies
     when it replays the result (the seed used a private ``1e-12`` here).
 
-    Each batch's sub-instance is a zero-copy columnar restriction: one
-    row-slice of the times matrix / weight vector handed to
-    :meth:`~repro.core.instance.Instance.from_arrays` with validation
-    skipped (the rows were validated when the parent instance was built).
-    No :class:`~repro.core.task.MoldableTask` objects are rebuilt per
-    batch, and shifting the batch schedule into place reuses each
-    placement's already-derived duration.
+    Each batch's sub-instance is a zero-copy columnar restriction: the
+    arrival-sorted columns are gathered **once** (or shared outright with
+    the parent instance when it already is in arrival order — the common
+    case for traces), and every batch is then one contiguous row *slice*
+    handed to :meth:`~repro.core.instance.Instance.from_arrays` with
+    validation skipped — no per-batch gather, no
+    :class:`~repro.core.task.MoldableTask` rebuilds, no parent-task index
+    materialisation.  Sub-instances keep their real release columns, so
+    placements carry release metadata without re-binding; the arrival
+    cursor is the :class:`~repro.simulator.events.EventSpine` arrival
+    tape, whose ``t + TIME_EPS`` batch-cut window is the same one the
+    simulator engine applies when it replays the result.
     """
 
     name = "batch"
@@ -169,41 +176,56 @@ class BatchPolicy(OnlinePolicy):
         if n == 0:
             return OnlineResult(out, (), ())
 
-        # Arrival-sorted columnar view; `head` walks forward, so each batch
-        # is a contiguous slice of the sorted order.
+        # Arrival-sorted columnar view, gathered once: each batch is a
+        # contiguous row slice (adopted zero-copy by ``from_arrays``).
+        # Traces and generators already emit arrival order, so the common
+        # case shares the parent's read-only buffers outright.
         order = self._arrival_order(instance)
-        rel = instance.releases[order]
-        times = instance.times_matrix
-        weights = instance.weights
-        ids = instance.task_ids
-        task_of = instance._id_index  # materialises task objects once
-        place = out._place_trusted
+        if np.array_equal(order, np.arange(n)):
+            rel = instance.releases
+            times = instance.times_matrix
+            weights = instance.weights
+            ids = instance.task_ids
+        else:
+            rel = np.ascontiguousarray(instance.releases[order])
+            times = np.ascontiguousarray(instance.times_matrix[order])
+            weights = np.ascontiguousarray(instance.weights[order])
+            ids = np.ascontiguousarray(instance.task_ids[order])
 
-        head = 0
-        now = float(rel[0])
+        spine = EventSpine(m)
+        spine.load_arrivals(rel, ids)
+
+        placements = out._placements
+        by_id = out._by_id
+        shift = object.__setattr__
         batch_starts: list[float] = []
         batch_contents: list[frozenset[int]] = []
 
-        while head < n:
+        now = float(rel[0])
+        while True:
             # Jobs that have arrived by `now` (within the shared event
             # window) form the next batch; if none, jump to the next
-            # arrival (idle gap).
-            cut = int(np.searchsorted(rel, now + TIME_EPS, side="right"))
-            if cut <= head:
-                now = float(rel[head])
+            # arrival (idle gap) or finish.
+            lo, hi = spine.take_arrivals(now)
+            if hi <= lo:
+                nxt = spine.next_arrival()
+                if nxt is None:
+                    break
+                now = nxt
                 continue
-            idx = order[head:cut]
-            head = cut
-            batch_ids = ids[idx].tolist()
+            sl = slice(lo, hi)
+            batch_ids = ids[sl].tolist()
 
             # Off-line sub-instance at time origin 0: a zero-copy row
-            # restriction with releases dropped (all-zero by default).
+            # slice of the arrival-sorted columns (real releases kept —
+            # the engines schedule from origin 0 and never read them, and
+            # placements then carry correct release metadata for free).
             sub = Instance.from_arrays(
-                times[idx],
-                weights[idx],
-                None,
+                times[sl],
+                weights[sl],
+                rel[sl],
                 m,
-                task_ids=ids[idx],
+                task_ids=ids[sl],
                 validate=False,
             )
             batch_schedule = self._schedule_batch(sub, now)
@@ -213,21 +235,32 @@ class BatchPolicy(OnlinePolicy):
                 raise SchedulingError(
                     "off-line scheduler did not place exactly the batch's tasks"
                 )
-            # Shift into the batch window.  Placements are re-bound to the
-            # *original* tasks so release metadata is kept; durations are
-            # already derived, so the shift is pure arithmetic.
+            # Shift into the batch window.  The sub-schedule is freshly
+            # built by the engine and referenced nowhere else, so its
+            # placements are *adopted*: shifted in place (``end`` recomputed
+            # as ``start + duration``, the ``_trusted`` arithmetic) and
+            # bulk-appended — no per-placement reconstruction.
             batch_end = now
-            for p in batch_schedule:
-                place(
-                    task_of[p.task.task_id], now + p.start, p.allotment, p.duration
-                )
+            batch_placements = batch_schedule._placements
+            for p in batch_placements:
+                # The next batch cut is anchored on the engine's ``end``
+                # shifted as one sum (``now + p.end``); the placement's own
+                # ``end`` is the ``_trusted`` arithmetic ``start + duration``
+                # — the two differ in the last ulp, and both are pinned by
+                # the differential oracles.
                 end = now + p.end
                 if end > batch_end:
                     batch_end = end
+                start = now + p.start
+                shift(p, "start", start)
+                shift(p, "end", start + p.duration)
+            placements.extend(batch_placements)
+            by_id.update(batch_schedule._by_id)
             batch_starts.append(now)
             batch_contents.append(frozenset(batch_ids))
             now = batch_end
 
+        out.__dict__.pop("_events", None)  # placements appended directly
         return OnlineResult(
             schedule=out,
             batch_starts=tuple(batch_starts),
@@ -310,10 +343,13 @@ class FcfsOnlinePolicy(OnlinePolicy):
     later arrivals may jump ahead only if they terminate by then, so the
     queue head is never delayed — EASY semantics.
 
-    The event loop is the shared
-    :class:`~repro.simulator.events.EventWindowQueue` (completions free
-    processors before simultaneous arrivals dispatch), so its notion of
-    simultaneity is identical to the simulator engine's.
+    The event loop is the shared incremental
+    :class:`~repro.simulator.events.EventSpine` (FINISH transitions free
+    processors before simultaneous ARRIVALs dispatch), so its notion of
+    simultaneity is identical to the simulator engine's; the running set,
+    the free-processor count and the EASY reservation bound
+    (:meth:`~repro.simulator.events.EventSpine.earliest_free`) all live
+    on the spine instead of being re-derived per event.
     """
 
     def __init__(self, backfill: bool = True, slack: float = 2.0) -> None:
@@ -333,39 +369,31 @@ class FcfsOnlinePolicy(OnlinePolicy):
         task_of = instance.task_by_id
         durations = {tid: task_of(tid).p(k) for tid, k in allot.items()}
 
-        # Events: (time, priority, id) — completions (0) free processors
-        # before arrivals (1) enqueue; each window dispatches once.  The
-        # waiting queue is a list walked by a head index; backfilled jobs
-        # are tombstoned and compacted away once they outnumber the live
-        # tail, so a long backlog never pays O(queue) element shifts per
-        # start and the EASY scan only walks live entries.
-        queue = EventWindowQueue((t.release, 1, t.task_id) for t in instance)
+        # FINISH transitions free processors before simultaneous ARRIVALs
+        # enqueue; each window dispatches once.  The waiting queue is a
+        # list walked by a head index; backfilled jobs are tombstoned and
+        # compacted away once they outnumber the live tail, so a long
+        # backlog never pays O(queue) element shifts per start and the
+        # EASY scan only walks live entries.
+        finish = int(Transition.FINISH)
+        arrival = int(Transition.ARRIVAL)
+        spine = EventSpine(
+            m,
+            (
+                (r, arrival, j)
+                for r, j in zip(
+                    instance.releases.tolist(), instance.task_ids.tolist()
+                )
+            ),
+        )
         waiting: list[int | None] = []  # arrival order; None = backfilled
         head_i = 0
-        running: dict[int, tuple[float, int]] = {}  # id -> (end, allotment)
-        free = m
 
         def start(job_id: int, now: float) -> None:
-            nonlocal free
             k = allot[job_id]
             duration = durations[job_id]
-            free -= k
-            running[job_id] = (now + duration, k)
             out._place_trusted(task_of(job_id), now, k, duration)
-            queue.push(now + duration, 0, job_id)
-
-        def reservation_time(k: int) -> float:
-            """Earliest time ``k`` processors will be free, given the
-            currently running jobs (free count only grows at completions;
-            at most ``m`` jobs run at once, so the sort is O(m log m))."""
-            avail = free
-            for end, held in sorted(running.values()):
-                avail += held
-                if avail >= k:
-                    return end
-            raise SchedulingError(  # pragma: no cover - k <= m always frees
-                f"allotment {k} can never be satisfied"
-            )
+            spine.start(job_id, k, now, now + duration)
 
         tombstones = 0
 
@@ -383,7 +411,7 @@ class FcfsOnlinePolicy(OnlinePolicy):
                     head_i += 1
                     tombstones -= 1
                     continue
-                if allot[head] <= free:
+                if allot[head] <= spine.free:
                     start(head, now)
                     head_i += 1
                     continue
@@ -391,12 +419,12 @@ class FcfsOnlinePolicy(OnlinePolicy):
                     return
                 # EASY: the head holds a reservation; later jobs may fill
                 # the current hole only if they finish by it.
-                t_res = reservation_time(allot[head])
+                t_res = spine.earliest_free(allot[head])
                 for i in range(head_i + 1, len(waiting)):
                     cand = waiting[i]
                     if (
                         cand is not None
-                        and allot[cand] <= free
+                        and allot[cand] <= spine.free
                         and now + durations[cand] <= t_res + TIME_EPS
                     ):
                         start(cand, now)
@@ -404,13 +432,12 @@ class FcfsOnlinePolicy(OnlinePolicy):
                         tombstones += 1
                 return
 
-        while queue:
-            window = queue.pop_window()
+        while spine:
+            window = spine.pop_window()
             now = window[0][0]
-            for _time, priority, job_id in window:
-                if priority == 0:  # completion
-                    _, k = running.pop(job_id)
-                    free += k
+            for time, priority, job_id in window:
+                if priority == finish:
+                    spine.finish(job_id, time)
                 else:  # arrival
                     waiting.append(job_id)
             dispatch(now)

@@ -16,6 +16,14 @@ gaps, where the seed's private ``1e-12`` cut disagreed with the simulator
 engine's event windowing — see the boundary-case tests in
 ``tests/simulator/test_policies.py``.
 
+This module is the oldest layer of a two-generation oracle stack: the
+PR-5 *windowed* loops (the first columnar rewrite, per-batch
+fancy-index sub-instances on the raw :class:`~repro.simulator.events.
+EventWindowQueue`) are frozen alongside in
+:mod:`repro.simulator.windowed`, and the production kernels now run on
+the incremental :class:`~repro.simulator.events.EventSpine`.
+``tests/simulator/test_spine.py`` pins spine == windowed == seed.
+
 Do not "fix" or optimise this module: its value is that it does not move.
 """
 

@@ -62,3 +62,11 @@ def tiny_instance() -> Instance:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: archive-scale tests, skipped unless REPRO_RUN_SLOW=1 "
+        "(CI runs them in the slow lane)",
+    )

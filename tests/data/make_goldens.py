@@ -173,6 +173,68 @@ def online_golden_cells() -> list[dict]:
     return cells
 
 
+FAULTY_GOLDEN_PATH = Path(__file__).with_name("faulty_goldens.json")
+
+#: Frozen fault-injected on-line corpus: seeded instances (deterministic
+#: exponential release gaps) run through :class:`repro.faults.failures.
+#: FaultyBatchPolicy` under (noise, failure-trace) scenarios.  The corpus
+#: records the complete outcome — placements, batch starts, crash and
+#: deferral counts, and the full event log — so the event-spine port of
+#: the faulty replay loop can be pinned bit for bit against the
+#: pre-refactor path.  ``(kind, n, m, spread, noise, failures, horizon)``.
+FAULTY_SCENARIOS = (
+    ("mixed", 20, 8, 0.0, "none", "exp:10:4@1", 500.0),
+    ("mixed", 30, 8, 1.0, "lognormal:0.5@1", "exp:5:3@2", 500.0),
+    ("cirne", 25, 13, 0.5, "overestimate:4@1", "exp:15:5@3", 500.0),
+    ("highly_parallel", 16, 8, 2.0, "lognormal:0.4@2", "exp:8:2@4", 400.0),
+    ("weakly_parallel", 24, 8, 0.5, "none", "exp:6:2@5", 600.0),
+)
+
+
+def faulty_golden_cells() -> list[dict]:
+    from repro.core.instance import Instance
+    from repro.faults.failures import FaultyBatchPolicy, generate_failures
+
+    cells = []
+    for kind, n, m, spread, noise, failures, horizon in FAULTY_SCENARIOS:
+        rng = derive_rng(GOLDEN_SEED, "faulty", kind, n, int(spread * 10))
+        base = generate_workload(kind, n=n, m=m, seed=rng)
+        if spread > 0:
+            releases = rng.exponential(spread, size=n).cumsum()
+            inst = Instance(
+                [t.with_release(float(r)) for t, r in zip(base.tasks, releases)],
+                m,
+            )
+        else:
+            inst = base
+        trace = generate_failures(m, horizon, failures)
+        res = FaultyBatchPolicy(noise=noise, failures=trace).run(inst)
+        cells.append(
+            {
+                "kind": kind,
+                "n": n,
+                "m": m,
+                "spread": spread,
+                "noise": noise,
+                "failures": failures,
+                "horizon": horizon,
+                "crashes": res.crashes,
+                "deferrals": res.deferrals,
+                "batch_starts": list(res.batch_starts),
+                "batch_contents": [sorted(c) for c in res.batch_contents],
+                "placements": sorted(
+                    [p.task.task_id, p.start, p.allotment, p.end]
+                    for p in res.schedule
+                ),
+                "log": [
+                    [e.time, e.kind.value, e.job_id, list(e.procs)]
+                    for e in res.log
+                ],
+            }
+        )
+    return cells
+
+
 PARETO_GOLDEN_PATH = Path(__file__).with_name("pareto_goldens.json")
 
 #: Frozen sweep: a DEMT knob slice plus registry anchors, on two synthetic
@@ -301,6 +363,22 @@ def main() -> None:
     }
     PARETO_GOLDEN_PATH.write_text(json.dumps(pareto_payload, indent=1) + "\n")
     print(f"wrote {len(pareto_payload['cells'])} pareto cells to {PARETO_GOLDEN_PATH}")
+
+    faulty_payload = {
+        "_meta": {
+            "seed": GOLDEN_SEED,
+            "comment": (
+                "Bit-exact fault-injected replays of FaultyBatchPolicy "
+                "(placements, batches, crash/deferral counts and the full "
+                "event log) on frozen instances; the event-spine port must "
+                "reproduce every row.  Regenerate with "
+                "tests/data/make_goldens.py only for intentional changes."
+            ),
+        },
+        "cells": faulty_golden_cells(),
+    }
+    FAULTY_GOLDEN_PATH.write_text(json.dumps(faulty_payload, indent=1) + "\n")
+    print(f"wrote {len(faulty_payload['cells'])} faulty cells to {FAULTY_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":

@@ -172,6 +172,35 @@ class TestFailures:
         assert survivor[0].start == pytest.approx(0.0)
         assert survivor[0].duration == pytest.approx(10.0)
 
+    def test_crash_restart_index_reports_post_restart_times(self):
+        # Regression: EventLog's per-job index used setdefault, so a job
+        # evicted by a CRASHED event kept its *pre-crash* START in the
+        # O(1) index — start_of reported stale times under the fault
+        # plane.  The index must track the latest occurrence: the attempt
+        # that actually ran to completion.
+        tasks = [MoldableTask(i, [10.0, 10.0]) for i in range(2)]
+        inst = Instance(tasks, 2)
+        trace = FailureTrace(
+            m=2, horizon=100.0, events=((4.0, 1, -1), (6.0, 1, 1)), spec="hand"
+        )
+        result = FaultyBatchPolicy(failures=trace).run(inst)
+        assert result.crashes == 1
+        log = result.log
+        # Job 1 crashed at t=4; its pre-crash START at t=0 must be
+        # shadowed by the restarted attempt's START.
+        crash_t = log.of_kind(EventKind.CRASHED)[0].time
+        starts = [e for e in log.of_kind(EventKind.STARTED) if e.job_id == 1]
+        assert len(starts) == 2 and starts[0].time < crash_t
+        assert log.start_of(1) == starts[-1]
+        assert log.start_of(1).time >= crash_t
+        # The indexed times agree with the one successful placement, so
+        # busy-time style consumers see the real run, not the lost one.
+        placement = [p for p in result.schedule if p.task.task_id == 1][0]
+        assert log.start_of(1).time == placement.start
+        assert log.completion_of(1).time == placement.end
+        # The untouched job still reports its only attempt.
+        assert log.start_of(0).time == pytest.approx(0.0)
+
     def test_every_job_completes_exactly_once_under_heavy_failures(self):
         inst = _seeded_instance(n=30, m=8, r=1)
         trace = generate_failures(8, 500.0, "exp:5:3@2")

@@ -37,6 +37,30 @@ class TestEventLog:
         log.append(Event(1.0, EventKind.STARTED, 2))
         assert [e.job_id for e in log.of_kind(EventKind.STARTED)] == [1, 2]
 
+    def test_of_kind_matches_full_scan_ordering(self):
+        # Regression: of_kind answers from per-kind lists maintained on
+        # append; it must return exactly what the seed's full scan did,
+        # in the same order, for every kind — including absent ones.
+        import itertools
+
+        log = EventLog()
+        cycle = itertools.cycle(
+            [EventKind.SUBMITTED, EventKind.STARTED, EventKind.COMPLETED,
+             EventKind.CRASHED, EventKind.MACHINE_DOWN, EventKind.MACHINE_UP]
+        )
+        for i, kind in zip(range(200), cycle):
+            log.append(Event(float(i), kind, job_id=i % 7))
+        for kind in EventKind:
+            scan = [e for e in log.events if e.kind == kind]
+            assert log.of_kind(kind) == scan
+
+    def test_of_kind_returns_a_copy(self):
+        log = EventLog()
+        log.append(Event(0.0, EventKind.STARTED, 1))
+        got = log.of_kind(EventKind.STARTED)
+        got.append(None)
+        assert len(log.of_kind(EventKind.STARTED)) == 1
+
     def test_lookups(self):
         log = EventLog()
         log.append(Event(0.5, EventKind.STARTED, 7, (0,)))
@@ -66,13 +90,28 @@ class TestEventLogIndex:
         assert log.start_of(4).time == 0.0
         assert log.completion_of(4).time == 1.0
 
-    def test_first_event_wins(self):
-        # The seed scanned forward and returned the first match; the index
-        # must preserve that (duplicate events should not shadow it).
+    def test_latest_event_wins(self):
+        # A job evicted by the fault plane restarts from scratch: the
+        # attempt that actually ran to completion is the one start_of /
+        # completion_of must report, so the index keeps the *latest*
+        # occurrence per (kind, job).  (The seed's setdefault kept the
+        # pre-crash START forever — stale busy times under PR 7 faults.)
         log = EventLog()
         log.append(Event(1.0, EventKind.STARTED, 3, (0,)))
         log.append(Event(2.0, EventKind.STARTED, 3, (1,)))
-        assert log.start_of(3).time == 1.0
+        assert log.start_of(3).time == 2.0
+        assert log.start_of(3).procs == (1,)
+
+    def test_constructor_events_latest_wins_too(self):
+        log = EventLog(
+            [
+                Event(0.0, EventKind.STARTED, 9),
+                Event(3.0, EventKind.STARTED, 9),
+                Event(4.0, EventKind.COMPLETED, 9),
+            ]
+        )
+        assert log.start_of(9).time == 3.0
+        assert log.completion_of(9).time == 4.0
 
     def test_busy_time_linear_at_10k_jobs(self):
         """Regression: busy_time was O(n^2) (a full log scan per job).
@@ -140,3 +179,184 @@ class TestEventWindowQueue:
         log.append(Event(1.0 - TIME_EPS / 2, EventKind.STARTED, 2))  # tolerated
         with pytest.raises(ValueError):
             log.append(Event(1.0 - 2 * TIME_EPS, EventKind.STARTED, 3))
+
+
+class TestEpsilonBoundarySemantics:
+    """The pinned boundary semantics, on both sides of the epsilon.
+
+    Windows are *anchored*: the window at t0 closes at exactly
+    t0 + TIME_EPS and never chains, even for events pushed while the
+    window is handled.  The log's append tolerance is anchored at the
+    *high-water mark* of all appended times, not at the (possibly
+    slightly earlier) previous event — so neither side of the epsilon
+    can drift without bound.
+    """
+
+    def test_window_does_not_chain(self):
+        from repro.core.validation import TIME_EPS
+        from repro.simulator.events import EventWindowQueue
+
+        # 1.5 eps after the anchor is *outside* the window, even though it
+        # is within eps of the event at t0 + eps.
+        q = EventWindowQueue(
+            [(1.0, 0, 1), (1.0 + TIME_EPS, 0, 2), (1.0 + 1.5 * TIME_EPS, 0, 3)]
+        )
+        assert [e[2] for e in q.pop_window()] == [1, 2]
+        assert [e[2] for e in q.pop_window()] == [3]
+
+    def test_push_during_handling_does_not_extend_the_window(self):
+        from repro.core.validation import TIME_EPS
+        from repro.simulator.events import EventWindowQueue
+
+        q = EventWindowQueue([(1.0, 0, 1), (1.0 + TIME_EPS, 0, 2)])
+        window = q.pop_window()
+        assert [e[2] for e in window] == [1, 2]
+        # Handling the window pushes an event 1.5 eps after the anchor —
+        # "simultaneous" with event 2, but it lands in a later window.
+        q.push(1.0 + 1.5 * TIME_EPS, 0, 3)
+        assert [e[2] for e in q.pop_window()] == [3]
+
+    def test_log_accepts_what_one_window_produces(self):
+        from repro.core.validation import TIME_EPS
+
+        # Events logged while handling one window stay within eps of the
+        # anchor, in any order — the log must accept all of them.
+        log = EventLog()
+        log.append(Event(1.0 + TIME_EPS, EventKind.COMPLETED, 1))
+        log.append(Event(1.0, EventKind.STARTED, 2))  # eps earlier: fine
+        log.append(Event(1.0 + TIME_EPS / 2, EventKind.STARTED, 3))
+        assert len(log) == 3
+
+    def test_log_tolerance_does_not_drift_backwards(self):
+        from repro.core.validation import TIME_EPS
+
+        # The seed measured the tolerance against the *previous* event, so
+        # a chain of slightly-early events could walk the acceptance
+        # boundary backwards without bound.  Anchored at the high-water
+        # mark, the second slightly-early event is already out of range.
+        log = EventLog()
+        log.append(Event(1.0, EventKind.STARTED, 1))
+        log.append(Event(1.0 - 0.75 * TIME_EPS, EventKind.STARTED, 2))
+        with pytest.raises(ValueError):
+            log.append(Event(1.0 - 1.5 * TIME_EPS, EventKind.STARTED, 3))
+
+    def test_high_water_mark_from_constructor_events(self):
+        from repro.core.validation import TIME_EPS
+
+        log = EventLog([Event(5.0, EventKind.STARTED, 1)])
+        with pytest.raises(ValueError):
+            log.append(Event(5.0 - 2 * TIME_EPS, EventKind.COMPLETED, 1))
+
+
+class TestEventSpine:
+    """The incremental spine: running set, capacity profile, busy time."""
+
+    def _spine(self, m=8):
+        from repro.simulator.events import EventSpine
+
+        return EventSpine(m)
+
+    def test_start_finish_roundtrip(self):
+        s = self._spine()
+        s.start(1, 3, 0.0, 10.0)
+        assert s.used == 3 and s.free == 5 and 1 in s
+        assert s.pop_window() == [(10.0, 0, 1)]
+        assert s.finish(1, 10.0) == (0.0, 3)
+        assert s.used == 0 and s.busy_time == pytest.approx(30.0)
+        assert 1 not in s
+
+    def test_cancel_leaves_stale_finish_and_credits_no_busy_time(self):
+        s = self._spine()
+        s.start(1, 2, 0.0, 10.0)
+        assert s.cancel(1) == (0.0, 2)
+        assert s.used == 0 and s.busy_time == 0.0
+        # The FINISH tombstone still surfaces (it anchors windows)...
+        assert s.pop_window() == [(10.0, 0, 1)]
+        # ...but resolves to nothing.
+        assert s.finish(1, 10.0) is None
+
+    def test_cancel_unknown_job_is_none(self):
+        assert self._spine().cancel(99) is None
+
+    def test_restarted_job_ignores_stale_finish(self):
+        s = self._spine()
+        s.start(1, 2, 0.0, 10.0)
+        s.cancel(1)
+        s.start(1, 2, 5.0, 15.0)  # restarted from scratch
+        assert s.finish(1, 10.0) is None  # the first attempt's FINISH
+        assert s.used == 2
+        assert s.finish(1, 15.0) == (5.0, 2)
+        assert s.busy_time == pytest.approx(20.0)
+
+    def test_evict_latest_is_lifo_largest_id(self):
+        s = self._spine()
+        s.start(1, 2, 0.0, 10.0)
+        s.start(5, 2, 3.0, 13.0)
+        s.start(4, 2, 3.0, 13.0)
+        assert s.evict_latest() == (5, 3.0, 2)  # latest start, largest id
+        assert s.evict_latest() == (4, 3.0, 2)
+        assert s.evict_latest() == (1, 0.0, 2)
+        assert s.used == 0
+
+    def test_earliest_free_walks_live_ends(self):
+        # The EASY reservation bound; meaningful when k > free (callers
+        # check the fast path first), answered from the sorted end list.
+        s = self._spine(m=8)
+        s.start(1, 4, 0.0, 10.0)
+        s.start(2, 3, 0.0, 20.0)
+        assert s.free == 1
+        assert s.earliest_free(2) == 10.0
+        assert s.earliest_free(5) == 10.0
+        assert s.earliest_free(8) == 20.0
+
+    def test_earliest_free_skips_tombstones(self):
+        s = self._spine(m=8)
+        s.start(1, 4, 0.0, 10.0)
+        s.start(2, 4, 0.0, 30.0)
+        s.cancel(1)  # its (10.0, 1) end entry is now a tombstone
+        assert s.earliest_free(8) == 30.0
+        # Many dead entries trigger the rebuild path and stay correct.
+        for j in range(10, 30):
+            s.start(j, 1, 0.0, 5.0)
+            s.cancel(j)
+        assert s.earliest_free(8) == 30.0
+
+    def test_capacity_follows_m(self):
+        s = self._spine(m=4)
+        s.start(1, 3, 0.0, 10.0)
+        assert s.free == 1
+        s.m = 2  # a machine failure lowered live capacity
+        assert s.free == -1 and s.used == 3
+
+    def test_arrival_tape(self):
+        import numpy as np
+
+        from repro.core.validation import TIME_EPS
+
+        s = self._spine()
+        rel = np.array([0.0, 1.0, 1.0 + TIME_EPS / 2, 5.0])
+        ids = np.array([10, 11, 12, 13])
+        s.load_arrivals(rel, ids)
+        assert s.next_arrival() == 0.0
+        assert s.take_arrivals(0.0) == (0, 1)
+        # Nothing arrived yet: empty range, cursor does not move.
+        assert s.take_arrivals(0.5) == (1, 1)
+        assert s.next_arrival() == 1.0
+        # The batch-cut window is the shared TIME_EPS.
+        assert s.take_arrivals(1.0) == (1, 3)
+        assert s.next_arrival() == 5.0
+        assert s.take_arrivals(5.0) == (3, 4)
+        assert s.next_arrival() is None
+
+    def test_transition_ordering_matches_pre_spine_priorities(self):
+        from repro.simulator.events import Transition
+
+        # FINISH frees before ARRIVAL/RESERVE act before START allocates —
+        # the relative order every pre-spine loop relied on.
+        assert (
+            Transition.FINISH
+            < Transition.CANCEL
+            < Transition.ARRIVAL
+            < Transition.RESERVE
+            < Transition.START
+        )
