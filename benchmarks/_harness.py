@@ -1,0 +1,94 @@
+"""Shared benchmark harness: best-of-N timing and the JSON emit contract.
+
+Every ``bench_*.py`` that records a checked-in ``BENCH_PR*.json`` follows
+the same protocol, factored here so new benches cannot drift from it:
+
+* **Best-of-N timing** (:func:`best_of`, :class:`TimedEngine`) — gates
+  compare the *best* rep, so single-shot scheduler-noise spikes on
+  shared CI runners don't poison a recorded baseline.
+* **Write-before-gate emit** (:func:`emit_bench_doc`) — the measurement
+  is written before any assertion fires (the CI artifact of a failed
+  gate is exactly what a flake diagnosis needs); overwriting the
+  checked-in baseline is an explicit act (``REPRO_BENCH_REFRESH=1``),
+  the default out path is ``<baseline>.new.json``, a per-bench env var
+  overrides it, and the baseline is read *before* any write so no
+  output-path spelling turns a regression gate into a self-comparison.
+
+The leading underscore keeps this module out of benchmark collection
+(``benchmarks/pytest.ini`` collects ``bench_*.py`` / ``test_*.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+
+class TimedEngine:
+    """Wrap an off-line engine, accumulating the seconds spent inside it.
+
+    Replay benches race two wrappers around the *same* engine;
+    subtracting the engine's time isolates the wrapper under test.
+    """
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self.seconds = 0.0
+
+    def __call__(self, instance):
+        t0 = time.perf_counter()
+        out = self.fn(instance)
+        self.seconds += time.perf_counter() - t0
+        return out
+
+
+def best_of(fn: Callable[[], Any], reps: int = 2) -> tuple[Any, float]:
+    """Run ``fn`` ``reps`` times; return the fastest rep's ``(result, s)``."""
+    best_out, best_s = None, float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_s:
+            best_out, best_s = out, elapsed
+    return best_out, best_s
+
+
+def placements(schedule) -> list[tuple]:
+    """Canonical placement list for schedule-identity assertions."""
+    return sorted((p.task.task_id, p.start, p.allotment) for p in schedule)
+
+
+def emit_bench_doc(
+    doc: dict, baseline_path: Path, out_env: str
+) -> tuple[dict | None, bool]:
+    """Write ``doc`` per the emit contract (see module docstring).
+
+    Returns ``(baseline, refreshing_baseline)``: the previously
+    checked-in document (or ``None``) for regression gates, and whether
+    this run is intentionally rewriting it (gates against the baseline
+    should be skipped in that case — it would be a self-comparison).
+    """
+    refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
+    default_out = (
+        baseline_path if refresh else baseline_path.with_suffix(".new.json")
+    )
+    out_path = Path(os.environ.get(out_env, default_out))
+    refreshing_baseline = (
+        out_path.resolve() == baseline_path.resolve() and refresh
+    )
+    if out_path.resolve() == baseline_path.resolve() and not refresh:
+        raise AssertionError(
+            f"refusing to overwrite the checked-in {baseline_path.name} "
+            "baseline without REPRO_BENCH_REFRESH=1"
+        )
+    baseline = (
+        json.loads(baseline_path.read_text()) if baseline_path.exists() else None
+    )
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  wrote {out_path}")
+    return baseline, refreshing_baseline

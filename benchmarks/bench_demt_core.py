@@ -22,12 +22,13 @@ compiled-backend measurement, >= 5x).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
+
+from _harness import emit_bench_doc, placements as _placements
 
 from repro import kernels
 from repro.algorithms.demt import schedule_demt
@@ -48,10 +49,6 @@ BENCH_PR6_PATH = Path(__file__).resolve().parent / "BENCH_PR6.json"
 def _seed_demt_engine(instance):
     """The seed DEMT core: scalar feasibility probes, object knapsack."""
     return ReferenceDemtScheduler().schedule(instance)
-
-
-def _placements(schedule):
-    return sorted((p.task.task_id, p.start, p.allotment) for p in schedule)
 
 
 def _micro_inputs():
@@ -172,24 +169,11 @@ def test_demt_core_speedup_emits_bench_pr6(benchmark):
             f"{active} {row[f'{active}_ms']:7.1f} ms  -> {row['speedup']:.2f}x"
         )
 
-    # Write-before-gate, same contract as BENCH_PR2: overwriting the
-    # checked-in baseline is an explicit act (REPRO_BENCH_REFRESH=1), and
-    # the baseline is read before any write so no REPRO_BENCH_OUT
-    # spelling turns the gate into a self-comparison.
-    refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
-    default_out = BENCH_PR6_PATH if refresh else BENCH_PR6_PATH.with_suffix(".new.json")
-    out_path = Path(os.environ.get("REPRO_BENCH_PR6_OUT", default_out))
-    refreshing_baseline = out_path.resolve() == BENCH_PR6_PATH.resolve() and refresh
-    if out_path.resolve() == BENCH_PR6_PATH.resolve() and not refresh:
-        raise AssertionError(
-            "refusing to overwrite the checked-in BENCH_PR6.json baseline "
-            "without REPRO_BENCH_REFRESH=1"
-        )
-    baseline = json.loads(BENCH_PR6_PATH.read_text()) if BENCH_PR6_PATH.exists() else None
-
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"  wrote {out_path}")
+    # Write-before-gate via the shared harness (see _harness.py), same
+    # contract as BENCH_PR2.
+    baseline, refreshing_baseline = emit_bench_doc(
+        doc, BENCH_PR6_PATH, "REPRO_BENCH_PR6_OUT"
+    )
 
     assert end_to_end["speedup"] >= threshold, (
         f"DEMT core only {end_to_end['speedup']:.2f}x faster than the seed "

@@ -33,10 +33,11 @@ Refreshing the baseline after intentional perf work::
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
+
+from _harness import TimedEngine, emit_bench_doc, placements as _placements
 
 from repro.algorithms.wspt import schedule_wspt
 from repro.simulator.online import BatchPolicy
@@ -61,26 +62,6 @@ MILLION_M = 32
 BENCH_PR8_PATH = Path(__file__).resolve().parent / "BENCH_PR8.json"
 
 
-class _TimedEngine:
-    """Wrap an off-line engine, accumulating the seconds spent inside it
-    (both replay paths call the same engine; subtracting it isolates the
-    wrapper)."""
-
-    def __init__(self, fn):
-        self.fn = fn
-        self.seconds = 0.0
-
-    def __call__(self, instance):
-        t0 = time.perf_counter()
-        out = self.fn(instance)
-        self.seconds += time.perf_counter() - t0
-        return out
-
-
-def _placements(schedule):
-    return sorted((p.task.task_id, p.start, p.allotment) for p in schedule)
-
-
 def _run(trace, m, policy_factory, reps=1):
     """Timed replay, best of ``reps``: ``(result, total_s, engine_s)``.
 
@@ -90,7 +71,7 @@ def _run(trace, m, policy_factory, reps=1):
     """
     best = None
     for _ in range(reps):
-        engine = _TimedEngine(schedule_wspt)
+        engine = TimedEngine(schedule_wspt)
         inst = trace_instance(trace, m, "rigid", online=True)
         t0 = time.perf_counter()
         result = policy_factory(engine).run(inst)
@@ -187,23 +168,12 @@ def test_spine_replay_emits_bench_pr8(benchmark):
             f"{million['us_per_event']:.3f} us/event, {million['batches']} batches)"
         )
 
-    # The measurement is written *before* any gate fires, so the CI
+    # Write-before-gate via the shared harness (see _harness.py): the CI
     # artifact survives a failed floor (that record is exactly what a
     # flake diagnosis needs).
-    refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
-    default_out = BENCH_PR8_PATH if refresh else BENCH_PR8_PATH.with_suffix(".new.json")
-    out_path = Path(os.environ.get("REPRO_BENCH_PR8_OUT", default_out))
-    refreshing_baseline = out_path.resolve() == BENCH_PR8_PATH.resolve() and refresh
-    if out_path.resolve() == BENCH_PR8_PATH.resolve() and not refresh:
-        raise AssertionError(
-            "refusing to overwrite the checked-in BENCH_PR8.json baseline "
-            "without REPRO_BENCH_REFRESH=1"
-        )
-    baseline = json.loads(BENCH_PR8_PATH.read_text()) if BENCH_PR8_PATH.exists() else None
-
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"  wrote {out_path}")
+    baseline, refreshing_baseline = emit_bench_doc(
+        doc, BENCH_PR8_PATH, "REPRO_BENCH_PR8_OUT"
+    )
 
     # Acceptance gate: the spine path must carry its weight at archive
     # scale.

@@ -1,0 +1,177 @@
+"""Observability overhead — the PR-9 acceptance bench.
+
+The instrumentation plane (:mod:`repro.obs`) promises a **hard
+zero-overhead disabled path**: every hook site is one module-attribute
+load plus an ``is None`` check.  This bench pins that promise on the two
+replay legs the ISSUE names:
+
+* ``demt_20k`` — the n = 20k synthetic archive window with DEMT as the
+  batch engine (the PR-6 headline workload);
+* ``replay_100k`` — the n = 100k window with the cheap wspt engine (the
+  PR-8 headline workload; engine time is small, so the replay path — the
+  hook-dense code — dominates).
+
+Per leg it measures best-of-2 wall-clock with observability *disabled*
+and *enabled* (schedules asserted identical — tracing must not change a
+single placement), counts the hooks the enabled run fired, and
+microbenches the cost of one disabled-mode check.  The disabled-mode
+overhead is then bounded *analytically*::
+
+    overhead_pct = hook_calls x noop_check_cost / disabled_runtime
+
+rather than by differencing two noisy end-to-end timings — at <= 3%
+the difference of two runs is indistinguishable from scheduler noise on
+a shared runner, while ``hook_calls`` is deterministic and the per-check
+cost is measured over 2M iterations.  The loop body of the microbench
+*includes* the loop bookkeeping, and one enabled-run ``hook_calls`` can
+cover several sites sharing a single guard, so the bound is
+conservative on both factors.  The gate is
+``overhead_pct <= REPRO_OBS_OVERHEAD_MAX`` (default 3.0) per leg; the
+enabled-mode ratio is recorded ungated (enabled runs buy telemetry with
+time — that trade is the feature, not a regression).
+
+Everything is written to ``BENCH_PR9.json`` via the shared harness
+(``REPRO_BENCH_PR9_OUT`` overrides the path, ``REPRO_BENCH_REFRESH=1``
+rewrites the checked-in baseline).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from _harness import best_of, emit_bench_doc, placements as _placements
+
+from repro import kernels, obs
+from repro.algorithms.demt import schedule_demt
+from repro.algorithms.wspt import schedule_wspt
+from repro.simulator.online import BatchPolicy
+from repro.workloads.trace import load_trace, synthesize_swf, trace_instance
+
+BENCH_M = 64
+BENCH_LOAD = 1.0
+
+#: The two replay legs: (name, window size, offline engine).
+LEGS = (
+    ("demt_20k", 20_000, "demt", schedule_demt),
+    ("replay_100k", 100_000, "wspt", schedule_wspt),
+)
+
+#: Default location of the checked-in benchmark record / baseline.
+BENCH_PR9_PATH = Path(__file__).resolve().parent / "BENCH_PR9.json"
+
+#: Iterations of the disabled-check microbench.
+NOOP_ITERS = 2_000_000
+
+
+def _noop_check_cost(iters: int = NOOP_ITERS) -> float:
+    """Seconds per disabled-mode hook check (loop overhead included)."""
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        if obs.ACTIVE is not None:  # the exact guard every hook site runs
+            raise AssertionError("obs unexpectedly enabled mid-bench")
+    return (time.perf_counter() - t0) / iters
+
+
+def test_obs_overhead_emits_bench_pr9(benchmark):
+    """Measure, emit, and gate ``BENCH_PR9.json`` (see module docstring)."""
+    assert obs.ACTIVE is None, "bench requires a disabled starting state"
+    max_pct = float(os.environ.get("REPRO_OBS_OVERHEAD_MAX", "3.0"))
+
+    def measure():
+        per_call_s = _noop_check_cost()
+        legs = []
+        for name, n, engine_name, engine in LEGS:
+            trace = load_trace(
+                synthesize_swf(n, BENCH_M, seed=42, load=BENCH_LOAD)
+            )
+
+            def _replay():
+                inst = trace_instance(trace, BENCH_M, "rigid", online=True)
+                return BatchPolicy(engine).run(inst)
+
+            plain, disabled_s = best_of(_replay, reps=2)
+
+            obs.enable(fresh=True)
+            try:
+                traced, enabled_s = best_of(_replay, reps=2)
+                state = obs.ACTIVE
+                hook_calls = state.hook_calls
+                spans = len(state.spans)
+            finally:
+                obs.disable()
+
+            # Tracing must not move a single placement.
+            assert _placements(traced.schedule) == _placements(plain.schedule)
+
+            overhead_pct = hook_calls * per_call_s / disabled_s * 100.0
+            legs.append(
+                {
+                    "name": name,
+                    "n": n,
+                    "engine": engine_name,
+                    "disabled_s": round(disabled_s, 3),
+                    "enabled_s": round(enabled_s, 3),
+                    "enabled_over_disabled": round(enabled_s / disabled_s, 3),
+                    "hook_calls": hook_calls,
+                    "spans": spans,
+                    "disabled_overhead_pct": round(overhead_pct, 4),
+                }
+            )
+        return per_call_s, legs
+
+    per_call_s, legs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    doc = {
+        "bench": "obs-overhead",
+        "description": "disabled-mode cost of the repro.obs instrumentation "
+        "plane on the two headline replay legs (schedules asserted "
+        "identical with tracing on and off): hook_calls from the enabled "
+        "run x the microbenched per-check cost of the disabled guard, as "
+        "a fraction of the disabled runtime; the enabled-mode ratio is "
+        "recorded ungated",
+        "m": BENCH_M,
+        "load": BENCH_LOAD,
+        "kernel_backend": kernels.backend_name(),
+        "noop_check_ns": round(per_call_s * 1e9, 3),
+        "gate_pct": max_pct,
+        "legs": legs,
+    }
+
+    print()
+    print(f"  disabled-mode check: {per_call_s * 1e9:.1f} ns")
+    for leg in legs:
+        print(
+            f"  {leg['name']:>11}: disabled {leg['disabled_s']:7.3f} s  "
+            f"enabled {leg['enabled_s']:7.3f} s "
+            f"(x{leg['enabled_over_disabled']:.3f}, "
+            f"{leg['hook_calls']:,} hooks, {leg['spans']:,} spans)  "
+            f"disabled overhead {leg['disabled_overhead_pct']:.4f}%"
+        )
+
+    baseline, refreshing_baseline = emit_bench_doc(
+        doc, BENCH_PR9_PATH, "REPRO_BENCH_PR9_OUT"
+    )
+
+    for leg in legs:
+        assert leg["disabled_overhead_pct"] <= max_pct, (
+            f"disabled-mode observability overhead "
+            f"{leg['disabled_overhead_pct']:.4f}% on {leg['name']} exceeds "
+            f"the {max_pct}% budget"
+        )
+
+    if baseline is not None and not refreshing_baseline:
+        base_by_name = {leg["name"]: leg for leg in baseline.get("legs", [])}
+        for leg in legs:
+            base = base_by_name.get(leg["name"])
+            if base is None:
+                continue
+            # The analytic bound may drift with runner speed; allow 2x
+            # the recorded figure before calling it a regression (still
+            # gated by the absolute budget above).
+            ceiling = max(base["disabled_overhead_pct"] * 2.0, max_pct)
+            assert leg["disabled_overhead_pct"] <= ceiling, (
+                f"disabled-overhead regression on {leg['name']}: "
+                f"{leg['disabled_overhead_pct']:.4f}% vs baseline "
+                f"{base['disabled_overhead_pct']:.4f}%"
+            )

@@ -39,6 +39,7 @@ import math
 from dataclasses import dataclass, field
 import numpy as np
 
+from repro import obs
 from repro.algorithms.compaction import (
     batch_arrays,
     list_compaction,
@@ -152,6 +153,15 @@ class DemtScheduler:
 
     def schedule_detailed(self, instance: Instance) -> DemtResult:
         """Run the full pipeline and expose every intermediate artefact."""
+        state = obs.ACTIVE
+        if state is None:
+            return self._schedule_detailed_impl(instance)
+        with state.span("demt", "algorithm"):
+            result = self._schedule_detailed_impl(instance)
+        state.count("demt.batches", len(result.batches))
+        return result
+
+    def _schedule_detailed_impl(self, instance: Instance) -> DemtResult:
         if instance.n == 0:
             return DemtResult(schedule=Schedule(instance.m))
 
@@ -304,6 +314,9 @@ class DemtScheduler:
         starts: list[float],
         m: int,
     ) -> Schedule:
+        state = obs.ACTIVE
+        if state is not None:
+            state.count("demt.compaction_passes")
         if self.compaction == "shelf":
             return shelf_placement(batches, starts, m)
         if self.compaction == "pull_forward":
@@ -335,6 +348,9 @@ class DemtScheduler:
         cutoff = base_cmax * (1 + 1e-12)
         best_order: np.ndarray | None = None
         order = np.arange(len(batches))
+        state = obs.ACTIVE
+        if state is not None:
+            state.count("demt.shuffle_candidates", self.shuffle_rounds)
         for _ in range(self.shuffle_rounds):
             rng.shuffle(order)
             metrics = order_metrics(arrays, order, m, cmax_cutoff=cutoff)

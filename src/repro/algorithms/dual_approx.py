@@ -43,6 +43,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.knapsack import knapsack_min_work, knapsack_min_work_value
 from repro.algorithms.list_scheduling import ListItem, list_schedule
 from repro.core.allotment import minimal_allotments, minimal_area_allotments
@@ -199,6 +200,16 @@ def _batch_feasible(instance: Instance, lams: list[float]) -> list[bool]:
     sums and the DP inputs see exactly the floats the one-λ-at-a-time
     path produced — probe outcomes are decision-for-decision identical.
     """
+    state = obs.ACTIVE
+    if state is None:
+        return _batch_feasible_impl(instance, lams)
+    state.count("dual.probes", len(lams))
+    state.observe("dual.probe_batch", len(lams))
+    with state.span("dual.batch_feasible", "kernel"):
+        return _batch_feasible_impl(instance, lams)
+
+
+def _batch_feasible_impl(instance: Instance, lams: list[float]) -> list[bool]:
     lam_arr = np.asarray(lams, dtype=np.float64)
     tm = instance.times_matrix
     m = instance.m
@@ -229,6 +240,19 @@ def dual_approximation(
     accepted ``λ*``; the default (0.1%) is far below the algorithmic
     approximation factors at play.
     """
+    state = obs.ACTIVE
+    if state is None:
+        return _dual_approximation_impl(instance, rel_tol=rel_tol, max_iter=max_iter)
+    with state.span("dual_approximation", "algorithm"):
+        return _dual_approximation_impl(instance, rel_tol=rel_tol, max_iter=max_iter)
+
+
+def _dual_approximation_impl(
+    instance: Instance,
+    *,
+    rel_tol: float,
+    max_iter: int,
+) -> DualApproxResult:
     if instance.n == 0:
         return DualApproxResult(0.0, 0.0, {}, frozenset(), _prebuilt=Schedule(instance.m))
 

@@ -24,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro import kernels
+from repro import kernels, obs
 
 __all__ = [
     "KnapsackItem",
@@ -166,6 +166,12 @@ def knapsack_min_work(
         raise ValueError("work_a, cost_a and work_b must have the same length")
     if m < 0:
         raise ValueError(f"capacity must be non-negative, got {m}")
+    # This reconstructing DP runs in-module (the value-only variant goes
+    # through the kernel dispatch, which tallies itself).
+    state = obs.ACTIVE
+    if state is not None:
+        state.count("kernel.min_work_calls")
+        state.count("kernel.dp_cells", n * (m + 1))
 
     INF = np.inf
     # dp[q] = min work with big-shelf width exactly <= q.  The row loop is

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import kernels
+from repro import kernels, obs
 from repro.exceptions import SchedulingError
 
 __all__ = ["FreeProfile", "graham_starts"]
@@ -83,6 +83,9 @@ def graham_starts(
     n = len(allotments)
     if n == 0:
         return np.empty(0, dtype=np.float64), []
+    state = obs.ACTIVE
+    if state is not None:
+        state.count("profile.graham_starts")
     return kernels.graham_starts_core(allotments, durations, m, float(start_time), cutoff)
 
 

@@ -69,8 +69,10 @@ crashed cells and quarantines poison ones instead of aborting::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro import obs
 from repro.experiments.ablation import ABLATIONS
 from repro.experiments.config import SCALES, resolve_scale
 from repro.experiments.engine import BACKENDS, resolve_cache
@@ -81,8 +83,14 @@ from repro.experiments.reporting import (
     format_replay_table,
     format_timing_table,
 )
+from repro.utils.log import configure as _configure_logging, get_logger
 
 __all__ = ["main"]
+
+#: CLI status lines (``[cache]`` / ``[export]`` / ``[trace]``) go through
+#: the ``repro`` logging namespace at INFO — on stdout, byte-identical to
+#: the prints they replaced, and silenced by ``--quiet``.
+_logger = get_logger("repro.cli")
 
 
 def _positive_int(value: str) -> int:
@@ -143,6 +151,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the on-line batch-scheduling evaluation (DEMT "
         "off-line engine, arrival-horizon sweep)",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="write a trace of the run: Chrome-trace JSON (load in "
+        "chrome://tracing or Perfetto), or JSONL when FILE ends in "
+        ".jsonl ($REPRO_TRACE overrides when the flag is absent)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics summary (counters, histograms, span "
+        "flame) after the run",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose",
+        action="store_true",
+        help="debug-level diagnostics on the repro.* logging namespace",
+    )
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress status lines ([cache]/[export]/[trace]); "
+        "warnings and tables still print",
     )
 
     # Subcommands (optional — the flag-driven figure/ablation interface
@@ -226,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
     )
+    _add_obs_flags(replay)
 
     pareto = sub.add_parser(
         "pareto",
@@ -303,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument(
         "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
     )
+    _add_obs_flags(pareto)
 
     from repro.faults.campaign import ROBUSTNESS_ENGINES
 
@@ -406,7 +443,21 @@ def build_parser() -> argparse.ArgumentParser:
     robust.add_argument(
         "--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
     )
+    _add_obs_flags(robust)
     return parser
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    """The observability flags again, so they may follow the subcommand
+    (SUPPRESS: only overwrite the top-level value when actually given)."""
+    sub.add_argument(
+        "--trace", dest="trace_out", default=argparse.SUPPRESS,
+        metavar="FILE", help=argparse.SUPPRESS,
+    )
+    sub.add_argument(
+        "--metrics", action="store_true", default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
 
 
 def _parse_window(spec: str | None) -> tuple[int, int] | None:
@@ -471,8 +522,10 @@ def _run_replay(args, exec_kw: dict, cache) -> int:
         )
         with open(args.export, "w", encoding="utf-8") as fh:
             fh.write(text)
-        print(f"[export] simulated execution ({models[0]}/batch) written "
-              f"to {args.export}")
+        _logger.info(
+            "[export] simulated execution (%s/batch) written to %s",
+            models[0], args.export,
+        )
     results = replay_trace(
         trace,
         m=args.m,
@@ -583,6 +636,32 @@ def main(argv: list[str] | None = None) -> int:
         build_parser().print_help()
         return 2
 
+    _configure_logging(verbose=args.verbose, quiet=args.quiet)
+    trace_out = args.trace_out or os.environ.get("REPRO_TRACE") or None
+    state = obs.enable() if (trace_out or args.metrics) else None
+    try:
+        if state is None:
+            code = _dispatch(args, command)
+        else:
+            with state.span("campaign", "campaign"):
+                code = _dispatch(args, command)
+    finally:
+        if state is not None:
+            obs.disable()
+    if state is not None:
+        from repro.obs.export import metrics_summary, write_trace
+
+        if trace_out:
+            path = write_trace(state, trace_out)
+            _logger.info(
+                "[trace] %d spans written to %s", len(state.spans), path
+            )
+        if args.metrics:
+            print(metrics_summary(state))
+    return code
+
+
+def _dispatch(args, command: str | None) -> int:
     cfg = resolve_scale(args.scale)
     if args.seed is not None:
         cfg = cfg.scaled(seed=args.seed)
@@ -638,9 +717,9 @@ def main(argv: list[str] | None = None) -> int:
         print(format_online_table(points))
 
     if cache is not None:
-        print(
-            f"[cache] {len(cache)} cells ({cache.hits} hits / {cache.misses} misses "
-            f"this run) in {args.cache_dir}"
+        _logger.info(
+            "[cache] %d cells (%d hits / %d misses this run) in %s",
+            len(cache), cache.hits, cache.misses, args.cache_dir,
         )
     return 0
 

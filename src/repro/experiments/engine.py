@@ -45,8 +45,8 @@ unseen cells.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
-import sys
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
@@ -56,6 +56,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Hashable, Iterable
 
+from repro import obs
+from repro.utils.log import get_logger
 from repro.utils.shm import SharedColumnar
 
 __all__ = [
@@ -95,7 +97,7 @@ class CellKey:
         return (self.seed, self.kind, self.n, self.m, self.r)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CellRecord:
     """One algorithm's measurements on one instance.
 
@@ -107,6 +109,14 @@ class CellRecord:
     cells leave it 0.  ``crashes`` counts the simulated crash-and-restart
     evictions behind the measurement (:mod:`repro.faults`); fault-free
     cells leave it 0.
+
+    **Equality excludes** ``seconds``: a record is a pure function of its
+    cell key *except* for the wall-clock measurement, which legitimately
+    differs between serial and process backends, between machines, and
+    between runs.  The serial-vs-process bit-identity guarantee (and the
+    tests pinning it) compare records with ``==``; the journal's
+    write-skip (:meth:`PersistentCellCache.put_record`) likewise treats a
+    re-measurement that only moved the clock as already known.
     """
 
     cmax: float
@@ -115,6 +125,17 @@ class CellRecord:
     validated: bool = False
     batches: int = 0
     crashes: int = 0
+
+    def _identity(self) -> tuple:
+        return (self.cmax, self.minsum, self.validated, self.batches, self.crashes)
+
+    def __eq__(self, other: object):
+        if not isinstance(other, CellRecord):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
 
 
 @dataclass(frozen=True)
@@ -532,9 +553,16 @@ class CellFailure:
         return self.message
 
 
+#: Engine diagnostics logger.  Retry/quarantine messages are emitted at
+#: WARNING, which the ``repro`` namespace handlers route to stderr byte
+#: for byte as the old ``print(..., file=sys.stderr)`` — CI smoke steps
+#: grep them there.
+_logger = get_logger("repro.engine")
+
+
 def _log(message: str) -> None:
     """Engine diagnostics go to stderr (CI greps for retry/quarantine)."""
-    print(f"[engine] {message}", file=sys.stderr, flush=True)
+    _logger.warning("[engine] %s", message)
 
 
 def _maybe_inject_crash() -> None:
@@ -582,15 +610,65 @@ def _attempts_in_process(
             return _guarded_call(fn, item)
         except Exception as exc:
             attempt += 1
+            state = obs.ACTIVE
             if attempt >= policy.attempts:
                 _log(f"cell {index} quarantined after {attempt} attempts: {exc}")
+                if state is not None:
+                    state.count("cells.quarantined")
                 return CellFailure(str(exc), attempts=attempt)
+            if state is not None:
+                state.count("cells.retries")
             delay = policy.delay(attempt, index)
             _log(
                 f"cell {index} failed (attempt {attempt}/{policy.attempts}): "
                 f"{exc}; retrying in {delay:.2f}s"
             )
             time.sleep(delay)
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side observability transport                                    #
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ObsPayload:
+    """A worker's result plus its observability snapshot, riding back
+    through the pool's pickle channel as one object."""
+
+    result: object
+    snapshot: dict
+
+
+class _ObsTask:
+    """Picklable wrapper around a family worker that captures the worker
+    process's spans and counters.
+
+    In the coordinating process (serial backend, or the degraded
+    in-process tail of a broken pool) the call passes straight through —
+    the parent's live :data:`repro.obs.ACTIVE` state records everything
+    in-line, correctly nested under the campaign spans.
+
+    In a pool worker the test is ``multiprocessing.parent_process()``:
+    on fork-start platforms the child *inherits* a non-``None``
+    ``obs.ACTIVE`` copy from the parent, so "is ACTIVE None" cannot
+    distinguish the two.  The worker installs a **fresh** state, runs the
+    cell, and returns an :class:`_ObsPayload` whose snapshot the parent
+    merges under its dispatch span (:func:`execute_cells` unwraps it).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, item):
+        if multiprocessing.parent_process() is None:
+            return self.fn(item)
+        state = obs.enable(fresh=True)
+        try:
+            result = self.fn(item)
+        finally:
+            obs.disable()
+        return _ObsPayload(result, state.snapshot())
 
 
 def execute_cells(
@@ -630,7 +708,41 @@ def execute_cells(
       whose every attempt failed yields a :class:`CellOutcome` carrying
       :attr:`~CellOutcome.error` (plus any cached records) instead of
       raising; healthy cells are unaffected.
+
+    With observability enabled (:data:`repro.obs.ACTIVE`), the whole call
+    runs under a ``cells:<family>`` span, workers' spans and counters are
+    merged back under it (process backend: each worker snapshot lands on
+    its own timeline lane, anchored at the dispatch span's start — see
+    :class:`_ObsTask`), and cache hits/misses, measured cells and
+    quarantines are counted.  None of this changes a single record bit.
     """
+    state = obs.ACTIVE
+    if state is None:
+        return _execute_cells_impl(
+            family, cells, names,
+            validate=validate, backend=backend, jobs=jobs,
+            cache=cache, policy=policy, obs_span=None,
+        )
+    with state.span("cells:" + family.name, "cell") as span:
+        return _execute_cells_impl(
+            family, cells, names,
+            validate=validate, backend=backend, jobs=jobs,
+            cache=cache, policy=policy, obs_span=span,
+        )
+
+
+def _execute_cells_impl(
+    family: CellFamily,
+    cells: "Iterable[Hashable]",
+    names: "Iterable[str]",
+    *,
+    validate: bool,
+    backend: object,
+    jobs: int | None,
+    cache: "CellCache | str | os.PathLike | None",
+    policy: "RetryPolicy | None",
+    obs_span,
+) -> "dict[Hashable, CellOutcome]":
     backend = resolve_backend(backend, jobs, policy)
     cache = resolve_cache(cache)
     names = tuple(names)
@@ -638,6 +750,10 @@ def execute_cells(
     work: list[tuple] = []
     work_cells: list[Hashable] = []
     cached_parts: dict[Hashable, dict[str, CellRecord]] = {}
+    obs_state = obs.ACTIVE
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    worker = family.worker if obs_state is None else _ObsTask(family.worker)
 
     with family.dispatch(backend):
         for cell in cells:
@@ -669,9 +785,26 @@ def execute_cells(
                 )
             )
 
-        outputs = backend.map(family.worker, work)
+        outputs = backend.map(worker, work)
+
+    if obs_state is not None and cache is not None:
+        state_hits = cache.hits - hits0
+        state_misses = cache.misses - misses0
+        if state_hits:
+            obs_state.count("cells.cache_hit", state_hits)
+        if state_misses:
+            obs_state.count("cells.cache_miss", state_misses)
 
     for cell, output in zip(work_cells, outputs):
+        if isinstance(output, _ObsPayload):
+            # Worker-side spans/counters ride back with the result; graft
+            # them under this call's span, anchored where it started.
+            if obs_state is not None:
+                if obs_span is not None:
+                    obs_state.merge(output.snapshot, obs_span.sid, obs_span.t0)
+                else:  # pragma: no cover - obs disabled mid-call
+                    obs_state.merge(output.snapshot, -1, obs_state.t0)
+            output = output.result
         if isinstance(output, CellFailure):
             results[cell] = CellOutcome(
                 None,
@@ -689,6 +822,8 @@ def execute_cells(
             bounds = cache.get_bounds(bkey)
         records = dict(cached_parts[cell])
         records.update(fresh_records)
+        if obs_state is not None and fresh_records:
+            obs_state.count("cells.measured", len(fresh_records))
         if cache is not None:
             if bkey is not None:
                 cache.put_bounds(bkey, bounds)
@@ -842,10 +977,17 @@ class ProcessBackend:
         """One failed attempt: retry with backoff, or quarantine."""
         policy = self.policy
         attempt += 1
+        state = obs.ACTIVE
+        if state is not None and message == "cell attempt timed out":
+            state.count("cells.timeouts")
         if attempt >= policy.attempts:
             _log(f"cell {index} quarantined after {attempt} attempts: {message}")
+            if state is not None:
+                state.count("cells.quarantined")
             results[index] = CellFailure(message, attempts=attempt)
             return
+        if state is not None:
+            state.count("cells.retries")
         delay = policy.delay(attempt, index)
         _log(
             f"cell {index} failed (attempt {attempt}/{policy.attempts}): "

@@ -32,6 +32,7 @@ marked in the aggregate rows, never silently dropped.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -171,9 +172,11 @@ def _run_robustness_cell(args: tuple) -> "tuple[CellBounds | None, dict[str, Cel
     ``args`` is ``(seed, kind, n, m, r, engines, scenario_spec, validate,
     need_bounds)``.  The instance is the exact
     ``derive_rng(seed, kind, n, r)`` stream of the figure campaigns, so
-    the bounds key is shared with them.  ``seconds`` is recorded as 0.0:
-    every field of a robustness record is then a pure function of the
-    key, which is what makes serial and process backends bit-identical.
+    the bounds key is shared with them.  ``seconds`` is the real
+    wall-clock cost of the engine run — serial and process backends stay
+    bit-identical because ``CellRecord`` equality and cache-journal
+    writes exclude it (every *compared* field is a pure function of the
+    key).
     """
     from repro.faults.failures import FaultyBatchPolicy
 
@@ -203,13 +206,15 @@ def _run_robustness_cell(args: tuple) -> "tuple[CellBounds | None, dict[str, Cel
         policy = FaultyBatchPolicy(
             offline_of[name], noise=scenario.noise, failures=trace
         )
+        started = time.perf_counter()
         result = policy.run(truth)
+        seconds = time.perf_counter() - started
         if validate:
             validate_schedule(result.schedule, truth)
         records[name] = CellRecord(
             cmax=result.schedule.makespan(),
             minsum=result.schedule.weighted_completion_sum(),
-            seconds=0.0,
+            seconds=seconds,
             validated=validate,
             batches=result.n_batches,
             crashes=result.crashes,

@@ -44,6 +44,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.core.validation import TIME_EPS
@@ -317,8 +318,12 @@ class FaultyBatchPolicy(BatchPolicy):
         self.failures = failures
         self.max_restarts = int(max_restarts)
 
-    def run(self, instance: Instance) -> FaultyOnlineResult:  # noqa: C901
-        """Plan on estimates, execute the truth, survive the failures."""
+    def _run_impl(self, instance: Instance) -> FaultyOnlineResult:  # noqa: C901
+        """Plan on estimates, execute the truth, survive the failures.
+
+        (Called through :meth:`BatchPolicy.run`, which adds the
+        ``policy:faulty-batch`` span when observability is enabled.)
+        """
         truth = instance
         m = truth.m
         trace = self.failures
@@ -402,6 +407,10 @@ class FaultyBatchPolicy(BatchPolicy):
             log.append(Event(now, EventKind.BATCH_STARTED))
             batch_starts.append(now)
             batch_contents.append(frozenset(batch))
+            obs_state = obs.ACTIVE
+            if obs_state is not None:
+                obs_state.count("online.batches")
+                obs_state.observe("online.batch_size", len(batch))
 
             # Execute: starts at their planned offsets, completions at the
             # *true* durations, capacity events interleaved — all on one
@@ -497,6 +506,12 @@ class FaultyBatchPolicy(BatchPolicy):
                 raise SchedulingError("batch cannot start and capacity never recovers")
             now = max(min(candidates), witnessed)
 
+        obs_state = obs.ACTIVE
+        if obs_state is not None:
+            if crashes:
+                obs_state.count("faults.crashes", crashes)
+            if deferrals:
+                obs_state.count("faults.deferrals", deferrals)
         return FaultyOnlineResult(
             schedule=out,
             batch_starts=tuple(batch_starts),

@@ -40,6 +40,7 @@ import warnings
 
 import numpy as np
 
+from repro import obs
 from repro.kernels import _numpy as _numpy_backend
 
 __all__ = [
@@ -181,14 +182,28 @@ def set_backend(name: str) -> str:
 
 def knapsack_select_core(allotments, weights, m):
     """Dispatch: max-weight knapsack DP + reconstruction."""
+    state = obs.ACTIVE
+    if state is not None:
+        state.count("kernel.dispatch." + ACTIVE.name)
+        state.count("kernel.knapsack_select_calls")
+        state.count("kernel.dp_cells", len(allotments) * (m + 1))
     return ACTIVE.knapsack_select_core(allotments, weights, m)
 
 
 def knapsack_min_work_value_core(work_a, cost_a, work_b, m):
     """Dispatch: binary-choice min-work knapsack value."""
+    state = obs.ACTIVE
+    if state is not None:
+        state.count("kernel.dispatch." + ACTIVE.name)
+        state.count("kernel.min_work_value_calls")
+        state.count("kernel.dp_cells", len(work_a) * (m + 1))
     return ACTIVE.knapsack_min_work_value_core(work_a, cost_a, work_b, m)
 
 
 def graham_starts_core(allotments, durations, m, start_time, cutoff):
     """Dispatch: Graham list-scheduling event loop."""
+    state = obs.ACTIVE
+    if state is not None:
+        state.count("kernel.dispatch." + ACTIVE.name)
+        state.count("kernel.graham_calls")
     return ACTIVE.graham_starts_core(allotments, durations, m, start_time, cutoff)

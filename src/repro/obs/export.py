@@ -1,0 +1,162 @@
+"""Exporters for :class:`~repro.obs.tracer.ObsState`.
+
+Three formats, one source of truth:
+
+* :func:`chrome_trace_doc` — the Chrome trace-event JSON object
+  (``chrome://tracing`` / Perfetto load it directly).  Spans become
+  ``ph: "X"`` complete events with microsecond ``ts``/``dur`` relative
+  to the state's start; counters become ``ph: "C"`` events.  The full
+  metrics registry rides along under a top-level ``"metrics"`` key
+  (viewers ignore unknown keys).
+* :func:`write_trace` — writes the Chrome doc, or newline-delimited
+  JSON (one event per line) when the path ends in ``.jsonl``.
+* :func:`metrics_summary` — terminal report: counter table, histogram
+  table, and a span flame rendered via
+  :func:`repro.utils.ascii_plot.ascii_flame`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracer import ObsState
+
+__all__ = ["chrome_trace_doc", "metrics_summary", "write_trace"]
+
+#: pid stamped on every event — the merged trace is one logical process
+#: (worker snapshots are distinguished by tid lanes instead).
+_PID = 0
+
+
+def chrome_trace_doc(state: ObsState) -> dict[str, Any]:
+    """Build the Chrome trace-event document for ``state``."""
+    events: list[dict[str, Any]] = []
+    t_end = 0.0
+    for sp in state.spans:
+        ts = (sp.t0 - state.t0) * 1e6
+        dur = (sp.t1 - sp.t0) * 1e6
+        if ts + dur > t_end:
+            t_end = ts + dur
+        events.append(
+            {
+                "ph": "X",
+                "name": sp.name,
+                "cat": sp.cat or "span",
+                "ts": ts,
+                "dur": dur,
+                "pid": _PID,
+                "tid": sp.tid,
+                "args": {"sid": sp.sid, "parent": sp.parent},
+            }
+        )
+    for name in sorted(state.counters):
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": "counter",
+                "ts": t_end,
+                "pid": _PID,
+                "tid": 0,
+                "args": {"value": state.counters[name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metrics": {
+            "counters": dict(state.counters),
+            "gauges": dict(state.gauges),
+            "histograms": {
+                name: {**h, "buckets": {str(k): v for k, v in h["buckets"].items()}}
+                for name, h in state.hists.items()
+            },
+            "hook_calls": state.hook_calls,
+        },
+    }
+
+
+def write_trace(state: ObsState, path: str | Path) -> Path:
+    """Write ``state`` to ``path``; format chosen by suffix.
+
+    ``.jsonl`` → one JSON object per line (the events, then one final
+    ``{"metrics": ...}`` line); anything else → the Chrome trace JSON
+    document.  Returns the path written.
+    """
+    path = Path(path)
+    doc = chrome_trace_doc(state)
+    if path.suffix == ".jsonl":
+        lines = [json.dumps(ev) for ev in doc["traceEvents"]]
+        lines.append(json.dumps({"metrics": doc["metrics"]}))
+        path.write_text("\n".join(lines) + "\n")
+    else:
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def _span_rows(state: ObsState) -> list[tuple[str, float, str]]:
+    """Aggregate spans by tree path into flame rows.
+
+    Spans sharing a (path-of-names) aggregate their total time and
+    count; rows come out depth-first with two-space indentation per
+    level, so the flame reads like a collapsed call tree.
+    """
+    by_sid = {sp.sid: sp for sp in state.spans}
+    paths: dict[tuple[str, ...], list[float]] = {}
+    for sp in state.spans:
+        names = [sp.name]
+        cur = sp
+        hops = 0
+        while cur.parent >= 0 and hops < 64:
+            cur = by_sid.get(cur.parent)
+            if cur is None:
+                break
+            names.append(cur.name)
+            hops += 1
+        path = tuple(reversed(names))
+        agg = paths.setdefault(path, [0.0, 0])
+        agg[0] += sp.t1 - sp.t0
+        agg[1] += 1
+    rows = []
+    for path in sorted(paths):
+        total, n = paths[path]
+        indent = "  " * (len(path) - 1)
+        rows.append((f"{indent}{path[-1]}", total, f"{total:9.4f} s  x{n}"))
+    return rows
+
+
+def metrics_summary(state: ObsState) -> str:
+    """Human-readable metrics + flame report for the terminal."""
+    from repro.utils.ascii_plot import ascii_flame
+
+    lines = ["== metrics =="]
+    if state.counters:
+        width = max(len(n) for n in state.counters)
+        for name in sorted(state.counters):
+            value = state.counters[name]
+            shown = f"{value:,}" if isinstance(value, int) else f"{value:,.3f}"
+            lines.append(f"  {name:<{width}} {shown:>14}")
+    else:
+        lines.append("  (no counters)")
+    if state.gauges:
+        lines.append("-- gauges --")
+        width = max(len(n) for n in state.gauges)
+        for name in sorted(state.gauges):
+            lines.append(f"  {name:<{width}} {state.gauges[name]:>14,.3f}")
+    if state.hists:
+        lines.append("-- histograms --")
+        width = max(len(n) for n in state.hists)
+        for name in sorted(state.hists):
+            h = state.hists[name]
+            mean = h["total"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {name:<{width}} count={h['count']:,} mean={mean:,.2f} "
+                f"min={h['min']:,.2f} max={h['max']:,.2f}"
+            )
+    rows = _span_rows(state)
+    if rows:
+        lines.append("")
+        lines.append(ascii_flame(rows, title="== spans (total time, by path) =="))
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Span tracer and metrics registry backing ``repro.obs``.
+
+One :class:`ObsState` holds everything a traced run produces:
+
+* **spans** — closed intervals on a monotonic clock, organised as a
+  forest by parent span id (campaign → cell → algorithm → kernel);
+* **counters** — monotonically accumulated named totals
+  (``dual.probes``, ``spine.transitions.arrival``, …);
+* **gauges** — last-write-wins named values;
+* **histograms** — count/total/min/max plus power-of-two buckets
+  (``online.batch_size``, ``spine.window_depth``, …).
+
+Worker processes build their own fresh state, :meth:`ObsState.snapshot`
+it into a picklable dict that rides back with the cell result, and the
+parent :meth:`ObsState.merge`\\ s it under the dispatching span with span
+ids remapped and worker timelines re-anchored — cross-process clocks are
+not comparable, so a worker's spans are placed relative to the moment
+the parent dispatched the work and tagged with a distinct ``tid``.
+
+``hook_calls`` counts every mutating hook invocation (span open, count,
+gauge, observe); the overhead bench multiplies it by the measured cost
+of the disabled-mode check to bound what instrumentation costs a run
+that never enables tracing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+
+class Span:
+    """A closed span: ``sid``/``parent`` ids, name, category, times.
+
+    ``parent`` is ``-1`` for roots.  ``tid`` groups spans into timeline
+    lanes (0 is the parent process; merged worker snapshots get fresh
+    positive ids).
+    """
+
+    __slots__ = ("sid", "parent", "name", "cat", "t0", "t1", "tid")
+
+    def __init__(self, sid, parent, name, cat, t0, t1=0.0, tid=0):
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.cat = cat
+        self.t0 = t0
+        self.t1 = t1
+        self.tid = tid
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"Span(sid={self.sid}, parent={self.parent}, name={self.name!r}, "
+            f"cat={self.cat!r}, t0={self.t0:.6f}, t1={self.t1:.6f}, tid={self.tid})"
+        )
+
+
+class _SpanCM:
+    """Context manager returned by :meth:`ObsState.span`."""
+
+    __slots__ = ("_state", "_span")
+
+    def __init__(self, state, span):
+        self._state = state
+        self._span = span
+
+    def __enter__(self):
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._state._close(self._span)
+        return False
+
+
+class ObsState:
+    """Mutable trace + metrics accumulator for one process."""
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock if clock is not None else time.perf_counter
+        self.t0 = self.clock()
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.hists: dict[str, dict[str, Any]] = {}
+        self.spans: list[Span] = []
+        self.hook_calls = 0
+        self._stack: list[Span] = []
+        self._next_sid = 0
+        self._next_tid = 1
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "") -> _SpanCM:
+        """Open a nested span; close it by leaving the ``with`` block."""
+        self.hook_calls += 1
+        sid = self._next_sid
+        self._next_sid = sid + 1
+        parent = self._stack[-1].sid if self._stack else -1
+        sp = Span(sid, parent, name, cat, self.clock())
+        self._stack.append(sp)
+        return _SpanCM(self, sp)
+
+    def _close(self, sp: Span) -> None:
+        sp.t1 = self.clock()
+        # Exceptions can unwind several spans at once; pop to (and
+        # including) the span being closed so nesting stays consistent.
+        while self._stack:
+            top = self._stack.pop()
+            top.t1 = sp.t1 if top is sp else top.t1 or sp.t1
+            self.spans.append(top)
+            if top is sp:
+                break
+
+    # -- metrics -------------------------------------------------------
+
+    def count(self, name: str, delta: float = 1) -> None:
+        """Add ``delta`` to the named counter (created at 0)."""
+        self.hook_calls += 1
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge (last write wins)."""
+        self.hook_calls += 1
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the named histogram."""
+        self.hook_calls += 1
+        h = self.hists.get(name)
+        if h is None:
+            h = self.hists[name] = {
+                "count": 0,
+                "total": 0,
+                "min": value,
+                "max": value,
+                "buckets": {},
+            }
+        h["count"] += 1
+        h["total"] += value
+        if value < h["min"]:
+            h["min"] = value
+        if value > h["max"]:
+            h["max"] = value
+        # Power-of-two buckets keyed by the bucket's upper bound; 0 and
+        # negatives land in the "<=0" bucket (arrival gaps can be 0).
+        if value <= 0:
+            key = 0
+        else:
+            key = 1
+            v = value
+            while v > 1:
+                key *= 2
+                v /= 2
+        buckets = h["buckets"]
+        buckets[key] = buckets.get(key, 0) + 1
+
+    # -- cross-process aggregation ------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Picklable dict of everything recorded so far.
+
+        Span times are stored *relative to* ``t0`` so the parent can
+        re-anchor them on its own clock (cross-process monotonic clocks
+        share no epoch).  Open spans are not included.
+        """
+        return {
+            "next_sid": self._next_sid,
+            "hook_calls": self.hook_calls,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "hists": {
+                name: {**h, "buckets": dict(h["buckets"])}
+                for name, h in self.hists.items()
+            },
+            "spans": [
+                (s.sid, s.parent, s.name, s.cat, s.t0 - self.t0, s.t1 - self.t0)
+                for s in self.spans
+            ],
+        }
+
+    def merge(self, snap: dict[str, Any], parent_sid: int, anchor: float) -> int:
+        """Fold a worker :meth:`snapshot` into this state.
+
+        Remaps the snapshot's span ids past ``self._next_sid``, grafts
+        its roots under ``parent_sid`` (the dispatch span), re-anchors
+        its relative times at ``anchor`` (this state's clock, typically
+        the dispatch span's start), and places all its spans on a fresh
+        timeline lane.  Counters and histograms accumulate; integer
+        counters merge exactly.  Returns the lane (tid) used.
+        """
+        tid = self._next_tid
+        self._next_tid = tid + 1
+        offset = self._next_sid
+        for sid, parent, name, cat, rt0, rt1 in snap["spans"]:
+            self.spans.append(
+                Span(
+                    sid + offset,
+                    parent + offset if parent >= 0 else parent_sid,
+                    name,
+                    cat,
+                    anchor + rt0,
+                    anchor + rt1,
+                    tid,
+                )
+            )
+        self._next_sid = offset + snap["next_sid"]
+        self.hook_calls += snap["hook_calls"]
+        for name, value in snap["counters"].items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(snap["gauges"])
+        for name, h in snap["hists"].items():
+            mine = self.hists.get(name)
+            if mine is None:
+                self.hists[name] = {**h, "buckets": dict(h["buckets"])}
+                continue
+            mine["count"] += h["count"]
+            mine["total"] += h["total"]
+            if h["min"] < mine["min"]:
+                mine["min"] = h["min"]
+            if h["max"] > mine["max"]:
+                mine["max"] = h["max"]
+            buckets = mine["buckets"]
+            for key, n in h["buckets"].items():
+                buckets[key] = buckets.get(key, 0) + n
+        return tid

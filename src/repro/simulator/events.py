@@ -53,6 +53,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.core.validation import TIME_EPS
 from repro.exceptions import SchedulingError
 
@@ -222,6 +223,18 @@ class Transition(enum.IntEnum):
     START = 4
 
 
+#: Counter names per :class:`Transition` value (``.get`` fallback keeps
+#: untyped priorities pushed through the raw queue API from crashing the
+#: tally).
+_TRANSITION_COUNTERS = {
+    0: "spine.transitions.finish",
+    1: "spine.transitions.cancel",
+    2: "spine.transitions.arrival",
+    3: "spine.transitions.reserve",
+    4: "spine.transitions.start",
+}
+
+
 class EventSpine(EventWindowQueue):
     """The incremental event core: windowed heap + running-set profile.
 
@@ -287,6 +300,21 @@ class EventSpine(EventWindowQueue):
     def at(self, time: float, transition: Transition, ident: int = -1) -> None:
         """Schedule a typed transition (a ``push`` with a named priority)."""
         self.push(time, int(transition), ident)
+
+    def pop_window(self) -> list[tuple[float, int, int]]:
+        """Windowed pop (see :meth:`EventWindowQueue.pop_window`) plus the
+        observability tally: per-:class:`Transition` counters and the
+        window-depth histogram.  Pure bookkeeping — the returned window is
+        exactly the superclass's, and the disabled path adds one attribute
+        load and an ``is``-check."""
+        window = super().pop_window()
+        state = obs.ACTIVE
+        if state is not None:
+            counters = _TRANSITION_COUNTERS
+            for _t, priority, _i in window:
+                state.count(counters.get(priority, "spine.transitions.other"))
+            state.observe("spine.window_depth", len(window))
+        return window
 
     # -- running set / capacity profile -------------------------------
 
@@ -414,4 +442,10 @@ class EventSpine(EventWindowQueue):
         if hi <= lo:
             return lo, lo
         self._arr_head = hi
+        state = obs.ACTIVE
+        if state is not None:
+            # The tape is the batch policies' arrival path (the FCFS heap
+            # pushes ARRIVAL transitions instead; both land on the same
+            # counter, and no policy uses both).
+            state.count("spine.transitions.arrival", hi - lo)
         return lo, hi

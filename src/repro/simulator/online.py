@@ -56,6 +56,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.core.validation import TIME_EPS
@@ -170,6 +171,13 @@ class BatchPolicy(OnlinePolicy):
 
     def run(self, instance: Instance) -> OnlineResult:
         """Schedule ``instance`` respecting release dates."""
+        state = obs.ACTIVE
+        if state is None:
+            return self._run_impl(instance)
+        with state.span("policy:" + self.name, "algorithm"):
+            return self._run_impl(instance)
+
+    def _run_impl(self, instance: Instance) -> OnlineResult:
         m = instance.m
         out = Schedule(m)
         n = instance.n
@@ -215,6 +223,10 @@ class BatchPolicy(OnlinePolicy):
                 continue
             sl = slice(lo, hi)
             batch_ids = ids[sl].tolist()
+            state = obs.ACTIVE
+            if state is not None:
+                state.count("online.batches")
+                state.observe("online.batch_size", hi - lo)
 
             # Off-line sub-instance at time origin 0: a zero-copy row
             # slice of the arrival-sorted columns (real releases kept —
@@ -358,6 +370,13 @@ class FcfsOnlinePolicy(OnlinePolicy):
         self.name = "fcfs-backfill" if backfill else "fcfs"
 
     def run(self, instance: Instance) -> OnlineResult:
+        state = obs.ACTIVE
+        if state is None:
+            return self._run_impl(instance)
+        with state.span("policy:" + self.name, "algorithm"):
+            return self._run_impl(instance)
+
+    def _run_impl(self, instance: Instance) -> OnlineResult:
         from repro.extensions.fcfs import rigidify
 
         m = instance.m

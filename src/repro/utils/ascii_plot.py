@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["ascii_chart", "ascii_front"]
+__all__ = ["ascii_chart", "ascii_flame", "ascii_front"]
 
 #: Glyphs assigned to successive series.
 _MARKERS = "ox+*#@%&"
@@ -143,4 +143,32 @@ def ascii_front(
         " " * 12 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}"
     )
     lines.append("   # = Pareto front   · = dominated")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_flame(
+    rows: Sequence[tuple[str, float, str]],
+    *,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render ``(label, value, annotation)`` rows as proportional bars.
+
+    Labels carry their own hierarchy (indentation supplied by the
+    caller); each value is drawn as a ``█`` bar scaled so the largest
+    row spans ``width`` characters, with the annotation printed after
+    the bar — a flame-graph squashed to one row per aggregate.
+    """
+    if not rows:
+        return f"{title}\n(no data)\n"
+    top = max(value for _, value, _ in rows)
+    if top <= 0:
+        top = 1.0
+    label_w = max(len(label) for label, _, _ in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value, note in rows:
+        bar = "█" * max(1 if value > 0 else 0, round(value / top * width))
+        lines.append(f"  {label:<{label_w}} {bar:<{width}} {note}")
     return "\n".join(lines) + "\n"

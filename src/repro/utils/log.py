@@ -1,0 +1,104 @@
+"""The ``repro.*`` logging namespace.
+
+All diagnostic output from the CLI and the campaign engine flows
+through loggers under the root ``"repro"`` logger configured here:
+
+* records at WARNING and above go to **stderr** (engine retry /
+  quarantine / timeout diagnostics — CI smoke steps grep these);
+* records below WARNING go to **stdout** (the CLI's ``[cache]`` /
+  ``[export]`` status lines — CLI tests parse these byte for byte).
+
+Both handlers resolve their stream *at emit time* (the same trick as
+``logging._StderrHandler``), so pytest's ``capsys`` captures records
+exactly like the bare ``print(..., file=sys.stderr)`` calls they
+replaced.  ``propagate`` is off: pytest's root-logger capture handler
+must not swallow (or duplicate) output that tests assert on the real
+streams.
+
+Levels map to the CLI flags: default INFO, ``--verbose`` DEBUG,
+``--quiet`` WARNING (status lines off, diagnostics still on).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure", "get_logger"]
+
+_ROOT = "repro"
+
+
+class _DynamicStreamHandler(logging.StreamHandler):
+    """StreamHandler bound to ``sys.stderr``/``sys.stdout`` by name, not
+    by object, so stream replacement (pytest capsys) is honoured."""
+
+    def __init__(self, stream_name: str):
+        logging.Handler.__init__(self)
+        self._stream_name = stream_name
+
+    @property
+    def stream(self):
+        return getattr(sys, self._stream_name)
+
+    @stream.setter
+    def stream(self, value):  # pragma: no cover - StreamHandler API only
+        pass
+
+    def emit(self, record):
+        super().emit(record)
+        self.flush()
+
+
+class _BelowWarning(logging.Filter):
+    def filter(self, record):
+        return record.levelno < logging.WARNING
+
+
+def _ensure_handlers() -> logging.Logger:
+    logger = logging.getLogger(_ROOT)
+    if not logger.handlers:
+        fmt = logging.Formatter("%(message)s")
+        err = _DynamicStreamHandler("stderr")
+        err.setLevel(logging.WARNING)
+        err.setFormatter(fmt)
+        out = _DynamicStreamHandler("stdout")
+        out.addFilter(_BelowWarning())
+        out.setFormatter(fmt)
+        logger.addHandler(err)
+        logger.addHandler(out)
+        logger.propagate = False
+        logger.setLevel(logging.INFO)
+    return logger
+
+
+def configure(*, verbose: bool = False, quiet: bool = False) -> logging.Logger:
+    """Attach the stdout/stderr handlers and set the namespace level.
+
+    Idempotent on the handlers; the level follows the flags every call
+    (default INFO).  Returns the root ``repro`` logger.
+    """
+    logger = _ensure_handlers()
+    if verbose:
+        logger.setLevel(logging.DEBUG)
+    elif quiet:
+        logger.setLevel(logging.WARNING)
+    else:
+        logger.setLevel(logging.INFO)
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` namespace, handlers guaranteed.
+
+    ``name`` may already carry the ``repro.`` prefix or not:
+    ``get_logger("engine")`` and ``get_logger("repro.engine")`` return
+    the same logger.  Unlike :func:`configure` this never touches the
+    level, so a library import can't undo the CLI's ``--quiet``.
+    """
+    _ensure_handlers()
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        full = name
+    else:
+        full = f"{_ROOT}.{name}"
+    return logging.getLogger(full)

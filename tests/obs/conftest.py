@@ -1,0 +1,28 @@
+"""Shared fixtures for the observability suite.
+
+Every test here runs against the module-level ``obs.ACTIVE`` sentinel,
+so a test that enables tracing and then fails would leak an enabled
+state into the rest of the session.  The autouse fixture guarantees the
+plane is torn down after each test regardless of outcome.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_teardown():
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def fake_clock():
+    """A deterministic clock: 0, 1, 2, ... on successive calls."""
+    counter = itertools.count()
+    return lambda: float(next(counter))

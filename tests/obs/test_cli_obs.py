@@ -1,0 +1,118 @@
+"""CLI surface of the observability plane.
+
+``--trace``/``--metrics`` must work from the top level and after any
+subcommand, ``$REPRO_TRACE`` must act as a flag-less override, and the
+``--verbose``/``--quiet`` pair must gate the ``[cache]``/``[export]``
+status lines without touching the result tables (the CI smokes grep
+those tables from stdout).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments.cli import main
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    from repro.workloads.trace import synthesize_swf
+
+    path = tmp_path / "log.swf"
+    path.write_text(synthesize_swf(25, 8, seed=2))
+    return str(path)
+
+
+def _load_trace_doc(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestTraceFlag:
+    def test_replay_trace_has_full_span_hierarchy(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["replay", trace_path, "--model", "rigid", "--trace", str(out)]
+        ) == 0
+        doc = _load_trace_doc(out)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        cats = {e["cat"] for e in xs}
+        assert {"campaign", "cell", "algorithm", "kernel"} <= cats
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert "dual.probes" in counters
+        assert any(c.startswith("spine.transitions.") for c in counters)
+        assert "cells.measured" in counters
+        # The replay table still printed, and obs is torn down after main.
+        assert "rigid" in capsys.readouterr().out
+        assert obs.ACTIVE is None
+
+    def test_top_level_flag_position(self, trace_path, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["--trace", str(out), "replay", trace_path, "--model", "rigid"]
+        ) == 0
+        assert _load_trace_doc(out)["traceEvents"]
+
+    def test_jsonl_suffix(self, trace_path, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(
+            ["replay", trace_path, "--model", "rigid", "--trace", str(out)]
+        ) == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert "metrics" in lines[-1]
+
+    def test_env_override(self, trace_path, tmp_path, monkeypatch):
+        out = tmp_path / "env-trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(out))
+        assert main(["replay", trace_path, "--model", "rigid"]) == 0
+        assert _load_trace_doc(out)["traceEvents"]
+
+    def test_flag_beats_env(self, trace_path, tmp_path, monkeypatch):
+        env_out = tmp_path / "env-trace.json"
+        flag_out = tmp_path / "flag-trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(env_out))
+        assert main(
+            ["replay", trace_path, "--model", "rigid", "--trace", str(flag_out)]
+        ) == 0
+        assert flag_out.exists() and not env_out.exists()
+
+
+class TestMetricsFlag:
+    def test_metrics_summary_printed(self, trace_path, capsys):
+        assert main(["replay", trace_path, "--model", "rigid", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "dual.probes" in out
+
+    def test_no_metrics_by_default(self, trace_path, capsys):
+        assert main(["replay", trace_path, "--model", "rigid"]) == 0
+        assert "== metrics ==" not in capsys.readouterr().out
+
+
+class TestVerbosity:
+    def test_cache_line_prints_by_default(self, trace_path, tmp_path, capsys):
+        assert main(
+            ["replay", trace_path, "--model", "rigid",
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        assert "[cache]" in capsys.readouterr().out
+
+    def test_quiet_suppresses_status_lines(self, trace_path, tmp_path, capsys):
+        assert main(
+            ["--quiet", "replay", trace_path, "--model", "rigid",
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[cache]" not in out
+        assert "rigid" in out  # the result table is not a status line
+
+    def test_verbose_accepted(self, trace_path, capsys):
+        assert main(["--verbose", "replay", trace_path, "--model", "rigid"]) == 0
+        assert "rigid" in capsys.readouterr().out
+
+    def test_verbose_quiet_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["--verbose", "--quiet", "--figure", "7"])

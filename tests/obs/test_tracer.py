@@ -1,0 +1,186 @@
+"""Unit tests for the span tracer and metrics registry.
+
+The disabled path is the contract that matters most: with
+``obs.ACTIVE is None`` every hook site must reduce to one attribute
+load and an ``is None`` check, so the tests here pin both the sentinel
+lifecycle and — under a fake counter clock — the exact span forest an
+enabled run produces.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import ObsState
+
+
+class TestSentinel:
+    def test_disabled_by_default(self):
+        assert obs.ACTIVE is None
+        assert not obs.enabled()
+
+    def test_enable_disable_roundtrip(self):
+        state = obs.enable()
+        assert obs.ACTIVE is state and obs.enabled()
+        returned = obs.disable()
+        assert returned is state
+        assert obs.ACTIVE is None and not obs.enabled()
+
+    def test_enable_is_idempotent(self):
+        state = obs.enable()
+        assert obs.enable() is state
+
+    def test_enable_fresh_replaces_state(self):
+        state = obs.enable()
+        fresh = obs.enable(fresh=True)
+        assert fresh is not state
+        assert obs.ACTIVE is fresh
+
+    def test_disable_when_disabled_is_noop(self):
+        assert obs.disable() is None
+
+    def test_disabled_run_records_nothing(self):
+        """Algorithm hooks must be strict no-ops when disabled."""
+        from repro.algorithms.demt import schedule_demt
+        from repro.workloads.generator import generate_workload
+
+        assert obs.ACTIVE is None
+        inst = generate_workload("mixed", n=12, m=8, seed=3)
+        schedule_demt(inst)
+        assert obs.ACTIVE is None  # nothing enabled it behind our back
+
+
+class TestSpans:
+    def test_nesting_parents_and_durations(self, fake_clock):
+        state = ObsState(clock=fake_clock)  # t0 = 0
+        with state.span("outer", "campaign"):
+            with state.span("inner", "kernel"):
+                pass
+        by_name = {s.name: s for s in state.spans}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer.sid == 0 and outer.parent == -1
+        assert inner.sid == 1 and inner.parent == outer.sid
+        assert (outer.t0, outer.t1) == (1.0, 4.0)
+        assert (inner.t0, inner.t1) == (2.0, 3.0)
+        assert outer.cat == "campaign" and inner.cat == "kernel"
+
+    def test_siblings_share_parent(self, fake_clock):
+        state = ObsState(clock=fake_clock)
+        with state.span("root"):
+            with state.span("a"):
+                pass
+            with state.span("b"):
+                pass
+        by_name = {s.name: s for s in state.spans}
+        root = by_name["root"]
+        assert by_name["a"].parent == root.sid
+        assert by_name["b"].parent == root.sid
+        assert by_name["a"].sid != by_name["b"].sid
+
+    def test_exception_unwinds_open_spans(self, fake_clock):
+        state = ObsState(clock=fake_clock)
+        with pytest.raises(RuntimeError):
+            with state.span("outer"):
+                with state.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans closed despite the unwind skipping inner's exit
+        # ordering; the forest stays consistent.
+        assert {s.name for s in state.spans} == {"outer", "inner"}
+        assert state._stack == []
+        for s in state.spans:
+            assert s.t1 >= s.t0
+
+    def test_enter_returns_span(self, fake_clock):
+        state = ObsState(clock=fake_clock)
+        with state.span("cells", "cell") as sp:
+            assert sp.name == "cells" and sp.sid == 0
+
+
+class TestMetrics:
+    def test_counter_accumulates(self, fake_clock):
+        state = ObsState(clock=fake_clock)
+        state.count("x")
+        state.count("x", 4)
+        assert state.counters["x"] == 5
+
+    def test_gauge_last_write_wins(self, fake_clock):
+        state = ObsState(clock=fake_clock)
+        state.gauge("g", 1.0)
+        state.gauge("g", 7.0)
+        assert state.gauges["g"] == 7.0
+
+    def test_histogram_stats_and_buckets(self, fake_clock):
+        state = ObsState(clock=fake_clock)
+        for v in (1, 3, 8, 0):
+            state.observe("h", v)
+        h = state.hists["h"]
+        assert h["count"] == 4 and h["total"] == 12
+        assert h["min"] == 0 and h["max"] == 8
+        # Power-of-two buckets keyed by upper bound: 1→1, 3→4, 8→8, 0→0.
+        assert h["buckets"] == {1: 1, 4: 1, 8: 1, 0: 1}
+
+    def test_hook_calls_counts_every_hook(self, fake_clock):
+        state = ObsState(clock=fake_clock)
+        with state.span("s"):
+            state.count("c")
+            state.gauge("g", 1)
+            state.observe("h", 1)
+        assert state.hook_calls == 4
+
+
+class TestSnapshotMerge:
+    def _worker_state(self):
+        worker = ObsState(clock=iter(range(100)).__next__)  # t0 = 0
+        with worker.span("cell-work", "algorithm"):
+            with worker.span("kernel-bit", "kernel"):
+                pass
+        worker.count("dual.probes", 7)
+        worker.observe("batch", 4)
+        return worker
+
+    def test_snapshot_is_picklable_and_relative(self):
+        worker = self._worker_state()
+        snap = pickle.loads(pickle.dumps(worker.snapshot()))
+        assert snap["counters"] == {"dual.probes": 7}
+        # Times relative to the worker's t0.
+        rel = {name: (t0, t1) for _, _, name, _, t0, t1 in snap["spans"]}
+        assert rel["cell-work"] == (1.0, 4.0)
+        assert rel["kernel-bit"] == (2.0, 3.0)
+
+    def test_merge_remaps_and_reanchors(self, fake_clock):
+        parent = ObsState(clock=fake_clock)
+        with parent.span("cells", "cell") as dispatch:
+            pass
+        snap = self._worker_state().snapshot()
+        tid = parent.merge(snap, dispatch.sid, anchor=dispatch.t0)
+        assert tid == 1
+        by_name = {s.name: s for s in parent.spans}
+        work, kern = by_name["cell-work"], by_name["kernel-bit"]
+        # Worker roots graft under the dispatch span; nested parents
+        # remap consistently past the parent's own ids.
+        assert work.parent == dispatch.sid
+        assert kern.parent == work.sid
+        assert work.sid >= parent.spans[0].sid and work.sid != kern.sid
+        # Re-anchored at the dispatch span's start.
+        assert work.t0 == dispatch.t0 + 1.0
+        assert work.tid == tid and kern.tid == tid
+        # Counters merge exactly (integers stay integers).
+        assert parent.counters["dual.probes"] == 7
+
+    def test_merge_twice_gets_distinct_lanes_and_sums(self, fake_clock):
+        parent = ObsState(clock=fake_clock)
+        with parent.span("cells", "cell") as dispatch:
+            pass
+        snap = self._worker_state().snapshot()
+        tid_a = parent.merge(snap, dispatch.sid, anchor=dispatch.t0)
+        tid_b = parent.merge(snap, dispatch.sid, anchor=dispatch.t0)
+        assert tid_a != tid_b
+        assert parent.counters["dual.probes"] == 14
+        h = parent.hists["batch"]
+        assert h["count"] == 2 and h["total"] == 8
+        assert h["buckets"] == {4: 2}
+        sids = [s.sid for s in parent.spans]
+        assert len(sids) == len(set(sids))  # no id collisions across merges
