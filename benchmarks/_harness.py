@@ -13,6 +13,12 @@ the same protocol, factored here so new benches cannot drift from it:
   the default out path is ``<baseline>.new.json``, a per-bench env var
   overrides it, and the baseline is read *before* any write so no
   output-path spelling turns a regression gate into a self-comparison.
+* **Machine stamping** (:func:`machine_metadata`, applied inside
+  :func:`emit_bench_doc`) — every emitted document carries the python
+  version, platform, usable CPU count and active kernel backend under a
+  ``"machine"`` key, so a checked-in baseline from a 1-CPU container and
+  a CI leg on a 4-CPU runner are comparable at a glance instead of
+  silently conflated.
 
 The leading underscore keeps this module out of benchmark collection
 (``benchmarks/pytest.ini`` collects ``bench_*.py`` / ``test_*.py``).
@@ -22,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from pathlib import Path
 from typing import Any, Callable
@@ -62,16 +69,39 @@ def placements(schedule) -> list[tuple]:
     return sorted((p.task.task_id, p.start, p.allotment) for p in schedule)
 
 
+def machine_metadata() -> dict:
+    """Where this measurement ran: stamped into every emitted bench doc.
+
+    ``cpus`` is the *usable* count (CPU affinity mask where available),
+    matching what the engine's worker-count default actually uses.
+    """
+    from repro import kernels
+    from repro.experiments.engine import default_worker_count
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "cpus": default_worker_count(),
+        "cpu_count_raw": os.cpu_count() or 1,
+        "kernel_backend": kernels.backend_name(),
+    }
+
+
 def emit_bench_doc(
     doc: dict, baseline_path: Path, out_env: str
 ) -> tuple[dict | None, bool]:
     """Write ``doc`` per the emit contract (see module docstring).
+
+    ``doc`` gains a ``"machine"`` stamp (:func:`machine_metadata`)
+    unless the bench already set one.
 
     Returns ``(baseline, refreshing_baseline)``: the previously
     checked-in document (or ``None``) for regression gates, and whether
     this run is intentionally rewriting it (gates against the baseline
     should be skipped in that case — it would be a self-comparison).
     """
+    doc.setdefault("machine", machine_metadata())
     refresh = os.environ.get("REPRO_BENCH_REFRESH") == "1"
     default_out = (
         baseline_path if refresh else baseline_path.with_suffix(".new.json")

@@ -130,14 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         choices=list(BACKENDS),
-        default="serial",
-        help="cell executor: 'serial' (default) or 'process' (all cores)",
+        default=None,
+        help="cell executor: 'serial' (default), 'thread' (zero-copy "
+        "threads; parallel when the compiled kernels release the GIL) or "
+        "'process' (all cores); defaults to $REPRO_BACKEND or 'serial'",
     )
     parser.add_argument(
         "--jobs",
         type=_positive_int,
         default=None,
-        help="worker processes for --backend process (default: cpu count)",
+        help="workers for --backend thread/process (default: usable cpus)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -666,7 +668,13 @@ def _dispatch(args, command: str | None) -> int:
     if args.seed is not None:
         cfg = cfg.scaled(seed=args.seed)
 
-    exec_kw = dict(backend=args.backend, jobs=args.jobs)
+    backend = args.backend or os.environ.get("REPRO_BACKEND") or "serial"
+    if backend not in BACKENDS:
+        raise SystemExit(
+            f"repro-experiments: unknown backend {backend!r} "
+            f"($REPRO_BACKEND?); available: {', '.join(BACKENDS)}"
+        )
+    exec_kw = dict(backend=backend, jobs=args.jobs)
     try:
         cache = resolve_cache(args.cache_dir)
     except OSError as exc:  # unusable cache dir: clean one-line exit

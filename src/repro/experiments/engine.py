@@ -16,6 +16,12 @@ interchangeable:
 
 * :class:`SerialBackend` — a plain in-process loop (the default; zero
   overhead, exact for tests);
+* :class:`ThreadBackend` — a :class:`concurrent.futures.ThreadPoolExecutor`
+  fan-out inside one process.  Zero-copy: tasks and results never pickle,
+  no shared-memory staging, no per-worker kernel warmup.  Real parallelism
+  comes from the compiled kernel layer releasing the GIL
+  (:mod:`repro.kernels`; pinned by ``tests/kernels/test_gil_release.py``),
+  so kernel-bound cells overlap while the Python glue interleaves.
 * :class:`ProcessBackend` — a :class:`concurrent.futures.ProcessPoolExecutor`
   fan-out over CPU cores.  Workers receive plain picklable argument tuples
   and return plain records; numbers are guaranteed identical to the serial
@@ -47,9 +53,14 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import threading
 import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -73,11 +84,30 @@ __all__ = [
     "RetryPolicy",
     "execute_cells",
     "SerialBackend",
+    "ThreadBackend",
     "ProcessBackend",
+    "default_worker_count",
     "resolve_backend",
     "resolve_cache",
     "BACKENDS",
 ]
+
+
+def default_worker_count() -> int:
+    """Number of CPUs actually usable by this process.
+
+    ``os.cpu_count()`` reports the machine's CPUs, ignoring CPU affinity
+    (taskset, cgroup cpusets, SLURM bindings) — a campaign pinned to 4 of
+    64 cores would oversubscribe itself 16x.  Prefer the affinity mask
+    where the platform exposes it; fall back to ``cpu_count`` elsewhere.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -213,7 +243,11 @@ class PersistentCellCache(CellCache):
     * **Writes go to a per-process shard** (``cells-<pid>.jsonl``), so two
       campaigns sharing a directory never interleave within one file.  The
       process *backend* needs no extra care: workers return plain records
-      and only the coordinating process touches the cache.
+      and only the coordinating process touches the cache.  Within one
+      process the shard is shared by every thread, so the check-then-append
+      path is serialised by a lock — concurrent campaigns on the thread
+      backend (or campaigns driven from multiple user threads) cannot
+      interleave half-written lines or double-journal a record.
     * **Floats round-trip exactly** (``json`` uses ``repr`` precision), so
       aggregates recomputed from cache equal the original run bit for bit.
     * **Appends are flushed per line**; :meth:`compact` folds all shards
@@ -227,6 +261,9 @@ class PersistentCellCache(CellCache):
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._shard = self.cache_dir / f"cells-{os.getpid()}.jsonl"
         self._fh = None
+        #: Serialises the check-then-append path across threads sharing
+        #: this process's shard (thread backend, multi-threaded drivers).
+        self._lock = threading.Lock()
         self.loaded = self._load()
 
     # -- journal I/O --------------------------------------------------- #
@@ -314,23 +351,25 @@ class PersistentCellCache(CellCache):
         return doc
 
     def put_record(self, key: CellKey, record: CellRecord) -> None:
-        known = self._records.get(key)
-        super().put_record(key, record)
-        if known != record:
-            self._append(self._cell_doc(key, record))
+        with self._lock:
+            known = self._records.get(key)
+            super().put_record(key, record)
+            if known != record:
+                self._append(self._cell_doc(key, record))
 
     def put_bounds(self, bounds_key: tuple, bounds: CellBounds) -> None:
-        known = self._bounds.get(bounds_key)
-        super().put_bounds(bounds_key, bounds)
-        if known != bounds:
-            self._append(
-                {
-                    "t": "bounds",
-                    "k": list(bounds_key),
-                    "cmax_lb": bounds.cmax_lb,
-                    "minsum_lb": bounds.minsum_lb,
-                }
-            )
+        with self._lock:
+            known = self._bounds.get(bounds_key)
+            super().put_bounds(bounds_key, bounds)
+            if known != bounds:
+                self._append(
+                    {
+                        "t": "bounds",
+                        "k": list(bounds_key),
+                        "cmax_lb": bounds.cmax_lb,
+                        "minsum_lb": bounds.minsum_lb,
+                    }
+                )
 
     # -- maintenance ---------------------------------------------------- #
     def compact(self) -> int:
@@ -380,9 +419,10 @@ class PersistentCellCache(CellCache):
 
     def close(self) -> None:
         """Flush and close this process's shard (idempotent)."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
@@ -511,9 +551,11 @@ class RetryPolicy:
     of the same campaign back off identically.  A cell that exhausts its
     ``1 + retries`` attempts is *quarantined*: its slot in the backend's
     result list becomes a :class:`CellFailure` and the campaign carries
-    on.  ``timeout`` bounds one attempt's wall-clock seconds (process
-    backend only — a hung worker is killed together with its pool; the
-    in-process backends cannot preempt and ignore it).
+    on.  ``timeout`` bounds one attempt's wall-clock seconds; enforcement
+    is backend-specific — the process backend kills the hung worker with
+    its pool, the thread backend *marks-and-abandons* (threads cannot be
+    killed; see :class:`ThreadBackend`), and the serial backend cannot
+    preempt at all and ignores it.
     """
 
     retries: int = 2
@@ -785,7 +827,18 @@ def _execute_cells_impl(
                 )
             )
 
-        outputs = backend.map(worker, work)
+        if obs_state is not None and obs_span is not None:
+            # Root spans opened on thread-backend worker threads graft
+            # under this dispatch span (their own tid lanes), mirroring
+            # where merged process-worker snapshots land.
+            prev_graft = obs_state.thread_graft
+            obs_state.thread_graft = obs_span.sid
+            try:
+                outputs = backend.map(worker, work)
+            finally:
+                obs_state.thread_graft = prev_graft
+        else:
+            outputs = backend.map(worker, work)
 
     if obs_state is not None and cache is not None:
         state_hits = cache.hits - hits0
@@ -858,6 +911,99 @@ class SerialBackend:
         ]
 
 
+class ThreadBackend:
+    """Fan cells out over a thread pool inside this process.
+
+    Zero-copy by construction: ``fn`` and the items are shared objects —
+    nothing pickles, nothing stages through shared memory, and there is
+    no per-worker warmup (the process's imports, JIT artifacts and kernel
+    backend selection are already live).  Real parallelism comes from the
+    compiled kernel layer releasing the GIL (:mod:`repro.kernels` with
+    the ``cffi``/``numba`` backends; NumPy ufuncs release it too), so
+    kernel-bound cells overlap; pure-Python cell families still
+    interleave correctly, just without speedup.  Result order matches
+    item order; records are bit-identical to the serial backend because
+    workers derive everything from their argument tuples.
+
+    With a :class:`RetryPolicy` the fan-out is crash-tolerant with the
+    same retry/backoff/quarantine arithmetic as the process backend, with
+    one necessary difference — **timeout marks-and-abandons**: a thread
+    cannot be killed, so an attempt that exceeds ``policy.timeout`` is
+    marked failed (counted under ``cells.timeouts``, retried or
+    quarantined exactly like a process-backend timeout) while the
+    abandoned thread keeps running to completion in the background with
+    its eventual result discarded.  A *hung* (never-returning) worker
+    therefore leaks its thread until process exit — use the process
+    backend when workers are untrusted enough to hang forever.  Unlike a
+    pool of processes, the pool itself cannot die: there is no
+    pool-death/degrade-to-serial path here.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self, jobs: int | None = None, policy: "RetryPolicy | None" = None
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else default_worker_count()
+        self.policy = policy
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if self.policy is not None:
+            return self._resilient_map(fn, items)
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    # -- crash-tolerant fan-out ----------------------------------------- #
+    def _resilient_map(self, fn: Callable, items: list) -> list:
+        """Submit-based fan-out with retry, timeout and quarantine.
+
+        Same invariants as :meth:`ProcessBackend._resilient_map` — every
+        item ends with exactly one result (worker return value or
+        :class:`CellFailure`) in item order — minus the pool-death
+        machinery (threads share this process; the pool cannot break).
+        A timed-out attempt is registered as failed and its future
+        abandoned; retries are resubmitted to a fresh pool so abandoned
+        threads cannot starve them of workers.
+        """
+        policy = self.policy
+        results: dict[int, object] = {}
+        pending: deque[tuple[int, int]] = deque((i, 0) for i in range(len(items)))
+
+        while pending:
+            batch = list(pending)
+            pending.clear()
+            pool = ThreadPoolExecutor(max_workers=min(self.jobs, len(batch)))
+            futures = [(i, attempt, pool.submit(_guarded_call, fn, items[i]))
+                       for i, attempt in batch]
+            try:
+                for i, attempt, fut in futures:
+                    try:
+                        results[i] = fut.result(timeout=policy.timeout)
+                    except FutureTimeout:
+                        # Mark-and-abandon: the thread keeps running; its
+                        # eventual result is discarded.
+                        _register_failure(
+                            policy, pending, results, i, attempt,
+                            "cell attempt timed out",
+                        )
+                    except Exception as exc:  # worker raised
+                        _register_failure(
+                            policy, pending, results, i, attempt, str(exc)
+                        )
+            finally:
+                # Don't wait: abandoned (timed-out) threads may still be
+                # running; unstarted futures of this batch were all
+                # consumed above, so cancel_futures is a no-op safety net.
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        return [results[i] for i in range(len(items))]
+
+
 class ProcessBackend:
     """Fan cells out over a process pool.
 
@@ -882,7 +1028,7 @@ class ProcessBackend:
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.jobs = jobs if jobs is not None else default_worker_count()
         self.policy = policy
 
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -949,52 +1095,60 @@ class ProcessBackend:
                         _kill_pool(pool)
                         died = True
                         pool_deaths += 1
-                        self._register_failure(
-                            pending, results, i, attempt, "cell attempt timed out"
+                        _register_failure(
+                            policy, pending, results, i, attempt,
+                            "cell attempt timed out",
                         )
                     except BrokenProcessPool:
                         died = True
                         pool_deaths += 1
-                        self._register_failure(
-                            pending, results, i, attempt,
+                        _register_failure(
+                            policy, pending, results, i, attempt,
                             "worker process died (pool broken)",
                         )
                     except Exception as exc:  # worker raised; pool is healthy
-                        self._register_failure(pending, results, i, attempt, str(exc))
+                        _register_failure(
+                            policy, pending, results, i, attempt, str(exc)
+                        )
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
 
         return [results[i] for i in range(len(items))]
 
-    def _register_failure(
-        self,
-        pending: "deque[tuple[int, int]]",
-        results: dict,
-        index: int,
-        attempt: int,
-        message: str,
-    ) -> None:
-        """One failed attempt: retry with backoff, or quarantine."""
-        policy = self.policy
-        attempt += 1
-        state = obs.ACTIVE
-        if state is not None and message == "cell attempt timed out":
-            state.count("cells.timeouts")
-        if attempt >= policy.attempts:
-            _log(f"cell {index} quarantined after {attempt} attempts: {message}")
-            if state is not None:
-                state.count("cells.quarantined")
-            results[index] = CellFailure(message, attempts=attempt)
-            return
+
+def _register_failure(
+    policy: RetryPolicy,
+    pending: "deque[tuple[int, int]]",
+    results: dict,
+    index: int,
+    attempt: int,
+    message: str,
+) -> None:
+    """One failed attempt: retry with backoff, or quarantine.
+
+    Shared by the process and thread backends so the retry arithmetic,
+    the quarantine threshold, the obs counter keys and the stderr
+    messages (CI greps them) stay identical across backends.
+    """
+    attempt += 1
+    state = obs.ACTIVE
+    if state is not None and message == "cell attempt timed out":
+        state.count("cells.timeouts")
+    if attempt >= policy.attempts:
+        _log(f"cell {index} quarantined after {attempt} attempts: {message}")
         if state is not None:
-            state.count("cells.retries")
-        delay = policy.delay(attempt, index)
-        _log(
-            f"cell {index} failed (attempt {attempt}/{policy.attempts}): "
-            f"{message}; retrying in {delay:.2f}s"
-        )
-        time.sleep(delay)
-        pending.append((index, attempt))
+            state.count("cells.quarantined")
+        results[index] = CellFailure(message, attempts=attempt)
+        return
+    if state is not None:
+        state.count("cells.retries")
+    delay = policy.delay(attempt, index)
+    _log(
+        f"cell {index} failed (attempt {attempt}/{policy.attempts}): "
+        f"{message}; retrying in {delay:.2f}s"
+    )
+    time.sleep(delay)
+    pending.append((index, attempt))
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -1010,6 +1164,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 #: Backend name -> factory.
 BACKENDS: dict[str, Callable[..., object]] = {
     "serial": SerialBackend,
+    "thread": ThreadBackend,
     "process": ProcessBackend,
 }
 
@@ -1039,7 +1194,7 @@ def resolve_backend(
             raise ValueError(
                 f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
             ) from None
-        return factory(jobs, policy) if factory is ProcessBackend else factory(policy)
+        return factory(policy) if factory is SerialBackend else factory(jobs, policy)
     if hasattr(backend, "map"):
         return backend
     raise TypeError(f"backend must be a name or expose .map(), got {backend!r}")

@@ -247,8 +247,10 @@ class ReplayCellFamily(CellFamily):
         """Stage the trace columns in shared memory for a process fan-out.
 
         Every task of this family references the same trace; without this
-        the process backend re-pickles all five columns per task.  Serial
-        dispatch keeps the plain in-process object.
+        the process backend re-pickles all five columns per task.  The
+        serial and thread backends take the no-staging fast path: their
+        workers share this process's trace object directly (the thread
+        backend's zero-copy property), so staging would only add copies.
         """
         if getattr(backend, "name", "") != "process" or self.trace.n == 0:
             return nullcontext()

@@ -302,7 +302,9 @@ class ParetoCellFamily(CampaignCellFamily):
 
     def dispatch(self, backend):
         """Stage each payload trace in shared memory for a process fan-out
-        (one block per ``trace:`` kind, shared by all that kind's cells)."""
+        (one block per ``trace:`` kind, shared by all that kind's cells).
+        Serial and thread dispatch take the no-staging fast path — their
+        workers read this process's payload objects directly."""
         if getattr(backend, "name", "") != "process" or not self.payloads:
             return nullcontext()
         return self._shared_dispatch()

@@ -23,6 +23,16 @@ The extension module is compiled on first import into a cache directory
 hash of the C source, so rebuilds only happen when the source changes and
 process-pool workers reuse the cached artifact.  Any build or toolchain
 failure raises ``ImportError`` — the package then falls back to NumPy.
+
+**GIL release.**  cffi calls C functions with the GIL *released* (API
+mode drops it around every call into ``lib``), and these three entry
+points touch only caller-owned NumPy buffers — no Python API, no
+callbacks — so concurrent kernel calls from different threads genuinely
+overlap.  The campaign engine's thread backend depends on this for real
+parallelism on kernel-bound cells; ``tests/kernels/test_gil_release.py``
+pins the release (main-thread bytecode must keep running mid-call), so a
+cffi regression that started holding the GIL would fail loudly instead
+of silently serialising thread campaigns.
 """
 
 from __future__ import annotations

@@ -7,6 +7,14 @@ JIT artifacts are disk-cached (``cache=True``) so process-pool workers and
 repeat runs skip recompilation.  Any import or JIT failure surfaces as
 ``ImportError`` via the package's backend resolution, which then falls
 back to NumPy.
+
+Every loop is compiled with ``nogil=True``: the jitted bodies touch no
+Python objects (NumPy buffers and scalars only), so numba drops the GIL
+for the whole call and concurrent kernel calls from different threads
+genuinely overlap — this is what gives the campaign engine's thread
+backend real parallelism on kernel-bound cells.
+``tests/kernels/test_gil_release.py`` pins the release (main-thread
+bytecode must keep running mid-call).
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ __all__ = [
 name = "numba"
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _knapsack_select_jit(allot, weights, m):  # pragma: no cover - jitted
     n = allot.size
     stride = (m + 1 + 63) // 64
@@ -74,7 +82,7 @@ def _knapsack_select_jit(allot, weights, m):  # pragma: no cover - jitted
     return chosen[:cnt], total, used
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _min_work_value_jit(work_a, cost_a, work_b, m):  # pragma: no cover - jitted
     n = work_a.size
     dp = np.zeros(m + 1, dtype=np.float64)
@@ -107,7 +115,7 @@ def _min_work_value_jit(work_a, cost_a, work_b, m):  # pragma: no cover - jitted
     return dp[m]
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _graham_jit(allot, dur, m, start_time, cutoff, use_cutoff):  # pragma: no cover
     n = allot.size
     starts = np.zeros(n, dtype=np.float64)

@@ -17,6 +17,17 @@ ids remapped and worker timelines re-anchored — cross-process clocks are
 not comparable, so a worker's spans are placed relative to the moment
 the parent dispatched the work and tagged with a distinct ``tid``.
 
+**Worker threads** (the campaign engine's thread backend) share this one
+state directly instead of snapshotting: each thread gets its own span
+stack (``threading.local``) on its own ``tid`` lane — the same lane
+model merged process snapshots land on, so exporters need no new
+concepts — and a root span opened on a non-creator thread grafts under
+:attr:`ObsState.thread_graft` (the engine points it at the live
+``cells:<family>`` dispatch span).  All shared mutation (span-id/lane
+allocation, the span list, counters, gauges, histograms) is serialised
+by one lock, so counter totals merge *exactly*: a campaign's counters
+are bit-identical across the serial, thread and process backends.
+
 ``hook_calls`` counts every mutating hook invocation (span open, count,
 gauge, observe); the overhead bench multiplies it by the measured cost
 of the disabled-mode check to bound what instrumentation costs a run
@@ -25,6 +36,7 @@ that never enables tracing.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable
 
@@ -83,48 +95,90 @@ class ObsState:
         self.hists: dict[str, dict[str, Any]] = {}
         self.spans: list[Span] = []
         self.hook_calls = 0
-        self._stack: list[Span] = []
+        self._stack: list[Span] = []  # creator thread's stack (lane 0)
         self._next_sid = 0
         self._next_tid = 1
+        #: Serialises all shared mutation; per-thread span *stacks* are
+        #: thread-owned and need no locking.
+        self._lock = threading.Lock()
+        self._owner = threading.get_ident()
+        self._local = threading.local()
+        #: Parent sid grafted under root spans opened on non-creator
+        #: threads (the engine points this at the live dispatch span
+        #: while the thread backend fans out); ``-1``: lane roots.
+        self.thread_graft = -1
+
+    def _lane(self) -> "tuple[list[Span], int]":
+        """The calling thread's (span stack, timeline lane).
+
+        The creating thread is lane 0 (:attr:`_stack`, the historical
+        single-thread behaviour); any other thread gets a private stack
+        and a fresh lane from the same ``tid`` sequence merged process
+        snapshots draw from, allocated on its first span.
+        """
+        if threading.get_ident() == self._owner:
+            return self._stack, 0
+        rec = getattr(self._local, "rec", None)
+        if rec is None:
+            with self._lock:
+                tid = self._next_tid
+                self._next_tid = tid + 1
+            rec = self._local.rec = ([], tid)
+        return rec
 
     # -- spans ---------------------------------------------------------
 
     def span(self, name: str, cat: str = "") -> _SpanCM:
         """Open a nested span; close it by leaving the ``with`` block."""
-        self.hook_calls += 1
-        sid = self._next_sid
-        self._next_sid = sid + 1
-        parent = self._stack[-1].sid if self._stack else -1
-        sp = Span(sid, parent, name, cat, self.clock())
-        self._stack.append(sp)
+        stack, tid = self._lane()
+        with self._lock:
+            self.hook_calls += 1
+            sid = self._next_sid
+            self._next_sid = sid + 1
+        if stack:
+            parent = stack[-1].sid
+        else:
+            parent = -1 if tid == 0 else self.thread_graft
+        sp = Span(sid, parent, name, cat, self.clock(), tid=tid)
+        stack.append(sp)
         return _SpanCM(self, sp)
 
     def _close(self, sp: Span) -> None:
+        stack, _tid = self._lane()
         sp.t1 = self.clock()
+        closed = []
         # Exceptions can unwind several spans at once; pop to (and
         # including) the span being closed so nesting stays consistent.
-        while self._stack:
-            top = self._stack.pop()
+        while stack:
+            top = stack.pop()
             top.t1 = sp.t1 if top is sp else top.t1 or sp.t1
-            self.spans.append(top)
+            closed.append(top)
             if top is sp:
                 break
+        with self._lock:
+            self.spans.extend(closed)
 
     # -- metrics -------------------------------------------------------
 
     def count(self, name: str, delta: float = 1) -> None:
         """Add ``delta`` to the named counter (created at 0)."""
-        self.hook_calls += 1
-        self.counters[name] = self.counters.get(name, 0) + delta
+        with self._lock:
+            self.hook_calls += 1
+            self.counters[name] = self.counters.get(name, 0) + delta
 
     def gauge(self, name: str, value: float) -> None:
         """Set the named gauge (last write wins)."""
-        self.hook_calls += 1
-        self.gauges[name] = value
+        with self._lock:
+            self.hook_calls += 1
+            self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Record ``value`` into the named histogram."""
-        self.hook_calls += 1
+        with self._lock:
+            self.hook_calls += 1
+            self._observe_locked(name, value)
+
+    def _observe_locked(self, name: str, value: float) -> None:
         h = self.hists.get(name)
         if h is None:
             h = self.hists[name] = {
@@ -162,6 +216,10 @@ class ObsState:
         re-anchor them on its own clock (cross-process monotonic clocks
         share no epoch).  Open spans are not included.
         """
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
         return {
             "next_sid": self._next_sid,
             "hook_calls": self.hook_calls,
@@ -184,9 +242,15 @@ class ObsState:
         its roots under ``parent_sid`` (the dispatch span), re-anchors
         its relative times at ``anchor`` (this state's clock, typically
         the dispatch span's start), and places all its spans on a fresh
-        timeline lane.  Counters and histograms accumulate; integer
-        counters merge exactly.  Returns the lane (tid) used.
+        timeline lane — the same lane sequence live worker threads draw
+        from, so process- and thread-backend traces share one lane
+        model.  Counters and histograms accumulate; integer counters
+        merge exactly.  Returns the lane (tid) used.
         """
+        with self._lock:
+            return self._merge_locked(snap, parent_sid, anchor)
+
+    def _merge_locked(self, snap: dict[str, Any], parent_sid: int, anchor: float) -> int:
         tid = self._next_tid
         self._next_tid = tid + 1
         offset = self._next_sid

@@ -1,13 +1,16 @@
 """The unified ``execute_cells`` protocol, across all four cell families.
 
-Acceptance pinning for the PR-5 refactor: figures/ablation (campaign),
-Pareto-sweep, on-line arrival-sweep and trace-replay cells all flow
-through :func:`repro.experiments.engine.execute_cells`, and for each
-family
+Acceptance pinning for the PR-5 refactor (extended to the PR-10 thread
+backend): figures/ablation (campaign), Pareto-sweep, on-line arrival-sweep
+and trace-replay cells all flow through
+:func:`repro.experiments.engine.execute_cells`, and for each family
 
-* serial and process backends produce **bit-identical** records,
+* serial, thread and process backends produce **bit-identical** records
+  (a three-way grid — every cell's numbers are a pure function of its
+  key, whichever executor ran it),
 * a warm :class:`~repro.experiments.engine.PersistentCellCache` serves a
-  repeat run with **zero re-execution** (every lookup a hit), and
+  repeat run with **zero re-execution** (every lookup a hit), on every
+  backend, and
 * the records served from cache equal the fresh ones exactly.
 """
 
@@ -68,47 +71,54 @@ FAMILY_DRIVERS = {
 }
 
 
+def family_digest(family: str, result):
+    """Wall-clock-free digest of one driver's result for bit-identity."""
+    if family in ("campaign", "pareto"):
+        return {
+            cell: (
+                bounds,
+                {
+                    name: (rec.cmax, rec.minsum, rec.validated, rec.batches)
+                    for name, rec in records.items()
+                },
+            )
+            for cell, (bounds, records) in result.items()
+        }
+    if family == "online":
+        return [
+            (p.horizon_fraction, p.mean_ratio, p.max_ratio, p.mean_batches)
+            for p in result
+        ]
+    return [
+        (r.model, r.mode, r.makespan, r.weighted_flow, r.n_batches)
+        for r in result
+    ]
+
+
 class TestBackendEquivalence:
     @pytest.mark.parametrize("family", list(FAMILY_DRIVERS))
-    def test_serial_equals_process(self, family):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_bit_identical(self, family, backend):
+        """Serial/thread/process three-way grid: only wall-clock may
+        differ between fresh runs of the same cells."""
         driver = FAMILY_DRIVERS[family]
-        serial = driver(backend="serial")
-        process = driver(backend="process", jobs=2)
-        if family == "campaign" or family == "pareto":
-            for cell, (bounds, records) in serial.items():
-                pbounds, precords = process[cell]
-                assert bounds == pbounds
-                for name, rec in records.items():
-                    prec = precords[name]
-                    # Only wall-clock may differ between fresh runs.
-                    assert (rec.cmax, rec.minsum) == (prec.cmax, prec.minsum)
-        elif family == "online":
-            assert [
-                (p.horizon_fraction, p.mean_ratio, p.max_ratio, p.mean_batches)
-                for p in serial
-            ] == [
-                (p.horizon_fraction, p.mean_ratio, p.max_ratio, p.mean_batches)
-                for p in process
-            ]
-        else:
-            assert [
-                (r.model, r.mode, r.makespan, r.weighted_flow, r.n_batches)
-                for r in serial
-            ] == [
-                (r.model, r.mode, r.makespan, r.weighted_flow, r.n_batches)
-                for r in process
-            ]
+        serial = family_digest(family, driver(backend="serial"))
+        other = family_digest(family, driver(backend=backend, jobs=2))
+        assert serial == other
 
 
 class TestZeroReexecution:
     @pytest.mark.parametrize("family", list(FAMILY_DRIVERS))
-    def test_warm_persistent_cache_serves_everything(self, family, tmp_path):
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_warm_persistent_cache_serves_everything(
+        self, family, backend, tmp_path
+    ):
         driver = FAMILY_DRIVERS[family]
-        first = driver(cache=tmp_path)
+        first = driver(cache=tmp_path, backend=backend, jobs=2)
 
         warm = PersistentCellCache(tmp_path)
         assert warm.loaded > 0
-        again = driver(cache=warm)
+        again = driver(cache=warm, backend=backend, jobs=2)
         assert warm.misses == 0, f"{family}: {warm.misses} cells re-executed"
         assert warm.hits > 0
 

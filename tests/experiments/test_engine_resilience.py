@@ -3,15 +3,20 @@
 Pinned here:
 
 * :class:`RetryPolicy` — validation, deterministic backoff jitter;
-* retry and quarantine semantics in both backends (a failing cell costs
-  retries, an always-failing cell becomes a :class:`CellFailure` /
+* retry and quarantine semantics in all three backends (a failing cell
+  costs retries, an always-failing cell becomes a :class:`CellFailure` /
   :attr:`CellOutcome.error`, never an abort);
 * worker-death recovery: an injected hard crash (``REPRO_INJECT_CRASH``)
   breaks the pool, the cell is retried, and the final results are
   bit-identical to a serial run;
-* per-cell timeouts kill the hung worker's pool and quarantine the cell;
+* per-cell timeouts: the process backend kills the hung worker's pool;
+  the thread backend marks the cell failed and abandons the worker
+  thread (threads cannot be killed) — either way the cell quarantines
+  and nobody waits for the full hang;
 * a pool that keeps dying degrades to in-process execution and still
-  completes every cell.
+  completes every cell;
+* :func:`default_worker_count` honours the scheduler affinity mask and
+  falls back to ``os.cpu_count()``.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ from repro.experiments.engine import (
     ProcessBackend,
     RetryPolicy,
     SerialBackend,
+    ThreadBackend,
+    default_worker_count,
     execute_cells,
     resolve_backend,
 )
@@ -70,6 +77,14 @@ def _die_in_pool(x):
 def _hang_if_zero(x):
     if x == 0:
         time.sleep(60.0)
+    return x * 2
+
+
+def _nap_if_zero(x):
+    """Finite hang for the thread backend: the abandoned worker thread
+    survives its timeout and must finish before interpreter shutdown."""
+    if x == 0:
+        time.sleep(3.0)
     return x * 2
 
 
@@ -171,6 +186,75 @@ class TestProcessResilience:
         serial = SerialBackend(policy).map(_double, items)
         process = ProcessBackend(jobs=2, policy=policy).map(_double, items)
         assert serial == process
+
+
+class TestThreadResilience:
+    def test_no_policy_short_circuits_through_pool(self):
+        assert ThreadBackend(jobs=2).map(_double, [1, 2, 3]) == [2, 4, 6]
+        assert ThreadBackend(jobs=2).map(_double, []) == []
+
+    def test_no_policy_propagates(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(jobs=2).map(_fail_if_negative, [1, -1])
+
+    def test_worker_exception_is_retried_then_quarantined(self, capsys):
+        backend = ThreadBackend(jobs=2, policy=RetryPolicy(retries=1, backoff=0.0))
+        out = backend.map(_fail_if_negative, [1, -2, 3, 4])
+        assert out[0] == 2 and out[2] == 6 and out[3] == 8
+        assert isinstance(out[1], CellFailure)
+        assert out[1].attempts == 2
+        err = capsys.readouterr().err
+        assert "retrying in" in err and "quarantined" in err
+
+    def test_retry_succeeds_after_transient_failure(self, tmp_path, capsys):
+        backend = ThreadBackend(jobs=2, policy=RetryPolicy(retries=2, backoff=0.0))
+        marker = str(tmp_path / "marker")
+        out = backend.map(_fail_until_marker, [(21, marker)])
+        assert out == [42]
+        assert "retrying in" in capsys.readouterr().err
+
+    def test_timeout_marks_and_abandons_the_hung_cell(self, capsys):
+        """Threads cannot be killed: the hung cell quarantines after its
+        timeout while the abandoned worker keeps sleeping in the
+        background — but nobody *waits* for it."""
+        backend = ThreadBackend(
+            jobs=2, policy=RetryPolicy(retries=0, backoff=0.0, timeout=0.5)
+        )
+        start = time.monotonic()
+        out = backend.map(_nap_if_zero, [0, 1, 2])
+        assert time.monotonic() - start < 2.5  # nobody waited out the nap
+        assert isinstance(out[0], CellFailure)
+        assert "timed out" in out[0].message
+        assert out[1] == 2 and out[2] == 4
+        assert "quarantined" in capsys.readouterr().err
+
+    def test_serial_and_thread_agree_under_policy(self):
+        policy = RetryPolicy(retries=1, backoff=0.0)
+        items = list(range(8))
+        serial = SerialBackend(policy).map(_double, items)
+        thread = ThreadBackend(jobs=2, policy=policy).map(_double, items)
+        assert serial == thread
+
+
+class TestDefaultWorkerCount:
+    def test_prefers_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 2, 5}, raising=False)
+        assert default_worker_count() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_worker_count() == 5
+
+    def test_never_returns_zero(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_worker_count() == 1
+
+    def test_backends_use_it_by_default(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        assert ThreadBackend().jobs == 2
+        assert ProcessBackend().jobs == 2
 
 
 # -- quarantine surfacing through execute_cells ------------------------- #

@@ -87,9 +87,14 @@ class TestCampaign:
         assert set(points) == {"demt", "gang"}
         assert result.front() <= {"demt", "gang"} and result.front()
 
-    def test_serial_process_bit_identity_with_injected_crash(
-        self, tmp_path, monkeypatch
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_bit_identity_with_injected_crash(
+        self, tmp_path, monkeypatch, backend
     ):
+        """Thread and process backends both reproduce the serial rows
+        bit for bit even when the first attempt crashes (process: the
+        worker hard-exits; thread: the injection raises in-process) and
+        is retried."""
         serial = run_robustness_campaign(
             "mixed", (10,), 2, SCENARIO, engines=("demt",), m=8
         )
@@ -97,14 +102,14 @@ class TestCampaign:
         marker.mkdir()
         monkeypatch.setenv("REPRO_INJECT_CRASH", str(marker))
         monkeypatch.setenv("REPRO_INJECT_CRASH_COUNT", "1")
-        process = run_robustness_campaign(
+        parallel = run_robustness_campaign(
             "mixed", (10,), 2, SCENARIO, engines=("demt",), m=8,
-            backend="process", jobs=2,
+            backend=backend, jobs=2,
             policy=RetryPolicy(retries=2, backoff=0.01),
         )
         assert (marker / "crash-0").exists()  # the crash really fired
-        assert process.rows == serial.rows  # bit-identical, retries included
-        assert process.n_quarantined == 0
+        assert parallel.rows == serial.rows  # bit-identical, retries included
+        assert parallel.n_quarantined == 0
 
     def test_cache_round_trip(self, tmp_path):
         cache = PersistentCellCache(tmp_path / "cache")

@@ -92,13 +92,14 @@ class TestGoldenCorpus:
             (r.makespan, r.weighted_flow, r.n_batches) for r in b
         ]
 
-    def test_serial_and_process_backends_agree(self, traces):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_agree_with_serial(self, traces, backend):
         fixture = "bursty_quirks.swf"
         kw = dict(m=FIXTURE_M[fixture], models="all", modes=("batch", "clairvoyant"))
         serial = replay_trace(traces[fixture], **kw)
-        process = replay_trace(traces[fixture], backend="process", jobs=2, **kw)
+        other = replay_trace(traces[fixture], backend=backend, jobs=2, **kw)
         assert [(r.makespan, r.weighted_flow, r.n_batches) for r in serial] == [
-            (r.makespan, r.weighted_flow, r.n_batches) for r in process
+            (r.makespan, r.weighted_flow, r.n_batches) for r in other
         ]
 
     def test_persistent_cache_zero_reexecution(self, traces, tmp_path, monkeypatch):

@@ -1,0 +1,158 @@
+"""Concurrency smoke test: compiled kernels must release the GIL.
+
+The thread backend's whole value proposition (ISSUE 10) is that the
+compiled kernel layer runs GIL-free, so kernel-bound cells from
+different threads genuinely overlap.  This suite pins that property for
+every compiled backend that imports here (``cffi`` and/or ``numba``;
+skipped entirely when only ``numpy`` is available, whose Python glue
+holds the GIL between ufunc calls).
+
+The detection technique works even on a single CPU: a worker thread
+timestamps ``t_start``/``t_end`` around one long kernel call while the
+main thread spins recording ``perf_counter()`` stamps.  If the kernel
+held the GIL for the whole call, *no* main-thread stamp could land
+strictly inside the call window (the spinning bytecode would be frozen);
+with the GIL released, the OS timeslices the spinner into the middle of
+the window.  We assert stamps in the middle third — far from the
+release/reacquire edges — which is robust to scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import kernels
+
+COMPILED = tuple(n for n in kernels.available_backend_names() if n != "numpy")
+
+pytestmark = pytest.mark.skipif(
+    not COMPILED, reason="no compiled kernel backend (cffi/numba) available"
+)
+
+#: Minimum wall-clock length of the probed kernel call.  Long enough that
+#: the middle third spans many OS timeslices; short enough to keep the
+#: suite fast.
+_MIN_CALL = 0.05
+
+
+def _knapsack_min_work_call(mod):
+    rng = np.random.default_rng(7)
+    n = 12000
+    work_a = rng.uniform(1.0, 50.0, size=n)
+    cost_a = rng.integers(1, 40, size=n).astype(np.int64)
+    work_b = work_a + rng.uniform(0.0, 25.0, size=n)
+    m = 12000
+    return lambda: mod.knapsack_min_work_value_core(work_a, cost_a, work_b, m)
+
+
+def _knapsack_select_call(mod):
+    rng = np.random.default_rng(11)
+    n = 10000
+    allot = rng.integers(1, 30, size=n).astype(np.int64)
+    weights = rng.uniform(0.0, 10.0, size=n)
+    m = 10000
+    return lambda: mod.knapsack_select_core(allot, weights, m)
+
+
+def _graham_call(mod):
+    rng = np.random.default_rng(13)
+    n = 2_000_000
+    allot = rng.integers(1, 8, size=n).astype(np.int64)
+    dur = rng.uniform(0.5, 5.0, size=n)
+    return lambda: mod.graham_starts_core(allot, dur, 16, 0.0, None)
+
+
+_KERNEL_CALLS = {
+    "min_work_value": _knapsack_min_work_call,
+    "knapsack_select": _knapsack_select_call,
+    "graham_starts": _graham_call,
+}
+
+
+def _probe_overlap(call):
+    """Run ``call`` in a worker thread while the main thread spins.
+
+    Returns ``(t_start, t_end, stamps)``: the call window measured inside
+    the worker and every main-thread timestamp recorded while it ran.
+    """
+    window = {}
+    ready = threading.Event()
+    done = threading.Event()
+
+    def worker():
+        ready.wait()
+        window["t0"] = time.perf_counter()
+        call()
+        window["t1"] = time.perf_counter()
+        done.set()
+
+    t = threading.Thread(target=worker, daemon=True)
+    t.start()
+    stamps = []
+    ready.set()
+    deadline = time.perf_counter() + 30.0
+    while not done.is_set():
+        stamps.append(time.perf_counter())
+        if stamps[-1] > deadline:  # pragma: no cover - hang guard
+            pytest.fail("kernel call did not finish within 30s")
+    t.join()
+    return window["t0"], window["t1"], stamps
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("kernel", sorted(_KERNEL_CALLS))
+def test_kernel_releases_gil(backend, kernel):
+    mod = kernels.load_backend(backend)
+    call = _KERNEL_CALLS[kernel](mod)
+    # Warm up outside the probe: first call may JIT-compile (numba) or
+    # page in the extension (cffi), and must not pollute the window.
+    call()
+    t0 = time.perf_counter()
+    call()
+    elapsed = time.perf_counter() - t0
+    if elapsed < _MIN_CALL:  # pragma: no cover - machine-speed dependent
+        pytest.skip(
+            f"{backend}/{kernel} finished in {elapsed * 1e3:.1f}ms; "
+            "too fast to probe GIL release reliably"
+        )
+
+    t_start, t_end, stamps = _probe_overlap(call)
+    span = t_end - t_start
+    lo = t_start + span / 3.0
+    hi = t_end - span / 3.0
+    inside = sum(1 for s in stamps if lo < s < hi)
+    # With the GIL held for the whole compiled call the spinner is frozen
+    # between t_start and t_end and `inside` is 0.  With it released, the
+    # middle third (tens of ms) spans many ~5ms timeslices, so the
+    # spinner lands there hundreds of times even on one CPU.
+    assert inside >= 10, (
+        f"{backend}/{kernel}: only {inside} main-thread stamps landed in "
+        f"the middle third of a {span * 1e3:.1f}ms kernel call — the GIL "
+        "does not appear to be released"
+    )
+
+
+def test_concurrent_calls_bit_identical():
+    """Two threads hammering the same kernel concurrently get the same
+    bits as a serial call — no shared mutable state in the backends."""
+    mod = kernels.load_backend(COMPILED[0])
+    call = _knapsack_min_work_call(mod)
+    expect = call()
+    results = [None] * 4
+    barrier = threading.Barrier(4)
+
+    def worker(slot):
+        barrier.wait()
+        for _ in range(3):
+            results[slot] = call()
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(r == expect for r in results)

@@ -92,10 +92,11 @@ class TestGoldenFronts:
             [c for c in SYNTH_CELLS if c["source"] == source],
         )
 
-    def test_process_backend_bit_exact(self):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_bit_exact(self, backend):
         source = SYNTH_SOURCES[0]
         _assert_matches_golden(
-            _sweep_synthetic(source, backend="process", jobs=2),
+            _sweep_synthetic(source, backend=backend, jobs=2),
             [c for c in SYNTH_CELLS if c["source"] == source],
         )
 

@@ -181,11 +181,12 @@ class TestSweepTradeoffs:
             assert cell.front.shape[0] >= 1
             assert set(cell.front_specs) <= set(SMALL)
 
-    def test_serial_process_bit_identical(self):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_bit_identical(self, backend):
         kw = dict(m=8, task_counts=(10,), runs=2, seed=3)
         serial = sweep_tradeoffs("mixed", SMALL, backend="serial", **kw)
-        procs = sweep_tradeoffs("mixed", SMALL, backend="process", jobs=2, **kw)
-        for cs, cp in zip(serial.cells, procs.cells):
+        other = sweep_tradeoffs("mixed", SMALL, backend=backend, jobs=2, **kw)
+        for cs, cp in zip(serial.cells, other.cells):
             assert (cs.cloud == cp.cloud).all()
             assert (cs.front_mask == cp.front_mask).all()
             assert cs.cmax_lb == cp.cmax_lb and cs.minsum_lb == cp.minsum_lb
